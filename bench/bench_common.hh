@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Shared plumbing for the experiment benches: CLI handling, suite
+ * execution and the standard "paper vs measured" output blocks.
+ *
+ * Every bench accepts:
+ *   --branches N   trace length per benchmark (default 200000, or the
+ *                  IMLI_BRANCHES environment variable)
+ *   --csv          dump the raw per-benchmark cells as CSV and exit
+ */
+
+#ifndef IMLI_BENCH_BENCH_COMMON_HH
+#define IMLI_BENCH_BENCH_COMMON_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/predictors/zoo.hh"
+#include "src/sim/report.hh"
+#include "src/sim/suite_runner.hh"
+#include "src/util/cli.hh"
+#include "src/util/table_writer.hh"
+#include "src/workloads/suite.hh"
+
+namespace imli::bench
+{
+
+/** Parse the standard bench flags. */
+struct BenchArgs
+{
+    std::size_t branches;
+    bool csv;
+
+    BenchArgs(int argc, char **argv)
+    {
+        CommandLine cli(argc, argv);
+        branches = static_cast<std::size_t>(cli.getInt(
+            "branches",
+            static_cast<std::int64_t>(defaultBranchesPerTrace())));
+        csv = cli.getBool("csv");
+    }
+};
+
+/** Run @p configs over the full 80-benchmark suite. */
+inline SuiteResults
+runFullSuite(const std::vector<std::string> &configs, std::size_t branches)
+{
+    SuiteRunOptions opt;
+    opt.branchesPerTrace = branches;
+    return runSuite(fullSuite(), configs, opt);
+}
+
+/** Run @p configs over a named subset of the suite. */
+inline SuiteResults
+runBenchmarks(const std::vector<std::string> &names,
+              const std::vector<std::string> &configs,
+              std::size_t branches)
+{
+    std::vector<BenchmarkSpec> specs;
+    specs.reserve(names.size());
+    for (const std::string &name : names)
+        specs.push_back(findBenchmark(name));
+    SuiteRunOptions opt;
+    opt.branchesPerTrace = branches;
+    return runSuite(specs, configs, opt);
+}
+
+/** Storage of a zoo config in Kbits. */
+inline double
+storageKbits(const std::string &spec)
+{
+    return makePredictor(spec)->storage().totalKbits();
+}
+
+/**
+ * Print the standard table: one row per config with measured size and
+ * per-suite MPKI next to the paper's values.
+ */
+struct PaperRow
+{
+    std::string config;      //!< zoo spec
+    std::string paperLabel;  //!< the paper's name for this row
+    double paperKbits;
+    double paperCbp4;
+    double paperCbp3;
+};
+
+inline void
+printSuiteTable(const std::string &title, const SuiteResults &results,
+                const std::vector<PaperRow> &rows)
+{
+    TableWriter table(title);
+    table.setHeader({"config", "Kbits", "paper", "CBP4", "paper", "CBP3",
+                     "paper"});
+    for (const PaperRow &row : rows) {
+        table.addRow({row.paperLabel, formatDouble(storageKbits(row.config), 1),
+                      formatDouble(row.paperKbits, 0),
+                      formatDouble(results.averageMpki(row.config, "CBP4"), 3),
+                      formatDouble(row.paperCbp4, 3),
+                      formatDouble(results.averageMpki(row.config, "CBP3"), 3),
+                      formatDouble(row.paperCbp3, 3)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+}
+
+/** Relative MPKI change of @p to vs @p from on one suite. */
+inline double
+relChange(const SuiteResults &results, const std::string &from,
+          const std::string &to, const std::string &suite)
+{
+    const double a = results.averageMpki(from, suite);
+    const double b = results.averageMpki(to, suite);
+    return a == 0.0 ? 0.0 : (b - a) / a;
+}
+
+} // namespace imli::bench
+
+#endif // IMLI_BENCH_BENCH_COMMON_HH

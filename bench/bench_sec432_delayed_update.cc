@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Section 4.3.2 — Delayed update of the IMLI outer-history table.
+ *
+ * The paper validates commit-time update by delaying every history-table
+ * write until up to 63 further conditional branches have been fetched:
+ * the predictor loses only ~0.002 MPKI.  The mechanism: the branches
+ * IMLI-OH actually serves sit in loops whose previous-outer-iteration
+ * writes committed long before they are read; the PIPE vector (which is
+ * speculative and checkpointed) covers the one genuinely young bit.
+ */
+
+#include "bench/bench_common.hh"
+#include "src/spec/delayed_update.hh"
+
+using namespace imli;
+using namespace imli::bench;
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args(argc, argv);
+    const std::vector<unsigned> delays = {0, 1, 4, 16, 63};
+
+    for (const std::string host : {"tage-gsc", "gehl"}) {
+        const auto points =
+            runDelayedUpdateSweep(fullSuite(), delays, host,
+                                  args.branches);
+        TableWriter table("Section 4.3.2: outer-history update delay "
+                          "sweep, host = " + host + "+I (avg MPKI)");
+        table.setHeader({"delay (branches)", "CBP4", "CBP3", "all",
+                         "loss vs delay 0"});
+        for (const auto &p : points) {
+            table.addRow({std::to_string(p.delay),
+                          formatDouble(p.mpkiCbp4, 4),
+                          formatDouble(p.mpkiCbp3, 4),
+                          formatDouble(p.mpkiAll, 4),
+                          formatDelta(p.mpkiAll - points[0].mpkiAll, 4)});
+        }
+        table.print(std::cout);
+
+        ExperimentReport report(
+            "Section 4.3.2 (" + host + ")",
+            "accuracy loss at 63-branch delayed update");
+        report.addMetric("MPKI loss at delay 63",
+                         points.back().mpkiAll - points.front().mpkiAll,
+                         0.002);
+        report.addNote("The paper reports ~0.002 MPKI on TAGE-GSC+I; "
+                       "anything of that order validates commit-time "
+                       "update.");
+        report.print(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Throughput microbenchmarks (google-benchmark): simulation speed of each
+ * predictor configuration, IMLI state maintenance cost, checkpoint cost
+ * and trace generation speed.  Not a paper experiment — the engineering
+ * numbers behind the suite runtimes.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/imli_components.hh"
+#include "src/predictors/zoo.hh"
+#include "src/sim/simulator.hh"
+#include "src/spec/checkpoint.hh"
+#include "src/workloads/suite.hh"
+
+using namespace imli;
+
+namespace
+{
+
+const Trace &
+sharedTrace()
+{
+    static const Trace trace =
+        generateTrace(findBenchmark("SPEC2K6-12"), 100000);
+    return trace;
+}
+
+void
+predictorThroughput(benchmark::State &state, const std::string &spec)
+{
+    const Trace &trace = sharedTrace();
+    for (auto _ : state) {
+        PredictorPtr pred = makePredictor(spec);
+        const SimResult r = simulate(*pred, trace);
+        benchmark::DoNotOptimize(r.mispredictions);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(trace.size()));
+    state.SetLabel("branches/s");
+}
+
+} // anonymous namespace
+
+#define IMLI_PREDICTOR_BENCH(name, spec)                                   \
+    static void name(benchmark::State &state)                              \
+    {                                                                      \
+        predictorThroughput(state, spec);                                  \
+    }                                                                      \
+    BENCHMARK(name)->Unit(benchmark::kMillisecond)
+
+IMLI_PREDICTOR_BENCH(BM_Bimodal, "bimodal");
+IMLI_PREDICTOR_BENCH(BM_Gshare, "gshare");
+IMLI_PREDICTOR_BENCH(BM_Gehl, "gehl");
+IMLI_PREDICTOR_BENCH(BM_GehlImli, "gehl+i");
+IMLI_PREDICTOR_BENCH(BM_TageGsc, "tage-gsc");
+IMLI_PREDICTOR_BENCH(BM_TageGscImli, "tage-gsc+i");
+IMLI_PREDICTOR_BENCH(BM_TageGscImliLocal, "tage-gsc+i+l");
+IMLI_PREDICTOR_BENCH(BM_TageGscWormhole, "tage-gsc+wh");
+
+static void
+BM_ImliStateMaintenance(benchmark::State &state)
+{
+    // The pure per-branch cost of the IMLI machinery: context fill +
+    // resolution (counter heuristic + outer-history write).
+    ImliComponents imli;
+    ScContext ctx;
+    std::uint64_t pc = 0x400000;
+    bool taken = true;
+    for (auto _ : state) {
+        imli.fillContext(ctx, pc);
+        imli.onResolved(pc, pc - 0x80, taken);
+        benchmark::DoNotOptimize(ctx.imliCount);
+        pc += 0x20;
+        if (pc > 0x400400)
+            pc = 0x400000;
+        taken = !taken;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ImliStateMaintenance);
+
+static void
+BM_ImliCheckpointRoundTrip(benchmark::State &state)
+{
+    // Checkpoint save + restore: the hardware-cheap operation the paper
+    // contrasts with the in-flight window search.
+    ImliComponents imli;
+    for (auto _ : state) {
+        const auto cp = imli.save();
+        imli.onResolved(0x400020, 0x400000, true);
+        imli.restore(cp);
+        benchmark::DoNotOptimize(cp.counter);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ImliCheckpointRoundTrip);
+
+static void
+BM_SpeculativeModel(benchmark::State &state)
+{
+    SpeculativeImliModel spec;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        const bool actual = (i % 3) != 0;
+        const bool predicted = (i % 7) != 0 ? actual : !actual;
+        spec.onBranch(0x400020, 0x400000, predicted, actual);
+        ++i;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SpeculativeModel);
+
+static void
+BM_TraceGeneration(benchmark::State &state)
+{
+    const BenchmarkSpec spec = findBenchmark("MM07");
+    for (auto _ : state) {
+        const Trace t = generateTrace(spec, 50000);
+        benchmark::DoNotOptimize(t.size());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            50000);
+    state.SetLabel("branches/s");
+}
+BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

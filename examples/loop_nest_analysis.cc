@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Loop-nest analysis: instruments the IMLI counter on a Figure-1-style
+ * two-dimensional loop nest and shows, per branch class, which predictor
+ * component captures it.
+ *
+ * The example builds one nest with every correlation class from the
+ * paper (B1/B2/B3/B4, inverted), verifies that the fetch-time IMLI
+ * counter heuristic tracks the inner iteration index, and then runs the
+ * component ladder (base / +SIC / +SIC+OH / +WH) to attribute accuracy
+ * per branch class — a miniature of the paper's Section 4 analysis.
+ *
+ * Usage: loop_nest_analysis [--trip 24] [--outer 30] [--rounds 60]
+ */
+
+#include <iostream>
+#include <map>
+
+#include "src/core/imli_counter.hh"
+#include "src/predictors/zoo.hh"
+#include "src/sim/simulator.hh"
+#include "src/util/cli.hh"
+#include "src/util/table_writer.hh"
+#include "src/workloads/two_dim_loop.hh"
+
+using namespace imli;
+
+int
+main(int argc, char **argv)
+{
+    CommandLine cli(argc, argv);
+    const unsigned trip = static_cast<unsigned>(cli.getInt("trip", 24));
+    const unsigned outer = static_cast<unsigned>(cli.getInt("outer", 30));
+    const unsigned rounds = static_cast<unsigned>(cli.getInt("rounds", 60));
+
+    // One nest containing every correlation class of the paper.
+    TwoDimLoopParams params;
+    params.outerIters = outer;
+    params.innerTripMin = trip;
+    params.innerTripMax = trip;
+    params.body = {
+        {BodyClass::SameIter, 0.0, 0.6, 0.5}, // B3: Out[N][M]=Out[N-1][M]
+        {BodyClass::DiagPrev, 0.0, 0.6, 0.5}, // Out[N][M]=Out[N-1][M-1]
+        {BodyClass::DiagNext, 0.0, 0.6, 0.5}, // B1: Out[N][M]=Out[N-1][M+1]
+        {BodyClass::Inverted, 0.0, 0.6, 0.5}, // MM-4: inverted
+        {BodyClass::Weak, 0.25, 0.6, 0.5},    // B2: weak correlation
+        {BodyClass::Nested, 0.0, 0.6, 0.5},   // B4: guarded
+        {BodyClass::Random, 0.0, 0.6, 0.5},   // history spoiler
+    };
+    TwoDimLoopKernel kernel(params, 0x400000, Xoroshiro128(42));
+
+    Trace trace("loop-nest");
+    for (unsigned r = 0; r < rounds; ++r)
+        kernel.emitRound(trace);
+
+    // --- 1. IMLI counter instrumentation --------------------------------
+    // Verify the fetch-time heuristic recovers the inner iteration index:
+    // body branches at inner iteration M observe IMLIcount == M + 1 in
+    // steady state (the +1 comes from the outer backedge, exactly the
+    // construction offset the paper mentions in Section 4.1).
+    ImliCounter counter(10);
+    std::map<unsigned, std::uint64_t> histogram;
+    unsigned m_index = 0;
+    std::uint64_t aligned = 0;
+    std::uint64_t body_occurrences = 0;
+    for (const BranchRecord &rec : trace.branches()) {
+        if (!isConditional(rec.type))
+            continue;
+        if (rec.pc == kernel.bodyBranchPc(0)) {
+            ++histogram[counter.value()];
+            ++body_occurrences;
+            if (counter.value() == m_index + 1)
+                ++aligned;
+        }
+        if (rec.pc == kernel.innerBackedgePc())
+            m_index = rec.taken ? m_index + 1 : 0;
+        counter.onConditionalBranch(rec.pc, rec.target, rec.taken);
+    }
+    std::cout << "IMLI counter alignment with the inner iteration index: "
+              << (100.0 * static_cast<double>(aligned) /
+                  static_cast<double>(body_occurrences))
+              << " % of body-branch fetches\n\n";
+
+    // --- 2. Component attribution per branch class -----------------------
+    const std::vector<std::string> configs = {
+        "tage-gsc", "tage-gsc+sic", "tage-gsc+i", "tage-gsc+wh",
+    };
+    struct ClassPcs
+    {
+        std::string label;
+        std::uint64_t pc;
+    };
+    const std::vector<ClassPcs> classes = {
+        {"B3 same-iter", kernel.bodyBranchPc(0)},
+        {"   diag-prev", kernel.bodyBranchPc(1)},
+        {"B1 diag-next", kernel.bodyBranchPc(2)},
+        {"   inverted", kernel.bodyBranchPc(3)},
+        {"B2 weak", kernel.bodyBranchPc(4)},
+        {"B4 nested", kernel.bodyBranchPc(5)},
+        {"   random", kernel.bodyBranchPc(6)},
+        {"   inner exit", kernel.innerBackedgePc()},
+    };
+
+    TableWriter table("Mispredictions per branch class (lower is better)");
+    std::vector<std::string> header = {"branch class"};
+    for (const auto &c : configs)
+        header.push_back(c);
+    table.setHeader(header);
+
+    std::map<std::string, SimResult> results;
+    for (const std::string &spec : configs) {
+        PredictorPtr predictor = makePredictor(spec);
+        SimOptions options;
+        options.collectPerPc = true;
+        results.emplace(spec, simulate(*predictor, trace, options));
+    }
+    for (const ClassPcs &cls : classes) {
+        std::vector<std::string> row = {cls.label};
+        for (const std::string &spec : configs) {
+            const auto &per_pc = results.at(spec).perPcMispredictions;
+            const auto it = per_pc.find(cls.pc);
+            row.push_back(std::to_string(
+                it == per_pc.end() ? 0 : it->second));
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nReading guide: SIC should clear the same-iter and "
+                 "nested rows;\nOH/WH additionally clear diag-prev and "
+                 "inverted; only WH tracks diag-next;\nnobody fixes the "
+                 "random row.\n";
+    return 0;
+}

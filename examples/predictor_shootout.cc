@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Predictor shootout: the full ladder from bimodal to TAGE-GSC+IMLI on a
+ * few benchmarks, demonstrating where each design generation gains its
+ * accuracy — and where only the IMLI components help.
+ *
+ * Usage: predictor_shootout [--branches 150000]
+ *                           [--benchmarks SPEC2K6-12,MM-4,WS04]
+ */
+
+#include <iostream>
+#include <sstream>
+
+#include "src/predictors/zoo.hh"
+#include "src/sim/simulator.hh"
+#include "src/util/cli.hh"
+#include "src/util/table_writer.hh"
+#include "src/workloads/suite.hh"
+
+namespace
+{
+
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::string token;
+    std::istringstream is(csv);
+    while (std::getline(is, token, ','))
+        if (!token.empty())
+            out.push_back(token);
+    return out;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    imli::CommandLine cli(argc, argv);
+    const std::size_t branches =
+        static_cast<std::size_t>(cli.getInt("branches", 150000));
+    const std::vector<std::string> benchmarks = splitList(cli.getString(
+        "benchmarks", "SPEC2K6-04,SPEC2K6-12,MM-4,CLIENT02,MM07,WS04"));
+    const std::vector<std::string> ladder = {
+        "bimodal", "gshare", "gehl", "gehl+i", "tage-gsc", "tage-gsc+i",
+    };
+
+    imli::TableWriter table("MPKI by predictor generation");
+    std::vector<std::string> header = {"benchmark"};
+    header.insert(header.end(), ladder.begin(), ladder.end());
+    table.setHeader(header);
+
+    for (const std::string &name : benchmarks) {
+        const imli::Trace trace =
+            imli::generateTrace(imli::findBenchmark(name), branches);
+        std::vector<std::string> row = {name};
+        for (const std::string &spec : ladder) {
+            imli::PredictorPtr predictor = imli::makePredictor(spec);
+            const imli::SimResult r = imli::simulate(*predictor, trace);
+            row.push_back(imli::formatDouble(r.mpki(), 3));
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nStorage budgets:\n";
+    for (const std::string &spec : ladder) {
+        imli::PredictorPtr predictor = imli::makePredictor(spec);
+        std::cout << "  " << predictor->name() << ": "
+                  << predictor->storage().totalKbits() << " Kbits\n";
+    }
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Suite report: run arbitrary predictor configurations over the full
+ * synthetic suite (or a subset) and print per-benchmark MPKI plus suite
+ * averages.  The workhorse behind workload calibration and a template for
+ * custom experiments.
+ *
+ * Usage: suite_report [--configs tage-gsc,tage-gsc+i]
+ *                     [--suite CBP4|CBP3] [--branches 200000]
+ *                     [--benchmarks NAME1,NAME2] [--csv]
+ */
+
+#include <iostream>
+#include <sstream>
+
+#include "src/sim/report.hh"
+#include "src/sim/suite_runner.hh"
+#include "src/util/cli.hh"
+#include "src/workloads/suite.hh"
+
+using namespace imli;
+
+namespace
+{
+
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::string token;
+    std::istringstream is(csv);
+    while (std::getline(is, token, ','))
+        if (!token.empty())
+            out.push_back(token);
+    return out;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    CommandLine cli(argc, argv);
+    const std::vector<std::string> configs =
+        splitList(cli.getString("configs", "tage-gsc,tage-gsc+i"));
+    const std::string which = cli.getString("suite", "");
+    const std::string only = cli.getString("benchmarks", "");
+
+    std::vector<BenchmarkSpec> benchmarks;
+    for (BenchmarkSpec &b : fullSuite()) {
+        if (!which.empty() && b.suite != which)
+            continue;
+        if (!only.empty()) {
+            bool match = false;
+            for (const std::string &name : splitList(only))
+                if (b.name == name)
+                    match = true;
+            if (!match)
+                continue;
+        }
+        benchmarks.push_back(std::move(b));
+    }
+
+    SuiteRunOptions options;
+    options.branchesPerTrace = static_cast<std::size_t>(
+        cli.getInt("branches",
+                   static_cast<std::int64_t>(defaultBranchesPerTrace())));
+
+    const SuiteResults results = runSuite(benchmarks, configs, options);
+
+    if (cli.getBool("csv")) {
+        printCellsCsv(std::cout, results);
+        return 0;
+    }
+
+    printPerBenchmark(std::cout, results, results.benchmarkNames(), configs,
+                      "Per-benchmark MPKI");
+
+    std::cout << "Suite averages (MPKI):\n";
+    for (const std::string &config : configs) {
+        std::cout << "  " << config << ": "
+                  << "CBP4 " << results.averageMpki(config, "CBP4")
+                  << ", CBP3 " << results.averageMpki(config, "CBP3")
+                  << ", all " << results.averageMpki(config) << '\n';
+    }
+    return 0;
+}

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Trace tooling: generate, inspect and round-trip binary trace files.
+ *
+ * Subcommands:
+ *   trace_tools generate --benchmark NAME --out FILE [--branches N]
+ *   trace_tools info     --in FILE
+ *   trace_tools suite    [--suite CBP4|CBP3]        (list benchmarks)
+ *   trace_tools verify   --in FILE                  (read + re-encode check)
+ */
+
+#include <iostream>
+#include <sstream>
+
+#include "src/trace/trace_io.hh"
+#include "src/trace/trace_stats.hh"
+#include "src/trace/trace_text.hh"
+#include "src/util/cli.hh"
+#include "src/workloads/suite.hh"
+
+using namespace imli;
+
+namespace
+{
+
+int
+cmdGenerate(const CommandLine &cli)
+{
+    const std::string name = cli.getString("benchmark", "SPEC2K6-12");
+    const std::string out = cli.getString("out", name + ".imt");
+    const std::size_t branches =
+        static_cast<std::size_t>(cli.getInt("branches", 200000));
+    const Trace trace = generateTrace(findBenchmark(name), branches);
+    if (cli.getString("format", "binary") == "text")
+        writeTraceTextFile(trace, out);
+    else
+        writeTraceFile(trace, out);
+    std::cout << "wrote " << trace.size() << " branches ("
+              << trace.instructionCount() << " instructions) to " << out
+              << '\n';
+    return 0;
+}
+
+int
+cmdConvert(const CommandLine &cli)
+{
+    const std::string in = cli.getString("in");
+    const std::string out = cli.getString("out");
+    if (in.empty() || out.empty()) {
+        std::cerr << "convert: need --in FILE and --out FILE\n";
+        return 1;
+    }
+    // Direction from the target format flag: to-text or to-binary.
+    const bool to_text = cli.getString("format", "text") == "text";
+    const Trace trace = to_text ? readTraceFile(in)
+                                : readTraceTextFile(in);
+    if (to_text)
+        writeTraceTextFile(trace, out);
+    else
+        writeTraceFile(trace, out);
+    std::cout << "converted " << trace.size() << " records to "
+              << (to_text ? "text" : "binary") << ": " << out << '\n';
+    return 0;
+}
+
+int
+cmdInfo(const CommandLine &cli)
+{
+    const std::string in = cli.getString("in");
+    if (in.empty()) {
+        std::cerr << "info: missing --in FILE\n";
+        return 1;
+    }
+    const Trace trace = readTraceFile(in);
+    std::cout << "trace " << trace.name() << ":\n"
+              << computeStats(trace).toString();
+    return 0;
+}
+
+int
+cmdSuite(const CommandLine &cli)
+{
+    const std::string which = cli.getString("suite", "");
+    for (const BenchmarkSpec &b : fullSuite()) {
+        if (!which.empty() && b.suite != which)
+            continue;
+        std::ostringstream kernels;
+        for (std::size_t i = 0; i < b.kernels.size(); ++i)
+            kernels << (i ? "," : "") << static_cast<int>(b.kernels[i].type);
+        std::cout << b.suite << "  " << b.name << "  (seed "
+                  << b.seed << ", " << b.kernels.size() << " kernels)\n";
+    }
+    return 0;
+}
+
+int
+cmdVerify(const CommandLine &cli)
+{
+    const std::string in = cli.getString("in");
+    if (in.empty()) {
+        std::cerr << "verify: missing --in FILE\n";
+        return 1;
+    }
+    const Trace trace = readTraceFile(in);
+    std::ostringstream buffer;
+    writeTrace(trace, buffer);
+    std::istringstream replay(buffer.str());
+    const Trace again = readTrace(replay);
+    if (again.size() != trace.size()) {
+        std::cerr << "verify: size mismatch after round-trip\n";
+        return 1;
+    }
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        if (!(trace[i] == again[i])) {
+            std::cerr << "verify: record " << i << " mismatch\n";
+            return 1;
+        }
+    }
+    std::cout << "verify: OK (" << trace.size() << " records round-trip)\n";
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    CommandLine cli(argc, argv);
+    if (cli.positionals().empty()) {
+        std::cout <<
+            "usage: trace_tools <generate|convert|info|suite|verify>\n"
+            "  generate --benchmark NAME --out FILE [--branches N]\n"
+            "           [--format binary|text]\n"
+            "  convert  --in FILE --out FILE [--format text|binary]\n"
+            "  info     --in FILE\n"
+            "  suite    [--suite CBP4|CBP3]\n"
+            "  verify   --in FILE\n";
+        return 0;
+    }
+    const std::string &cmd = cli.positionals()[0];
+    try {
+        if (cmd == "generate")
+            return cmdGenerate(cli);
+        if (cmd == "convert")
+            return cmdConvert(cli);
+        if (cmd == "info")
+            return cmdInfo(cli);
+        if (cmd == "suite")
+            return cmdSuite(cli);
+        if (cmd == "verify")
+            return cmdVerify(cli);
+        std::cerr << "unknown subcommand: " << cmd << '\n';
+        return 1;
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 1;
+    }
+}

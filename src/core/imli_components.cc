@@ -1,0 +1,108 @@
+#include "src/core/imli_components.hh"
+
+namespace imli
+{
+
+ImliComponents::ImliComponents(const Config &config)
+    : cfg(config), imliCount(config.counterBits),
+      omliCount(config.omliCounterBits), outer(config.outer),
+      sic(config.sic), oh(config.oh), omliSic(config.omliSic)
+{
+    outer.setUpdateDelay(cfg.ohUpdateDelay);
+}
+
+void
+ImliComponents::fillContext(ScContext &ctx, std::uint64_t pc) const
+{
+    ctx.imliCount = imliCount.value();
+    ctx.omliCount = cfg.enableOmli ? omliCount.value() : 0;
+    if (cfg.enableOh) {
+        const ImliOuterHistory::OuterBits bits =
+            outer.read(pc, imliCount.value());
+        ctx.ohBit = bits.ohBit;
+        ctx.pipeBit = bits.pipeBit;
+    } else {
+        ctx.ohBit = false;
+        ctx.pipeBit = false;
+    }
+}
+
+void
+ImliComponents::onResolved(std::uint64_t pc, std::uint64_t target,
+                           bool taken)
+{
+    // The outer-history write uses the pre-update IMLI count: the branch
+    // resolves within the iteration it was fetched in, even when it is
+    // itself the backward branch that advances the counter.
+    const unsigned imli_before = imliCount.value();
+    if (cfg.enableOh)
+        outer.write(pc, imli_before, taken);
+    imliCount.onConditionalBranch(pc, target, taken);
+    if (cfg.enableOmli)
+        omliCount.onConditionalBranch(pc, target, taken, imli_before);
+}
+
+std::vector<ScComponent *>
+ImliComponents::components()
+{
+    std::vector<ScComponent *> comps;
+    if (cfg.enableSic)
+        comps.push_back(&sic);
+    if (cfg.enableOh)
+        comps.push_back(&oh);
+    if (cfg.enableOmli)
+        comps.push_back(&omliSic);
+    return comps;
+}
+
+ImliComponents::Checkpoint
+ImliComponents::save() const
+{
+    return {imliCount.save(), outer.savePipe(), omliCount.save()};
+}
+
+void
+ImliComponents::restore(const Checkpoint &cp)
+{
+    imliCount.restore(cp.counter);
+    outer.restorePipe(cp.pipe);
+    omliCount.restore(cp.omli);
+}
+
+unsigned
+ImliComponents::checkpointBits() const
+{
+    return imliCount.numBits() +
+           (cfg.enableOh ? outer.config().pipeEntries : 0) +
+           (cfg.enableOmli ? omliCount.checkpointBits() : 0);
+}
+
+void
+ImliComponents::account(StorageAccount &acct) const
+{
+    // The SIC/OH voting tables are registered with the host's adder tree
+    // and accounted there; this covers the state they share.
+    imliCount.account(acct, "imli/counter");
+    if (cfg.enableOh)
+        outer.account(acct, "imli");
+    if (cfg.enableOmli)
+        omliCount.account(acct, "omli/counter");
+}
+
+void
+ImliComponents::accountAll(StorageAccount &acct) const
+{
+    imliCount.account(acct, "imli/counter");
+    if (cfg.enableSic)
+        sic.account(acct);
+    if (cfg.enableOh) {
+        oh.account(acct);
+        outer.account(acct, "imli");
+    }
+    if (cfg.enableOmli) {
+        omliSic.account(acct);
+        omliCount.account(acct, "omli/counter");
+    }
+}
+
+} // namespace imli

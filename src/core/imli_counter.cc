@@ -1,0 +1,35 @@
+#include "src/core/imli_counter.hh"
+
+#include <cassert>
+
+namespace imli
+{
+
+ImliCounter::ImliCounter(unsigned num_bits)
+    : bits(num_bits), maxCount((1u << num_bits) - 1)
+{
+    assert(num_bits >= 1 && num_bits <= 20);
+}
+
+void
+ImliCounter::onConditionalBranch(std::uint64_t pc, std::uint64_t target,
+                                 bool taken)
+{
+    const bool backward = target < pc;
+    if (!backward)
+        return;
+    if (taken) {
+        if (count < maxCount)
+            ++count;
+    } else {
+        count = 0;
+    }
+}
+
+void
+ImliCounter::account(StorageAccount &acct, const std::string &name) const
+{
+    acct.add(name, bits);
+}
+
+} // namespace imli

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The Inner Most Loop Iteration counter (paper, Section 4.1).
+ *
+ * IMLIcount is the number of consecutive taken occurrences of the most
+ * recently encountered *backward conditional branch*.  The paper's
+ * fetch-time heuristic, verbatim:
+ *
+ *     if (backward) { if (taken) IMLIcount++; else IMLIcount = 0; }
+ *
+ * Backward conditional branches are assumed to be loop-closing branches,
+ * and a loop whose body contains no backward branch is an inner-most loop;
+ * hence the counter tracks the iteration index of the dynamically
+ * inner-most loop.  Its speculative state is just the counter value
+ * (10 bits, Section 4.4), checkpointable per fetch block — the property
+ * that makes IMLI practical where local histories are not.
+ */
+
+#ifndef IMLI_SRC_CORE_IMLI_COUNTER_HH
+#define IMLI_SRC_CORE_IMLI_COUNTER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/storage.hh"
+
+namespace imli
+{
+
+/** Fetch-time inner-most-loop iteration counter. */
+class ImliCounter
+{
+  public:
+    /** @param num_bits counter width; the paper checkpoints 10 bits. */
+    explicit ImliCounter(unsigned num_bits = 10);
+
+    /** Current iteration number of the dynamic inner-most loop. */
+    unsigned value() const { return count; }
+
+    /**
+     * Observe one conditional branch (the paper's heuristic).  Forward
+     * conditional branches leave the counter untouched.
+     *
+     * @param pc branch address
+     * @param target taken-target address (backward iff target < pc)
+     * @param taken resolved (or predicted, at fetch time) direction
+     */
+    void onConditionalBranch(std::uint64_t pc, std::uint64_t target,
+                             bool taken);
+
+    /** Reset to iteration zero (trace start / context switch). */
+    void reset() { count = 0; }
+
+    /** Speculative checkpoint: the counter value alone. */
+    using Checkpoint = std::uint32_t;
+
+    Checkpoint save() const { return count; }
+    void restore(Checkpoint cp) { count = cp; }
+
+    unsigned numBits() const { return bits; }
+
+    void account(StorageAccount &acct, const std::string &name) const;
+
+  private:
+    unsigned bits;
+    std::uint32_t count = 0;
+    std::uint32_t maxCount;
+};
+
+} // namespace imli
+
+#endif // IMLI_SRC_CORE_IMLI_COUNTER_HH

@@ -1,0 +1,41 @@
+#include "src/core/imli_oh.hh"
+
+#include "src/util/hashing.hh"
+
+namespace imli
+{
+
+ImliOh::ImliOh(const Config &config)
+    : cfg(config),
+      table(1u << config.logEntries, SignedCounter(config.counterBits))
+{
+}
+
+unsigned
+ImliOh::index(const ScContext &ctx) const
+{
+    const std::uint64_t oh_bits =
+        (ctx.ohBit ? 1u : 0u) | (ctx.pipeBit ? 2u : 0u);
+    const std::uint64_t h = hashCombine(pcHash(ctx.pc) * 3, oh_bits);
+    return static_cast<unsigned>(h & maskBits(cfg.logEntries));
+}
+
+int
+ImliOh::vote(const ScContext &ctx) const
+{
+    return cfg.weight * table[index(ctx)].centered();
+}
+
+void
+ImliOh::update(const ScContext &ctx, bool taken)
+{
+    table[index(ctx)].update(taken);
+}
+
+void
+ImliOh::account(StorageAccount &acct) const
+{
+    acct.add("imli-oh", (1ull << cfg.logEntries) * cfg.counterBits);
+}
+
+} // namespace imli

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * IMLI-OH: the Outer History component (paper, Section 4.3).
+ *
+ * The voting table of the IMLI-OH component: 256 entries of signed
+ * counters indexed with the PC hashed with the two outer-history bits
+ * Out[N-1][M] and Out[N-1][M-1] recovered from the IMLI outer-history
+ * storage (imli_outer_history.hh).  This captures the wormhole
+ * correlations — Out[N][M] equal to (or the inverse of) the outcome of
+ * the same branch at a neighbouring iteration of the previous outer-loop
+ * iteration — without wormhole's per-entry long local histories.
+ * 192 bytes in the Section 4.4 budget.
+ */
+
+#ifndef IMLI_SRC_CORE_IMLI_OH_HH
+#define IMLI_SRC_CORE_IMLI_OH_HH
+
+#include <vector>
+
+#include "src/predictors/sc_component.hh"
+#include "src/util/counters.hh"
+
+namespace imli
+{
+
+/** PC + outer-history-bits indexed voting table. */
+class ImliOh : public ScComponent
+{
+  public:
+    struct Config
+    {
+        unsigned logEntries = 8;  //!< 256 entries (paper default)
+        unsigned counterBits = 6;
+        int weight = 1;
+    };
+
+    ImliOh() : ImliOh(Config()) {}
+
+    explicit ImliOh(const Config &config);
+
+    int vote(const ScContext &ctx) const override;
+    void update(const ScContext &ctx, bool taken) override;
+    void account(StorageAccount &acct) const override;
+    std::string name() const override { return "imli-oh"; }
+
+    const Config &config() const { return cfg; }
+
+  private:
+    unsigned index(const ScContext &ctx) const;
+
+    Config cfg;
+    std::vector<SignedCounter> table;
+};
+
+} // namespace imli
+
+#endif // IMLI_SRC_CORE_IMLI_OH_HH

@@ -1,0 +1,119 @@
+#include "src/core/imli_outer_history.hh"
+
+#include <cassert>
+
+#include "src/util/hashing.hh"
+
+namespace imli
+{
+
+ImliOuterHistory::ImliOuterHistory(const Config &config)
+    : cfg(config), table(config.tableBits, 0), pipe(config.pipeEntries, 0)
+{
+    assert(isPowerOfTwo(cfg.tableBits));
+    assert(isPowerOfTwo(cfg.pipeEntries));
+    assert(cfg.pipeEntries <= 32 && "PIPE checkpoint packs into 32 bits");
+    assert((1u << cfg.iterBitsLog) <= cfg.tableBits);
+}
+
+std::uint32_t
+ImliOuterHistory::bitAddress(std::uint64_t pc, unsigned imli_count) const
+{
+    // Branch slot from hashed PC bits; the IMLI count indexes within the
+    // slot.  Counts beyond the slot capacity bleed into neighbouring slots
+    // (intentional hardware aliasing, as in the reference code).
+    const std::uint64_t slot = (pc >> 1) ^ (pc >> 5);
+    return static_cast<std::uint32_t>(
+        ((slot << cfg.iterBitsLog) + imli_count) & (cfg.tableBits - 1));
+}
+
+std::uint32_t
+ImliOuterHistory::pipeIndex(std::uint64_t pc) const
+{
+    const std::uint64_t slot = (pc >> 1) ^ (pc >> 5);
+    return static_cast<std::uint32_t>(slot & (cfg.pipeEntries - 1));
+}
+
+ImliOuterHistory::OuterBits
+ImliOuterHistory::read(std::uint64_t pc, unsigned imli_count) const
+{
+    OuterBits bits;
+    bits.ohBit = table[bitAddress(pc, imli_count)] != 0;
+    bits.pipeBit = pipe[pipeIndex(pc)] != 0;
+    return bits;
+}
+
+void
+ImliOuterHistory::apply(const PendingWrite &w)
+{
+    table[w.bitAddr] = w.taken ? 1 : 0;
+}
+
+void
+ImliOuterHistory::write(std::uint64_t pc, unsigned imli_count, bool taken)
+{
+    // The PIPE transfer is the fetch-side (speculative, checkpointed)
+    // half: it always happens immediately.  Only the table write is
+    // subject to the modelled commit delay (Section 4.3.2).
+    updatePipe(pc, imli_count);
+    commitTable(pc, imli_count, taken);
+}
+
+void
+ImliOuterHistory::updatePipe(std::uint64_t pc, unsigned imli_count)
+{
+    pipe[pipeIndex(pc)] = table[bitAddress(pc, imli_count)];
+}
+
+void
+ImliOuterHistory::commitTable(std::uint64_t pc, unsigned imli_count,
+                              bool taken)
+{
+    const PendingWrite w{bitAddress(pc, imli_count), taken};
+    if (delay == 0) {
+        apply(w);
+        return;
+    }
+    pending.push_back(w);
+    while (pending.size() > delay) {
+        apply(pending.front());
+        pending.pop_front();
+    }
+}
+
+void
+ImliOuterHistory::setUpdateDelay(unsigned delay_branches)
+{
+    // Flush the queue when shrinking the window so no write is lost.
+    while (pending.size() > delay_branches) {
+        apply(pending.front());
+        pending.pop_front();
+    }
+    delay = delay_branches;
+}
+
+ImliOuterHistory::Checkpoint
+ImliOuterHistory::savePipe() const
+{
+    std::uint32_t cp = 0;
+    for (unsigned i = 0; i < cfg.pipeEntries; ++i)
+        cp |= static_cast<std::uint32_t>(pipe[i] & 1u) << i;
+    return cp;
+}
+
+void
+ImliOuterHistory::restorePipe(Checkpoint cp)
+{
+    for (unsigned i = 0; i < cfg.pipeEntries; ++i)
+        pipe[i] = (cp >> i) & 1u;
+}
+
+void
+ImliOuterHistory::account(StorageAccount &acct,
+                          const std::string &prefix) const
+{
+    acct.add(prefix + "/history_table", cfg.tableBits);
+    acct.add(prefix + "/pipe", cfg.pipeEntries);
+}
+
+} // namespace imli

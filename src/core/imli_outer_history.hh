@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The IMLI outer-history storage of the IMLI-OH component (paper,
+ * Section 4.3.1, Figure 12): the 1-Kbit IMLI history table plus the
+ * 16-bit PIPE vector.
+ *
+ * The outcome of the branch at address B in inner iteration M is stored at
+ * bit address (B*64 + IMLIcount) mod 1024 — 16 branch slots of 64
+ * iteration slots each.  Reading that address while predicting iteration M
+ * of the *next* outer iteration recovers Out[N-1][M].  Because the write
+ * for iteration M overwrites Out[N-1][M] before iteration M+1 needs it,
+ * the PIPE ("Previous Inner iteration in Previous External iteration")
+ * vector holds the just-overwritten bit per branch slot, making
+ * Out[N-1][M-1] available as well.
+ *
+ * Speculative management (Section 4.3.2): PIPE (16 bits) is checkpointed;
+ * the history table tolerates delayed commit-time update — the class
+ * models a configurable update delay to reproduce the paper's experiment
+ * (63-branch delay costs ~0.002 MPKI).
+ */
+
+#ifndef IMLI_SRC_CORE_IMLI_OUTER_HISTORY_HH
+#define IMLI_SRC_CORE_IMLI_OUTER_HISTORY_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/util/storage.hh"
+
+namespace imli
+{
+
+/** 1-Kbit outer-iteration history table + 16-bit PIPE vector. */
+class ImliOuterHistory
+{
+  public:
+    struct Config
+    {
+        unsigned tableBits = 1024;  //!< total history bits (power of two)
+        unsigned iterBitsLog = 6;   //!< iteration slots per branch = 2^this
+        unsigned pipeEntries = 16;  //!< PIPE vector width (power of two)
+    };
+
+    ImliOuterHistory() : ImliOuterHistory(Config()) {}
+
+    explicit ImliOuterHistory(const Config &config);
+
+    /** The two outer-history bits feeding the IMLI-OH table index. */
+    struct OuterBits
+    {
+        bool ohBit = false;   //!< Out[N-1][M]
+        bool pipeBit = false; //!< Out[N-1][M-1]
+    };
+
+    /** Read the outer history for branch @p pc at iteration @p imli_count. */
+    OuterBits read(std::uint64_t pc, unsigned imli_count) const;
+
+    /**
+     * Record the resolved outcome for branch @p pc at @p imli_count:
+     * PIPE[slot] <- table[addr]; table[addr] <- taken.  With a non-zero
+     * update delay the write is queued and applied only after @p delay
+     * further writes, modelling commit-time update on a deep window.
+     */
+    void write(std::uint64_t pc, unsigned imli_count, bool taken);
+
+    /**
+     * Speculative half of write(): PIPE[slot] <- table[addr].  Hardware
+     * performs this at fetch (PIPE is checkpointed); the table write is
+     * deferred to commit via commitTable().  Always immediate.
+     */
+    void updatePipe(std::uint64_t pc, unsigned imli_count);
+
+    /**
+     * Commit half of write(): table[addr] <- taken, honouring the modelled
+     * update delay.  Does not touch PIPE.
+     */
+    void commitTable(std::uint64_t pc, unsigned imli_count, bool taken);
+
+    /** Set the modelled commit delay, measured in conditional branches. */
+    void setUpdateDelay(unsigned delay_branches);
+
+    unsigned updateDelay() const { return delay; }
+
+    /** Checkpoint: the PIPE vector only (Section 4.3.2). */
+    using Checkpoint = std::uint32_t;
+
+    Checkpoint savePipe() const;
+    void restorePipe(Checkpoint cp);
+
+    void account(StorageAccount &acct, const std::string &prefix) const;
+
+    const Config &config() const { return cfg; }
+
+  private:
+    struct PendingWrite
+    {
+        std::uint32_t bitAddr;
+        bool taken;
+    };
+
+    std::uint32_t bitAddress(std::uint64_t pc, unsigned imli_count) const;
+    std::uint32_t pipeIndex(std::uint64_t pc) const;
+    void apply(const PendingWrite &w);
+
+    Config cfg;
+    std::vector<std::uint8_t> table; //!< one history bit per element
+    std::vector<std::uint8_t> pipe;  //!< one bit per branch slot
+    unsigned delay = 0;
+    std::deque<PendingWrite> pending;
+};
+
+} // namespace imli
+
+#endif // IMLI_SRC_CORE_IMLI_OUTER_HISTORY_HH

@@ -1,0 +1,48 @@
+#include "src/core/imli_sic.hh"
+
+#include "src/util/hashing.hh"
+
+namespace imli
+{
+
+ImliSic::ImliSic(const Config &config)
+    : cfg(config),
+      table(1u << config.logEntries, SignedCounter(config.counterBits))
+{
+}
+
+unsigned
+ImliSic::index(const ScContext &ctx) const
+{
+    const std::uint64_t h =
+        hashCombine(pcHash(ctx.pc), static_cast<std::uint64_t>(ctx.imliCount));
+    return static_cast<unsigned>(h & maskBits(cfg.logEntries));
+}
+
+int
+ImliSic::vote(const ScContext &ctx) const
+{
+    // Outside any inner loop (IMLIcount == 0) the table would degenerate
+    // into a redundant PC-bias table and only perturb the adder tree; the
+    // component abstains there and lets the bias tables do their job.
+    if (ctx.imliCount == 0)
+        return 0;
+    return cfg.weight * table[index(ctx)].centered();
+}
+
+void
+ImliSic::update(const ScContext &ctx, bool taken)
+{
+    if (ctx.imliCount == 0)
+        return;
+    table[index(ctx)].update(taken);
+}
+
+void
+ImliSic::account(StorageAccount &acct) const
+{
+    acct.add("imli-sic",
+             (1ull << cfg.logEntries) * cfg.counterBits);
+}
+
+} // namespace imli

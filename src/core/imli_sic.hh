@@ -1,0 +1,63 @@
+/**
+ * @file
+ * IMLI-SIC: the Same Iteration Correlation component (paper, Section 4.2).
+ *
+ * A single table of signed counters indexed with a hash of the IMLI
+ * counter and the PC, added to the adder tree of the host neural
+ * component.  It captures branches that (statistically) repeat their
+ * outcome at the same inner-most-loop iteration across outer iterations
+ * (Out[N][M] == Out[N-1][M]) — including loops with varying trip counts
+ * and branches nested under conditionals, the two cases the wormhole
+ * predictor structurally cannot track.  The paper finds a 512-entry table
+ * captures most of the benefit; that is the default here, giving the
+ * 384 bytes of the Section 4.4 budget.
+ */
+
+#ifndef IMLI_SRC_CORE_IMLI_SIC_HH
+#define IMLI_SRC_CORE_IMLI_SIC_HH
+
+#include <vector>
+
+#include "src/predictors/sc_component.hh"
+#include "src/util/counters.hh"
+
+namespace imli
+{
+
+/** PC + IMLIcount indexed voting table. */
+class ImliSic : public ScComponent
+{
+  public:
+    struct Config
+    {
+        unsigned logEntries = 9;  //!< 512 entries (paper default)
+        unsigned counterBits = 6;
+        /**
+         * Vote weight multiplier.  The reference statistical correctors
+         * give the IMLI table the same weight as other tables; the
+         * ablation bench sweeps this.
+         */
+        int weight = 1;
+    };
+
+    ImliSic() : ImliSic(Config()) {}
+
+    explicit ImliSic(const Config &config);
+
+    int vote(const ScContext &ctx) const override;
+    void update(const ScContext &ctx, bool taken) override;
+    void account(StorageAccount &acct) const override;
+    std::string name() const override { return "imli-sic"; }
+
+    const Config &config() const { return cfg; }
+
+  private:
+    unsigned index(const ScContext &ctx) const;
+
+    Config cfg;
+    std::vector<SignedCounter> table;
+};
+
+} // namespace imli
+
+#endif // IMLI_SRC_CORE_IMLI_SIC_HH

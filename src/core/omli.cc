@@ -1,0 +1,112 @@
+#include "src/core/omli.hh"
+
+#include <cassert>
+
+#include "src/util/hashing.hh"
+
+namespace imli
+{
+
+OmliCounter::OmliCounter(unsigned num_bits)
+    : bits(num_bits), maxCount((1u << num_bits) - 1)
+{
+    assert(num_bits >= 1 && num_bits <= 16);
+}
+
+std::uint32_t
+OmliCounter::tagOf(std::uint64_t pc)
+{
+    return static_cast<std::uint32_t>(pcHash(pc) & 0xfff);
+}
+
+void
+OmliCounter::onConditionalBranch(std::uint64_t pc, std::uint64_t target,
+                                 bool taken, unsigned imli_before)
+{
+    const bool backward = target < pc;
+    if (!backward)
+        return;
+    if (taken) {
+        // A taken backward branch is (by the Section 4.1 heuristic) the
+        // loop currently iterating; remember which loop that is.
+        innerTag = tagOf(pc);
+    } else if (tagOf(pc) == innerTag && innerTag != 0 &&
+               imli_before > 0) {
+        // The loop that was iterating just exited mid-flight: one more
+        // iteration of its enclosing (outer) loop completed.
+        if (count < maxCount)
+            ++count;
+    } else {
+        // An enclosing loop exited (the inner counter was already zero):
+        // the outer phase is over.
+        count = 0;
+        innerTag = 0;
+    }
+}
+
+void
+OmliCounter::reset()
+{
+    count = 0;
+    innerTag = 0;
+}
+
+void
+OmliCounter::restore(const Checkpoint &cp)
+{
+    count = cp.count;
+    innerTag = cp.innerTag;
+}
+
+void
+OmliCounter::account(StorageAccount &acct, const std::string &name) const
+{
+    acct.add(name, bits + 12);
+}
+
+// --------------------------------------------------------------------------
+// OmliSic
+// --------------------------------------------------------------------------
+
+OmliSic::OmliSic(const Config &config)
+    : cfg(config),
+      table(1u << config.logEntries, SignedCounter(config.counterBits))
+{
+    assert(cfg.phaseBits >= 1 && cfg.phaseBits <= 8);
+}
+
+unsigned
+OmliSic::index(const ScContext &ctx) const
+{
+    const std::uint64_t phase =
+        ctx.omliCount & maskBits(cfg.phaseBits);
+    const std::uint64_t h = hashCombine(
+        pcHash(ctx.pc) * 5,
+        (static_cast<std::uint64_t>(ctx.imliCount) << 8) | phase);
+    return static_cast<unsigned>(h & maskBits(cfg.logEntries));
+}
+
+int
+OmliSic::vote(const ScContext &ctx) const
+{
+    // Like IMLI-SIC, abstain outside inner loops.
+    if (ctx.imliCount == 0)
+        return 0;
+    return cfg.weight * table[index(ctx)].centered();
+}
+
+void
+OmliSic::update(const ScContext &ctx, bool taken)
+{
+    if (ctx.imliCount == 0)
+        return;
+    table[index(ctx)].update(taken);
+}
+
+void
+OmliSic::account(StorageAccount &acct) const
+{
+    acct.add("omli-sic", (1ull << cfg.logEntries) * cfg.counterBits);
+}
+
+} // namespace imli

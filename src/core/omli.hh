@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Extension beyond the paper: the Outer Most Loop Iteration (OMLI)
+ * counter and its cross-indexed voting table.
+ *
+ * The paper closes (Section 6) by noting that "future developments in
+ * branch prediction research may identify other typical correlation
+ * situations".  The natural next dimension after the inner iteration
+ * index is the *outer* iteration index: branches whose outcome depends on
+ * the outer-loop phase — e.g. the MM-4 inversion
+ * Out[N][M] = base[M] XOR (N mod 2), or blocked algorithms alternating
+ * behaviour between passes — are a function of (M, N) jointly.
+ *
+ * The OMLI counter extends the Section 4.1 heuristic one level up:
+ *
+ *   - a taken backward conditional branch is remembered as the loop
+ *     currently iterating;
+ *   - a not-taken backward branch at that PC *while the IMLI counter is
+ *     non-zero* is the inner loop exiting: the OMLI counter increments
+ *     (one more outer iteration completed);
+ *   - any other not-taken backward branch closes an enclosing loop (the
+ *     IMLI counter is already zero there): the OMLI counter resets.
+ *
+ * Like IMLIcount, OMLIcount is computable at fetch time and its
+ * speculative state is the counter plus the remembered backedge PC hash.
+ *
+ * OmliSic is the cross table: signed counters indexed with
+ * hash(PC, IMLIcount, OMLIcount mod 2^phaseBits).  With phaseBits = 1 it
+ * distinguishes even/odd outer iterations, capturing period-2 outer
+ * patterns that neither IMLI-SIC (phase-blind) nor IMLI-OH (needs the
+ * outer-history storage) expresses directly.
+ */
+
+#ifndef IMLI_SRC_CORE_OMLI_HH
+#define IMLI_SRC_CORE_OMLI_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/predictors/sc_component.hh"
+#include "src/util/counters.hh"
+#include "src/util/storage.hh"
+
+namespace imli
+{
+
+/** Fetch-time outer-loop iteration counter. */
+class OmliCounter
+{
+  public:
+    /** @param num_bits counter width (the checkpointed state). */
+    explicit OmliCounter(unsigned num_bits = 8);
+
+    /** Current outer-loop iteration estimate. */
+    unsigned value() const { return count; }
+
+    /**
+     * Observe one conditional branch (see file header for the rules).
+     * @param imli_before the IMLI counter value at this branch's fetch
+     *        (before its own update) — distinguishes inner-loop exits
+     *        from enclosing-loop exits.
+     */
+    void onConditionalBranch(std::uint64_t pc, std::uint64_t target,
+                             bool taken, unsigned imli_before);
+
+    void reset();
+
+    /** Speculative checkpoint: counter + inner-backedge tag. */
+    struct Checkpoint
+    {
+        std::uint32_t count = 0;
+        std::uint32_t innerTag = 0;
+    };
+
+    Checkpoint save() const { return {count, innerTag}; }
+    void restore(const Checkpoint &cp);
+
+    unsigned numBits() const { return bits; }
+
+    /** Checkpoint width: counter bits + the 12-bit backedge tag. */
+    unsigned checkpointBits() const { return bits + 12; }
+
+    void account(StorageAccount &acct, const std::string &name) const;
+
+  private:
+    static std::uint32_t tagOf(std::uint64_t pc);
+
+    unsigned bits;
+    std::uint32_t maxCount;
+    std::uint32_t count = 0;
+    std::uint32_t innerTag = 0; //!< hashed PC of the current inner backedge
+};
+
+/** Cross-indexed voting table: hash(PC, IMLIcount, OMLI phase). */
+class OmliSic : public ScComponent
+{
+  public:
+    struct Config
+    {
+        unsigned logEntries = 10; //!< 1K entries (extension budget)
+        unsigned counterBits = 6;
+        unsigned phaseBits = 1;   //!< outer-phase bits folded in
+        int weight = 3;           //!< same weighting as IMLI-SIC
+    };
+
+    OmliSic() : OmliSic(Config()) {}
+
+    explicit OmliSic(const Config &config);
+
+    int vote(const ScContext &ctx) const override;
+    void update(const ScContext &ctx, bool taken) override;
+    void account(StorageAccount &acct) const override;
+    std::string name() const override { return "omli-sic"; }
+
+    const Config &config() const { return cfg; }
+
+  private:
+    unsigned index(const ScContext &ctx) const;
+
+    Config cfg;
+    std::vector<SignedCounter> table;
+};
+
+} // namespace imli
+
+#endif // IMLI_SRC_CORE_OMLI_HH

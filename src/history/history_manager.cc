@@ -1,0 +1,35 @@
+#include "src/history/history_manager.hh"
+
+#include <cassert>
+
+namespace imli
+{
+
+FoldedHistory *
+HistoryManager::createFold(unsigned orig_length, unsigned folded_width)
+{
+    assert(orig_length >= 1);
+    folds.push_back(
+        std::make_unique<FoldedHistory>(orig_length, folded_width));
+    return folds.back().get();
+}
+
+void
+HistoryManager::push(bool taken, std::uint64_t pc)
+{
+    // Folds consume the outgoing bit (the one ageing out of each window)
+    // before the buffer advances.
+    for (auto &fold : folds)
+        fold->update(taken, hist.bit(fold->origLength() - 1));
+    hist.push(taken, pc);
+}
+
+void
+HistoryManager::restore(const GlobalHistory::Checkpoint &cp)
+{
+    hist.restore(cp);
+    for (auto &fold : folds)
+        fold->recompute(hist);
+}
+
+} // namespace imli

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared speculative history state for a composed predictor.
+ *
+ * A composed predictor (TAGE + statistical corrector + side predictors, or
+ * GEHL + add-ons) owns exactly one HistoryManager.  It centralises the
+ * global/path history and every incrementally folded compression of it, so
+ * that one push keeps all folds coherent — mirroring hardware, where the
+ * folded CSRs are updated in lock-step with the history shift register.
+ */
+
+#ifndef IMLI_SRC_HISTORY_HISTORY_MANAGER_HH
+#define IMLI_SRC_HISTORY_HISTORY_MANAGER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/history/folded_history.hh"
+#include "src/history/global_history.hh"
+
+namespace imli
+{
+
+/** Global history plus a registry of folded views kept in sync. */
+class HistoryManager
+{
+  public:
+    explicit HistoryManager(unsigned capacity = 4096) : hist(capacity) {}
+
+    /**
+     * Create a folded view of the @p orig_length most recent bits at
+     * @p folded_width bits.  The returned pointer remains valid for the
+     * lifetime of the manager.  @p orig_length must be >= 1.
+     */
+    FoldedHistory *createFold(unsigned orig_length, unsigned folded_width);
+
+    /** Append one history bit; updates every registered fold first. */
+    void push(bool taken, std::uint64_t pc);
+
+    const GlobalHistory &history() const { return hist; }
+
+    /** Checkpoint = global history checkpoint (folds are derived state). */
+    GlobalHistory::Checkpoint save() const { return hist.save(); }
+
+    /**
+     * Roll back to @p cp and recompute every fold from the surviving
+     * buffer contents (recovery path; rare, so O(sum of lengths) is fine).
+     */
+    void restore(const GlobalHistory::Checkpoint &cp);
+
+  private:
+    GlobalHistory hist;
+    std::vector<std::unique_ptr<FoldedHistory>> folds;
+};
+
+} // namespace imli
+
+#endif // IMLI_SRC_HISTORY_HISTORY_MANAGER_HH

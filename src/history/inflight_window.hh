@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Model of the in-flight branch window a superscalar core must search to
+ * maintain speculative local history (paper, Section 2.3.2, Figure 3).
+ *
+ * The local history table is updated at commit time only.  At prediction
+ * time the hardware must check whether any in-flight (predicted but not
+ * committed) branch maps to the same local-history entry; if so, the most
+ * recent in-flight speculative history must be used instead of the table
+ * contents.  That requires (a) storing the history alongside every
+ * in-flight branch and (b) an associative search per fetch.  This class
+ * implements that structure and counts its costs, so the library can put
+ * numbers behind the paper's complexity argument (bench_sec44_storage and
+ * the spec/ fetch model).
+ */
+
+#ifndef IMLI_SRC_HISTORY_INFLIGHT_WINDOW_HH
+#define IMLI_SRC_HISTORY_INFLIGHT_WINDOW_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "src/history/local_history.hh"
+
+namespace imli
+{
+
+/**
+ * Window of speculative branch instances, each carrying the speculative
+ * local history its successors must observe.
+ */
+class InflightWindow
+{
+  public:
+    /**
+     * @param capacity maximum in-flight branches (ROB-limited)
+     * @param history_bits width of the carried local history
+     */
+    InflightWindow(unsigned capacity, unsigned history_bits);
+
+    /**
+     * Record a newly predicted branch with the speculative history that
+     * *follows* it (i.e., including its own predicted outcome).
+     *
+     * @param local_index local-history-table index of the branch
+     * @param spec_history history after appending the predicted outcome
+     * @return a ticket identifying the instance for squash/commit
+     */
+    std::uint64_t insert(unsigned local_index, std::uint64_t spec_history);
+
+    /**
+     * Associative search (youngest first) for the most recent in-flight
+     * instance mapping to @p local_index.  Every call increments the
+     * searched-entries counter — this is the per-fetch energy the paper
+     * says real designs refuse to pay.
+     */
+    std::optional<std::uint64_t> lookup(unsigned local_index);
+
+    /** Commit the oldest in-flight branch (it leaves the window). */
+    void commitOldest();
+
+    /** Squash every instance younger than (inserted after) @p ticket. */
+    void squashAfter(std::uint64_t ticket);
+
+    /** Squash everything (pipeline flush). */
+    void squashAll();
+
+    std::size_t size() const { return window.size(); }
+    unsigned capacity() const { return cap; }
+
+    /** Entries visited by lookup() so far (associative-search cost). */
+    std::uint64_t entriesSearched() const { return searched; }
+
+    /** Storage held by the window: history bits per in-flight branch. */
+    std::uint64_t storageBits() const;
+
+  private:
+    struct Entry
+    {
+        std::uint64_t ticket;
+        unsigned localIndex;
+        std::uint64_t history;
+    };
+
+    std::deque<Entry> window; //!< oldest at front
+    unsigned cap;
+    unsigned histBits;
+    std::uint64_t nextTicket = 1;
+    std::uint64_t searched = 0;
+};
+
+} // namespace imli
+
+#endif // IMLI_SRC_HISTORY_INFLIGHT_WINDOW_HH

@@ -1,0 +1,44 @@
+#include "src/history/local_history.hh"
+
+#include <cassert>
+
+#include "src/util/hashing.hh"
+
+namespace imli
+{
+
+LocalHistoryTable::LocalHistoryTable(unsigned num_entries,
+                                     unsigned history_bits)
+    : table(num_entries, 0), bits(history_bits), mask(num_entries - 1)
+{
+    assert(isPowerOfTwo(num_entries));
+    assert(history_bits >= 1 && history_bits <= 64);
+}
+
+unsigned
+LocalHistoryTable::index(std::uint64_t pc) const
+{
+    return static_cast<unsigned>(pcHash(pc)) & mask;
+}
+
+std::uint64_t
+LocalHistoryTable::read(std::uint64_t pc) const
+{
+    return table[index(pc)];
+}
+
+void
+LocalHistoryTable::update(std::uint64_t pc, bool taken)
+{
+    std::uint64_t &h = table[index(pc)];
+    h = ((h << 1) | (taken ? 1 : 0)) & maskBits(bits);
+}
+
+void
+LocalHistoryTable::account(StorageAccount &acct,
+                           const std::string &name) const
+{
+    acct.add(name, static_cast<std::uint64_t>(table.size()) * bits);
+}
+
+} // namespace imli

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Per-branch (local) history table.
+ *
+ * Local history records the recent outcomes of each static branch in a
+ * table indexed by PC.  It is the second history dimension of Yeh & Patt
+ * two-level prediction and the storage behind the local components of
+ * TAGE-SC-L and FTL.  Its accuracy value is real but modest; its hardware
+ * cost is the speculative-management problem modelled in
+ * src/history/inflight_window.hh — the paper's motivation for IMLI.
+ */
+
+#ifndef IMLI_SRC_HISTORY_LOCAL_HISTORY_HH
+#define IMLI_SRC_HISTORY_LOCAL_HISTORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/storage.hh"
+
+namespace imli
+{
+
+/**
+ * Table of per-branch outcome shift registers, untagged and indexed by
+ * hashed PC (aliasing is part of the modelled hardware).
+ */
+class LocalHistoryTable
+{
+  public:
+    /**
+     * @param num_entries table entries (power of two)
+     * @param history_bits history register width (1..64)
+     */
+    LocalHistoryTable(unsigned num_entries, unsigned history_bits);
+
+    /** Current local history for @p pc (bit 0 = most recent outcome). */
+    std::uint64_t read(std::uint64_t pc) const;
+
+    /** Shift @p taken into the register for @p pc. */
+    void update(std::uint64_t pc, bool taken);
+
+    /** Table index used for @p pc (exposed for aliasing studies). */
+    unsigned index(std::uint64_t pc) const;
+
+    unsigned numEntries() const
+    {
+        return static_cast<unsigned>(table.size());
+    }
+
+    unsigned historyBits() const { return bits; }
+
+    /** Storage cost of the table. */
+    void account(StorageAccount &acct, const std::string &name) const;
+
+  private:
+    std::vector<std::uint64_t> table;
+    unsigned bits;
+    unsigned mask;
+};
+
+} // namespace imli
+
+#endif // IMLI_SRC_HISTORY_LOCAL_HISTORY_HH

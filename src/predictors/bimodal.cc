@@ -1,0 +1,62 @@
+#include "src/predictors/bimodal.hh"
+
+#include "src/util/hashing.hh"
+
+namespace imli
+{
+
+BimodalPredictor::BimodalPredictor(unsigned log_entries,
+                                   unsigned counter_bits)
+    : table(1u << log_entries,
+            SatCounter(counter_bits, (1u << (counter_bits - 1)))),
+      mask((1u << log_entries) - 1)
+{
+}
+
+unsigned
+BimodalPredictor::index(std::uint64_t pc) const
+{
+    return static_cast<unsigned>(pc >> 1) & mask;
+}
+
+bool
+BimodalPredictor::predict(std::uint64_t pc)
+{
+    return lookup(pc);
+}
+
+bool
+BimodalPredictor::lookup(std::uint64_t pc) const
+{
+    return table[index(pc)].taken();
+}
+
+bool
+BimodalPredictor::isWeak(std::uint64_t pc) const
+{
+    return table[index(pc)].isWeak();
+}
+
+void
+BimodalPredictor::train(std::uint64_t pc, bool taken)
+{
+    table[index(pc)].update(taken);
+}
+
+void
+BimodalPredictor::update(std::uint64_t pc, bool taken, std::uint64_t target)
+{
+    (void)target;
+    train(pc, taken);
+}
+
+StorageAccount
+BimodalPredictor::storage() const
+{
+    StorageAccount acct;
+    acct.add("bimodal",
+             static_cast<std::uint64_t>(table.size()) * table[0].numBits());
+    return acct;
+}
+
+} // namespace imli

@@ -1,0 +1,119 @@
+#include "src/predictors/gehl.hh"
+
+namespace imli
+{
+
+GehlPredictor::GehlPredictor(const Config &config)
+    : cfg(config), histMgr(4096), global(cfg.global, histMgr),
+      voting(cfg.voting), imliComps(cfg.imli)
+{
+    voting.addComponent(&global);
+    if (cfg.enableImli) {
+        for (ScComponent *c : imliComps.components())
+            voting.addComponent(c);
+    }
+    if (cfg.enableLocal) {
+        local = std::make_unique<LocalComponent>(cfg.local);
+        voting.addComponent(local.get());
+    }
+    if (cfg.enableLoop || cfg.enableWh)
+        loopPred = std::make_unique<LoopPredictor>(cfg.loop);
+    if (cfg.enableWh)
+        wormhole = std::make_unique<WormholePredictor>(cfg.wh);
+}
+
+std::optional<unsigned>
+GehlPredictor::currentTripCount() const
+{
+    if (loopPred == nullptr || currentLoopPc == 0)
+        return std::nullopt;
+    return loopPred->tripCount(currentLoopPc);
+}
+
+bool
+GehlPredictor::predict(std::uint64_t pc)
+{
+    look = LookupState();
+    look.ctx.pc = pc;
+    look.ctx.mainPred = false;
+    if (cfg.enableImli)
+        imliComps.fillContext(look.ctx, pc);
+
+    look.sum = voting.sum(look.ctx);
+    look.gehlPred = look.sum >= 0;
+    look.finalPred = look.gehlPred;
+
+    if (loopPred != nullptr) {
+        look.loopPrediction = loopPred->lookup(pc);
+        if (cfg.loopOverride && look.loopPrediction.valid)
+            look.finalPred = look.loopPrediction.taken;
+    }
+    if (wormhole != nullptr) {
+        look.tripCount = currentTripCount();
+        look.whPrediction = wormhole->predict(pc, look.tripCount);
+        if (look.whPrediction.valid)
+            look.finalPred = look.whPrediction.taken;
+    }
+    return look.finalPred;
+}
+
+void
+GehlPredictor::update(std::uint64_t pc, bool taken, std::uint64_t target)
+{
+    const bool final_mispred = look.finalPred != taken;
+    const bool gehl_mispred = look.gehlPred != taken;
+
+    if (loopPred != nullptr) {
+        // Only backward conditional branches close loops (Section 4.1);
+        // letting forward noise branches allocate would thrash the small
+        // loop table.
+        loopPred->update(pc, taken, final_mispred && target < pc);
+    }
+    if (wormhole != nullptr)
+        wormhole->update(pc, taken, final_mispred, look.tripCount);
+
+    const int abs_sum = look.sum < 0 ? -look.sum : look.sum;
+    if (voting.onOutcome(gehl_mispred, abs_sum))
+        voting.trainAll(look.ctx, taken);
+    voting.resolveAll(look.ctx, taken);
+
+    if (cfg.enableImli)
+        imliComps.onResolved(pc, target, taken);
+
+    // Track which loop is currently iterating (backward taken branch),
+    // for the wormhole trip-count feed.
+    if (target < pc) {
+        if (taken)
+            currentLoopPc = pc;
+        else if (pc == currentLoopPc)
+            currentLoopPc = 0;
+    }
+
+    histMgr.push(taken, pc);
+}
+
+void
+GehlPredictor::trackOtherInst(std::uint64_t pc, BranchType type, bool taken,
+                              std::uint64_t target)
+{
+    (void)type;
+    (void)taken;
+    (void)target;
+    histMgr.push(true, pc);
+}
+
+StorageAccount
+GehlPredictor::storage() const
+{
+    StorageAccount acct;
+    voting.account(acct);
+    if (cfg.enableImli)
+        imliComps.account(acct);
+    if (loopPred != nullptr)
+        loopPred->account(acct, "loop");
+    if (wormhole != nullptr)
+        wormhole->account(acct, "wormhole");
+    return acct;
+}
+
+} // namespace imli

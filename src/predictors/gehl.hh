@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The GEHL host predictor (paper, Section 3.2.2, Figure 6).
+ *
+ * An O-GEHL predictor: 17 tables of 2K 6-bit counters indexed with
+ * geometric global history lengths up to 600 bits (204 Kbits), an adder
+ * tree and the dynamic update threshold.  Add-ons plug into the same adder
+ * tree: the IMLI-SIC and IMLI-OH tables (GEHL+I), a local-history bank and
+ * loop predictor (GEHL+L, the FTL recipe), or the wormhole side predictor
+ * for the Section 3.3 comparison.
+ */
+
+#ifndef IMLI_SRC_PREDICTORS_GEHL_HH
+#define IMLI_SRC_PREDICTORS_GEHL_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/core/imli_components.hh"
+#include "src/history/history_manager.hh"
+#include "src/predictors/local_component.hh"
+#include "src/predictors/loop_predictor.hh"
+#include "src/predictors/predictor.hh"
+#include "src/predictors/statistical_corrector.hh"
+#include "src/predictors/wormhole.hh"
+
+namespace imli
+{
+
+/** GEHL with optional IMLI / local / loop / wormhole add-ons. */
+class GehlPredictor : public ConditionalPredictor
+{
+  public:
+    struct Config
+    {
+        GlobalGehlComponent::Config global{
+            /*numTables=*/17, /*logEntries=*/11, /*counterBits=*/6,
+            /*minHistory=*/0, /*maxHistory=*/600,
+            /*imliIndexTables=*/0, /*label=*/"gehl"};
+        VotingEngine::Config voting{/*thetaInit=*/34, /*thetaMin=*/1,
+                                    /*thetaMax=*/511, /*tcBits=*/7};
+
+        ImliComponents::Config imli;
+        bool enableImli = false; //!< master switch for SIC/OH add-ons
+
+        bool enableLocal = false;
+        LocalComponent::Config local;
+
+        /** Instantiate the loop predictor (needed by WH for trip counts). */
+        bool enableLoop = false;
+        /** Let a confident loop prediction override the adder tree. */
+        bool loopOverride = false;
+        LoopPredictor::Config loop{/*logSets=*/3, /*ways=*/4};
+
+        bool enableWh = false;
+        WormholePredictor::Config wh;
+
+        std::string configName = "GEHL";
+    };
+
+    GehlPredictor() : GehlPredictor(Config()) {}
+
+    explicit GehlPredictor(const Config &config);
+
+    bool predict(std::uint64_t pc) override;
+    void update(std::uint64_t pc, bool taken, std::uint64_t target) override;
+    void trackOtherInst(std::uint64_t pc, BranchType type, bool taken,
+                        std::uint64_t target) override;
+
+    std::string name() const override { return cfg.configName; }
+    StorageAccount storage() const override;
+
+    /** IMLI state access for experiments (delay sweeps, checkpoints). */
+    ImliComponents &imliState() { return imliComps; }
+
+    const Config &config() const { return cfg; }
+
+  private:
+    std::optional<unsigned> currentTripCount() const;
+
+    Config cfg;
+    HistoryManager histMgr;
+    GlobalGehlComponent global;
+    VotingEngine voting;
+    ImliComponents imliComps;
+    std::unique_ptr<LocalComponent> local;
+    std::unique_ptr<LoopPredictor> loopPred;
+    std::unique_ptr<WormholePredictor> wormhole;
+
+    /** PC of the backward branch closing the loop currently iterating. */
+    std::uint64_t currentLoopPc = 0;
+
+    // predict/update pairing state
+    struct LookupState
+    {
+        ScContext ctx;
+        int sum = 0;
+        bool gehlPred = false;
+        bool finalPred = false;
+        LoopPredictor::Prediction loopPrediction;
+        WormholePredictor::Prediction whPrediction;
+        std::optional<unsigned> tripCount;
+    } look;
+};
+
+} // namespace imli
+
+#endif // IMLI_SRC_PREDICTORS_GEHL_HH

@@ -1,0 +1,58 @@
+#include "src/predictors/gshare.hh"
+
+#include "src/util/hashing.hh"
+
+namespace imli
+{
+
+GsharePredictor::GsharePredictor(unsigned log_entries, unsigned history_bits)
+    : table(1u << log_entries, SatCounter(2, 2)),
+      hist(1024),
+      histBits(history_bits),
+      mask((1u << log_entries) - 1)
+{
+}
+
+unsigned
+GsharePredictor::index(std::uint64_t pc) const
+{
+    const std::uint64_t h = hist.recent(histBits);
+    return static_cast<unsigned>((pc >> 1) ^ h) & mask;
+}
+
+bool
+GsharePredictor::predict(std::uint64_t pc)
+{
+    return table[index(pc)].taken();
+}
+
+void
+GsharePredictor::update(std::uint64_t pc, bool taken, std::uint64_t target)
+{
+    (void)target;
+    table[index(pc)].update(taken);
+    hist.push(taken, pc);
+}
+
+void
+GsharePredictor::trackOtherInst(std::uint64_t pc, BranchType type,
+                                bool taken, std::uint64_t target)
+{
+    (void)type;
+    (void)taken;
+    (void)target;
+    // Unconditional control flow shifts a taken bit in, as most hardware
+    // global history implementations do.
+    hist.push(true, pc);
+}
+
+StorageAccount
+GsharePredictor::storage() const
+{
+    StorageAccount acct;
+    acct.add("gshare", static_cast<std::uint64_t>(table.size()) * 2);
+    acct.add("ghist", histBits);
+    return acct;
+}
+
+} // namespace imli

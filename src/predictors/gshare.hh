@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Gshare predictor (McFarling, 1993): global history XOR PC indexing.
+ * Baseline for the shootout example and a sanity reference in tests —
+ * gshare must beat bimodal on globally correlated workloads and TAGE must
+ * beat gshare.
+ */
+
+#ifndef IMLI_SRC_PREDICTORS_GSHARE_HH
+#define IMLI_SRC_PREDICTORS_GSHARE_HH
+
+#include <vector>
+
+#include "src/history/global_history.hh"
+#include "src/predictors/predictor.hh"
+#include "src/util/counters.hh"
+
+namespace imli
+{
+
+/** Global-history-XOR-PC indexed table of saturating counters. */
+class GsharePredictor : public ConditionalPredictor
+{
+  public:
+    /**
+     * @param log_entries log2 of the table size
+     * @param history_bits global history length used in the index
+     */
+    explicit GsharePredictor(unsigned log_entries = 14,
+                             unsigned history_bits = 14);
+
+    bool predict(std::uint64_t pc) override;
+    void update(std::uint64_t pc, bool taken, std::uint64_t target) override;
+    void trackOtherInst(std::uint64_t pc, BranchType type, bool taken,
+                        std::uint64_t target) override;
+
+    std::string name() const override { return "gshare"; }
+    StorageAccount storage() const override;
+
+  private:
+    unsigned index(std::uint64_t pc) const;
+
+    std::vector<SatCounter> table;
+    GlobalHistory hist;
+    unsigned histBits;
+    unsigned mask;
+};
+
+} // namespace imli
+
+#endif // IMLI_SRC_PREDICTORS_GSHARE_HH

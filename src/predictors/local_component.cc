@@ -1,0 +1,65 @@
+#include "src/predictors/local_component.hh"
+
+#include <cassert>
+
+#include "src/util/hashing.hh"
+
+namespace imli
+{
+
+LocalComponent::LocalComponent(const Config &config)
+    : cfg(config), histories(config.historyEntries, config.historyBits)
+{
+    assert(cfg.numTables >= 1);
+    // History prefix lengths spread evenly up to the full register width,
+    // e.g. {6, 12, 18, 24} with 4 tables over 24 bits.
+    lengths.resize(cfg.numTables);
+    for (unsigned t = 0; t < cfg.numTables; ++t)
+        lengths[t] = cfg.historyBits * (t + 1) / cfg.numTables;
+    tables.assign(cfg.numTables,
+                  std::vector<SignedCounter>(
+                      1u << cfg.logEntries, SignedCounter(cfg.counterBits)));
+}
+
+unsigned
+LocalComponent::index(unsigned table, const ScContext &ctx) const
+{
+    const std::uint64_t hist =
+        histories.read(ctx.pc) & maskBits(lengths[table]);
+    const std::uint64_t h =
+        hashCombine(pcHash(ctx.pc) + table, hist * 0x9e3779b97f4a7c15ULL);
+    return static_cast<unsigned>(h & maskBits(cfg.logEntries));
+}
+
+int
+LocalComponent::vote(const ScContext &ctx) const
+{
+    int sum = 0;
+    for (unsigned t = 0; t < cfg.numTables; ++t)
+        sum += tables[t][index(t, ctx)].centered();
+    return sum;
+}
+
+void
+LocalComponent::update(const ScContext &ctx, bool taken)
+{
+    for (unsigned t = 0; t < cfg.numTables; ++t)
+        tables[t][index(t, ctx)].update(taken);
+}
+
+void
+LocalComponent::onResolved(const ScContext &ctx, bool taken)
+{
+    histories.update(ctx.pc, taken);
+}
+
+void
+LocalComponent::account(StorageAccount &acct) const
+{
+    histories.account(acct, cfg.label + "/histories");
+    acct.add(cfg.label + "/tables",
+             static_cast<std::uint64_t>(cfg.numTables) *
+                 (1ull << cfg.logEntries) * cfg.counterBits);
+}
+
+} // namespace imli

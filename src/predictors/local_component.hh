@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Local-history voting component (the "L" of TAGE-SC-L and the local part
+ * of FTL; paper, Section 5).
+ *
+ * A table of per-branch histories feeds a bank of GEHL tables indexed with
+ * hash(PC, local history prefix).  For the GEHL host this reproduces the
+ * paper's FTL recipe: "4 tables of 2K 6-bit counters and a 256-entry table
+ * of 24-bit local histories".  The component also demonstrates why the
+ * paper argues against local history in hardware: its speculative state is
+ * per-branch, needing the in-flight window machinery modelled in
+ * src/history/inflight_window.hh rather than a small checkpoint.
+ */
+
+#ifndef IMLI_SRC_PREDICTORS_LOCAL_COMPONENT_HH
+#define IMLI_SRC_PREDICTORS_LOCAL_COMPONENT_HH
+
+#include <vector>
+
+#include "src/history/local_history.hh"
+#include "src/predictors/sc_component.hh"
+#include "src/util/counters.hh"
+
+namespace imli
+{
+
+/** Local-history GEHL bank. */
+class LocalComponent : public ScComponent
+{
+  public:
+    struct Config
+    {
+        unsigned historyEntries = 256; //!< local history table entries
+        unsigned historyBits = 24;     //!< per-branch history width
+        unsigned numTables = 4;        //!< voting tables
+        unsigned logEntries = 11;      //!< 2K entries per table
+        unsigned counterBits = 6;
+        std::string label = "local";
+    };
+
+    LocalComponent() : LocalComponent(Config()) {}
+
+    explicit LocalComponent(const Config &config);
+
+    int vote(const ScContext &ctx) const override;
+    void update(const ScContext &ctx, bool taken) override;
+    /** Shifts the branch outcome into its local history — every branch. */
+    void onResolved(const ScContext &ctx, bool taken) override;
+    void account(StorageAccount &acct) const override;
+    std::string name() const override { return cfg.label; }
+
+    const Config &config() const { return cfg; }
+
+  private:
+    unsigned index(unsigned table, const ScContext &ctx) const;
+
+    Config cfg;
+    LocalHistoryTable histories;
+    std::vector<unsigned> lengths; //!< history prefix length per table
+    std::vector<std::vector<SignedCounter>> tables;
+};
+
+} // namespace imli
+
+#endif // IMLI_SRC_PREDICTORS_LOCAL_COMPONENT_HH

@@ -1,0 +1,189 @@
+#include "src/predictors/loop_predictor.hh"
+
+#include <cassert>
+
+#include "src/util/hashing.hh"
+
+namespace imli
+{
+
+LoopPredictor::LoopPredictor(const Config &config)
+    : cfg(config), table(config.numEntries())
+{
+    assert(cfg.ways >= 1);
+    assert(cfg.iterBits <= 16 && cfg.tagBits <= 16);
+}
+
+unsigned
+LoopPredictor::baseIndex(std::uint64_t pc) const
+{
+    const unsigned set =
+        static_cast<unsigned>(pcHash(pc)) & ((1u << cfg.logSets) - 1);
+    return set * cfg.ways;
+}
+
+std::uint16_t
+LoopPredictor::tagOf(std::uint64_t pc) const
+{
+    return static_cast<std::uint16_t>(
+        (pcHash(pc) >> cfg.logSets) & maskBits(cfg.tagBits));
+}
+
+unsigned
+LoopPredictor::nextRandom()
+{
+    // 16-bit Galois LFSR; deterministic and self-contained.
+    const unsigned bit =
+        ((lfsr >> 0) ^ (lfsr >> 2) ^ (lfsr >> 3) ^ (lfsr >> 5)) & 1u;
+    lfsr = (lfsr >> 1) | (bit << 15);
+    return lfsr;
+}
+
+const LoopPredictor::Entry *
+LoopPredictor::find(std::uint64_t pc) const
+{
+    const unsigned base = baseIndex(pc);
+    const std::uint16_t tag = tagOf(pc);
+    for (unsigned way = 0; way < cfg.ways; ++way) {
+        const Entry &e = table[base + way];
+        if (e.tag == tag && e.age > 0)
+            return &e;
+    }
+    return nullptr;
+}
+
+LoopPredictor::Prediction
+LoopPredictor::lookup(std::uint64_t pc)
+{
+    hitWay = -1;
+    lastValid = false;
+    Prediction pred;
+
+    const unsigned base = baseIndex(pc);
+    const std::uint16_t tag = tagOf(pc);
+    for (unsigned way = 0; way < cfg.ways; ++way) {
+        Entry &e = table[base + way];
+        if (e.tag == tag && e.age > 0) {
+            hitWay = static_cast<int>(way);
+            hitIndex = base + way;
+            pred.hit = true;
+            // Confidence gate from the CBP4 implementation: either fully
+            // confident, or confident enough relative to the loop length.
+            const unsigned conf_max = (1u << cfg.confBits) - 1;
+            pred.valid = (e.confid == conf_max) ||
+                         (static_cast<unsigned>(e.confid) * e.nbIter > 128);
+            pred.taken =
+                (e.currentIter + 1 == e.nbIter) ? !e.dir : e.dir;
+            lastValid = pred.valid;
+            lastPred = pred.taken;
+            return pred;
+        }
+    }
+    return pred;
+}
+
+void
+LoopPredictor::update(std::uint64_t pc, bool taken, bool alloc)
+{
+    const unsigned conf_max = (1u << cfg.confBits) - 1;
+    const unsigned age_max = (1u << cfg.ageBits) - 1;
+    const std::uint16_t iter_mask =
+        static_cast<std::uint16_t>(maskBits(cfg.iterBits));
+
+    if (hitWay >= 0) {
+        Entry &e = table[hitIndex];
+
+        if (lastValid && taken != lastPred) {
+            // Confident entry mispredicted: the loop is not regular any
+            // more; free the entry.
+            e = Entry();
+            hitWay = -1;
+            return;
+        }
+        if (lastValid && taken == lastPred) {
+            // Useful prediction: strengthen against replacement
+            // (probabilistic aging refresh as in the CBP4 code).
+            if ((nextRandom() & 7u) == 0 && e.age < age_max)
+                ++e.age;
+        }
+
+        e.currentIter = static_cast<std::uint16_t>(
+            (e.currentIter + 1) & iter_mask);
+        if (e.currentIter > e.nbIter && e.nbIter != 0) {
+            // Ran past the learned trip count: stale.
+            e.confid = 0;
+            e.nbIter = 0;
+        }
+
+        if (taken != e.dir) {
+            // The loop exited on this occurrence.
+            if (e.currentIter == e.nbIter) {
+                if (e.confid < conf_max)
+                    ++e.confid;
+                // Very short loops are better left to the main predictor.
+                if (e.nbIter < 3)
+                    e = Entry();
+            } else {
+                if (e.nbIter == 0) {
+                    // First observed exit: learn the trip count.
+                    e.confid = 0;
+                    e.nbIter = e.currentIter;
+                } else {
+                    // Irregular trip count: free.
+                    e = Entry();
+                }
+            }
+            e.currentIter = 0;
+        }
+        hitWay = -1;
+        return;
+    }
+
+    // Miss: allocate on main-predictor mispredictions only, with
+    // probability 1/4, assuming the mispredicted occurrence is the exit.
+    if (!alloc || (nextRandom() & 3u) != 0)
+        return;
+
+    const unsigned base = baseIndex(pc);
+    const std::uint16_t tag = tagOf(pc);
+    for (unsigned way = 0; way < cfg.ways; ++way) {
+        Entry &e = table[base + way];
+        if (e.age == 0) {
+            e = Entry();
+            e.tag = tag;
+            e.dir = !taken; // iterating direction opposite the exit
+            e.age = 7 <= age_max ? 7 : static_cast<std::uint8_t>(age_max);
+            return;
+        }
+    }
+    for (unsigned way = 0; way < cfg.ways; ++way) {
+        Entry &e = table[base + way];
+        if (e.age > 0)
+            --e.age;
+    }
+}
+
+std::optional<unsigned>
+LoopPredictor::tripCount(std::uint64_t pc) const
+{
+    const Entry *e = find(pc);
+    if (e == nullptr || e->nbIter == 0)
+        return std::nullopt;
+    const unsigned conf_max = (1u << cfg.confBits) - 1;
+    const bool confident = (e->confid == conf_max) ||
+                           (static_cast<unsigned>(e->confid) * e->nbIter >
+                            128);
+    if (!confident)
+        return std::nullopt;
+    return e->nbIter;
+}
+
+void
+LoopPredictor::account(StorageAccount &acct, const std::string &name) const
+{
+    const std::uint64_t per_entry = cfg.iterBits * 2 + cfg.tagBits +
+                                    cfg.confBits + cfg.ageBits + 1;
+    acct.add(name, per_entry * cfg.numEntries());
+}
+
+} // namespace imli

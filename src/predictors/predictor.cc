@@ -1,0 +1,4 @@
+#include "src/predictors/predictor.hh"
+
+// Interface only; this translation unit anchors the module in the build
+// graph.

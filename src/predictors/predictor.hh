@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The conditional branch predictor interface (CBP-style contract).
+ *
+ * The simulator drives predictors exactly like the championship framework
+ * drives submissions:
+ *
+ *   for each dynamic branch b:
+ *     if b is conditional:
+ *       pred = predictor.predict(b.pc)
+ *       predictor.update(b.pc, b.taken, b.target)   // resolve + train
+ *     else:
+ *       predictor.trackOtherInst(b.pc, b.type, b.taken, b.target)
+ *
+ * Contract notes:
+ *  - update(pc, ...) is always the next call after predict(pc) for the same
+ *    dynamic branch; implementations may cache lookup state across the pair
+ *    (every serious predictor does).
+ *  - trace-driven simulation implies immediate update (paper, Section 3);
+ *    speculative-state effects are studied separately in src/spec/.
+ */
+
+#ifndef IMLI_SRC_PREDICTORS_PREDICTOR_HH
+#define IMLI_SRC_PREDICTORS_PREDICTOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/trace/branch_record.hh"
+#include "src/util/storage.hh"
+
+namespace imli
+{
+
+/** Abstract conditional branch direction predictor. */
+class ConditionalPredictor
+{
+  public:
+    virtual ~ConditionalPredictor() = default;
+
+    /** Predict the direction of the conditional branch at @p pc. */
+    virtual bool predict(std::uint64_t pc) = 0;
+
+    /**
+     * Resolve and train on the actual outcome.  @p target is the taken
+     * target (used for backward-branch detection and history updates).
+     */
+    virtual void update(std::uint64_t pc, bool taken,
+                        std::uint64_t target) = 0;
+
+    /**
+     * Observe a non-conditional branch.  Default: no effect.  Predictors
+     * with path history fold these in, as the CBP framework allows.
+     */
+    virtual void
+    trackOtherInst(std::uint64_t pc, BranchType type, bool taken,
+                   std::uint64_t target)
+    {
+        (void)pc;
+        (void)type;
+        (void)taken;
+        (void)target;
+    }
+
+    /** Short configuration name, e.g. "TAGE-GSC+I". */
+    virtual std::string name() const = 0;
+
+    /** Hardware budget ledger for the whole predictor. */
+    virtual StorageAccount storage() const = 0;
+};
+
+/** Convenience alias used throughout the zoo and the simulator. */
+using PredictorPtr = std::unique_ptr<ConditionalPredictor>;
+
+} // namespace imli
+
+#endif // IMLI_SRC_PREDICTORS_PREDICTOR_HH

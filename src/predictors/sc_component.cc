@@ -1,0 +1,76 @@
+#include "src/predictors/sc_component.hh"
+
+namespace imli
+{
+
+VotingEngine::VotingEngine(const Config &config)
+    : cfg(config), thresholdValue(config.thetaInit)
+{
+}
+
+void
+VotingEngine::addComponent(ScComponent *component)
+{
+    comps.push_back(component);
+}
+
+int
+VotingEngine::sum(const ScContext &ctx) const
+{
+    int total = 0;
+    for (const ScComponent *c : comps)
+        total += c->vote(ctx);
+    return total;
+}
+
+bool
+VotingEngine::onOutcome(bool mispredicted, int abs_sum)
+{
+    const int tc_max = (1 << (cfg.tcBits - 1)) - 1;
+    const int tc_min = -(1 << (cfg.tcBits - 1));
+
+    const bool train = mispredicted || abs_sum < thresholdValue;
+
+    if (mispredicted) {
+        if (tuningCounter < tc_max)
+            ++tuningCounter;
+        if (tuningCounter == tc_max) {
+            if (thresholdValue < cfg.thetaMax)
+                ++thresholdValue;
+            tuningCounter = 0;
+        }
+    } else if (abs_sum < thresholdValue) {
+        if (tuningCounter > tc_min)
+            --tuningCounter;
+        if (tuningCounter == tc_min) {
+            if (thresholdValue > cfg.thetaMin)
+                --thresholdValue;
+            tuningCounter = 0;
+        }
+    }
+    return train;
+}
+
+void
+VotingEngine::trainAll(const ScContext &ctx, bool taken)
+{
+    for (ScComponent *c : comps)
+        c->update(ctx, taken);
+}
+
+void
+VotingEngine::resolveAll(const ScContext &ctx, bool taken)
+{
+    for (ScComponent *c : comps)
+        c->onResolved(ctx, taken);
+}
+
+void
+VotingEngine::account(StorageAccount &acct) const
+{
+    for (const ScComponent *c : comps)
+        c->account(acct);
+    acct.add("voting/theta+tc", 8 + cfg.tcBits);
+}
+
+} // namespace imli

@@ -1,0 +1,119 @@
+#include "src/predictors/tage_gsc.hh"
+
+namespace imli
+{
+
+TageGscPredictor::TageGscPredictor(const Config &config)
+    : cfg(config), histMgr(4096), tage(cfg.tage, histMgr), bias(cfg.bias),
+      gscGlobal(cfg.gscGlobal, histMgr), corrector(cfg.sc),
+      imliComps(cfg.imli)
+{
+    corrector.addComponent(&bias);
+    corrector.addComponent(&gscGlobal);
+    if (cfg.enableImli) {
+        for (ScComponent *c : imliComps.components())
+            corrector.addComponent(c);
+    }
+    if (cfg.enableLocal) {
+        local = std::make_unique<LocalComponent>(cfg.local);
+        corrector.addComponent(local.get());
+    }
+    if (cfg.enableLoop || cfg.enableWh)
+        loopPred = std::make_unique<LoopPredictor>(cfg.loop);
+    if (cfg.enableWh)
+        wormhole = std::make_unique<WormholePredictor>(cfg.wh);
+}
+
+std::optional<unsigned>
+TageGscPredictor::currentTripCount() const
+{
+    if (loopPred == nullptr || currentLoopPc == 0)
+        return std::nullopt;
+    return loopPred->tripCount(currentLoopPc);
+}
+
+bool
+TageGscPredictor::predict(std::uint64_t pc)
+{
+    look = LookupState();
+    look.tagePrediction = tage.predict(pc);
+
+    look.ctx.pc = pc;
+    look.ctx.mainPred = look.tagePrediction.taken;
+    if (cfg.enableImli)
+        imliComps.fillContext(look.ctx, pc);
+
+    look.decision = corrector.decide(look.ctx, look.tagePrediction.taken,
+                                     look.tagePrediction.confidence);
+    look.finalPred = look.decision.finalPred;
+
+    if (loopPred != nullptr) {
+        look.loopPrediction = loopPred->lookup(pc);
+        if (cfg.loopOverride && look.loopPrediction.valid)
+            look.finalPred = look.loopPrediction.taken;
+    }
+    if (wormhole != nullptr) {
+        look.tripCount = currentTripCount();
+        look.whPrediction = wormhole->predict(pc, look.tripCount);
+        if (look.whPrediction.valid)
+            look.finalPred = look.whPrediction.taken;
+    }
+    return look.finalPred;
+}
+
+void
+TageGscPredictor::update(std::uint64_t pc, bool taken, std::uint64_t target)
+{
+    const bool final_mispred = look.finalPred != taken;
+
+    if (loopPred != nullptr) {
+        // Only backward conditional branches close loops (Section 4.1);
+        // letting forward noise branches allocate would thrash the small
+        // loop table.
+        loopPred->update(pc, taken, final_mispred && target < pc);
+    }
+    if (wormhole != nullptr)
+        wormhole->update(pc, taken, final_mispred, look.tripCount);
+
+    corrector.train(look.ctx, taken, look.decision);
+    tage.update(pc, taken, look.finalPred);
+
+    if (cfg.enableImli)
+        imliComps.onResolved(pc, target, taken);
+
+    if (target < pc) {
+        if (taken)
+            currentLoopPc = pc;
+        else if (pc == currentLoopPc)
+            currentLoopPc = 0;
+    }
+
+    histMgr.push(taken, pc);
+}
+
+void
+TageGscPredictor::trackOtherInst(std::uint64_t pc, BranchType type,
+                                 bool taken, std::uint64_t target)
+{
+    (void)type;
+    (void)taken;
+    (void)target;
+    histMgr.push(true, pc);
+}
+
+StorageAccount
+TageGscPredictor::storage() const
+{
+    StorageAccount acct;
+    tage.account(acct);
+    corrector.account(acct);
+    if (cfg.enableImli)
+        imliComps.account(acct);
+    if (loopPred != nullptr)
+        loopPred->account(acct, "loop");
+    if (wormhole != nullptr)
+        wormhole->account(acct, "wormhole");
+    return acct;
+}
+
+} // namespace imli

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The TAGE-GSC host predictor (paper, Section 3.2.1, Figures 4 and 5):
+ * a TAGE predictor backed by a global-history statistical corrector, i.e.
+ * the CBP4-winning TAGE-SC-L with the loop predictor and local-history
+ * components deactivated.  Add-ons re-enable them (+L), plug the IMLI
+ * components into the corrector (+I), or attach the wormhole side
+ * predictor for the Section 3.3 comparison.
+ */
+
+#ifndef IMLI_SRC_PREDICTORS_TAGE_GSC_HH
+#define IMLI_SRC_PREDICTORS_TAGE_GSC_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/core/imli_components.hh"
+#include "src/history/history_manager.hh"
+#include "src/predictors/local_component.hh"
+#include "src/predictors/loop_predictor.hh"
+#include "src/predictors/predictor.hh"
+#include "src/predictors/statistical_corrector.hh"
+#include "src/predictors/tage.hh"
+#include "src/predictors/wormhole.hh"
+
+namespace imli
+{
+
+/** TAGE + global statistical corrector, with optional add-ons. */
+class TageGscPredictor : public ConditionalPredictor
+{
+  public:
+    struct Config
+    {
+        TagePredictor::Config tage;
+        BiasComponent::Config bias{/*logEntries=*/9, /*counterBits=*/6,
+                                   /*numTables=*/2};
+        GlobalGehlComponent::Config gscGlobal{
+            /*numTables=*/6, /*logEntries=*/10, /*counterBits=*/6,
+            /*minHistory=*/0, /*maxHistory=*/200,
+            /*imliIndexTables=*/0, /*label=*/"gsc-global"};
+        StatisticalCorrector::Config sc;
+
+        ImliComponents::Config imli;
+        bool enableImli = false;
+
+        bool enableLocal = false;
+        LocalComponent::Config local{/*historyEntries=*/256,
+                                     /*historyBits=*/16,
+                                     /*numTables=*/3,
+                                     /*logEntries=*/10,
+                                     /*counterBits=*/6,
+                                     /*label=*/"local"};
+
+        bool enableLoop = false;
+        bool loopOverride = false;
+        LoopPredictor::Config loop{/*logSets=*/2, /*ways=*/4};
+
+        bool enableWh = false;
+        WormholePredictor::Config wh;
+
+        std::string configName = "TAGE-GSC";
+    };
+
+    TageGscPredictor() : TageGscPredictor(Config()) {}
+
+    explicit TageGscPredictor(const Config &config);
+
+    bool predict(std::uint64_t pc) override;
+    void update(std::uint64_t pc, bool taken, std::uint64_t target) override;
+    void trackOtherInst(std::uint64_t pc, BranchType type, bool taken,
+                        std::uint64_t target) override;
+
+    std::string name() const override { return cfg.configName; }
+    StorageAccount storage() const override;
+
+    /** IMLI state access for experiments (delay sweeps, checkpoints). */
+    ImliComponents &imliState() { return imliComps; }
+
+    const Config &config() const { return cfg; }
+
+  private:
+    std::optional<unsigned> currentTripCount() const;
+
+    Config cfg;
+    HistoryManager histMgr;
+    TagePredictor tage;
+    BiasComponent bias;
+    GlobalGehlComponent gscGlobal;
+    StatisticalCorrector corrector;
+    ImliComponents imliComps;
+    std::unique_ptr<LocalComponent> local;
+    std::unique_ptr<LoopPredictor> loopPred;
+    std::unique_ptr<WormholePredictor> wormhole;
+
+    std::uint64_t currentLoopPc = 0;
+
+    struct LookupState
+    {
+        ScContext ctx;
+        TagePredictor::Prediction tagePrediction;
+        StatisticalCorrector::Decision decision;
+        bool finalPred = false;
+        LoopPredictor::Prediction loopPrediction;
+        WormholePredictor::Prediction whPrediction;
+        std::optional<unsigned> tripCount;
+    } look;
+};
+
+} // namespace imli
+
+#endif // IMLI_SRC_PREDICTORS_TAGE_GSC_HH

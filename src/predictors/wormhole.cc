@@ -1,0 +1,233 @@
+#include "src/predictors/wormhole.hh"
+
+#include <cassert>
+
+#include "src/util/hashing.hh"
+
+namespace imli
+{
+
+WormholePredictor::WormholePredictor(const Config &config) : cfg(config)
+{
+    assert(cfg.indexBits >= 1 && cfg.indexBits <= 8);
+    const unsigned words = (cfg.historyBits + 63) / 64;
+    for (unsigned i = 0; i < cfg.numEntries; ++i) {
+        Entry e;
+        e.history.assign(words, 0);
+        e.counters.assign(1u << cfg.indexBits,
+                          SignedCounter(cfg.counterBits));
+        entries.push_back(std::move(e));
+    }
+}
+
+std::uint16_t
+WormholePredictor::tagOf(std::uint64_t pc) const
+{
+    return static_cast<std::uint16_t>(pcHash(pc) & maskBits(cfg.tagBits));
+}
+
+int
+WormholePredictor::findEntry(std::uint64_t pc) const
+{
+    const std::uint16_t tag = tagOf(pc);
+    for (unsigned i = 0; i < cfg.numEntries; ++i)
+        if (entries[i].valid && entries[i].tag == tag)
+            return static_cast<int>(i);
+    return -1;
+}
+
+bool
+WormholePredictor::historyBit(const Entry &e, unsigned k) const
+{
+    // h(k) = outcome of this branch k occurrences ago, k >= 1.
+    assert(k >= 1);
+    if (k > cfg.historyBits)
+        return false;
+    const unsigned bit = k - 1;
+    return (e.history[bit / 64] >> (bit % 64)) & 1u;
+}
+
+void
+WormholePredictor::historyShift(Entry &e, bool taken)
+{
+    // Shift towards higher bit positions; bit 0 = most recent outcome.
+    std::uint64_t carry = taken ? 1u : 0u;
+    for (auto &word : e.history) {
+        const std::uint64_t next_carry = word >> 63;
+        word = (word << 1) | carry;
+        carry = next_carry;
+    }
+    // Trim the top word to the configured length.
+    const unsigned top_bits = cfg.historyBits % 64;
+    if (top_bits != 0)
+        e.history.back() &= maskBits(top_bits);
+}
+
+unsigned
+WormholePredictor::counterIndex(const Entry &e, unsigned trip_count) const
+{
+    // Index bits, most significant first:
+    //   h(1)        — previous occurrence (current outer iteration)
+    //   h(Ni - 1)   — Out[N-1][M+1]
+    //   h(Ni)       — Out[N-1][M]
+    //   h(Ni + 1)   — Out[N-1][M-1]
+    // With indexBits < 4 the trailing bits are dropped; with more, further
+    // diagonal neighbours h(Ni +/- 2), ... are appended.
+    unsigned idx = 0;
+    unsigned produced = 0;
+    auto push_bit = [&](bool b) {
+        if (produced < cfg.indexBits) {
+            idx = (idx << 1) | (b ? 1u : 0u);
+            ++produced;
+        }
+    };
+    push_bit(historyBit(e, 1));
+    if (trip_count >= 2)
+        push_bit(historyBit(e, trip_count - 1));
+    else
+        push_bit(false);
+    push_bit(historyBit(e, trip_count));
+    push_bit(historyBit(e, trip_count + 1));
+    unsigned d = 2;
+    while (produced < cfg.indexBits) {
+        push_bit(historyBit(e, trip_count + d));
+        ++d;
+    }
+    return idx & static_cast<unsigned>(maskBits(cfg.indexBits));
+}
+
+WormholePredictor::Prediction
+WormholePredictor::predict(std::uint64_t pc,
+                           std::optional<unsigned> trip_count)
+{
+    lookupEntry = -1;
+    lookupValid = false;
+    lookupConfident = false;
+    Prediction pred;
+
+    if (!trip_count.has_value() || *trip_count < 2 ||
+        *trip_count + 1 > cfg.historyBits)
+        return pred;
+
+    const int i = findEntry(pc);
+    if (i < 0)
+        return pred;
+
+    const Entry &e = entries[static_cast<unsigned>(i)];
+    const SignedCounter &ctr =
+        e.counters[counterIndex(e, *trip_count)];
+    const int centred = ctr.centered();
+    const int mag = centred < 0 ? -centred : centred;
+
+    lookupEntry = i;
+    lookupPred = ctr.taken();
+    lookupConfident = mag >= cfg.confidenceThreshold;
+    lookupValid = lookupConfident && e.conf >= 8;
+
+    pred.valid = lookupValid;
+    pred.taken = lookupPred;
+    return pred;
+}
+
+void
+WormholePredictor::update(std::uint64_t pc, bool taken,
+                          bool main_mispredicted,
+                          std::optional<unsigned> trip_count)
+{
+    int i = lookupEntry >= 0 ? lookupEntry : findEntry(pc);
+
+    if (i < 0) {
+        // Allocation: only for mispredicted branches inside a loop with a
+        // known constant trip count (the WH design point).
+        if (!main_mispredicted || !trip_count.has_value() ||
+            *trip_count < 2 || *trip_count + 1 > cfg.historyBits)
+            return;
+        // 1/2 probability throttle against transient mispredictions.
+        const unsigned bit =
+            ((lfsr >> 0) ^ (lfsr >> 2) ^ (lfsr >> 3) ^ (lfsr >> 5)) & 1u;
+        lfsr = (lfsr >> 1) | (bit << 15);
+        if (lfsr & 1u)
+            return;
+
+        int victim = -1;
+        for (unsigned j = 0; j < cfg.numEntries; ++j) {
+            if (!entries[j].valid) {
+                victim = static_cast<int>(j);
+                break;
+            }
+        }
+        if (victim < 0) {
+            std::uint8_t best = 0xff;
+            for (unsigned j = 0; j < cfg.numEntries; ++j) {
+                if (entries[j].util < best) {
+                    best = entries[j].util;
+                    victim = static_cast<int>(j);
+                }
+            }
+            // Age the survivors so stale entries eventually yield.
+            for (auto &e : entries)
+                if (e.util > 0)
+                    --e.util;
+        }
+        Entry &e = entries[static_cast<unsigned>(victim)];
+        e.valid = true;
+        e.tag = tagOf(pc);
+        e.util = 4;
+        e.conf = 8;
+        std::fill(e.history.begin(), e.history.end(), 0);
+        for (auto &c : e.counters)
+            c.set(0);
+        historyShift(e, taken);
+        return;
+    }
+
+    Entry &e = entries[static_cast<unsigned>(i)];
+    if (trip_count.has_value() && *trip_count >= 2 &&
+        *trip_count + 1 <= cfg.historyBits) {
+        SignedCounter &ctr = e.counters[counterIndex(e, *trip_count)];
+        ctr.update(taken);
+        if (lookupConfident) {
+            // Success gate: reward correct confident predictions, punish
+            // wrong ones hard so uncorrelated branches never override.
+            if (lookupPred == taken) {
+                if (e.conf < 0xf)
+                    ++e.conf;
+            } else {
+                e.conf = e.conf >= 4 ? e.conf - 4 : 0;
+            }
+        }
+        if (lookupValid) {
+            if (lookupPred == taken) {
+                if (e.util < 0xf)
+                    ++e.util;
+            } else {
+                if (e.util > 0)
+                    --e.util;
+            }
+        }
+    }
+    historyShift(e, taken);
+}
+
+void
+WormholePredictor::account(StorageAccount &acct,
+                           const std::string &name) const
+{
+    const std::uint64_t per_entry =
+        cfg.historyBits +
+        (1ull << cfg.indexBits) * cfg.counterBits +
+        cfg.tagBits + 4 /* util */ + 4 /* conf */ + 1 /* valid */;
+    acct.add(name, per_entry * cfg.numEntries);
+}
+
+unsigned
+WormholePredictor::liveEntries() const
+{
+    unsigned live = 0;
+    for (const auto &e : entries)
+        if (e.valid)
+            ++live;
+    return live;
+}
+
+} // namespace imli

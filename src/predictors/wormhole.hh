@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Wormhole (WH) side predictor (Albericio et al., MICRO 2014; CBP4 2014;
+ * described in the paper's Section 2.2.2, Figure 2).
+ *
+ * WH targets branches inside the inner loop of a multidimensional loop
+ * whose outcome correlates with the same branch at neighbouring inner
+ * iterations of the *previous outer iteration*.  Each of its few tagged
+ * entries records a long per-branch local history; given the inner-loop
+ * trip count Ni (from the loop predictor), Out[N-1][M+D] is bit (Ni - D)
+ * of that history.  A small array of saturating counters per entry,
+ * indexed with these retrieved bits, supplies the prediction, which
+ * overrides the main predictor only at high confidence.
+ *
+ * Structural limitations reproduced faithfully (Section 2.2.2, "WH
+ * limitations"): WH requires a *constant* trip count (it learns nothing
+ * when the loop predictor cannot lock onto Ni) and only tracks branches
+ * executed on *every* inner iteration (an occurrence skipped by a nested
+ * conditional shifts the history and breaks the bit-position arithmetic).
+ */
+
+#ifndef IMLI_SRC_PREDICTORS_WORMHOLE_HH
+#define IMLI_SRC_PREDICTORS_WORMHOLE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/util/counters.hh"
+#include "src/util/storage.hh"
+
+namespace imli
+{
+
+/** Few-entry tagged side predictor over long per-branch local histories. */
+class WormholePredictor
+{
+  public:
+    struct Config
+    {
+        unsigned numEntries = 7;    //!< tagged entries (CBP4 design point)
+        unsigned historyBits = 1536;//!< per-entry local history length
+        unsigned counterBits = 5;   //!< per-pattern confidence counter
+        unsigned indexBits = 4;     //!< history bits addressing the counters
+        unsigned tagBits = 14;
+        /** |2c+1| must reach this for the prediction to override. */
+        int confidenceThreshold = 7;
+    };
+
+    struct Prediction
+    {
+        bool valid = false; //!< confident enough to override the host
+        bool taken = false;
+    };
+
+    WormholePredictor() : WormholePredictor(Config()) {}
+
+    explicit WormholePredictor(const Config &config);
+
+    /**
+     * Look up @p pc given the trip count of the loop currently iterating
+     * (std::nullopt when the loop predictor is not confident).  Caches
+     * state for the paired update().
+     */
+    Prediction predict(std::uint64_t pc,
+                       std::optional<unsigned> trip_count);
+
+    /**
+     * Train on the outcome.  @p main_mispredicted enables allocation, as
+     * WH entries are only worth their storage on branches the main
+     * predictor gets wrong.
+     */
+    void update(std::uint64_t pc, bool taken, bool main_mispredicted,
+                std::optional<unsigned> trip_count);
+
+    void account(StorageAccount &acct, const std::string &name) const;
+
+    const Config &config() const { return cfg; }
+
+    /** Number of live (allocated) entries, for tests and reports. */
+    unsigned liveEntries() const;
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        std::uint16_t tag = 0;
+        std::uint8_t util = 0; //!< replacement score
+        /**
+         * Success gate: counter-confident predictions only override the
+         * host while the entry's recent confident predictions have been
+         * correct.  Symmetric counter walks on uncorrelated outcomes
+         * reach high magnitudes regularly; this gate starves them
+         * (+1 on a correct confident prediction, -4 on a wrong one).
+         */
+        std::uint8_t conf = 8;
+        std::vector<std::uint64_t> history; //!< bit k-1 = outcome k ago
+        std::vector<SignedCounter> counters;
+    };
+
+    std::uint16_t tagOf(std::uint64_t pc) const;
+    int findEntry(std::uint64_t pc) const;
+    bool historyBit(const Entry &e, unsigned k) const;
+    void historyShift(Entry &e, bool taken);
+    unsigned counterIndex(const Entry &e, unsigned trip_count) const;
+
+    Config cfg;
+    std::vector<Entry> entries;
+
+    // predict/update pairing state
+    int lookupEntry = -1;
+    bool lookupValid = false;
+    bool lookupConfident = false; //!< counter confident (pre success gate)
+    bool lookupPred = false;
+    std::uint32_t lfsr = 0x7ee1u;
+};
+
+} // namespace imli
+
+#endif // IMLI_SRC_PREDICTORS_WORMHOLE_HH

@@ -1,0 +1,186 @@
+#include "src/predictors/zoo.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/predictors/bimodal.hh"
+#include "src/predictors/gshare.hh"
+
+namespace imli
+{
+
+namespace
+{
+
+/** Compose the display name from the host and active add-ons. */
+std::string
+displayName(const std::string &host, const ZooOptions &opts)
+{
+    std::string name = host;
+    if (opts.imliSic && opts.imliOh)
+        name += "+I";
+    else if (opts.imliSic)
+        name += "+SIC";
+    else if (opts.imliOh)
+        name += "+OH";
+    if (opts.omli)
+        name += "+OMLI";
+    if (opts.imliInGscTables > 0)
+        name += "+IMLIGSC";
+    if (opts.local)
+        name += "+L";
+    else if (opts.loopOnly)
+        name += "+LOOP";
+    if (opts.wormhole)
+        name += "+WH";
+    return name;
+}
+
+/** Split "host+a+b" into host and lower-cased addon tokens. */
+std::vector<std::string>
+splitSpec(const std::string &spec)
+{
+    std::vector<std::string> parts;
+    std::string token;
+    std::istringstream is(spec);
+    while (std::getline(is, token, '+'))
+        parts.push_back(token);
+    return parts;
+}
+
+ZooOptions
+parseOptions(const std::vector<std::string> &parts)
+{
+    ZooOptions opts;
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+        const std::string &t = parts[i];
+        if (t == "i") {
+            opts.imliSic = true;
+            opts.imliOh = true;
+        } else if (t == "sic") {
+            opts.imliSic = true;
+        } else if (t == "oh") {
+            opts.imliOh = true;
+        } else if (t == "l") {
+            opts.local = true;
+        } else if (t == "loop") {
+            opts.loopOnly = true;
+        } else if (t == "wh") {
+            opts.wormhole = true;
+        } else if (t == "omli") {
+            opts.omli = true;
+        } else if (t == "imligsc") {
+            opts.imliInGscTables = 2;
+        } else {
+            throw std::invalid_argument("unknown predictor add-on: " + t);
+        }
+    }
+    return opts;
+}
+
+} // anonymous namespace
+
+PredictorPtr
+makeTageGsc(const ZooOptions &opts)
+{
+    TageGscPredictor::Config cfg;
+    cfg.enableImli = opts.imliSic || opts.imliOh || opts.omli;
+    cfg.imli.enableSic = opts.imliSic;
+    cfg.imli.enableOh = opts.imliOh;
+    cfg.imli.enableOmli = opts.omli;
+    cfg.imli.sic.weight = 3;
+    cfg.imli.oh.weight = 1;
+    cfg.imli.ohUpdateDelay = opts.ohUpdateDelay;
+    // Section 4.2: the SIC benefit increases further when the IMLI counter
+    // is hashed into the indices of two global SC tables.
+    cfg.gscGlobal.imliIndexTables =
+        opts.imliSic ? std::max(2u, opts.imliInGscTables)
+                     : opts.imliInGscTables;
+    cfg.enableLocal = opts.local;
+    cfg.enableLoop = opts.local || opts.loopOnly || opts.wormhole;
+    cfg.loopOverride = opts.local || opts.loopOnly;
+    cfg.enableWh = opts.wormhole;
+    cfg.configName = displayName("TAGE-GSC", opts);
+    return std::make_unique<TageGscPredictor>(cfg);
+}
+
+PredictorPtr
+makeGehl(const ZooOptions &opts)
+{
+    GehlPredictor::Config cfg;
+    cfg.enableImli = opts.imliSic || opts.imliOh || opts.omli;
+    cfg.imli.enableSic = opts.imliSic;
+    cfg.imli.enableOh = opts.imliOh;
+    cfg.imli.enableOmli = opts.omli;
+    cfg.imli.sic.weight = 3;
+    cfg.imli.oh.weight = 1;
+    cfg.imli.ohUpdateDelay = opts.ohUpdateDelay;
+    cfg.global.imliIndexTables =
+        opts.imliSic ? std::max(2u, opts.imliInGscTables)
+                     : opts.imliInGscTables;
+    cfg.enableLocal = opts.local;
+    cfg.enableLoop = opts.local || opts.loopOnly || opts.wormhole;
+    cfg.loopOverride = opts.local || opts.loopOnly;
+    cfg.enableWh = opts.wormhole;
+    cfg.configName = displayName("GEHL", opts);
+    return std::make_unique<GehlPredictor>(cfg);
+}
+
+PredictorPtr
+makePredictor(const std::string &spec)
+{
+    const auto parts = splitSpec(spec);
+    if (parts.empty())
+        throw std::invalid_argument("empty predictor spec");
+    const std::string &host = parts[0];
+    if (host == "bimodal") {
+        if (parts.size() > 1)
+            throw std::invalid_argument("bimodal takes no add-ons");
+        return std::make_unique<BimodalPredictor>();
+    }
+    if (host == "gshare") {
+        if (parts.size() > 1)
+            throw std::invalid_argument("gshare takes no add-ons");
+        return std::make_unique<GsharePredictor>();
+    }
+    const ZooOptions opts = parseOptions(parts);
+    if (host == "tage-gsc")
+        return makeTageGsc(opts);
+    if (host == "gehl")
+        return makeGehl(opts);
+    throw std::invalid_argument("unknown predictor host: " + host);
+}
+
+std::vector<std::string>
+knownSpecs()
+{
+    return {
+        "bimodal",
+        "gshare",
+        "tage-gsc",
+        "tage-gsc+sic",
+        "tage-gsc+oh",
+        "tage-gsc+i",
+        "tage-gsc+l",
+        "tage-gsc+i+l",
+        "tage-gsc+loop",
+        "tage-gsc+wh",
+        "tage-gsc+sic+wh",
+        "tage-gsc+i+imligsc",
+        "tage-gsc+sic+omli",
+        "tage-gsc+i+omli",
+        "gehl",
+        "gehl+sic",
+        "gehl+oh",
+        "gehl+i",
+        "gehl+l",
+        "gehl+i+l",
+        "gehl+loop",
+        "gehl+wh",
+        "gehl+sic+wh",
+        "gehl+sic+omli",
+    };
+}
+
+} // namespace imli

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Factory for the named predictor configurations used across the paper's
+ * experiments.
+ *
+ * Spec strings mirror the paper's notation:
+ *
+ *   "tage-gsc"            base TAGE-GSC (Section 3.2.1)
+ *   "tage-gsc+sic"        + IMLI-SIC only (Section 4.2)
+ *   "tage-gsc+i"          + IMLI-SIC + IMLI-OH (Section 4.4)
+ *   "tage-gsc+l"          + local history components + loop predictor
+ *   "tage-gsc+i+l"        both (Table 1 rightmost column)
+ *   "tage-gsc+wh"         + wormhole side predictor (Section 3.3)
+ *   "tage-gsc+sic+wh"     Section 4.3 intro experiment
+ *   "tage-gsc+loop"       + loop predictor only (Sections 2.3.3 / 4.2.2)
+ *   "gehl", "gehl+i", ... same add-ons on the GEHL host
+ *   "bimodal", "gshare"   simple baselines for examples
+ *
+ * Extra spec suffixes (ablations): "+imligsc" hashes the IMLI counter into
+ * the last two global SC tables (Section 4.2's index insertion); "+omli"
+ * enables the beyond-the-paper outer-iteration (OMLI) extension.
+ */
+
+#ifndef IMLI_SRC_PREDICTORS_ZOO_HH
+#define IMLI_SRC_PREDICTORS_ZOO_HH
+
+#include <string>
+#include <vector>
+
+#include "src/predictors/gehl.hh"
+#include "src/predictors/predictor.hh"
+#include "src/predictors/tage_gsc.hh"
+
+namespace imli
+{
+
+/** Parsed add-on set for a host predictor. */
+struct ZooOptions
+{
+    bool imliSic = false;
+    bool imliOh = false;
+    bool local = false;        //!< local components + loop override
+    bool loopOnly = false;     //!< loop predictor override, no local
+    bool wormhole = false;
+    /** Beyond-the-paper OMLI extension (outer-iteration phase table). */
+    bool omli = false;
+    unsigned imliInGscTables = 0;
+    unsigned ohUpdateDelay = 0;
+};
+
+/** Build a TAGE-GSC configuration. */
+PredictorPtr makeTageGsc(const ZooOptions &opts = ZooOptions());
+
+/** Build a GEHL configuration. */
+PredictorPtr makeGehl(const ZooOptions &opts = ZooOptions());
+
+/**
+ * Build any predictor from a spec string (see file header).  Throws
+ * std::invalid_argument on unknown specs.
+ */
+PredictorPtr makePredictor(const std::string &spec);
+
+/** All spec strings makePredictor accepts, for CLI help and tests. */
+std::vector<std::string> knownSpecs();
+
+} // namespace imli
+
+#endif // IMLI_SRC_PREDICTORS_ZOO_HH

@@ -1,0 +1,82 @@
+#include "src/sim/report.hh"
+
+#include <ostream>
+
+#include "src/util/table_writer.hh"
+
+namespace imli
+{
+
+ExperimentReport::ExperimentReport(std::string experiment_id,
+                                   std::string caption_)
+    : id(std::move(experiment_id)), caption(std::move(caption_))
+{
+}
+
+void
+ExperimentReport::addMetric(const std::string &label, double measured,
+                            std::optional<double> paper,
+                            const std::string &unit)
+{
+    metrics.push_back({label, measured, paper, unit});
+}
+
+void
+ExperimentReport::addNote(const std::string &note)
+{
+    notes.push_back(note);
+}
+
+void
+ExperimentReport::print(std::ostream &os) const
+{
+    os << "=== " << id << ": " << caption << " ===\n";
+    TableWriter table;
+    table.setHeader({"metric", "measured", "paper", "unit"});
+    for (const Metric &m : metrics) {
+        table.addRow({m.label, formatDouble(m.measured, 3),
+                      m.paper ? formatDouble(*m.paper, 3) : "-", m.unit});
+    }
+    table.print(os);
+    for (const std::string &note : notes)
+        os << "  note: " << note << '\n';
+    os << '\n';
+}
+
+void
+printPerBenchmark(std::ostream &os, const SuiteResults &results,
+                  const std::vector<std::string> &benchmarks,
+                  const std::vector<std::string> &configs,
+                  const std::string &title)
+{
+    TableWriter table(title);
+    std::vector<std::string> header = {"benchmark"};
+    header.insert(header.end(), configs.begin(), configs.end());
+    table.setHeader(header);
+    for (const std::string &name : benchmarks) {
+        std::vector<std::string> row = {name};
+        for (const std::string &config : configs)
+            row.push_back(formatDouble(results.at(name, config).mpki, 3));
+        table.addRow(row);
+    }
+    table.print(os);
+    os << '\n';
+}
+
+void
+printCellsCsv(std::ostream &os, const SuiteResults &results)
+{
+    TableWriter table;
+    table.setHeader({"suite", "benchmark", "config", "mpki",
+                     "mispredictions", "conditionals", "instructions"});
+    for (const SuiteCell &cell : results.cells) {
+        table.addRow({cell.suite, cell.benchmark, cell.config,
+                      formatDouble(cell.mpki, 4),
+                      std::to_string(cell.mispredictions),
+                      std::to_string(cell.conditionals),
+                      std::to_string(cell.instructions)});
+    }
+    table.printCsv(os);
+}
+
+} // namespace imli

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Experiment report formatting: paper-value vs measured-value tables and
+ * CSV dumps, shared by every bench binary.
+ */
+
+#ifndef IMLI_SRC_SIM_REPORT_HH
+#define IMLI_SRC_SIM_REPORT_HH
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/sim/suite_runner.hh"
+
+namespace imli
+{
+
+/**
+ * Builder for a "paper vs measured" experiment report.  Rows carry an
+ * optional paper value; the table prints both and, for paired rows, the
+ * relative change so the *shape* of the reproduction can be checked at a
+ * glance.
+ */
+class ExperimentReport
+{
+  public:
+    /**
+     * @param experiment_id e.g. "Table 1"
+     * @param caption short description of what the paper row reports
+     */
+    ExperimentReport(std::string experiment_id, std::string caption);
+
+    /** Add a measured value with an optional paper reference value. */
+    void addMetric(const std::string &label, double measured,
+                   std::optional<double> paper = std::nullopt,
+                   const std::string &unit = "MPKI");
+
+    /** Add a free-form note printed under the table. */
+    void addNote(const std::string &note);
+
+    void print(std::ostream &os) const;
+
+  private:
+    struct Metric
+    {
+        std::string label;
+        double measured;
+        std::optional<double> paper;
+        std::string unit;
+    };
+
+    std::string id;
+    std::string caption;
+    std::vector<Metric> metrics;
+    std::vector<std::string> notes;
+};
+
+/** Print per-benchmark MPKI rows for the given configs. */
+void printPerBenchmark(std::ostream &os, const SuiteResults &results,
+                       const std::vector<std::string> &benchmarks,
+                       const std::vector<std::string> &configs,
+                       const std::string &title);
+
+/** Dump every cell of @p results as CSV. */
+void printCellsCsv(std::ostream &os, const SuiteResults &results);
+
+} // namespace imli
+
+#endif // IMLI_SRC_SIM_REPORT_HH

@@ -1,0 +1,73 @@
+#include "src/sim/simulator.hh"
+
+#include <algorithm>
+
+namespace imli
+{
+
+double
+SimResult::mpki() const
+{
+    if (instructions == 0)
+        return 0.0;
+    return 1000.0 * static_cast<double>(mispredictions) /
+           static_cast<double>(instructions);
+}
+
+double
+SimResult::accuracy() const
+{
+    if (conditionals == 0)
+        return 1.0;
+    return 1.0 - static_cast<double>(mispredictions) /
+                     static_cast<double>(conditionals);
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+SimResult::topOffenders(std::size_t n) const
+{
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> all(
+        perPcMispredictions.begin(), perPcMispredictions.end());
+    std::sort(all.begin(), all.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second > b.second;
+              });
+    if (all.size() > n)
+        all.resize(n);
+    return all;
+}
+
+SimResult
+simulate(ConditionalPredictor &predictor, const Trace &trace,
+         const SimOptions &options)
+{
+    SimResult result;
+    result.traceName = trace.name();
+    result.predictorName = predictor.name();
+
+    std::uint64_t seen = 0;
+    for (const BranchRecord &rec : trace.branches()) {
+        const bool counted = seen >= options.warmupBranches;
+        if (isConditional(rec.type)) {
+            const bool pred = predictor.predict(rec.pc);
+            predictor.update(rec.pc, rec.taken, rec.target);
+            if (counted) {
+                ++result.conditionals;
+                if (pred != rec.taken) {
+                    ++result.mispredictions;
+                    if (options.collectPerPc)
+                        ++result.perPcMispredictions[rec.pc];
+                }
+            }
+        } else {
+            predictor.trackOtherInst(rec.pc, rec.type, rec.taken,
+                                     rec.target);
+        }
+        if (counted)
+            result.instructions += rec.instsBefore + 1;
+        ++seen;
+    }
+    return result;
+}
+
+} // namespace imli

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Trace-driven branch predictor simulation (paper, Section 3).
+ *
+ * Immediate-update simulation: predict, then resolve, per dynamic branch,
+ * exactly like the CBP framework grades submissions.  Accuracy is
+ * expressed as MisPredictions per Kilo Instruction (MPKI), the paper's
+ * metric; the denominator comes from the instruction counts carried in
+ * the trace.
+ */
+
+#ifndef IMLI_SRC_SIM_SIMULATOR_HH
+#define IMLI_SRC_SIM_SIMULATOR_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/predictors/predictor.hh"
+#include "src/trace/trace.hh"
+
+namespace imli
+{
+
+/** Options for one simulation run. */
+struct SimOptions
+{
+    /** Collect per-PC misprediction counts (top-offender reports). */
+    bool collectPerPc = false;
+    /**
+     * Branches to run before counting (predictor warm-up).  The CBP
+     * methodology counts from the first branch; 0 is the default.
+     */
+    std::uint64_t warmupBranches = 0;
+};
+
+/** Aggregate result of one simulation run. */
+struct SimResult
+{
+    std::string traceName;
+    std::string predictorName;
+    std::uint64_t conditionals = 0;   //!< graded conditional branches
+    std::uint64_t mispredictions = 0;
+    std::uint64_t instructions = 0;   //!< counted instructions
+
+    /** Mispredictions per kilo-instruction. */
+    double mpki() const;
+
+    /** Fraction of conditional branches predicted correctly. */
+    double accuracy() const;
+
+    /** Per-PC misprediction counts (populated when requested). */
+    std::map<std::uint64_t, std::uint64_t> perPcMispredictions;
+
+    /** The @p n PCs with the most mispredictions, descending. */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>>
+    topOffenders(std::size_t n) const;
+};
+
+/** Run @p predictor over @p trace. */
+SimResult simulate(ConditionalPredictor &predictor, const Trace &trace,
+                   const SimOptions &options = SimOptions());
+
+} // namespace imli
+
+#endif // IMLI_SRC_SIM_SIMULATOR_HH

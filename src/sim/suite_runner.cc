@@ -1,0 +1,125 @@
+#include "src/sim/suite_runner.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "src/predictors/zoo.hh"
+
+namespace imli
+{
+
+const SuiteCell &
+SuiteResults::at(const std::string &benchmark,
+                 const std::string &config) const
+{
+    for (const SuiteCell &cell : cells)
+        if (cell.benchmark == benchmark && cell.config == config)
+            return cell;
+    throw std::out_of_range("no cell for " + benchmark + " / " + config);
+}
+
+double
+SuiteResults::averageMpki(const std::string &config,
+                          const std::string &suite) const
+{
+    double total = 0.0;
+    std::size_t count = 0;
+    for (const SuiteCell &cell : cells) {
+        if (cell.config != config)
+            continue;
+        if (!suite.empty() && cell.suite != suite)
+            continue;
+        total += cell.mpki;
+        ++count;
+    }
+    return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+std::vector<std::string>
+SuiteResults::rankByDelta(const std::string &config_a,
+                          const std::string &config_b) const
+{
+    struct Ranked
+    {
+        std::string name;
+        double delta;
+    };
+    std::vector<Ranked> ranked;
+    for (const std::string &name : benchmarkNames()) {
+        const double delta =
+            std::abs(at(name, config_a).mpki - at(name, config_b).mpki);
+        ranked.push_back({name, delta});
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const Ranked &a, const Ranked &b) {
+                  return a.delta > b.delta;
+              });
+    std::vector<std::string> names;
+    names.reserve(ranked.size());
+    for (const Ranked &r : ranked)
+        names.push_back(r.name);
+    return names;
+}
+
+std::vector<std::string>
+SuiteResults::benchmarkNames() const
+{
+    std::vector<std::string> names;
+    for (const SuiteCell &cell : cells) {
+        if (names.empty() || names.back() != cell.benchmark) {
+            bool seen = false;
+            for (const auto &n : names)
+                if (n == cell.benchmark)
+                    seen = true;
+            if (!seen)
+                names.push_back(cell.benchmark);
+        }
+    }
+    return names;
+}
+
+SuiteResults
+runSuite(const std::vector<BenchmarkSpec> &benchmarks,
+         const std::vector<std::string> &configs,
+         const SuiteRunOptions &options)
+{
+    SuiteResults results;
+    results.configs = configs;
+    results.cells.reserve(benchmarks.size() * configs.size());
+
+    for (const BenchmarkSpec &spec : benchmarks) {
+        const Trace trace = generateTrace(spec, options.branchesPerTrace);
+        std::size_t done = 0;
+        for (const std::string &config : configs) {
+            PredictorPtr predictor = makePredictor(config);
+            const SimResult r = simulate(*predictor, trace);
+            SuiteCell cell;
+            cell.benchmark = spec.name;
+            cell.suite = spec.suite;
+            cell.config = config;
+            cell.mpki = r.mpki();
+            cell.mispredictions = r.mispredictions;
+            cell.conditionals = r.conditionals;
+            cell.instructions = r.instructions;
+            results.cells.push_back(std::move(cell));
+            if (options.progress)
+                options.progress(spec.name, ++done);
+        }
+    }
+    return results;
+}
+
+std::size_t
+defaultBranchesPerTrace()
+{
+    if (const char *env = std::getenv("IMLI_BRANCHES")) {
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(env, &end, 10);
+        if (end && *end == '\0' && v >= 1000)
+            return static_cast<std::size_t>(v);
+    }
+    return 200000;
+}
+
+} // namespace imli

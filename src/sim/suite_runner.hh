@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Suite-level experiment driver: run a set of predictor configurations
+ * over a benchmark suite, one generated trace at a time (so the memory
+ * footprint stays at one trace), with identical traces across
+ * configurations for exact deltas.
+ */
+
+#ifndef IMLI_SRC_SIM_SUITE_RUNNER_HH
+#define IMLI_SRC_SIM_SUITE_RUNNER_HH
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.hh"
+#include "src/workloads/benchmark_spec.hh"
+
+namespace imli
+{
+
+/** One (benchmark, config) measurement. */
+struct SuiteCell
+{
+    std::string benchmark;
+    std::string suite;   //!< "CBP4" / "CBP3"
+    std::string config;  //!< predictor spec string
+    double mpki = 0.0;
+    std::uint64_t mispredictions = 0;
+    std::uint64_t conditionals = 0;
+    std::uint64_t instructions = 0;
+};
+
+/** Results matrix: cells in benchmark-major, config-minor order. */
+struct SuiteResults
+{
+    std::vector<std::string> configs;
+    std::vector<SuiteCell> cells;
+
+    /** Cell for (benchmark, config); throws if absent. */
+    const SuiteCell &at(const std::string &benchmark,
+                        const std::string &config) const;
+
+    /** Arithmetic-mean MPKI of @p config over benchmarks in @p suite
+     *  ("" = all). */
+    double averageMpki(const std::string &config,
+                       const std::string &suite = "") const;
+
+    /** Benchmarks sorted by |MPKI(configA) - MPKI(configB)| descending. */
+    std::vector<std::string>
+    rankByDelta(const std::string &config_a,
+                const std::string &config_b) const;
+
+    /** Names of all benchmarks, in run order. */
+    std::vector<std::string> benchmarkNames() const;
+};
+
+/** Driver options. */
+struct SuiteRunOptions
+{
+    std::size_t branchesPerTrace = 200000;
+    /** Progress callback (benchmark name, finished configs). */
+    std::function<void(const std::string &, std::size_t)> progress;
+};
+
+/**
+ * Run every config (spec strings for makePredictor) over every benchmark.
+ * Each benchmark's trace is generated once and reused across configs.
+ */
+SuiteResults runSuite(const std::vector<BenchmarkSpec> &benchmarks,
+                      const std::vector<std::string> &configs,
+                      const SuiteRunOptions &options = SuiteRunOptions());
+
+/** Default trace length, honouring the IMLI_BRANCHES env override. */
+std::size_t defaultBranchesPerTrace();
+
+} // namespace imli
+
+#endif // IMLI_SRC_SIM_SUITE_RUNNER_HH

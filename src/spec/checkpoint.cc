@@ -1,0 +1,49 @@
+#include "src/spec/checkpoint.hh"
+
+namespace imli
+{
+
+SpeculativeImliModel::SpeculativeImliModel(const Config &config)
+    : cfg(config), imliCount(config.counterBits), outer(config.outer)
+{
+    outer.setUpdateDelay(cfg.tableUpdateDelay);
+}
+
+unsigned
+SpeculativeImliModel::checkpointBits() const
+{
+    return imliCount.numBits() + outer.config().pipeEntries;
+}
+
+void
+SpeculativeImliModel::specStep(std::uint64_t pc, std::uint64_t target,
+                               bool dir)
+{
+    outer.updatePipe(pc, imliCount.value());
+    imliCount.onConditionalBranch(pc, target, dir);
+}
+
+void
+SpeculativeImliModel::onBranch(std::uint64_t pc, std::uint64_t target,
+                               bool predicted, bool actual)
+{
+    const Checkpoint cp{imliCount.save(), outer.savePipe()};
+    ++checkpoints;
+
+    // Fetch: speculate on the predicted direction.
+    specStep(pc, target, predicted);
+
+    if (predicted != actual) {
+        // Misprediction: flush younger state, restore, resume correctly.
+        imliCount.restore(cp.counter);
+        outer.restorePipe(cp.pipe);
+        ++recovered;
+        specStep(pc, target, actual);
+    }
+
+    // Commit: the architectural table write with the resolved outcome at
+    // the fetch-time IMLI count.
+    outer.commitTable(pc, cp.counter, actual);
+}
+
+} // namespace imli

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Speculative management of the IMLI state (paper, Sections 4.2.1, 4.3.2).
+ *
+ * At fetch time the IMLI counter advances with the *predicted* direction
+ * of each backward conditional branch and the PIPE vector absorbs the
+ * outer-history bit; on a misprediction, fetch resumes from a checkpoint
+ * of just {IMLI counter, PIPE} — 10 + 16 = 26 bits.  The outer-history
+ * table itself is written at commit time with the resolved outcome, which
+ * Section 4.3.2 shows is accuracy-neutral.  This tiny, block-structured
+ * speculative state is the paper's core hardware argument against
+ * local-history and wormhole components, whose speculative state is
+ * per-branch and needs an associative in-flight search every fetch.
+ *
+ * SpeculativeImliModel walks a branch stream with imperfect predictions,
+ * checkpointing and recovering exactly as hardware would, so tests can
+ * assert the recovered state is bit-identical to non-speculative
+ * execution.
+ */
+
+#ifndef IMLI_SRC_SPEC_CHECKPOINT_HH
+#define IMLI_SRC_SPEC_CHECKPOINT_HH
+
+#include <cstdint>
+
+#include "src/core/imli_counter.hh"
+#include "src/core/imli_outer_history.hh"
+
+namespace imli
+{
+
+/** Fetch-time speculation and recovery for the IMLI state. */
+class SpeculativeImliModel
+{
+  public:
+    struct Config
+    {
+        unsigned counterBits = 10;
+        ImliOuterHistory::Config outer;
+        /** Commit delay of the outer-history table, in branches. */
+        unsigned tableUpdateDelay = 0;
+    };
+
+    SpeculativeImliModel() : SpeculativeImliModel(Config()) {}
+
+    explicit SpeculativeImliModel(const Config &config);
+
+    /**
+     * Process one conditional branch occurrence: checkpoint, speculate on
+     * @p predicted at fetch, recover and re-execute when it differs from
+     * @p actual, and commit the outer-history table write.
+     */
+    void onBranch(std::uint64_t pc, std::uint64_t target, bool predicted,
+                  bool actual);
+
+    const ImliCounter &counter() const { return imliCount; }
+    const ImliOuterHistory &outerHistory() const { return outer; }
+
+    /** Width of one checkpoint in bits (the paper's 10 + 16 = 26). */
+    unsigned checkpointBits() const;
+
+    std::uint64_t checkpointsTaken() const { return checkpoints; }
+    std::uint64_t recoveries() const { return recovered; }
+
+  private:
+    struct Checkpoint
+    {
+        ImliCounter::Checkpoint counter;
+        ImliOuterHistory::Checkpoint pipe;
+    };
+
+    /** Fetch-side speculative step (counter heuristic + PIPE transfer). */
+    void specStep(std::uint64_t pc, std::uint64_t target, bool dir);
+
+    Config cfg;
+    ImliCounter imliCount;
+    ImliOuterHistory outer;
+    std::uint64_t checkpoints = 0;
+    std::uint64_t recovered = 0;
+};
+
+} // namespace imli
+
+#endif // IMLI_SRC_SPEC_CHECKPOINT_HH

@@ -1,0 +1,71 @@
+#include "src/spec/delayed_update.hh"
+
+#include <stdexcept>
+
+#include "src/predictors/zoo.hh"
+#include "src/sim/simulator.hh"
+
+namespace imli
+{
+
+std::vector<DelayedUpdatePoint>
+runDelayedUpdateSweep(const std::vector<BenchmarkSpec> &benchmarks,
+                      const std::vector<unsigned> &delays,
+                      const std::string &host,
+                      std::size_t branches_per_trace)
+{
+    if (host != "tage-gsc" && host != "gehl")
+        throw std::invalid_argument("unknown host: " + host);
+
+    struct Accum
+    {
+        double cbp4 = 0.0;
+        double cbp3 = 0.0;
+        double all = 0.0;
+        unsigned cbp4Count = 0;
+        unsigned cbp3Count = 0;
+    };
+    std::vector<Accum> accums(delays.size());
+
+    for (const BenchmarkSpec &spec : benchmarks) {
+        const Trace trace = generateTrace(spec, branches_per_trace);
+        for (std::size_t d = 0; d < delays.size(); ++d) {
+            ZooOptions opts;
+            opts.imliSic = true;
+            opts.imliOh = true;
+            opts.ohUpdateDelay = delays[d];
+            PredictorPtr predictor =
+                host == "tage-gsc" ? makeTageGsc(opts) : makeGehl(opts);
+            const SimResult r = simulate(*predictor, trace);
+            const double mpki = r.mpki();
+            accums[d].all += mpki;
+            if (spec.suite == "CBP4") {
+                accums[d].cbp4 += mpki;
+                ++accums[d].cbp4Count;
+            } else {
+                accums[d].cbp3 += mpki;
+                ++accums[d].cbp3Count;
+            }
+        }
+    }
+
+    std::vector<DelayedUpdatePoint> points;
+    points.reserve(delays.size());
+    for (std::size_t d = 0; d < delays.size(); ++d) {
+        DelayedUpdatePoint p;
+        p.delay = delays[d];
+        const unsigned total =
+            accums[d].cbp4Count + accums[d].cbp3Count;
+        p.mpkiCbp4 = accums[d].cbp4Count
+                         ? accums[d].cbp4 / accums[d].cbp4Count
+                         : 0.0;
+        p.mpkiCbp3 = accums[d].cbp3Count
+                         ? accums[d].cbp3 / accums[d].cbp3Count
+                         : 0.0;
+        p.mpkiAll = total ? accums[d].all / total : 0.0;
+        points.push_back(p);
+    }
+    return points;
+}
+
+} // namespace imli

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The Section 4.3.2 delayed-update experiment.
+ *
+ * The paper validates that commit-time (delayed) update of the IMLI
+ * outer-history table is accuracy-neutral: with updates deferred until up
+ * to 63 further conditional branches have been fetched — a very large
+ * instruction window — the predictor loses only ~0.002 MPKI.  This module
+ * sweeps the modelled delay for a host predictor over a benchmark suite.
+ */
+
+#ifndef IMLI_SRC_SPEC_DELAYED_UPDATE_HH
+#define IMLI_SRC_SPEC_DELAYED_UPDATE_HH
+
+#include <string>
+#include <vector>
+
+#include "src/workloads/benchmark_spec.hh"
+
+namespace imli
+{
+
+/** One point of the delay sweep. */
+struct DelayedUpdatePoint
+{
+    unsigned delay = 0;  //!< branches of outer-history update delay
+    double mpkiCbp4 = 0.0;
+    double mpkiCbp3 = 0.0;
+    double mpkiAll = 0.0;
+};
+
+/**
+ * Run "host+I" (host in {"tage-gsc", "gehl"}) over @p benchmarks for each
+ * delay value and return the average MPKI per point.
+ */
+std::vector<DelayedUpdatePoint>
+runDelayedUpdateSweep(const std::vector<BenchmarkSpec> &benchmarks,
+                      const std::vector<unsigned> &delays,
+                      const std::string &host,
+                      std::size_t branches_per_trace);
+
+} // namespace imli
+
+#endif // IMLI_SRC_SPEC_DELAYED_UPDATE_HH

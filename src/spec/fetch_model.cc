@@ -1,0 +1,82 @@
+#include "src/spec/fetch_model.hh"
+
+#include <sstream>
+
+#include "src/history/inflight_window.hh"
+#include "src/history/local_history.hh"
+
+namespace imli
+{
+
+double
+SpeculationCostReport::avgEntriesPerSearch() const
+{
+    if (windowSearches == 0)
+        return 0.0;
+    return static_cast<double>(windowEntriesVisited) /
+           static_cast<double>(windowSearches);
+}
+
+std::string
+SpeculationCostReport::toString() const
+{
+    std::ostringstream os;
+    os << "  conditional branches:       " << conditionalBranches << '\n'
+       << "  checkpoint width:           " << checkpointWidthBits
+       << " bits\n"
+       << "  in-flight window storage:   " << windowStorageBits
+       << " bits\n"
+       << "  associative searches:       " << windowSearches << '\n'
+       << "  entries visited:            " << windowEntriesVisited << '\n'
+       << "  avg compares per search:    " << avgEntriesPerSearch() << '\n'
+       << "  in-flight hits:             " << windowHits << '\n';
+    return os.str();
+}
+
+SpeculationCostReport
+measureSpeculationCost(const Trace &trace, const FetchModelConfig &config)
+{
+    SpeculationCostReport report;
+    report.checkpointWidthBits =
+        config.ghistPointerBits + config.imliCheckpointBits;
+
+    LocalHistoryTable local(config.localTableEntries,
+                            config.localHistoryBits);
+    InflightWindow window(config.windowSize, config.localHistoryBits);
+    report.windowStorageBits = window.storageBits();
+
+    std::uint64_t visited_before = 0;
+    for (const BranchRecord &rec : trace.branches()) {
+        if (!isConditional(rec.type))
+            continue;
+        ++report.conditionalBranches;
+
+        // Checkpoint discipline: constant-width save per prediction.
+        report.checkpointTotalBits += report.checkpointWidthBits;
+
+        // In-flight discipline: search the window for the newest
+        // speculative history of this local-table entry; fall back to the
+        // committed table on a miss.
+        const unsigned index = local.index(rec.pc);
+        ++report.windowSearches;
+        const auto hit = window.lookup(index);
+        report.windowEntriesVisited +=
+            window.entriesSearched() - visited_before;
+        visited_before = window.entriesSearched();
+
+        std::uint64_t hist = hit ? *hit : local.read(rec.pc);
+        if (hit)
+            ++report.windowHits;
+
+        // Insert the new speculative instance (history including this
+        // branch's outcome; trace-driven, so the prediction is perfect
+        // and no squashes occur — an upper bound favourable to the
+        // in-flight scheme).
+        hist = (hist << 1) | (rec.taken ? 1u : 0u);
+        window.insert(index, hist);
+        local.update(rec.pc, rec.taken);
+    }
+    return report;
+}
+
+} // namespace imli

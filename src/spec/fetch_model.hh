@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Quantitative comparison of the two speculative-history disciplines the
+ * paper contrasts in Section 2.3:
+ *
+ *  (a) checkpointing — global history head pointer + IMLI counter + PIPE:
+ *      a few tens of bits stored per in-flight branch (or per checkpoint),
+ *      zero search work at fetch;
+ *  (b) in-flight window search — speculative local history: the window of
+ *      all in-flight branches must be associatively searched on *every*
+ *      prediction, and each slot carries a history register.
+ *
+ * measureSpeculationCost() drives both models over a trace and reports
+ * storage and search-work numbers for the Section 4.4 complexity bench.
+ */
+
+#ifndef IMLI_SRC_SPEC_FETCH_MODEL_HH
+#define IMLI_SRC_SPEC_FETCH_MODEL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "src/trace/trace.hh"
+
+namespace imli
+{
+
+/** Model parameters for the speculation-cost measurement. */
+struct FetchModelConfig
+{
+    unsigned windowSize = 64;      //!< in-flight conditional branches
+    unsigned localHistoryBits = 24;
+    unsigned localTableEntries = 256;
+    unsigned ghistPointerBits = 12; //!< global history head pointer width
+    unsigned imliCheckpointBits = 26; //!< IMLI counter + PIPE
+};
+
+/** Costs of the two disciplines over one trace. */
+struct SpeculationCostReport
+{
+    std::uint64_t conditionalBranches = 0;
+
+    // Checkpoint discipline (global + IMLI).
+    std::uint64_t checkpointWidthBits = 0; //!< bits per checkpoint
+    std::uint64_t checkpointTotalBits = 0; //!< width x branches
+
+    // In-flight window discipline (local history).
+    std::uint64_t windowStorageBits = 0;   //!< resident storage
+    std::uint64_t windowSearches = 0;      //!< one per prediction
+    std::uint64_t windowEntriesVisited = 0;//!< total compare operations
+    std::uint64_t windowHits = 0;          //!< in-flight same-entry hits
+
+    /** Mean associative compares per prediction. */
+    double avgEntriesPerSearch() const;
+
+    std::string toString() const;
+};
+
+/** Walk @p trace through both disciplines and report the costs. */
+SpeculationCostReport
+measureSpeculationCost(const Trace &trace,
+                       const FetchModelConfig &config = FetchModelConfig());
+
+} // namespace imli
+
+#endif // IMLI_SRC_SPEC_FETCH_MODEL_HH

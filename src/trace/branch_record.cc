@@ -1,0 +1,26 @@
+#include "src/trace/branch_record.hh"
+
+namespace imli
+{
+
+std::string
+branchTypeName(BranchType type)
+{
+    switch (type) {
+      case BranchType::CondDirect:
+        return "cond";
+      case BranchType::UncondDirect:
+        return "jump";
+      case BranchType::UncondIndirect:
+        return "ijump";
+      case BranchType::Call:
+        return "call";
+      case BranchType::IndirectCall:
+        return "icall";
+      case BranchType::Return:
+        return "ret";
+    }
+    return "unknown";
+}
+
+} // namespace imli

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The unit of trace-driven simulation: one dynamic branch instance.
+ *
+ * The record mirrors the information the CBP4 framework hands to a
+ * predictor: the branch PC, its class (conditional / unconditional,
+ * direct / indirect, call / return), the taken direction, the target, and
+ * the number of non-branch instructions retired since the previous branch
+ * (needed to express accuracy as mispredictions per kilo-instruction).
+ */
+
+#ifndef IMLI_SRC_TRACE_BRANCH_RECORD_HH
+#define IMLI_SRC_TRACE_BRANCH_RECORD_HH
+
+#include <cstdint>
+#include <string>
+
+namespace imli
+{
+
+/** Branch classes as distinguished by the CBP-style framework. */
+enum class BranchType : std::uint8_t
+{
+    CondDirect = 0,      //!< conditional direct jump (the predicted class)
+    UncondDirect = 1,    //!< unconditional direct jump
+    UncondIndirect = 2,  //!< unconditional indirect jump
+    Call = 3,            //!< direct call
+    IndirectCall = 4,    //!< indirect call
+    Return = 5,          //!< function return
+};
+
+/** Printable name of a branch type. */
+std::string branchTypeName(BranchType type);
+
+/** True for the only class the conditional predictor is graded on. */
+inline bool
+isConditional(BranchType type)
+{
+    return type == BranchType::CondDirect;
+}
+
+/** One dynamic branch instance in a trace. */
+struct BranchRecord
+{
+    std::uint64_t pc = 0;        //!< address of the branch instruction
+    std::uint64_t target = 0;    //!< taken target address
+    BranchType type = BranchType::CondDirect;
+    bool taken = false;          //!< actual resolved direction
+    /** Non-branch instructions retired since the previous record. */
+    std::uint32_t instsBefore = 0;
+
+    /** Backward branches close loop bodies (paper, Section 4.1). */
+    bool isBackward() const { return target < pc; }
+
+    bool
+    operator==(const BranchRecord &other) const
+    {
+        return pc == other.pc && target == other.target &&
+               type == other.type && taken == other.taken &&
+               instsBefore == other.instsBefore;
+    }
+};
+
+} // namespace imli
+
+#endif // IMLI_SRC_TRACE_BRANCH_RECORD_HH

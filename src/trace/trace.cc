@@ -1,0 +1,4 @@
+#include "src/trace/trace.hh"
+
+// Trace is header-only; this translation unit anchors the module in the
+// build graph.

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * In-memory branch trace.
+ *
+ * A Trace is the interchange format between the workload generators, the
+ * binary trace files and the simulator: an ordered sequence of
+ * BranchRecords plus a name and total instruction count.
+ */
+
+#ifndef IMLI_SRC_TRACE_TRACE_HH
+#define IMLI_SRC_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/trace/branch_record.hh"
+
+namespace imli
+{
+
+/** An ordered branch stream with instruction-count bookkeeping. */
+class Trace
+{
+  public:
+    Trace() = default;
+
+    explicit Trace(std::string name) : traceName(std::move(name)) {}
+
+    /** Append one dynamic branch. */
+    void
+    append(const BranchRecord &rec)
+    {
+        records.push_back(rec);
+        instructions += rec.instsBefore + 1; // +1 for the branch itself
+        if (isConditional(rec.type))
+            ++conditionals;
+    }
+
+    const std::string &name() const { return traceName; }
+    void setName(std::string n) { traceName = std::move(n); }
+
+    const std::vector<BranchRecord> &branches() const { return records; }
+
+    std::size_t size() const { return records.size(); }
+    bool empty() const { return records.empty(); }
+
+    const BranchRecord &operator[](std::size_t i) const { return records[i]; }
+
+    /** Total instructions represented by the trace (branches included). */
+    std::uint64_t instructionCount() const { return instructions; }
+
+    /** Number of conditional branches (the graded class). */
+    std::uint64_t conditionalCount() const { return conditionals; }
+
+    void
+    reserve(std::size_t n)
+    {
+        records.reserve(n);
+    }
+
+    void
+    clear()
+    {
+        records.clear();
+        instructions = 0;
+        conditionals = 0;
+    }
+
+  private:
+    std::string traceName;
+    std::vector<BranchRecord> records;
+    std::uint64_t instructions = 0;
+    std::uint64_t conditionals = 0;
+};
+
+} // namespace imli
+
+#endif // IMLI_SRC_TRACE_TRACE_HH

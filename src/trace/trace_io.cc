@@ -1,0 +1,195 @@
+#include "src/trace/trace_io.hh"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace imli
+{
+
+namespace
+{
+
+constexpr char traceMagic[4] = {'I', 'M', 'L', 'T'};
+constexpr std::uint32_t traceVersion = 1;
+
+void
+putVarint(std::ostream &os, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        os.put(static_cast<char>((v & 0x7f) | 0x80));
+        v >>= 7;
+    }
+    os.put(static_cast<char>(v));
+}
+
+std::uint64_t
+getVarint(std::istream &is)
+{
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+        const int c = is.get();
+        if (c == std::char_traits<char>::eof())
+            throw TraceFormatError("unexpected end of trace stream");
+        v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+        if (!(c & 0x80))
+            break;
+        shift += 7;
+        if (shift >= 64)
+            throw TraceFormatError("varint overflow");
+    }
+    return v;
+}
+
+std::uint64_t
+zigzagEncode(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t
+zigzagDecode(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(v >> 1) ^
+           -static_cast<std::int64_t>(v & 1);
+}
+
+void
+putU32(std::ostream &os, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        os.put(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t
+getU32(std::istream &is)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+        const int c = is.get();
+        if (c == std::char_traits<char>::eof())
+            throw TraceFormatError("unexpected end of trace header");
+        v |= static_cast<std::uint32_t>(c & 0xff) << (8 * i);
+    }
+    return v;
+}
+
+void
+putU64(std::ostream &os, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        os.put(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint64_t
+getU64(std::istream &is)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+        const int c = is.get();
+        if (c == std::char_traits<char>::eof())
+            throw TraceFormatError("unexpected end of trace header");
+        v |= static_cast<std::uint64_t>(c & 0xff) << (8 * i);
+    }
+    return v;
+}
+
+} // anonymous namespace
+
+void
+writeTrace(const Trace &trace, std::ostream &os)
+{
+    os.write(traceMagic, sizeof(traceMagic));
+    putU32(os, traceVersion);
+    putU32(os, static_cast<std::uint32_t>(trace.name().size()));
+    os.write(trace.name().data(),
+             static_cast<std::streamsize>(trace.name().size()));
+    putU64(os, trace.size());
+
+    std::uint64_t last_pc = 0;
+    for (const BranchRecord &rec : trace.branches()) {
+        const std::uint8_t header =
+            static_cast<std::uint8_t>(
+                (static_cast<unsigned>(rec.type) & 0x7) |
+                (rec.taken ? 0x08 : 0x00));
+        os.put(static_cast<char>(header));
+        putVarint(os, zigzagEncode(static_cast<std::int64_t>(rec.pc) -
+                                   static_cast<std::int64_t>(last_pc)));
+        putVarint(os, zigzagEncode(static_cast<std::int64_t>(rec.target) -
+                                   static_cast<std::int64_t>(rec.pc)));
+        putVarint(os, rec.instsBefore);
+        last_pc = rec.pc;
+    }
+}
+
+void
+writeTraceFile(const Trace &trace, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        throw std::runtime_error("cannot open trace file for write: " + path);
+    writeTrace(trace, os);
+    if (!os)
+        throw std::runtime_error("I/O error while writing trace: " + path);
+}
+
+Trace
+readTrace(std::istream &is)
+{
+    char magic[4] = {};
+    is.read(magic, sizeof(magic));
+    if (is.gcount() != sizeof(magic) ||
+        !std::equal(magic, magic + 4, traceMagic))
+        throw TraceFormatError("bad trace magic");
+    const std::uint32_t version = getU32(is);
+    if (version != traceVersion)
+        throw TraceFormatError("unsupported trace version " +
+                               std::to_string(version));
+    const std::uint32_t name_len = getU32(is);
+    if (name_len > (1u << 20))
+        throw TraceFormatError("implausible trace name length");
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    if (is.gcount() != static_cast<std::streamsize>(name_len))
+        throw TraceFormatError("truncated trace name");
+    const std::uint64_t count = getU64(is);
+
+    Trace trace(name);
+    trace.reserve(count);
+    std::uint64_t last_pc = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const int header = is.get();
+        if (header == std::char_traits<char>::eof())
+            throw TraceFormatError("truncated trace body");
+        BranchRecord rec;
+        const unsigned type_bits = static_cast<unsigned>(header) & 0x7;
+        if (type_bits > static_cast<unsigned>(BranchType::Return))
+            throw TraceFormatError("invalid branch type in trace");
+        rec.type = static_cast<BranchType>(type_bits);
+        rec.taken = (header & 0x08) != 0;
+        rec.pc = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(last_pc) + zigzagDecode(getVarint(is)));
+        rec.target = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(rec.pc) + zigzagDecode(getVarint(is)));
+        const std::uint64_t insts = getVarint(is);
+        if (insts > 0xffffffffULL)
+            throw TraceFormatError("implausible instruction gap");
+        rec.instsBefore = static_cast<std::uint32_t>(insts);
+        trace.append(rec);
+        last_pc = rec.pc;
+    }
+    return trace;
+}
+
+Trace
+readTraceFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw std::runtime_error("cannot open trace file for read: " + path);
+    return readTrace(is);
+}
+
+} // namespace imli

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Binary trace file format (.imt — "imli trace").
+ *
+ * Layout (little-endian):
+ *   magic   "IMLT"            4 bytes
+ *   version u32               currently 1
+ *   nameLen u32, name bytes
+ *   count   u64               number of records
+ *   records...                varint-delta encoded (see below)
+ *
+ * Each record encodes:
+ *   header byte: [ type:3 | taken:1 | pcSameAsLast+4:1 | reserved:3 ]
+ *   pc          varint (zig-zag delta from previous pc), unless implied
+ *   target      varint (zig-zag delta from pc)
+ *   instsBefore varint
+ *
+ * The format is intentionally simple; its job is (a) to let users persist
+ * generated workloads and re-run experiments without regeneration and (b)
+ * to provide an adapter point for converting external trace formats.
+ */
+
+#ifndef IMLI_SRC_TRACE_TRACE_IO_HH
+#define IMLI_SRC_TRACE_TRACE_IO_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "src/trace/trace.hh"
+
+namespace imli
+{
+
+/** Error raised on malformed trace files. */
+class TraceFormatError : public std::runtime_error
+{
+  public:
+    explicit TraceFormatError(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+/** Serialise @p trace to @p os in .imt format. */
+void writeTrace(const Trace &trace, std::ostream &os);
+
+/** Serialise @p trace to @p path; throws std::runtime_error on I/O error. */
+void writeTraceFile(const Trace &trace, const std::string &path);
+
+/** Parse an .imt stream; throws TraceFormatError on malformed input. */
+Trace readTrace(std::istream &is);
+
+/** Parse an .imt file; throws on I/O or format error. */
+Trace readTraceFile(const std::string &path);
+
+} // namespace imli
+
+#endif // IMLI_SRC_TRACE_TRACE_IO_HH

@@ -1,0 +1,69 @@
+#include "src/trace/trace_stats.hh"
+
+#include <set>
+#include <sstream>
+
+namespace imli
+{
+
+double
+TraceStats::takenRate() const
+{
+    return conditionals == 0
+               ? 0.0
+               : static_cast<double>(takenConditionals) /
+                     static_cast<double>(conditionals);
+}
+
+double
+TraceStats::instsPerBranch() const
+{
+    return records == 0 ? 0.0
+                        : static_cast<double>(instructions) /
+                              static_cast<double>(records);
+}
+
+std::string
+TraceStats::toString() const
+{
+    std::ostringstream os;
+    os << "  records:              " << records << '\n'
+       << "  instructions:         " << instructions << '\n'
+       << "  conditionals:         " << conditionals << '\n'
+       << "  taken rate:           " << takenRate() << '\n'
+       << "  backward conditional: " << backwardConditionals << '\n'
+       << "  static branches:      " << staticBranches << '\n'
+       << "  static conditionals:  " << staticConditionals << '\n'
+       << "  insts/branch:         " << instsPerBranch() << '\n';
+    for (const auto &[type, count] : perType)
+        os << "  type " << branchTypeName(type) << ": " << count << '\n';
+    return os.str();
+}
+
+TraceStats
+computeStats(const Trace &trace)
+{
+    TraceStats stats;
+    std::set<std::uint64_t> static_pcs;
+    std::set<std::uint64_t> static_cond_pcs;
+
+    stats.records = trace.size();
+    stats.instructions = trace.instructionCount();
+    for (const BranchRecord &rec : trace.branches()) {
+        ++stats.perType[rec.type];
+        static_pcs.insert(rec.pc);
+        if (isConditional(rec.type)) {
+            ++stats.conditionals;
+            static_cond_pcs.insert(rec.pc);
+            if (rec.taken)
+                ++stats.takenConditionals;
+            if (rec.isBackward())
+                ++stats.backwardConditionals;
+        }
+    }
+    stats.staticBranches = static_pcs.size();
+    stats.staticConditionals = static_cond_pcs.size();
+    return stats;
+}
+
+} // namespace imli

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Descriptive statistics over a branch trace.
+ *
+ * Used by the trace_tools example and by workload-generator tests to verify
+ * that synthetic benchmarks have the intended composition (share of
+ * conditionals, taken rate, number of static branches, backward-branch
+ * share, loop nesting signature).
+ */
+
+#ifndef IMLI_SRC_TRACE_TRACE_STATS_HH
+#define IMLI_SRC_TRACE_TRACE_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/trace/trace.hh"
+
+namespace imli
+{
+
+/** Aggregate statistics for one trace. */
+struct TraceStats
+{
+    std::uint64_t records = 0;        //!< total dynamic branches
+    std::uint64_t instructions = 0;   //!< total instructions
+    std::uint64_t conditionals = 0;   //!< dynamic conditional branches
+    std::uint64_t takenConditionals = 0;
+    std::uint64_t backwardConditionals = 0;
+    std::uint64_t staticBranches = 0; //!< distinct branch PCs
+    std::uint64_t staticConditionals = 0;
+    /** Dynamic counts per branch type. */
+    std::map<BranchType, std::uint64_t> perType;
+
+    /** Fraction of conditional branches that are taken. */
+    double takenRate() const;
+
+    /** Average instructions per dynamic branch record. */
+    double instsPerBranch() const;
+
+    /** Multi-line human-readable summary. */
+    std::string toString() const;
+};
+
+/** Compute statistics for @p trace in one pass. */
+TraceStats computeStats(const Trace &trace);
+
+} // namespace imli
+
+#endif // IMLI_SRC_TRACE_TRACE_STATS_HH

@@ -1,0 +1,109 @@
+#include "src/trace/trace_text.hh"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace imli
+{
+
+namespace
+{
+
+const char *const textMagic = "imli-trace-v1";
+
+std::string
+typeToken(BranchType type)
+{
+    return branchTypeName(type);
+}
+
+BranchType
+tokenToType(const std::string &token)
+{
+    for (int i = 0; i <= static_cast<int>(BranchType::Return); ++i) {
+        const auto type = static_cast<BranchType>(i);
+        if (branchTypeName(type) == token)
+            return type;
+    }
+    throw TraceFormatError("unknown branch type token: " + token);
+}
+
+} // anonymous namespace
+
+void
+writeTraceText(const Trace &trace, std::ostream &os)
+{
+    os << textMagic << ' '
+       << (trace.name().empty() ? "-" : trace.name()) << '\n';
+    os << std::hex;
+    for (const BranchRecord &rec : trace.branches()) {
+        os << rec.pc << ' ' << rec.target << ' ' << typeToken(rec.type)
+           << ' ' << (rec.taken ? 'T' : 'N') << ' ' << std::dec
+           << rec.instsBefore << std::hex << '\n';
+    }
+    os << std::dec;
+}
+
+Trace
+readTraceText(std::istream &is)
+{
+    std::string header;
+    if (!std::getline(is, header))
+        throw TraceFormatError("empty text trace");
+    std::istringstream hs(header);
+    std::string magic, name;
+    hs >> magic >> name;
+    if (magic != textMagic)
+        throw TraceFormatError("bad text trace header");
+    Trace trace(name == "-" ? "" : name);
+
+    std::string line;
+    std::size_t line_no = 1;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        std::istringstream ls(line);
+        BranchRecord rec;
+        std::string type_token, dir_token;
+        ls >> std::hex >> rec.pc >> rec.target >> type_token >> dir_token
+           >> std::dec >> rec.instsBefore;
+        if (ls.fail())
+            throw TraceFormatError("malformed text trace line " +
+                                   std::to_string(line_no));
+        rec.type = tokenToType(type_token);
+        if (dir_token == "T")
+            rec.taken = true;
+        else if (dir_token == "N")
+            rec.taken = false;
+        else
+            throw TraceFormatError("bad direction token at line " +
+                                   std::to_string(line_no));
+        trace.append(rec);
+    }
+    return trace;
+}
+
+void
+writeTraceTextFile(const Trace &trace, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        throw std::runtime_error("cannot open for write: " + path);
+    writeTraceText(trace, os);
+    if (!os)
+        throw std::runtime_error("I/O error writing: " + path);
+}
+
+Trace
+readTraceTextFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        throw std::runtime_error("cannot open for read: " + path);
+    return readTraceText(is);
+}
+
+} // namespace imli

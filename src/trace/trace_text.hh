@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Human-readable text trace format.
+ *
+ * One record per line:
+ *
+ *     <pc-hex> <target-hex> <type> <T|N> <insts-before>
+ *
+ * preceded by a single header line "imli-trace-v1 <name>".  The format
+ * exists for debugging, for diffing traces in code review, and as the
+ * adapter point for converting external trace formats with ordinary text
+ * tools; the binary .imt format (trace_io.hh) is the efficient one.
+ */
+
+#ifndef IMLI_SRC_TRACE_TRACE_TEXT_HH
+#define IMLI_SRC_TRACE_TRACE_TEXT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "src/trace/trace.hh"
+#include "src/trace/trace_io.hh"
+
+namespace imli
+{
+
+/** Serialise @p trace as text. */
+void writeTraceText(const Trace &trace, std::ostream &os);
+
+/** Parse a text trace; throws TraceFormatError on malformed input. */
+Trace readTraceText(std::istream &is);
+
+/** File convenience wrappers. */
+void writeTraceTextFile(const Trace &trace, const std::string &path);
+Trace readTraceTextFile(const std::string &path);
+
+} // namespace imli
+
+#endif // IMLI_SRC_TRACE_TRACE_TEXT_HH

@@ -1,0 +1,78 @@
+#include "src/util/cli.hh"
+
+#include <cstdlib>
+
+namespace imli
+{
+
+CommandLine::CommandLine(int argc, const char *const *argv)
+{
+    if (argc > 0)
+        program = argv[0];
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.size() < 3 || arg.compare(0, 2, "--") != 0) {
+            positional.push_back(arg);
+            continue;
+        }
+        std::string body = arg.substr(2);
+        auto eq = body.find('=');
+        if (eq != std::string::npos) {
+            flags[body.substr(0, eq)] = body.substr(eq + 1);
+        } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+            flags[body] = argv[i + 1];
+            ++i;
+        } else {
+            flags[body] = "";
+        }
+    }
+}
+
+bool
+CommandLine::has(const std::string &name) const
+{
+    return flags.count(name) != 0;
+}
+
+std::string
+CommandLine::getString(const std::string &name, const std::string &def) const
+{
+    auto it = flags.find(name);
+    return it == flags.end() ? def : it->second;
+}
+
+std::int64_t
+CommandLine::getInt(const std::string &name, std::int64_t def) const
+{
+    auto it = flags.find(name);
+    if (it == flags.end() || it->second.empty())
+        return def;
+    char *end = nullptr;
+    const std::int64_t v = std::strtoll(it->second.c_str(), &end, 0);
+    return (end && *end == '\0') ? v : def;
+}
+
+double
+CommandLine::getDouble(const std::string &name, double def) const
+{
+    auto it = flags.find(name);
+    if (it == flags.end() || it->second.empty())
+        return def;
+    char *end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    return (end && *end == '\0') ? v : def;
+}
+
+bool
+CommandLine::getBool(const std::string &name, bool def) const
+{
+    auto it = flags.find(name);
+    if (it == flags.end())
+        return def;
+    const std::string &v = it->second;
+    if (v.empty() || v == "true" || v == "1" || v == "yes")
+        return true;
+    return false;
+}
+
+} // namespace imli

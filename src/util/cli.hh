@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Minimal command-line flag parsing for bench and example binaries.
+ *
+ * Supports "--name=value", "--name value" and bare boolean "--name".
+ * Unknown flags are collected so callers can reject or ignore them.  This
+ * is intentionally tiny; the binaries only need a handful of knobs
+ * (trace length, suite subset, CSV output, seeds).
+ */
+
+#ifndef IMLI_SRC_UTIL_CLI_HH
+#define IMLI_SRC_UTIL_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace imli
+{
+
+/** Parsed command line: flag map plus positional arguments. */
+class CommandLine
+{
+  public:
+    /** Parse argv; never throws, malformed flags become positionals. */
+    CommandLine(int argc, const char *const *argv);
+
+    /** True iff --name was present (with or without a value). */
+    bool has(const std::string &name) const;
+
+    /** String value of --name, or @p def when absent. */
+    std::string getString(const std::string &name,
+                          const std::string &def = "") const;
+
+    /** Integer value of --name, or @p def when absent or unparsable. */
+    std::int64_t getInt(const std::string &name, std::int64_t def = 0) const;
+
+    /** Double value of --name, or @p def when absent or unparsable. */
+    double getDouble(const std::string &name, double def = 0.0) const;
+
+    /** Boolean: present without value or with true/1/yes = true. */
+    bool getBool(const std::string &name, bool def = false) const;
+
+    const std::vector<std::string> &positionals() const { return positional; }
+
+    const std::string &programName() const { return program; }
+
+  private:
+    std::string program;
+    std::map<std::string, std::string> flags;
+    std::vector<std::string> positional;
+};
+
+} // namespace imli
+
+#endif // IMLI_SRC_UTIL_CLI_HH

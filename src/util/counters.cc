@@ -1,0 +1,5 @@
+#include "src/util/counters.hh"
+
+// SatCounter and SignedCounter are header-only; this translation unit
+// exists to give the module a home for future out-of-line helpers and to
+// keep one .cc per header in the build graph.

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Index and tag hashing helpers shared by all predictor tables.
+ *
+ * Branch predictor tables are indexed with lossy hashes of (PC, history,
+ * auxiliary state).  The exact hash functions matter less than their mixing
+ * quality and their determinism; the helpers here follow the conventions of
+ * the public CBP reference predictors: multiplicative 64-bit mixing for
+ * general combination, and parameterised folds for compressing long
+ * histories into table-index width.
+ */
+
+#ifndef IMLI_SRC_UTIL_HASHING_HH
+#define IMLI_SRC_UTIL_HASHING_HH
+
+#include <cstdint>
+
+namespace imli
+{
+
+/** Strong 64 -> 64 bit mixer (SplitMix64 finaliser). */
+inline std::uint64_t
+mix64(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Combine two hash values into one. */
+inline std::uint64_t
+hashCombine(std::uint64_t a, std::uint64_t b)
+{
+    return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+/** Fold a 64-bit value down to @p bits by XOR of successive chunks. */
+inline std::uint64_t
+foldBits(std::uint64_t v, unsigned bits)
+{
+    if (bits == 0)
+        return 0;
+    if (bits >= 64)
+        return v;
+    std::uint64_t folded = 0;
+    while (v != 0) {
+        folded ^= v & ((1ULL << bits) - 1);
+        v >>= bits;
+    }
+    return folded;
+}
+
+/** Mask of the low @p bits bits. */
+inline std::uint64_t
+maskBits(unsigned bits)
+{
+    return bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
+}
+
+/**
+ * Table index from a PC: drop the low alignment bits (instructions are
+ * >= 2 bytes apart in every ISA we care about) and mix.
+ */
+inline std::uint64_t
+pcHash(std::uint64_t pc)
+{
+    return mix64(pc >> 1);
+}
+
+/** True iff @p v is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Ceil of log2 for table sizing. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    unsigned bits = 0;
+    std::uint64_t x = 1;
+    while (x < v) {
+        x <<= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+} // namespace imli
+
+#endif // IMLI_SRC_UTIL_HASHING_HH

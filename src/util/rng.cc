@@ -1,0 +1,93 @@
+#include "src/util/rng.hh"
+
+namespace imli
+{
+
+namespace
+{
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // anonymous namespace
+
+std::uint64_t
+SplitMix64::next()
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+Xoroshiro128::Xoroshiro128(std::uint64_t seed)
+{
+    SplitMix64 sm(seed);
+    s0 = sm.next();
+    s1 = sm.next();
+    // A state of all zeros would be a fixed point; SplitMix64 cannot emit
+    // two consecutive zeros, so this is unreachable, but keep the guard for
+    // safety against future seeding changes.
+    if (s0 == 0 && s1 == 0)
+        s1 = 0x9e3779b97f4a7c15ULL;
+}
+
+std::uint64_t
+Xoroshiro128::next()
+{
+    const std::uint64_t x0 = s0;
+    std::uint64_t x1 = s1;
+    const std::uint64_t result = rotl(x0 * 5, 7) * 9;
+
+    x1 ^= x0;
+    s0 = rotl(x0, 24) ^ x1 ^ (x1 << 16);
+    s1 = rotl(x1, 37);
+    return result;
+}
+
+std::uint64_t
+Xoroshiro128::below(std::uint64_t bound)
+{
+    // Lemire multiply-shift; bias < bound / 2^64.
+    unsigned __int128 product =
+        static_cast<unsigned __int128>(next()) *
+        static_cast<unsigned __int128>(bound);
+    return static_cast<std::uint64_t>(product >> 64);
+}
+
+std::int64_t
+Xoroshiro128::range(std::int64_t lo, std::int64_t hi)
+{
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+}
+
+bool
+Xoroshiro128::bernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+double
+Xoroshiro128::uniform()
+{
+    // 53 high-quality bits -> double in [0,1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+Xoroshiro128
+Xoroshiro128::fork(std::uint64_t stream_id)
+{
+    SplitMix64 sm(next() ^ (stream_id * 0xd1342543de82ef95ULL));
+    return Xoroshiro128(sm.next());
+}
+
+} // namespace imli

@@ -1,0 +1,49 @@
+#include "src/util/storage.hh"
+
+#include <sstream>
+
+namespace imli
+{
+
+void
+StorageAccount::add(const std::string &name, std::uint64_t bits)
+{
+    entries.push_back({name, bits});
+}
+
+void
+StorageAccount::merge(const std::string &prefix, const StorageAccount &other)
+{
+    for (const auto &item : other.items())
+        entries.push_back({prefix + "/" + item.name, item.bits});
+}
+
+std::uint64_t
+StorageAccount::totalBits() const
+{
+    std::uint64_t total = 0;
+    for (const auto &item : entries)
+        total += item.bits;
+    return total;
+}
+
+double
+StorageAccount::totalKbits() const
+{
+    return static_cast<double>(totalBits()) / 1024.0;
+}
+
+std::string
+StorageAccount::toString() const
+{
+    std::ostringstream os;
+    for (const auto &item : entries) {
+        os << "  " << item.name << ": " << item.bits << " bits ("
+           << (item.bits + 7) / 8 << " bytes)\n";
+    }
+    os << "  total: " << totalBits() << " bits = " << totalBytes()
+       << " bytes = " << totalKbits() << " Kbits\n";
+    return os.str();
+}
+
+} // namespace imli

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Storage accounting for predictor hardware budgets.
+ *
+ * The paper argues in budgets: the base TAGE-GSC is 228 Kbits, the IMLI
+ * components add 708 bytes, the wormhole predictor 1413 bytes, and the CBP4
+ * constraint is 256 Kbits.  Every table in libimli reports its size through
+ * a StorageAccount so that configurations can be audited in tests and
+ * printed next to accuracy results, exactly as the paper's tables do.
+ */
+
+#ifndef IMLI_SRC_UTIL_STORAGE_HH
+#define IMLI_SRC_UTIL_STORAGE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace imli
+{
+
+/** A named amount of predictor storage, in bits. */
+struct StorageItem
+{
+    std::string name;
+    std::uint64_t bits;
+};
+
+/**
+ * Hierarchical bit-budget ledger.  Components add named line items;
+ * composed predictors merge child accounts under a prefix.
+ */
+class StorageAccount
+{
+  public:
+    /** Add a line item of @p bits bits. */
+    void add(const std::string &name, std::uint64_t bits);
+
+    /** Merge another account's items under "prefix/". */
+    void merge(const std::string &prefix, const StorageAccount &other);
+
+    /** Total bits across all items. */
+    std::uint64_t totalBits() const;
+
+    /** Total size in bytes (rounded up). */
+    std::uint64_t totalBytes() const { return (totalBits() + 7) / 8; }
+
+    /** Total size in Kbits (1 Kbit = 1024 bits), rounded to nearest. */
+    double totalKbits() const;
+
+    const std::vector<StorageItem> &items() const { return entries; }
+
+    /** Human-readable multi-line summary. */
+    std::string toString() const;
+
+  private:
+    std::vector<StorageItem> entries;
+};
+
+} // namespace imli
+
+#endif // IMLI_SRC_UTIL_STORAGE_HH

@@ -1,0 +1,133 @@
+#include "src/util/table_writer.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+
+namespace imli
+{
+
+TableWriter::TableWriter(std::string title_) : title(std::move(title_)) {}
+
+void
+TableWriter::setHeader(const std::vector<std::string> &cols)
+{
+    header = cols;
+}
+
+void
+TableWriter::addRow(const std::vector<std::string> &cells)
+{
+    rows.push_back({cells, false});
+}
+
+void
+TableWriter::addSeparator()
+{
+    rows.push_back({{}, true});
+}
+
+std::size_t
+TableWriter::numRows() const
+{
+    std::size_t n = 0;
+    for (const auto &row : rows)
+        if (!row.separator)
+            ++n;
+    return n;
+}
+
+void
+TableWriter::print(std::ostream &os) const
+{
+    // Column widths over header + all rows.
+    std::vector<std::size_t> widths;
+    auto absorb = [&widths](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    absorb(header);
+    for (const auto &row : rows)
+        if (!row.separator)
+            absorb(row.cells);
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string &cell = i < cells.size() ? cells[i] : "";
+            if (i == 0)
+                os << std::left << std::setw(static_cast<int>(widths[i]))
+                   << cell;
+            else
+                os << "  " << std::right
+                   << std::setw(static_cast<int>(widths[i])) << cell;
+        }
+        os << '\n';
+    };
+
+    std::size_t total_width = 0;
+    for (std::size_t i = 0; i < widths.size(); ++i)
+        total_width += widths[i] + (i ? 2 : 0);
+
+    if (!title.empty())
+        os << title << '\n';
+    if (!header.empty()) {
+        emit(header);
+        os << std::string(total_width, '-') << '\n';
+    }
+    for (const auto &row : rows) {
+        if (row.separator)
+            os << std::string(total_width, '-') << '\n';
+        else
+            emit(row.cells);
+    }
+}
+
+void
+TableWriter::printCsv(std::ostream &os) const
+{
+    auto emit = [&os](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i)
+                os << ',';
+            // Quote cells containing commas.
+            if (cells[i].find(',') != std::string::npos)
+                os << '"' << cells[i] << '"';
+            else
+                os << cells[i];
+        }
+        os << '\n';
+    };
+    if (!header.empty())
+        emit(header);
+    for (const auto &row : rows)
+        if (!row.separator)
+            emit(row.cells);
+}
+
+std::string
+formatDouble(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+formatDelta(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%+.*f", decimals, v);
+    return buf;
+}
+
+std::string
+formatPercent(double fraction, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%+.*f %%", decimals, fraction * 100.0);
+    return buf;
+}
+
+} // namespace imli

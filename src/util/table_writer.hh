@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Console table and CSV formatting for experiment reports.
+ *
+ * Every bench binary prints (a) an aligned human-readable table mirroring
+ * the paper's tables/figures and (b) optionally a CSV for plotting.  This
+ * module keeps the formatting logic out of the experiment code.
+ */
+
+#ifndef IMLI_SRC_UTIL_TABLE_WRITER_HH
+#define IMLI_SRC_UTIL_TABLE_WRITER_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace imli
+{
+
+/**
+ * Builder for an aligned text table.  Columns are right-aligned except the
+ * first, which is left-aligned (row label convention).
+ */
+class TableWriter
+{
+  public:
+    /** @param title table caption printed above the header. */
+    explicit TableWriter(std::string title = "");
+
+    /** Set the column headers; defines the column count. */
+    void setHeader(const std::vector<std::string> &cols);
+
+    /** Append a data row; must match the header width if one is set. */
+    void addRow(const std::vector<std::string> &cells);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Render the aligned table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (separator rows skipped). */
+    void printCsv(std::ostream &os) const;
+
+    /** Number of data rows added so far. */
+    std::size_t numRows() const;
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool separator = false;
+    };
+
+    std::string title;
+    std::vector<std::string> header;
+    std::vector<Row> rows;
+};
+
+/** Format a double with @p decimals fraction digits. */
+std::string formatDouble(double v, int decimals = 3);
+
+/** Format a signed delta with explicit +/- and @p decimals digits. */
+std::string formatDelta(double v, int decimals = 3);
+
+/** Format a percentage such as "-6.8 %". */
+std::string formatPercent(double fraction, int decimals = 1);
+
+} // namespace imli
+
+#endif // IMLI_SRC_UTIL_TABLE_WRITER_HH

@@ -1,0 +1,259 @@
+#include "src/workloads/background.hh"
+
+#include <cassert>
+#include <sstream>
+
+#include "src/util/hashing.hh"
+
+namespace imli
+{
+
+// --------------------------------------------------------------------------
+// GlobalCorrKernel
+// --------------------------------------------------------------------------
+
+GlobalCorrKernel::GlobalCorrKernel(const GlobalCorrParams &params,
+                                   std::uint64_t pc_base, Xoroshiro128 rng_)
+    : cfg(params), pcBase(pc_base), rng(rng_)
+{
+    assert(cfg.chains >= 1);
+    assert(cfg.statePeriodLog >= 3 && cfg.statePeriodLog <= 16);
+    state = static_cast<std::uint32_t>(
+                rng.next() & maskBits(cfg.statePeriodLog));
+    if (state == 0)
+        state = 1;
+}
+
+void
+GlobalCorrKernel::emitRound(Trace &trace)
+{
+    BranchEmitter emit(trace, rng, cfg.gapMin, cfg.gapMax);
+    const unsigned width = cfg.statePeriodLog;
+    for (unsigned burst = 0; burst < cfg.burstsPerRound; ++burst) {
+        // Advance the hidden state: maximal-length-ish Fibonacci LFSR.
+        const std::uint32_t fb =
+            ((state >> 0) ^ (state >> 2) ^ (state >> 3) ^ (state >> 4)) &
+            1u;
+        state = ((state >> 1) | (fb << (width - 1))) &
+                static_cast<std::uint32_t>(maskBits(width));
+        if (state == 0)
+            state = 1;
+
+        auto state_bit = [this](unsigned i) {
+            return ((state >> (i % cfg.statePeriodLog)) & 1u) != 0;
+        };
+
+        for (unsigned c = 0; c < cfg.chains; ++c) {
+            const std::uint64_t base = pcBase + c * 0x100;
+            // Correlator pair: deterministic functions of the hidden
+            // state phase — learnable through global history, invisible
+            // to bimodal.
+            const bool a = state_bit(c);
+            const bool b = state_bit(c + 2);
+            emit.cond(base + 0x10, base + 0x18, a);
+            emit.cond(base + 0x20, base + 0x28, b);
+            for (unsigned n = 0; n < cfg.pathNoise; ++n) {
+                const std::uint64_t pc = base + 0x30 + n * 0x10;
+                emit.cond(pc, pc + 0x8, state_bit(c + 1 + n) ^ (n & 1));
+            }
+            const std::uint64_t dep = base + 0x30 + cfg.pathNoise * 0x10;
+            emit.cond(dep, dep + 0x8, a ^ b);
+        }
+    }
+}
+
+std::string
+GlobalCorrKernel::describe() const
+{
+    std::ostringstream os;
+    os << "gcorr(chains=" << cfg.chains << ",noise=" << cfg.pathNoise << ")";
+    return os.str();
+}
+
+// --------------------------------------------------------------------------
+// LocalPatternKernel
+// --------------------------------------------------------------------------
+
+LocalPatternKernel::LocalPatternKernel(const LocalPatternParams &params,
+                                       std::uint64_t pc_base,
+                                       Xoroshiro128 rng_)
+    : cfg(params), pcBase(pc_base), rng(rng_)
+{
+    assert(cfg.branches >= 1);
+    assert(cfg.periodMin >= 2 && cfg.periodMin <= cfg.periodMax);
+    periods.resize(cfg.branches);
+    phases.assign(cfg.branches, 0);
+    for (unsigned i = 0; i < cfg.branches; ++i)
+        periods[i] = static_cast<unsigned>(
+            rng.range(cfg.periodMin, cfg.periodMax));
+}
+
+std::uint64_t
+LocalPatternKernel::patternBranchPc(unsigned i) const
+{
+    return pcBase + 0x10 + i * 0x40;
+}
+
+void
+LocalPatternKernel::emitRound(Trace &trace)
+{
+    BranchEmitter emit(trace, rng, cfg.gapMin, cfg.gapMax);
+    for (unsigned step = 0; step < cfg.stepsPerRound; ++step) {
+        for (unsigned i = 0; i < cfg.branches; ++i) {
+            // Polluters between occurrences: strongly biased (cheap to
+            // predict on average) but occasionally surprising, which
+            // breaks exact global-history contexts so only the per-branch
+            // (local) view of the pattern stays clean.
+            for (unsigned n = 0; n < cfg.noiseBetween; ++n) {
+                const std::uint64_t pc =
+                    pcBase + 0x1000 + (i * cfg.noiseBetween + n) * 0x10;
+                emit.cond(pc, pc + 0x8,
+                          rng.bernoulli(cfg.noiseTakenProb));
+            }
+            // Pattern: one not-taken per period, otherwise taken.
+            const bool taken = (phases[i] % periods[i]) != periods[i] - 1;
+            emit.cond(patternBranchPc(i), patternBranchPc(i) + 0x8, taken);
+            ++phases[i];
+        }
+    }
+}
+
+std::string
+LocalPatternKernel::describe() const
+{
+    std::ostringstream os;
+    os << "lpattern(branches=" << cfg.branches << ",period="
+       << cfg.periodMin << ".." << cfg.periodMax
+       << ",noise=" << cfg.noiseBetween << ")";
+    return os.str();
+}
+
+// --------------------------------------------------------------------------
+// PathCorrKernel
+// --------------------------------------------------------------------------
+
+PathCorrKernel::PathCorrKernel(const PathCorrParams &params,
+                               std::uint64_t pc_base, Xoroshiro128 rng_)
+    : cfg(params), pcBase(pc_base), rng(rng_), depth(1)
+{
+    while ((1u << depth) < cfg.paths)
+        ++depth;
+}
+
+void
+PathCorrKernel::emitRound(Trace &trace)
+{
+    BranchEmitter emit(trace, rng, cfg.gapMin, cfg.gapMax);
+    for (unsigned burst = 0; burst < cfg.burstsPerRound; ++burst) {
+        const bool c = rng.bernoulli(0.5);
+        emit.cond(pcBase + 0x10, pcBase + 0x18, c);
+        // Walk a random path through a binary tree of branches; each level
+        // uses a distinct PC per node so the global history diverges.
+        unsigned node = 0;
+        for (unsigned level = 0; level < depth; ++level) {
+            const bool dir = rng.bernoulli(cfg.pathTakenProb);
+            const std::uint64_t pc =
+                pcBase + 0x100 + (level * 0x400) + node * 0x10;
+            emit.cond(pc, pc + 0x8, dir);
+            node = node * 2 + (dir ? 1 : 0);
+        }
+        // The dependent branch replays the correlator outcome.
+        emit.cond(pcBase + 0x20, pcBase + 0x28, c);
+    }
+}
+
+std::string
+PathCorrKernel::describe() const
+{
+    std::ostringstream os;
+    os << "pathcorr(paths=" << (1u << depth) << ")";
+    return os.str();
+}
+
+// --------------------------------------------------------------------------
+// BiasedRandomKernel
+// --------------------------------------------------------------------------
+
+BiasedRandomKernel::BiasedRandomKernel(const BiasedRandomParams &params,
+                                       std::uint64_t pc_base,
+                                       Xoroshiro128 rng_)
+    : cfg(params), pcBase(pc_base), rng(rng_)
+{
+    assert(cfg.branches >= 1);
+    probs.resize(cfg.branches);
+    for (unsigned i = 0; i < cfg.branches; ++i) {
+        probs[i] = cfg.takenProbMin +
+                   (cfg.takenProbMax - cfg.takenProbMin) * rng.uniform();
+    }
+}
+
+void
+BiasedRandomKernel::emitRound(Trace &trace)
+{
+    BranchEmitter emit(trace, rng, cfg.gapMin, cfg.gapMax);
+    for (unsigned burst = 0; burst < cfg.burstsPerRound; ++burst) {
+        for (unsigned i = 0; i < cfg.branches; ++i) {
+            const std::uint64_t pc = pcBase + 0x10 + i * 0x10;
+            emit.cond(pc, pc + 0x8, rng.bernoulli(probs[i]));
+        }
+    }
+}
+
+std::string
+BiasedRandomKernel::describe() const
+{
+    std::ostringstream os;
+    os << "noise(branches=" << cfg.branches << ",p=" << cfg.takenProbMin
+       << ".." << cfg.takenProbMax << ")";
+    return os.str();
+}
+
+// --------------------------------------------------------------------------
+// PredictableKernel
+// --------------------------------------------------------------------------
+
+PredictableKernel::PredictableKernel(const PredictableParams &params,
+                                     std::uint64_t pc_base,
+                                     Xoroshiro128 rng_)
+    : cfg(params), pcBase(pc_base), rng(rng_)
+{
+    counters.assign(cfg.branches, 0);
+}
+
+void
+PredictableKernel::emitRound(Trace &trace)
+{
+    BranchEmitter emit(trace, rng, cfg.gapMin, cfg.gapMax);
+    for (unsigned burst = 0; burst < cfg.burstsPerRound; ++burst) {
+        for (unsigned i = 0; i < cfg.branches; ++i) {
+            const std::uint64_t pc = pcBase + 0x10 + i * 0x10;
+            // Short fixed patterns: always-taken, alternating, 3-cycles.
+            bool taken;
+            switch (i % 3) {
+              case 0:
+                taken = true;
+                break;
+              case 1:
+                taken = (counters[i] & 1) == 0;
+                break;
+              default:
+                taken = (counters[i] % 3) != 2;
+                break;
+            }
+            emit.cond(pc, pc + 0x8, taken);
+            ++counters[i];
+        }
+        if ((burst & 7) == 0)
+            emit.jump(pcBase + 0x800, pcBase + 0x10);
+    }
+}
+
+std::string
+PredictableKernel::describe() const
+{
+    std::ostringstream os;
+    os << "filler(branches=" << cfg.branches << ")";
+    return os.str();
+}
+
+} // namespace imli

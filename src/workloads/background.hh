@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Background branch populations: the parts of a benchmark that are not
+ * loop-nest-structured.  These set each benchmark's baseline difficulty
+ * and give the non-IMLI predictor components their food:
+ *
+ *  - GlobalCorrKernel: outcomes reproducible from recent global history
+ *    (TAGE/GEHL territory); hardness scales with the path dilution.
+ *  - LocalPatternKernel: per-branch periodic patterns separated by bursts
+ *    of noise branches — global history is polluted, local history is
+ *    clean (the "L" components' food, Section 5).
+ *  - PathCorrKernel: a correlator branch whose outcome is replayed after
+ *    one of many equally likely paths (Evers et al.; with enough paths no
+ *    history predictor captures it — irreducible hard branches).
+ *  - BiasedRandomKernel: Bernoulli noise branches — the misprediction
+ *    floor.
+ *  - PredictableKernel: cheap highly regular filler diluting MPKI.
+ */
+
+#ifndef IMLI_SRC_WORKLOADS_BACKGROUND_HH
+#define IMLI_SRC_WORKLOADS_BACKGROUND_HH
+
+#include <vector>
+
+#include "src/workloads/kernel.hh"
+
+namespace imli
+{
+
+/**
+ * Branch outcomes driven by a short-period hidden state (a small LFSR):
+ * every branch is a deterministic function of the state phase, so global
+ * history identifies the phase and a global-history predictor converges
+ * to near-perfect accuracy — while bimodal cannot.  The "pathNoise"
+ * branches between correlator and dependent are state-driven too; they
+ * dilute the history without injecting irreducible noise.
+ */
+struct GlobalCorrParams
+{
+    unsigned chains = 4;        //!< independent correlation chains
+    unsigned pathNoise = 4;     //!< state-driven branches between C and D
+    unsigned burstsPerRound = 8;
+    unsigned statePeriodLog = 5;//!< LFSR width: period 2^n - 1 bursts
+    unsigned gapMin = 2;
+    unsigned gapMax = 7;
+};
+
+class GlobalCorrKernel : public Kernel
+{
+  public:
+    GlobalCorrKernel(const GlobalCorrParams &params, std::uint64_t pc_base,
+                     Xoroshiro128 rng);
+
+    void emitRound(Trace &trace) override;
+    std::string describe() const override;
+
+  private:
+    GlobalCorrParams cfg;
+    std::uint64_t pcBase;
+    Xoroshiro128 rng;
+    std::uint32_t state;
+};
+
+/** Per-branch periodic patterns amid history-polluting noise. */
+struct LocalPatternParams
+{
+    unsigned branches = 4;      //!< independent patterned branches
+    unsigned periodMin = 5;
+    unsigned periodMax = 9;
+    unsigned noiseBetween = 3;  //!< polluting branches between occurrences
+    /**
+     * Taken probability of the polluting branches.  High bias keeps their
+     * own misprediction cost low while the occasional surprise still
+     * breaks exact global-history contexts, which is what protects the
+     * pattern branch from global predictors.
+     */
+    double noiseTakenProb = 0.93;
+    unsigned stepsPerRound = 64;
+    unsigned gapMin = 2;
+    unsigned gapMax = 7;
+};
+
+class LocalPatternKernel : public Kernel
+{
+  public:
+    LocalPatternKernel(const LocalPatternParams &params,
+                       std::uint64_t pc_base, Xoroshiro128 rng);
+
+    void emitRound(Trace &trace) override;
+    std::string describe() const override;
+
+    /** PC of patterned branch @p i, for tests. */
+    std::uint64_t patternBranchPc(unsigned i) const;
+
+  private:
+    LocalPatternParams cfg;
+    std::uint64_t pcBase;
+    Xoroshiro128 rng;
+    std::vector<unsigned> periods;
+    std::vector<unsigned> phases;
+};
+
+/** Correlator outcome replayed behind one of many equally likely paths. */
+struct PathCorrParams
+{
+    unsigned paths = 64;        //!< distinct paths (log2 taken as depth)
+    unsigned burstsPerRound = 16;
+    /**
+     * Taken bias of the path-selection branches.  0.5 makes every path
+     * equally likely (maximum dilution, the Evers et al. hard case);
+     * higher bias concentrates on few paths, making the replayed
+     * correlator learnable again.
+     */
+    double pathTakenProb = 0.5;
+    unsigned gapMin = 2;
+    unsigned gapMax = 7;
+};
+
+class PathCorrKernel : public Kernel
+{
+  public:
+    PathCorrKernel(const PathCorrParams &params, std::uint64_t pc_base,
+                   Xoroshiro128 rng);
+
+    void emitRound(Trace &trace) override;
+    std::string describe() const override;
+
+  private:
+    PathCorrParams cfg;
+    std::uint64_t pcBase;
+    Xoroshiro128 rng;
+    unsigned depth;
+};
+
+/** Bernoulli noise branches. */
+struct BiasedRandomParams
+{
+    unsigned branches = 6;
+    double takenProbMin = 0.35;
+    double takenProbMax = 0.65;
+    unsigned burstsPerRound = 32;
+    unsigned gapMin = 2;
+    unsigned gapMax = 7;
+};
+
+class BiasedRandomKernel : public Kernel
+{
+  public:
+    BiasedRandomKernel(const BiasedRandomParams &params,
+                       std::uint64_t pc_base, Xoroshiro128 rng);
+
+    void emitRound(Trace &trace) override;
+    std::string describe() const override;
+
+  private:
+    BiasedRandomParams cfg;
+    std::uint64_t pcBase;
+    Xoroshiro128 rng;
+    std::vector<double> probs;
+};
+
+/** Highly regular filler (near-zero MPKI once warm). */
+struct PredictableParams
+{
+    unsigned branches = 8;
+    unsigned burstsPerRound = 32;
+    unsigned gapMin = 3;
+    unsigned gapMax = 9;
+};
+
+class PredictableKernel : public Kernel
+{
+  public:
+    PredictableKernel(const PredictableParams &params, std::uint64_t pc_base,
+                      Xoroshiro128 rng);
+
+    void emitRound(Trace &trace) override;
+    std::string describe() const override;
+
+  private:
+    PredictableParams cfg;
+    std::uint64_t pcBase;
+    Xoroshiro128 rng;
+    std::vector<unsigned> counters;
+};
+
+} // namespace imli
+
+#endif // IMLI_SRC_WORKLOADS_BACKGROUND_HH

@@ -1,0 +1,142 @@
+#include "src/workloads/benchmark_spec.hh"
+
+#include <cassert>
+
+namespace imli
+{
+
+KernelSpec
+KernelSpec::makeTwoDim(const TwoDimLoopParams &p, unsigned w)
+{
+    KernelSpec spec;
+    spec.type = Type::TwoDimLoop;
+    spec.twoDim = p;
+    spec.weight = w;
+    return spec;
+}
+
+KernelSpec
+KernelSpec::makeRegular(const RegularLoopParams &p, unsigned w)
+{
+    KernelSpec spec;
+    spec.type = Type::RegularLoop;
+    spec.regular = p;
+    spec.weight = w;
+    return spec;
+}
+
+KernelSpec
+KernelSpec::makeGlobalCorr(const GlobalCorrParams &p, unsigned w)
+{
+    KernelSpec spec;
+    spec.type = Type::GlobalCorr;
+    spec.globalCorr = p;
+    spec.weight = w;
+    return spec;
+}
+
+KernelSpec
+KernelSpec::makeLocalPattern(const LocalPatternParams &p, unsigned w)
+{
+    KernelSpec spec;
+    spec.type = Type::LocalPattern;
+    spec.localPattern = p;
+    spec.weight = w;
+    return spec;
+}
+
+KernelSpec
+KernelSpec::makePathCorr(const PathCorrParams &p, unsigned w)
+{
+    KernelSpec spec;
+    spec.type = Type::PathCorr;
+    spec.pathCorr = p;
+    spec.weight = w;
+    return spec;
+}
+
+KernelSpec
+KernelSpec::makeBiasedRandom(const BiasedRandomParams &p, unsigned w)
+{
+    KernelSpec spec;
+    spec.type = Type::BiasedRandom;
+    spec.biasedRandom = p;
+    spec.weight = w;
+    return spec;
+}
+
+KernelSpec
+KernelSpec::makePredictable(const PredictableParams &p, unsigned w)
+{
+    KernelSpec spec;
+    spec.type = Type::Predictable;
+    spec.predictable = p;
+    spec.weight = w;
+    return spec;
+}
+
+namespace
+{
+
+KernelPtr
+instantiate(const KernelSpec &spec, std::uint64_t pc_base, Xoroshiro128 rng)
+{
+    switch (spec.type) {
+      case KernelSpec::Type::TwoDimLoop:
+        return std::make_unique<TwoDimLoopKernel>(spec.twoDim, pc_base,
+                                                  rng);
+      case KernelSpec::Type::RegularLoop:
+        return std::make_unique<RegularLoopKernel>(spec.regular, pc_base,
+                                                   rng);
+      case KernelSpec::Type::GlobalCorr:
+        return std::make_unique<GlobalCorrKernel>(spec.globalCorr, pc_base,
+                                                  rng);
+      case KernelSpec::Type::LocalPattern:
+        return std::make_unique<LocalPatternKernel>(spec.localPattern,
+                                                    pc_base, rng);
+      case KernelSpec::Type::PathCorr:
+        return std::make_unique<PathCorrKernel>(spec.pathCorr, pc_base,
+                                                rng);
+      case KernelSpec::Type::BiasedRandom:
+        return std::make_unique<BiasedRandomKernel>(spec.biasedRandom,
+                                                    pc_base, rng);
+      case KernelSpec::Type::Predictable:
+        return std::make_unique<PredictableKernel>(spec.predictable,
+                                                   pc_base, rng);
+    }
+    return nullptr;
+}
+
+} // anonymous namespace
+
+Trace
+generateTrace(const BenchmarkSpec &spec, std::size_t target_branches)
+{
+    assert(!spec.kernels.empty());
+    Trace trace(spec.name);
+    trace.reserve(target_branches + 16384);
+
+    Xoroshiro128 master(spec.seed);
+    std::vector<KernelPtr> kernels;
+    kernels.reserve(spec.kernels.size());
+    for (std::size_t i = 0; i < spec.kernels.size(); ++i) {
+        // Each kernel gets a private PC region and random stream.
+        const std::uint64_t pc_base =
+            0x400000 + static_cast<std::uint64_t>(i) * 0x100000;
+        kernels.push_back(
+            instantiate(spec.kernels[i], pc_base, master.fork(i + 1)));
+    }
+
+    // Weighted round-robin interleaving until the target size is reached.
+    while (trace.size() < target_branches) {
+        for (std::size_t i = 0; i < kernels.size(); ++i) {
+            for (unsigned w = 0; w < spec.kernels[i].weight; ++w)
+                kernels[i]->emitRound(trace);
+            if (trace.size() >= target_branches)
+                break;
+        }
+    }
+    return trace;
+}
+
+} // namespace imli

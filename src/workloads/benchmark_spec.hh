@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Benchmark specification: a named, seeded, weighted mixture of kernels,
+ * plus the generator that turns it into a Trace.
+ *
+ * Generation is fully deterministic from (spec.seed, target size): every
+ * predictor configuration sees the identical branch stream, so deltas
+ * between configurations measure the predictors, not generator noise.
+ */
+
+#ifndef IMLI_SRC_WORKLOADS_BENCHMARK_SPEC_HH
+#define IMLI_SRC_WORKLOADS_BENCHMARK_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/trace/trace.hh"
+#include "src/workloads/background.hh"
+#include "src/workloads/two_dim_loop.hh"
+
+namespace imli
+{
+
+/** Tagged kernel description (parameters for the active type only). */
+struct KernelSpec
+{
+    enum class Type
+    {
+        TwoDimLoop,
+        RegularLoop,
+        GlobalCorr,
+        LocalPattern,
+        PathCorr,
+        BiasedRandom,
+        Predictable,
+    };
+
+    Type type = Type::Predictable;
+    unsigned weight = 1; //!< relative rounds per interleaving cycle
+
+    TwoDimLoopParams twoDim;
+    RegularLoopParams regular;
+    GlobalCorrParams globalCorr;
+    LocalPatternParams localPattern;
+    PathCorrParams pathCorr;
+    BiasedRandomParams biasedRandom;
+    PredictableParams predictable;
+
+    // Convenience factories --------------------------------------------
+    static KernelSpec makeTwoDim(const TwoDimLoopParams &p, unsigned w = 1);
+    static KernelSpec makeRegular(const RegularLoopParams &p,
+                                  unsigned w = 1);
+    static KernelSpec makeGlobalCorr(const GlobalCorrParams &p,
+                                     unsigned w = 1);
+    static KernelSpec makeLocalPattern(const LocalPatternParams &p,
+                                       unsigned w = 1);
+    static KernelSpec makePathCorr(const PathCorrParams &p, unsigned w = 1);
+    static KernelSpec makeBiasedRandom(const BiasedRandomParams &p,
+                                       unsigned w = 1);
+    static KernelSpec makePredictable(const PredictableParams &p,
+                                      unsigned w = 1);
+};
+
+/** A named synthetic benchmark. */
+struct BenchmarkSpec
+{
+    std::string name;   //!< e.g. "SPEC2K6-12"
+    std::string suite;  //!< "CBP4" or "CBP3"
+    std::uint64_t seed = 1;
+    std::vector<KernelSpec> kernels;
+};
+
+/**
+ * Instantiate the kernels and interleave weighted rounds until the trace
+ * holds at least @p target_branches records.
+ */
+Trace generateTrace(const BenchmarkSpec &spec, std::size_t target_branches);
+
+} // namespace imli
+
+#endif // IMLI_SRC_WORKLOADS_BENCHMARK_SPEC_HH

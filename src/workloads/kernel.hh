@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Workload kernel framework.
+ *
+ * The CBP3/CBP4 championship traces are not redistributable, so the suite
+ * is synthesised (DESIGN.md, Section 2).  A benchmark is a weighted
+ * interleaving of *kernels*; each kernel models one control-flow idiom
+ * with a known correlation structure (two-dimensional loop nests with the
+ * paper's Figure-1 branch classes, counted loops, global-history
+ * correlation chains, local periodic patterns, path-diluted correlations,
+ * biased random noise).  Kernels emit complete "rounds" (e.g. one full
+ * loop-nest execution) so that intra-kernel correlation survives the
+ * interleaving, exactly as program phases do in real traces.
+ */
+
+#ifndef IMLI_SRC_WORKLOADS_KERNEL_HH
+#define IMLI_SRC_WORKLOADS_KERNEL_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/trace/trace.hh"
+#include "src/util/rng.hh"
+
+namespace imli
+{
+
+/**
+ * Helper for kernels to emit branch records with realistic instruction
+ * gaps and a private PC region.
+ */
+class BranchEmitter
+{
+  public:
+    /**
+     * @param trace output trace
+     * @param rng gap randomisation source (kernel-owned)
+     * @param gap_min minimum instructions between branches
+     * @param gap_max maximum instructions between branches
+     */
+    BranchEmitter(Trace &trace, Xoroshiro128 &rng, unsigned gap_min,
+                  unsigned gap_max)
+        : out(trace), gapRng(rng), gapMin(gap_min), gapMax(gap_max)
+    {
+    }
+
+    /** Emit a conditional branch. */
+    void
+    cond(std::uint64_t pc, std::uint64_t target, bool taken)
+    {
+        BranchRecord rec;
+        rec.pc = pc;
+        rec.target = target;
+        rec.type = BranchType::CondDirect;
+        rec.taken = taken;
+        rec.instsBefore = gap();
+        out.append(rec);
+    }
+
+    /** Emit an unconditional direct branch (always taken). */
+    void
+    jump(std::uint64_t pc, std::uint64_t target)
+    {
+        BranchRecord rec;
+        rec.pc = pc;
+        rec.target = target;
+        rec.type = BranchType::UncondDirect;
+        rec.taken = true;
+        rec.instsBefore = gap();
+        out.append(rec);
+    }
+
+    /** Emit a call / return pair marker (call only; returns are symmetric). */
+    void
+    call(std::uint64_t pc, std::uint64_t target)
+    {
+        BranchRecord rec;
+        rec.pc = pc;
+        rec.target = target;
+        rec.type = BranchType::Call;
+        rec.taken = true;
+        rec.instsBefore = gap();
+        out.append(rec);
+    }
+
+    void
+    ret(std::uint64_t pc, std::uint64_t target)
+    {
+        BranchRecord rec;
+        rec.pc = pc;
+        rec.target = target;
+        rec.type = BranchType::Return;
+        rec.taken = true;
+        rec.instsBefore = gap();
+        out.append(rec);
+    }
+
+  private:
+    unsigned
+    gap()
+    {
+        if (gapMin >= gapMax)
+            return gapMin;
+        return static_cast<unsigned>(
+            gapRng.range(static_cast<std::int64_t>(gapMin),
+                         static_cast<std::int64_t>(gapMax)));
+    }
+
+    Trace &out;
+    Xoroshiro128 &gapRng;
+    unsigned gapMin;
+    unsigned gapMax;
+};
+
+/** One control-flow idiom generator. */
+class Kernel
+{
+  public:
+    virtual ~Kernel() = default;
+
+    /**
+     * Emit one complete round of the kernel into @p trace.  A round is the
+     * kernel's natural phase unit (a whole loop-nest execution, a burst of
+     * pattern cycles, ...), so correlation internal to the kernel is not
+     * broken by interleaving.
+     */
+    virtual void emitRound(Trace &trace) = 0;
+
+    /** Human-readable description for trace tooling. */
+    virtual std::string describe() const = 0;
+};
+
+using KernelPtr = std::unique_ptr<Kernel>;
+
+} // namespace imli
+
+#endif // IMLI_SRC_WORKLOADS_KERNEL_HH

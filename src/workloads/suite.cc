@@ -1,0 +1,472 @@
+#include "src/workloads/suite.hh"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "src/util/hashing.hh"
+
+namespace imli
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Background recipes.  Each helper emits roughly 1000 branches per round
+// so that kernel weights read directly as branch-share units; nest
+// kernels are larger (one full loop-nest execution) and their weights are
+// chosen accordingly.
+// ---------------------------------------------------------------------
+
+void
+addPredictableFiller(BenchmarkSpec &b, unsigned weight)
+{
+    PredictableParams p;
+    p.branches = 10;
+    p.burstsPerRound = 100; // ~1000 branches
+    b.kernels.push_back(KernelSpec::makePredictable(p, weight));
+}
+
+void
+addEasyGlobal(BenchmarkSpec &b, unsigned weight)
+{
+    GlobalCorrParams p;
+    p.chains = 4;
+    p.pathNoise = 3; // short paths: fully capturable
+    p.burstsPerRound = 42; // ~1000 branches
+    p.statePeriodLog = 4; // 15-burst cycle: comfortably learnable
+    b.kernels.push_back(KernelSpec::makeGlobalCorr(p, weight));
+}
+
+void
+addMediumGlobal(BenchmarkSpec &b, unsigned weight)
+{
+    GlobalCorrParams p;
+    p.chains = 3;
+    p.pathNoise = 5;
+    p.burstsPerRound = 42; // ~1000 branches
+    p.statePeriodLog = 4; // longer dilution, still learnable
+    b.kernels.push_back(KernelSpec::makeGlobalCorr(p, weight));
+}
+
+void
+addNoise(BenchmarkSpec &b, double lo, double hi, unsigned weight)
+{
+    BiasedRandomParams p;
+    p.branches = 6;
+    p.takenProbMin = lo;
+    p.takenProbMax = hi;
+    p.burstsPerRound = 167; // ~1000 branches
+    b.kernels.push_back(KernelSpec::makeBiasedRandom(p, weight));
+}
+
+void
+addPathCorr(BenchmarkSpec &b, unsigned paths, double path_bias,
+            unsigned weight)
+{
+    PathCorrParams p;
+    p.paths = paths;
+    p.pathTakenProb = path_bias;
+    p.burstsPerRound = 111; // ~1000 branches at 128 paths
+    b.kernels.push_back(KernelSpec::makePathCorr(p, weight));
+}
+
+void
+addLocalPattern(BenchmarkSpec &b, unsigned weight)
+{
+    LocalPatternParams p;
+    p.branches = 3;
+    p.periodMin = 5;
+    p.periodMax = 11;
+    p.noiseBetween = 6;
+    p.stepsPerRound = 48; // ~1000 branches
+    b.kernels.push_back(KernelSpec::makeLocalPattern(p, weight));
+}
+
+void
+addLongLoop(BenchmarkSpec &b, unsigned trip, unsigned jitter,
+            unsigned weight)
+{
+    RegularLoopParams p;
+    p.trip = trip;
+    p.tripJitter = jitter;
+    p.bodyBranches = 1;
+    p.bodyTakenProb = 0.92;
+    p.runsPerRound = 1; // ~2*trip branches
+    b.kernels.push_back(KernelSpec::makeRegular(p, weight));
+}
+
+// ---------------------------------------------------------------------
+// IMLI-class loop-nest recipes.
+// ---------------------------------------------------------------------
+
+/** Variable-trip nest: SameIter/Nested food for IMLI-SIC; useless to WH. */
+void
+addSicNest(BenchmarkSpec &b, unsigned trip_min, unsigned trip_max,
+           unsigned same_iter, unsigned nested, unsigned randoms,
+           unsigned weight)
+{
+    TwoDimLoopParams p;
+    p.outerIters = 20;
+    p.innerTripMin = trip_min;
+    p.innerTripMax = trip_max;
+    p.rowMutateProb = 0.02;
+    for (unsigned i = 0; i < same_iter; ++i)
+        p.body.push_back({BodyClass::SameIter, 0.02, 0.6, 0.5});
+    for (unsigned i = 0; i < nested; ++i)
+        p.body.push_back({BodyClass::Nested, 0.02, 0.6, 0.5});
+    for (unsigned i = 0; i < randoms; ++i)
+        p.body.push_back({BodyClass::Random, 0.0, 0.6, 0.5});
+    b.kernels.push_back(KernelSpec::makeTwoDim(p, weight));
+}
+
+/** Constant-trip nest with previous-diagonal correlation: WH / IMLI-OH. */
+void
+addWormholeNest(BenchmarkSpec &b, unsigned trip, unsigned diag_prev,
+                unsigned same_iter, unsigned randoms, unsigned weight)
+{
+    TwoDimLoopParams p;
+    p.outerIters = 20;
+    p.innerTripMin = trip;
+    p.innerTripMax = trip;
+    p.rowMutateProb = 0.02;
+    for (unsigned i = 0; i < diag_prev; ++i)
+        p.body.push_back({BodyClass::DiagPrev, 0.01, 0.6, 0.5});
+    for (unsigned i = 0; i < same_iter; ++i)
+        p.body.push_back({BodyClass::SameIter, 0.02, 0.6, 0.5});
+    for (unsigned i = 0; i < randoms; ++i)
+        p.body.push_back({BodyClass::Random, 0.0, 0.6, 0.5});
+    b.kernels.push_back(KernelSpec::makeTwoDim(p, weight));
+}
+
+/** Constant-trip nest with inverted correlation (the MM-4 shape). */
+void
+addInvertedNest(BenchmarkSpec &b, unsigned trip, unsigned weight)
+{
+    TwoDimLoopParams p;
+    p.outerIters = 24;
+    p.innerTripMin = trip;
+    p.innerTripMax = trip;
+    p.rowMutateProb = 0.01;
+    p.body.push_back({BodyClass::Inverted, 0.01, 0.6, 0.5});
+    // Without a history spoiler the whole nest stream is periodic over
+    // two outer iterations and the base predictor learns it outright.
+    p.body.push_back({BodyClass::Random, 0.0, 0.6, 0.85});
+    b.kernels.push_back(KernelSpec::makeTwoDim(p, weight));
+}
+
+/** A small diagonal nest: marginal OH/WH food (the WS03 shape). */
+void
+addSmallWormholeNest(BenchmarkSpec &b, unsigned trip, unsigned weight)
+{
+    TwoDimLoopParams p;
+    p.outerIters = 8;
+    // Variable trip: the diagonal correlation survives (the data row
+    // shifts regardless of where the loop stops), so IMLI-OH tracks it,
+    // while the wormhole predictor never gets a constant trip count to
+    // address its history with (paper, Figure 13: WS03 is improved by
+    // IMLI-OH but not by WH).
+    p.innerTripMin = trip;
+    p.innerTripMax = trip + trip / 2;
+    p.body.push_back({BodyClass::DiagPrev, 0.03, 0.6, 0.5});
+    p.body.push_back({BodyClass::Random, 0.0, 0.6, 0.5});
+    b.kernels.push_back(KernelSpec::makeTwoDim(p, weight));
+}
+
+/** Weak-correlation nest (B2 of Figure 1): marginal food for everyone. */
+void
+addWeakNest(BenchmarkSpec &b, unsigned trip, unsigned weight)
+{
+    TwoDimLoopParams p;
+    p.outerIters = 16;
+    p.innerTripMin = trip;
+    p.innerTripMax = trip;
+    p.body.push_back({BodyClass::Weak, 0.25, 0.6, 0.5});
+    p.body.push_back({BodyClass::SameIter, 0.03, 0.6, 0.5});
+    b.kernels.push_back(KernelSpec::makeTwoDim(p, weight));
+}
+
+// ---------------------------------------------------------------------
+// Generic members: three difficulty tiers.  Weights are ~1000-branch
+// units; each tier targets a base-MPKI band (easy < 1.5, medium ~2-4,
+// hard ~10-16 at ~5.5 instructions per branch).
+// ---------------------------------------------------------------------
+
+BenchmarkSpec
+makeEasy(const std::string &name, const std::string &suite,
+         std::uint64_t seed, bool with_local)
+{
+    BenchmarkSpec b{name, suite, seed, {}};
+    addPredictableFiller(b, 14);
+    addEasyGlobal(b, 3);
+    addNoise(b, 0.95, 0.99, 1); // near-always-taken: tiny noise
+    if (with_local)
+        addLocalPattern(b, 1);
+    return b;
+}
+
+BenchmarkSpec
+makeMedium(const std::string &name, const std::string &suite,
+           std::uint64_t seed, bool with_local, bool with_loop)
+{
+    BenchmarkSpec b{name, suite, seed, {}};
+    addPredictableFiller(b, 14);
+    addEasyGlobal(b, 3);
+    addMediumGlobal(b, 2);
+    addNoise(b, 0.8, 0.93, 1);
+    addPathCorr(b, 16, 0.8, 1);
+    if (with_local)
+        addLocalPattern(b, 2);
+    if (with_loop) {
+        // Trip 60 with a noisy body: the exit context never repeats, so
+        // only the loop predictor (or IMLI-SIC) can call the exit; the
+        // CBP3-like suite carries more of this (paper Section 4.2.2:
+        // loop benefit 0.094 vs 0.034 MPKI).
+        addLongLoop(b, 60, 0, suite == "CBP3" ? 8 : 6);
+    }
+    return b;
+}
+
+BenchmarkSpec
+makeHard(const std::string &name, const std::string &suite,
+         std::uint64_t seed, bool with_local)
+{
+    // The CBP3-like suite is noticeably harder on average (paper: 3.902
+    // vs 2.473 MPKI base), so its hard tier carries more noise.
+    const bool cbp3 = suite == "CBP3";
+    BenchmarkSpec b{name, suite, seed, {}};
+    addPredictableFiller(b, cbp3 ? 12 : 20);
+    addMediumGlobal(b, 2);
+    addNoise(b, 0.5, 0.78, cbp3 ? 2 : 1);
+    addPathCorr(b, 128, 0.5, 1);
+    if (with_local)
+        addLocalPattern(b, 2);
+    return b;
+}
+
+std::uint64_t
+seedOf(const std::string &suite, const std::string &name)
+{
+    std::uint64_t h = 0x1234567;
+    for (char c : (suite + "/" + name))
+        h = hashCombine(h, static_cast<std::uint64_t>(c));
+    return h;
+}
+
+} // anonymous namespace
+
+std::vector<BenchmarkSpec>
+cbp4Suite()
+{
+    std::vector<BenchmarkSpec> suite;
+    const std::string s = "CBP4";
+    auto seed = [&s](const std::string &n) { return seedOf(s, n); };
+
+    // ---- SPEC2K6-00 .. SPEC2K6-19 -------------------------------------
+    for (unsigned i = 0; i < 20; ++i) {
+        char name[32];
+        std::snprintf(name, sizeof(name), "SPEC2K6-%02u", i);
+        if (i == 4) {
+            // IMLI-SIC showcase: variable-trip nests, no WH benefit.
+            BenchmarkSpec b{name, s, seed(name), {}};
+            addSicNest(b, 18, 34, 3, 1, 1, 1);   // ~20*26*7 = ~3600
+            addSicNest(b, 12, 26, 2, 0, 0, 1);   // ~20*19*3 = ~1100
+            addPredictableFiller(b, 18);
+            addEasyGlobal(b, 3);
+            addNoise(b, 0.6, 0.85, 1);
+            addLocalPattern(b, 1);
+            suite.push_back(std::move(b));
+        } else if (i == 12) {
+            // Wormhole/IMLI-OH showcase: constant-trip DiagPrev, hard.
+            BenchmarkSpec b{name, s, seed(name), {}};
+            addWormholeNest(b, 32, 2, 0, 1, 1);  // ~20*32*4 = ~2600
+            addSicNest(b, 20, 36, 2, 0, 1, 1);   // ~20*28*4 = ~2300
+            addPredictableFiller(b, 20);
+            addEasyGlobal(b, 2);
+            addNoise(b, 0.5, 0.75, 2);
+            addPathCorr(b, 128, 0.5, 1);
+            addLocalPattern(b, 1);
+            suite.push_back(std::move(b));
+        } else {
+            const unsigned tier = i % 5;
+            if (tier <= 2)
+                suite.push_back(makeEasy(name, s, seed(name), i % 4 == 1));
+            else if (tier == 3)
+                suite.push_back(
+                    makeMedium(name, s, seed(name), i % 3 == 0, i == 8));
+            else
+                suite.push_back(makeHard(name, s, seed(name), i % 3 == 0));
+        }
+    }
+
+    // ---- MM-1 .. MM-10 -------------------------------------------------
+    for (unsigned i = 1; i <= 10; ++i) {
+        char name[32];
+        std::snprintf(name, sizeof(name), "MM-%u", i);
+        if (i == 4) {
+            // Inverted-correlation nest on a very accurate baseline.
+            BenchmarkSpec b{name, s, seed(name), {}};
+            addInvertedNest(b, 24, 1);           // ~24*24*2 = ~1150
+            addPredictableFiller(b, 14);
+            addEasyGlobal(b, 4);
+            addNoise(b, 0.96, 0.99, 1);
+            suite.push_back(std::move(b));
+        } else {
+            const unsigned tier = i % 4;
+            if (tier <= 1)
+                suite.push_back(makeEasy(name, s, seed(name), i % 3 == 0));
+            else if (tier == 2)
+                suite.push_back(
+                    makeMedium(name, s, seed(name), i % 2 == 0, false));
+            else
+                suite.push_back(makeHard(name, s, seed(name), false));
+        }
+    }
+
+    // ---- SERVER-1 .. SERVER-10 ------------------------------------------
+    for (unsigned i = 1; i <= 10; ++i) {
+        char name[32];
+        std::snprintf(name, sizeof(name), "SERVER-%u", i);
+        const unsigned tier = i % 4;
+        if (tier == 0)
+            suite.push_back(makeHard(name, s, seed(name), i % 2 == 0));
+        else if (tier == 1)
+            suite.push_back(
+                makeMedium(name, s, seed(name), true, i == 5));
+        else
+            suite.push_back(makeEasy(name, s, seed(name), i % 3 == 0));
+    }
+    return suite;
+}
+
+std::vector<BenchmarkSpec>
+cbp3Suite()
+{
+    std::vector<BenchmarkSpec> suite;
+    const std::string s = "CBP3";
+    auto seed = [&s](const std::string &n) { return seedOf(s, n); };
+
+    // ---- CLIENT01 .. CLIENT10 -------------------------------------------
+    for (unsigned i = 1; i <= 10; ++i) {
+        char name[32];
+        std::snprintf(name, sizeof(name), "CLIENT%02u", i);
+        if (i == 2) {
+            // Wormhole/IMLI-OH showcase, hard (paper: > 15 MPKI).
+            BenchmarkSpec b{name, s, seed(name), {}};
+            addWormholeNest(b, 40, 1, 0, 1, 1);  // ~20*40*3 = ~2400
+            addSicNest(b, 24, 36, 1, 0, 1, 1);   // SIC side dish
+            addPredictableFiller(b, 20);
+            addNoise(b, 0.5, 0.72, 2);
+            addPathCorr(b, 128, 0.5, 1);
+            addLocalPattern(b, 1);
+            suite.push_back(std::move(b));
+        } else {
+            const unsigned tier = i % 4;
+            if (tier <= 1)
+                suite.push_back(makeEasy(name, s, seed(name), i % 2 == 0));
+            else if (tier == 2)
+                suite.push_back(
+                    makeMedium(name, s, seed(name), true, i == 6));
+            else
+                suite.push_back(makeHard(name, s, seed(name), true));
+        }
+    }
+
+    // ---- MM01 .. MM10 ----------------------------------------------------
+    for (unsigned i = 1; i <= 10; ++i) {
+        char name[32];
+        std::snprintf(name, sizeof(name), "MM%02u", i);
+        if (i == 7) {
+            // Hardest benchmark (paper: > 20 MPKI); both SIC and OH/WH
+            // correlation classes present.
+            BenchmarkSpec b{name, s, seed(name), {}};
+            addWormholeNest(b, 28, 2, 0, 1, 1);  // ~20*28*4 = ~2300
+            addSicNest(b, 16, 32, 2, 1, 1, 1);   // ~20*24*6 = ~2900
+            addPredictableFiller(b, 14);
+            addNoise(b, 0.5, 0.68, 3);
+            addPathCorr(b, 256, 0.5, 2);
+            addLocalPattern(b, 2);
+            suite.push_back(std::move(b));
+        } else {
+            const unsigned tier = i % 4;
+            if (tier <= 1)
+                suite.push_back(makeEasy(name, s, seed(name), false));
+            else if (tier == 2)
+                suite.push_back(
+                    makeMedium(name, s, seed(name), i % 2 == 0, i == 6));
+            else
+                suite.push_back(makeHard(name, s, seed(name), i % 2 == 0));
+        }
+    }
+
+    // ---- WS01 .. WS10 ----------------------------------------------------
+    for (unsigned i = 1; i <= 10; ++i) {
+        char name[32];
+        std::snprintf(name, sizeof(name), "WS%02u", i);
+        if (i == 4) {
+            // Strongest IMLI-SIC benchmark (paper: -3.20 MPKI), also
+            // responsive to local history (Figure 14).
+            BenchmarkSpec b{name, s, seed(name), {}};
+            addSicNest(b, 16, 36, 3, 1, 1, 1);   // ~20*26*7 = ~3600
+            addSicNest(b, 10, 24, 2, 0, 0, 1);   // ~20*17*3 = ~1000
+            addPredictableFiller(b, 16);
+            addNoise(b, 0.55, 0.8, 2);
+            addLocalPattern(b, 2);
+            suite.push_back(std::move(b));
+        } else if (i == 3) {
+            // Marginally improved by both SIC and OH (paper, Fig. 13).
+            BenchmarkSpec b{name, s, seed(name), {}};
+            addWeakNest(b, 20, 1);
+            addSmallWormholeNest(b, 16, 1);
+            addPredictableFiller(b, 16);
+            addMediumGlobal(b, 2);
+            addNoise(b, 0.7, 0.88, 1);
+            addLocalPattern(b, 1);
+            suite.push_back(std::move(b));
+        } else {
+            const unsigned tier = i % 4;
+            if (tier <= 1)
+                suite.push_back(makeEasy(name, s, seed(name), i % 2 == 1));
+            else if (tier == 2)
+                suite.push_back(
+                    makeMedium(name, s, seed(name), true, i == 8));
+            else
+                suite.push_back(makeHard(name, s, seed(name), true));
+        }
+    }
+
+    // ---- SERVER01 .. SERVER10 ---------------------------------------------
+    for (unsigned i = 1; i <= 10; ++i) {
+        char name[32];
+        std::snprintf(name, sizeof(name), "SERVER%02u", i);
+        const unsigned tier = i % 4;
+        if (tier == 0)
+            suite.push_back(makeHard(name, s, seed(name), true));
+        else if (tier == 1)
+            suite.push_back(makeMedium(name, s, seed(name), true, true));
+        else
+            suite.push_back(makeEasy(name, s, seed(name), i % 2 == 0));
+    }
+    return suite;
+}
+
+std::vector<BenchmarkSpec>
+fullSuite()
+{
+    std::vector<BenchmarkSpec> all = cbp4Suite();
+    std::vector<BenchmarkSpec> cbp3 = cbp3Suite();
+    all.insert(all.end(), std::make_move_iterator(cbp3.begin()),
+               std::make_move_iterator(cbp3.end()));
+    return all;
+}
+
+BenchmarkSpec
+findBenchmark(const std::string &name)
+{
+    for (auto &b : fullSuite())
+        if (b.name == name)
+            return b;
+    throw std::invalid_argument("unknown benchmark: " + name);
+}
+
+} // namespace imli

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The synthetic CBP4-like and CBP3-like benchmark suites (40 + 40).
+ *
+ * Substitute for the championship trace sets (DESIGN.md, Section 2).  The
+ * generic members span easy / medium / hard difficulty tiers; the paper's
+ * seven IMLI-sensitive benchmarks have synthetic counterparts whose
+ * loop-nest content reproduces the correlation classes the paper
+ * attributes to them:
+ *
+ *   SPEC2K6-04  variable-trip nests, SameIter/Nested  -> IMLI-SIC, not WH
+ *   SPEC2K6-12  constant-trip nests, DiagPrev         -> WH and IMLI-OH
+ *   MM-4        constant-trip nest, Inverted, ~1 MPKI -> WH and IMLI-OH
+ *   CLIENT02    constant-trip nests, DiagPrev, hard   -> WH and IMLI-OH
+ *   MM07        both kinds, hardest                   -> SIC + OH/WH
+ *   WS04        variable-trip, SameIter-heavy         -> IMLI-SIC, not WH
+ *   WS03        small nest content                    -> marginal SIC/OH
+ *
+ * The CBP3-like suite carries more noise, local-pattern and long-loop
+ * content than the CBP4-like suite, reflecting the higher base MPKI and
+ * larger loop-predictor/local-history benefit the paper reports there.
+ */
+
+#ifndef IMLI_SRC_WORKLOADS_SUITE_HH
+#define IMLI_SRC_WORKLOADS_SUITE_HH
+
+#include <vector>
+
+#include "src/workloads/benchmark_spec.hh"
+
+namespace imli
+{
+
+/** The 40 CBP4-like benchmarks. */
+std::vector<BenchmarkSpec> cbp4Suite();
+
+/** The 40 CBP3-like benchmarks. */
+std::vector<BenchmarkSpec> cbp3Suite();
+
+/** Both suites, CBP4 first (80 benchmarks). */
+std::vector<BenchmarkSpec> fullSuite();
+
+/** Find a benchmark by name across both suites; throws if unknown. */
+BenchmarkSpec findBenchmark(const std::string &name);
+
+} // namespace imli
+
+#endif // IMLI_SRC_WORKLOADS_SUITE_HH

@@ -1,0 +1,264 @@
+#include "src/workloads/two_dim_loop.hh"
+
+#include <cassert>
+#include <sstream>
+
+namespace imli
+{
+
+std::string
+bodyClassName(BodyClass cls)
+{
+    switch (cls) {
+      case BodyClass::SameIter:
+        return "same-iter";
+      case BodyClass::DiagPrev:
+        return "diag-prev";
+      case BodyClass::DiagNext:
+        return "diag-next";
+      case BodyClass::Inverted:
+        return "inverted";
+      case BodyClass::Weak:
+        return "weak";
+      case BodyClass::Nested:
+        return "nested";
+      case BodyClass::Random:
+        return "random";
+    }
+    return "?";
+}
+
+namespace
+{
+
+// PC-region layout (byte offsets from pcBase); chosen so that body
+// branches land in distinct IMLI outer-history slots and backedges are
+// strictly backward.
+constexpr std::uint64_t nestTopOff = 0x10;
+constexpr std::uint64_t loopTopOff = 0x20;
+constexpr std::uint64_t bodyOff = 0x40;
+constexpr std::uint64_t bodyStride = 0x20;
+constexpr std::uint64_t guardOffInBody = 0x00;
+constexpr std::uint64_t branchOffInBody = 0x10;
+
+} // anonymous namespace
+
+TwoDimLoopKernel::TwoDimLoopKernel(const TwoDimLoopParams &params,
+                                   std::uint64_t pc_base, Xoroshiro128 rng_)
+    : cfg(params), pcBase(pc_base), rng(rng_),
+      rowCapacity(params.innerTripMax + 2)
+{
+    assert(cfg.innerTripMin >= 2);
+    assert(cfg.innerTripMin <= cfg.innerTripMax);
+    assert(cfg.outerIters >= 2);
+    state.resize(cfg.body.size());
+    for (auto &st : state) {
+        st.row.resize(rowCapacity);
+        st.guardRow.resize(rowCapacity);
+        for (unsigned m = 0; m < rowCapacity; ++m) {
+            st.row[m] = rng.bernoulli(0.5) ? 1 : 0;
+            st.guardRow[m] = rng.bernoulli(0.5) ? 1 : 0;
+        }
+    }
+}
+
+std::uint64_t
+TwoDimLoopKernel::bodyBranchPc(unsigned i) const
+{
+    return pcBase + bodyOff + i * bodyStride + branchOffInBody;
+}
+
+std::uint64_t
+TwoDimLoopKernel::guardBranchPc(unsigned i) const
+{
+    return pcBase + bodyOff + i * bodyStride + guardOffInBody;
+}
+
+std::uint64_t
+TwoDimLoopKernel::innerBackedgePc() const
+{
+    return pcBase + bodyOff + cfg.body.size() * bodyStride +
+           branchOffInBody;
+}
+
+std::uint64_t
+TwoDimLoopKernel::outerBackedgePc() const
+{
+    return innerBackedgePc() + 0x10;
+}
+
+void
+TwoDimLoopKernel::advanceRow(unsigned branch, Xoroshiro128 &r)
+{
+    BodyState &st = state[branch];
+    const BodyBranchSpec &spec = cfg.body[branch];
+    switch (spec.cls) {
+      case BodyClass::SameIter:
+      case BodyClass::Nested:
+        // Data arrays untouched inside the nest (Figure 1 premise).
+        break;
+      case BodyClass::DiagPrev: {
+        // Out[N][M] = Out[N-1][M-1]: shift towards higher M.
+        for (unsigned m = rowCapacity; m-- > 1;)
+            st.row[m] = st.row[m - 1];
+        st.row[0] = r.bernoulli(0.5) ? 1 : 0;
+        break;
+      }
+      case BodyClass::DiagNext: {
+        // Out[N][M] = Out[N-1][M+1]: shift towards lower M.
+        for (unsigned m = 0; m + 1 < rowCapacity; ++m)
+            st.row[m] = st.row[m + 1];
+        st.row[rowCapacity - 1] = r.bernoulli(0.5) ? 1 : 0;
+        break;
+      }
+      case BodyClass::Inverted:
+        for (unsigned m = 0; m < rowCapacity; ++m)
+            st.row[m] ^= 1;
+        break;
+      case BodyClass::Weak:
+        for (unsigned m = 0; m < rowCapacity; ++m)
+            if (r.bernoulli(spec.noise))
+                st.row[m] = r.bernoulli(0.5) ? 1 : 0;
+        break;
+      case BodyClass::Random:
+        break; // drawn at emission
+    }
+}
+
+void
+TwoDimLoopKernel::emitRound(Trace &trace)
+{
+    BranchEmitter emit(trace, rng, cfg.gapMin, cfg.gapMax);
+    const std::uint64_t nest_top = pcBase + nestTopOff;
+    const std::uint64_t loop_top = pcBase + loopTopOff;
+    const std::uint64_t inner_pc = innerBackedgePc();
+    const std::uint64_t outer_pc = outerBackedgePc();
+
+    // Between nest executions the SameIter/Nested data mutates slightly.
+    for (unsigned b = 0; b < cfg.body.size(); ++b) {
+        BodyState &st = state[b];
+        const BodyClass cls = cfg.body[b].cls;
+        if (cls == BodyClass::SameIter || cls == BodyClass::Nested) {
+            for (unsigned m = 0; m < rowCapacity; ++m) {
+                if (rng.bernoulli(cfg.rowMutateProb))
+                    st.row[m] ^= 1;
+                if (rng.bernoulli(cfg.rowMutateProb))
+                    st.guardRow[m] ^= 1;
+            }
+        }
+    }
+
+    // A call marks the nest entry (non-conditional history traffic).
+    emit.call(pcBase, nest_top);
+
+    for (unsigned n = 0; n < cfg.outerIters; ++n) {
+        if (n > 0)
+            for (unsigned b = 0; b < cfg.body.size(); ++b)
+                advanceRow(b, rng);
+
+        const unsigned trip =
+            cfg.innerTripMin == cfg.innerTripMax
+                ? cfg.innerTripMin
+                : static_cast<unsigned>(rng.range(cfg.innerTripMin,
+                                                  cfg.innerTripMax));
+
+        for (unsigned m = 0; m < trip; ++m) {
+            for (unsigned b = 0; b < cfg.body.size(); ++b) {
+                const BodyBranchSpec &spec = cfg.body[b];
+                BodyState &st = state[b];
+                if (spec.cls == BodyClass::Nested) {
+                    const bool guard = st.guardRow[m] != 0;
+                    emit.cond(guardBranchPc(b), guardBranchPc(b) + 0x8,
+                              guard);
+                    if (!guard)
+                        continue;
+                }
+                bool outcome;
+                if (spec.cls == BodyClass::Random)
+                    outcome = rng.bernoulli(spec.takenProb);
+                else
+                    outcome = st.row[m] != 0;
+                if (spec.noise > 0.0 && spec.cls != BodyClass::Weak &&
+                    rng.bernoulli(spec.noise))
+                    outcome = !outcome;
+                emit.cond(bodyBranchPc(b), bodyBranchPc(b) + 0x8, outcome);
+            }
+            // Inner backedge: taken while iterating.
+            emit.cond(inner_pc, loop_top, m + 1 < trip);
+        }
+        // Outer backedge: taken while outer iterations remain.
+        emit.cond(outer_pc, nest_top, n + 1 < cfg.outerIters);
+    }
+    emit.ret(outer_pc + 0x10, pcBase + 0x4);
+}
+
+std::string
+TwoDimLoopKernel::describe() const
+{
+    std::ostringstream os;
+    os << "2dloop(N=" << cfg.outerIters << ",M=" << cfg.innerTripMin;
+    if (cfg.innerTripMax != cfg.innerTripMin)
+        os << ".." << cfg.innerTripMax;
+    os << ",body=";
+    for (std::size_t i = 0; i < cfg.body.size(); ++i)
+        os << (i ? "," : "") << bodyClassName(cfg.body[i].cls);
+    os << ")";
+    return os.str();
+}
+
+// --------------------------------------------------------------------------
+// RegularLoopKernel
+// --------------------------------------------------------------------------
+
+RegularLoopKernel::RegularLoopKernel(const RegularLoopParams &params,
+                                     std::uint64_t pc_base,
+                                     Xoroshiro128 rng_)
+    : cfg(params), pcBase(pc_base), rng(rng_)
+{
+    assert(cfg.trip >= 3);
+}
+
+std::uint64_t
+RegularLoopKernel::backedgePc() const
+{
+    return pcBase + 0x20 + cfg.bodyBranches * 0x10;
+}
+
+void
+RegularLoopKernel::emitRound(Trace &trace)
+{
+    BranchEmitter emit(trace, rng, cfg.gapMin, cfg.gapMax);
+    const std::uint64_t loop_top = pcBase + 0x10;
+    const std::uint64_t backedge = backedgePc();
+
+    for (unsigned run = 0; run < cfg.runsPerRound; ++run) {
+        unsigned trip = cfg.trip;
+        if (cfg.tripJitter > 0) {
+            trip = static_cast<unsigned>(rng.range(
+                static_cast<std::int64_t>(cfg.trip) - cfg.tripJitter,
+                static_cast<std::int64_t>(cfg.trip) + cfg.tripJitter));
+        }
+        emit.call(pcBase, loop_top);
+        for (unsigned i = 0; i < trip; ++i) {
+            for (unsigned b = 0; b < cfg.bodyBranches; ++b) {
+                const std::uint64_t pc = pcBase + 0x20 + b * 0x10;
+                emit.cond(pc, pc + 0x8, rng.bernoulli(cfg.bodyTakenProb));
+            }
+            emit.cond(backedge, loop_top, i + 1 < trip);
+        }
+        emit.ret(backedge + 0x10, pcBase + 0x4);
+    }
+}
+
+std::string
+RegularLoopKernel::describe() const
+{
+    std::ostringstream os;
+    os << "loop(T=" << cfg.trip;
+    if (cfg.tripJitter)
+        os << "+-" << cfg.tripJitter;
+    os << ",body=" << cfg.bodyBranches << ")";
+    return os.str();
+}
+
+} // namespace imli

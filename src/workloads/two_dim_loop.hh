@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Loop-structured kernels: the paper's Figure-1 two-dimensional loop nest
+ * with its branch classes, and simple counted loops.
+ *
+ * TwoDimLoopKernel models
+ *
+ *     for (N = 0; N < outerIters; N++)        // outer loop OL
+ *       for (M = 0; M < trip; M++)            // inner loop IL
+ *         { body branches B_k testing data with known dependence }
+ *
+ * Each body branch belongs to a correlation class defining how its outcome
+ * matrix Out[N][M] evolves across outer iterations:
+ *
+ *   SameIter  (B3/B4 of Fig.1):  Out[N][M] =  Out[N-1][M]   — IMLI-SIC food
+ *   DiagPrev  (SPEC2K6-12 etc.): Out[N][M] =  Out[N-1][M-1] — WH / IMLI-OH
+ *   DiagNext  (B1 of Fig.1):     Out[N][M] =  Out[N-1][M+1] — WH only
+ *   Inverted  (MM-4):            Out[N][M] = !Out[N-1][M]   — WH / IMLI-OH
+ *   Weak      (B2 of Fig.1):     Out[N][M] =  Out[N-1][M] w.p. 1-noise
+ *   Nested    (B4 of Fig.1):     SameIter behind a data-dependent guard
+ *   Random:                      fresh Bernoulli draw every execution
+ *
+ * The inner loop trip count is constant when innerTripMin == innerTripMax
+ * (wormhole-compatible) and redrawn per outer iteration otherwise (only
+ * IMLI-SIC-class components can track those branches; Section 2.2.2, "WH
+ * limitations").
+ */
+
+#ifndef IMLI_SRC_WORKLOADS_TWO_DIM_LOOP_HH
+#define IMLI_SRC_WORKLOADS_TWO_DIM_LOOP_HH
+
+#include <vector>
+
+#include "src/workloads/kernel.hh"
+
+namespace imli
+{
+
+/** Correlation class of a loop-body branch. */
+enum class BodyClass
+{
+    SameIter,
+    DiagPrev,
+    DiagNext,
+    Inverted,
+    Weak,
+    Nested,
+    Random,
+};
+
+/** Printable name of a body class. */
+std::string bodyClassName(BodyClass cls);
+
+/** One branch inside the inner loop body. */
+struct BodyBranchSpec
+{
+    BodyClass cls = BodyClass::SameIter;
+    /** Per-execution outcome flip probability (measurement noise). */
+    double noise = 0.0;
+    /** Nested only: probability the guard lets the branch execute. */
+    double guardRate = 0.6;
+    /** Random only: taken probability. */
+    double takenProb = 0.5;
+};
+
+/** Parameters of a two-dimensional loop nest kernel. */
+struct TwoDimLoopParams
+{
+    unsigned outerIters = 20;    //!< outer iterations per nest execution
+    unsigned innerTripMin = 24;  //!< constant trip when min == max
+    unsigned innerTripMax = 24;
+    std::vector<BodyBranchSpec> body;
+    /** Per-element chance the SameIter data flips between nest runs. */
+    double rowMutateProb = 0.02;
+    unsigned gapMin = 2;
+    unsigned gapMax = 7;
+};
+
+/** The Figure-1 loop nest generator. */
+class TwoDimLoopKernel : public Kernel
+{
+  public:
+    /**
+     * @param params nest geometry and body classes
+     * @param pc_base start of this kernel's private PC region
+     * @param rng kernel-private random stream
+     */
+    TwoDimLoopKernel(const TwoDimLoopParams &params, std::uint64_t pc_base,
+                     Xoroshiro128 rng);
+
+    void emitRound(Trace &trace) override;
+    std::string describe() const override;
+
+    const TwoDimLoopParams &params() const { return cfg; }
+
+    /** PC of body branch @p i (tests assert per-branch correlation). */
+    std::uint64_t bodyBranchPc(unsigned i) const;
+
+    /** PC of the guard branch of a Nested body branch @p i. */
+    std::uint64_t guardBranchPc(unsigned i) const;
+
+    /** PC of the inner-loop backward branch. */
+    std::uint64_t innerBackedgePc() const;
+
+    /** PC of the outer-loop backward branch. */
+    std::uint64_t outerBackedgePc() const;
+
+  private:
+    struct BodyState
+    {
+        std::vector<std::uint8_t> row;      //!< Out[N-1][*]
+        std::vector<std::uint8_t> guardRow; //!< Nested guard data
+    };
+
+    void advanceRow(unsigned branch, Xoroshiro128 &r);
+
+    TwoDimLoopParams cfg;
+    std::uint64_t pcBase;
+    Xoroshiro128 rng;
+    std::vector<BodyState> state;
+    unsigned rowCapacity;
+};
+
+/** Parameters of a simple counted loop kernel. */
+struct RegularLoopParams
+{
+    unsigned trip = 400;        //!< iterations per execution
+    unsigned tripJitter = 0;    //!< +/- uniform jitter per execution
+    unsigned bodyBranches = 2;  //!< biased branches inside the loop
+    double bodyTakenProb = 0.85;
+    unsigned runsPerRound = 2;  //!< loop executions per round
+    unsigned gapMin = 2;
+    unsigned gapMax = 7;
+};
+
+/**
+ * Counted loop: the loop predictor's bread and butter.  With trips larger
+ * than the main predictor's useful history the exit is only predictable
+ * by the loop predictor — or by IMLI-SIC, which learns (PC, IMLIcount ==
+ * trip-1) => not-taken, the subsumption measured in Section 4.2.2.
+ */
+class RegularLoopKernel : public Kernel
+{
+  public:
+    RegularLoopKernel(const RegularLoopParams &params, std::uint64_t pc_base,
+                      Xoroshiro128 rng);
+
+    void emitRound(Trace &trace) override;
+    std::string describe() const override;
+
+    std::uint64_t backedgePc() const;
+
+  private:
+    RegularLoopParams cfg;
+    std::uint64_t pcBase;
+    Xoroshiro128 rng;
+};
+
+} // namespace imli
+
+#endif // IMLI_SRC_WORKLOADS_TWO_DIM_LOOP_HH

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Integration tests: end-to-end reproduction properties on small traces.
+ * These encode the paper's qualitative claims as assertions — who must
+ * win where, and who must not move.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/predictors/zoo.hh"
+#include "src/sim/simulator.hh"
+#include "src/workloads/suite.hh"
+
+using namespace imli;
+
+namespace
+{
+
+double
+mpkiOf(const std::string &spec, const Trace &trace)
+{
+    PredictorPtr pred = makePredictor(spec);
+    return simulate(*pred, trace).mpki();
+}
+
+} // anonymous namespace
+
+TEST(Integration, ImliHelpsTheSicShowcase)
+{
+    // SPEC2K6-04: variable-trip same-iteration correlation.
+    const Trace t = generateTrace(findBenchmark("SPEC2K6-04"), 120000);
+    const double base = mpkiOf("tage-gsc", t);
+    const double sic = mpkiOf("tage-gsc+sic", t);
+    const double imli = mpkiOf("tage-gsc+i", t);
+    EXPECT_LT(sic, base - 0.3) << "IMLI-SIC must clearly help";
+    EXPECT_LT(imli, base - 0.5);
+}
+
+TEST(Integration, WormholeUselessOnVariableTrips)
+{
+    // Paper Section 4.2.2: SPEC2K6-04 and WS04 are *not* improved by WH.
+    for (const char *name : {"SPEC2K6-04", "WS04"}) {
+        const Trace t = generateTrace(findBenchmark(name), 80000);
+        const double base = mpkiOf("tage-gsc", t);
+        const double wh = mpkiOf("tage-gsc+wh", t);
+        EXPECT_NEAR(wh, base, 0.15) << name;
+    }
+}
+
+TEST(Integration, WormholeAndOhHelpTheDiagonalShowcase)
+{
+    // SPEC2K6-12: constant-trip diagonal correlation.
+    const Trace t = generateTrace(findBenchmark("SPEC2K6-12"), 120000);
+    const double base = mpkiOf("tage-gsc", t);
+    const double wh = mpkiOf("tage-gsc+wh", t);
+    const double imli = mpkiOf("tage-gsc+i", t);
+    EXPECT_LT(wh, base - 0.4) << "WH captures the diagonal";
+    EXPECT_LT(imli, base - 1.0) << "IMLI-OH captures it too";
+}
+
+TEST(Integration, OhCoversWhOnInvertedCorrelation)
+{
+    // MM-4 style: Out[N][M] = !Out[N-1][M].
+    const Trace t = generateTrace(findBenchmark("MM-4"), 120000);
+    const double base = mpkiOf("tage-gsc", t);
+    const double imli = mpkiOf("tage-gsc+i", t);
+    EXPECT_LT(imli, base) << "IMLI must help MM-4";
+}
+
+TEST(Integration, EasyBenchmarksUnchangedByImli)
+{
+    // Paper: "most of the other benchmarks neither benefit nor suffer".
+    for (const char *name : {"SPEC2K6-00", "MM-1", "SERVER-2"}) {
+        const Trace t = generateTrace(findBenchmark(name), 60000);
+        const double base = mpkiOf("tage-gsc", t);
+        const double imli = mpkiOf("tage-gsc+i", t);
+        EXPECT_NEAR(imli, base, 0.25) << name;
+    }
+}
+
+TEST(Integration, GehlBenefitsFromImliToo)
+{
+    // Figure 6 / Section 4.2.2: the same components plug into GEHL.
+    const Trace t = generateTrace(findBenchmark("SPEC2K6-12"), 120000);
+    const double base = mpkiOf("gehl", t);
+    const double imli = mpkiOf("gehl+i", t);
+    EXPECT_LT(imli, base - 1.0);
+}
+
+TEST(Integration, HostsAreComparableAndBothGainFromImli)
+{
+    // Paper Section 3.2 positions TAGE-GSC ~14 % ahead of GEHL on the
+    // championship traces.  On the synthetic suites our clean-room GEHL
+    // is comparatively stronger (documented deviation; EXPERIMENTS.md):
+    // we assert the two hosts stay within 25 % of each other and that
+    // BOTH gain from the IMLI components — the property the paper's
+    // argument actually rests on.
+    double tage_total = 0, gehl_total = 0;
+    double tage_imli = 0, gehl_imli = 0;
+    for (const char *name : {"SPEC2K6-03", "MM-2", "WS03", "SPEC2K6-12"}) {
+        const Trace t = generateTrace(findBenchmark(name), 60000);
+        tage_total += mpkiOf("tage-gsc", t);
+        gehl_total += mpkiOf("gehl", t);
+        tage_imli += mpkiOf("tage-gsc+i", t);
+        gehl_imli += mpkiOf("gehl+i", t);
+    }
+    EXPECT_LT(std::abs(tage_total - gehl_total), 0.25 * gehl_total);
+    EXPECT_LT(tage_imli, tage_total);
+    EXPECT_LT(gehl_imli, gehl_total);
+}
+
+TEST(Integration, LocalBenefitShrinksOnTopOfImli)
+{
+    // Section 5: IMLI subsumes part of what local history captures.
+    // Measured on the local-heavy WS04 showcase.
+    const Trace t = generateTrace(findBenchmark("WS04"), 120000);
+    const double base = mpkiOf("tage-gsc", t);
+    const double with_l = mpkiOf("tage-gsc+l", t);
+    const double with_i = mpkiOf("tage-gsc+i", t);
+    const double with_il = mpkiOf("tage-gsc+i+l", t);
+    const double l_benefit_alone = base - with_l;
+    const double l_benefit_on_imli = with_i - with_il;
+    EXPECT_GT(l_benefit_alone, 0.0);
+    EXPECT_LT(l_benefit_on_imli, l_benefit_alone);
+}
+
+TEST(Integration, SicSubsumesLoopPredictor)
+{
+    // Section 4.2.2: IMLI-SIC predicts constant-trip loop exits itself
+    // (hash(PC, IMLIcount == trip) => not taken), which is why enabling
+    // the loop predictor on top of IMLI barely helps.  Assert it on the
+    // loop backedge directly: SERVER-5 carries trip-60 loops whose exit
+    // context is invisible to global history.
+    BenchmarkSpec spec = findBenchmark("SERVER-5");
+    const Trace t = generateTrace(spec, 150000);
+
+    auto backedge_misses = [&t](const std::string &cfg) {
+        PredictorPtr pred = makePredictor(cfg);
+        SimOptions opt;
+        opt.collectPerPc = true;
+        const SimResult r = simulate(*pred, t, opt);
+        // The long-loop kernel is the 7th kernel of SERVER-5: region
+        // 0xa00000; backedge at +0x20 + bodyBranches*0x10.
+        const std::uint64_t backedge = 0xa00030;
+        const auto it = r.perPcMispredictions.find(backedge);
+        return it == r.perPcMispredictions.end() ? 0ull : it->second;
+    };
+
+    const auto base = backedge_misses("tage-gsc");
+    const auto with_loop = backedge_misses("tage-gsc+loop");
+    const auto with_sic = backedge_misses("tage-gsc+sic");
+    EXPECT_GT(base, 20u) << "the base cannot call trip-60 exits";
+    EXPECT_LT(with_loop, base / 2) << "the loop predictor can";
+    EXPECT_LT(with_sic, base / 2) << "and IMLI-SIC subsumes it";
+}
+
+TEST(Integration, FullSuiteDeterminism)
+{
+    // The same spec string must give bit-identical results end to end.
+    const Trace t = generateTrace(findBenchmark("MM07"), 50000);
+    const double a = mpkiOf("tage-gsc+i+l", t);
+    const double b = mpkiOf("tage-gsc+i+l", t);
+    EXPECT_DOUBLE_EQ(a, b);
+}

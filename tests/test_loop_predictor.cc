@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Behavioural tests for the loop exit predictor: trip-count learning,
+ * confidence gating, irregular-loop rejection and the trip-count oracle
+ * consumed by the wormhole predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/predictors/loop_predictor.hh"
+
+using namespace imli;
+
+namespace
+{
+
+constexpr std::uint64_t loopPc = 0x4080;
+
+/**
+ * Run @p runs executions of a loop with @p trip iterations (taken
+ * trip-1 times, then not taken).  Returns mispredictions over the last
+ * @p counted runs, only counting occurrences where the predictor claims
+ * a valid (confident) prediction; `uncovered` counts occurrences it
+ * declined to predict during those runs.
+ */
+struct LoopDrive
+{
+    unsigned valid_mispredicts = 0;
+    unsigned uncovered = 0;
+    unsigned occurrences = 0;
+};
+
+LoopDrive
+driveLoop(LoopPredictor &pred, unsigned trip, unsigned runs,
+          unsigned counted)
+{
+    LoopDrive result;
+    for (unsigned run = 0; run < runs; ++run) {
+        for (unsigned i = 0; i < trip; ++i) {
+            const bool taken = i + 1 < trip;
+            const auto p = pred.lookup(loopPc);
+            if (run >= runs - counted) {
+                ++result.occurrences;
+                if (p.valid) {
+                    if (p.taken != taken)
+                        ++result.valid_mispredicts;
+                } else {
+                    ++result.uncovered;
+                }
+            }
+            // Allocation is enabled as if the main predictor mispredicted
+            // the loop exit (the realistic trigger).
+            pred.update(loopPc, taken, !taken);
+        }
+    }
+    return result;
+}
+
+} // anonymous namespace
+
+TEST(LoopPredictor, LearnsConstantTripLoop)
+{
+    LoopPredictor pred;
+    const LoopDrive r = driveLoop(pred, 20, 40, 10);
+    EXPECT_EQ(r.valid_mispredicts, 0u);
+    // Once confident, it must actually cover the loop.
+    EXPECT_LT(r.uncovered, r.occurrences / 4);
+}
+
+TEST(LoopPredictor, PredictsExitIteration)
+{
+    LoopPredictor pred;
+    driveLoop(pred, 12, 30, 0);
+    // Walk one more run manually and check the exit is called correctly.
+    for (unsigned i = 0; i < 12; ++i) {
+        const bool taken = i + 1 < 12;
+        const auto p = pred.lookup(loopPc);
+        ASSERT_TRUE(p.valid) << "iteration " << i;
+        EXPECT_EQ(p.taken, taken) << "iteration " << i;
+        pred.update(loopPc, taken, false);
+    }
+}
+
+TEST(LoopPredictor, ExposesTripCount)
+{
+    LoopPredictor pred;
+    driveLoop(pred, 24, 30, 0);
+    const auto trip = pred.tripCount(loopPc);
+    ASSERT_TRUE(trip.has_value());
+    EXPECT_EQ(*trip, 24u);
+}
+
+TEST(LoopPredictor, NoTripCountWithoutConfidence)
+{
+    LoopPredictor pred;
+    driveLoop(pred, 24, 2, 0); // too few runs to gain confidence
+    EXPECT_FALSE(pred.tripCount(loopPc).has_value());
+}
+
+TEST(LoopPredictor, RejectsIrregularLoop)
+{
+    LoopPredictor pred;
+    // Alternate between two trip counts: never confident.
+    for (unsigned run = 0; run < 40; ++run) {
+        const unsigned trip = (run & 1) ? 11 : 17;
+        for (unsigned i = 0; i < trip; ++i) {
+            const bool taken = i + 1 < trip;
+            pred.lookup(loopPc);
+            pred.update(loopPc, taken, !taken);
+        }
+    }
+    EXPECT_FALSE(pred.tripCount(loopPc).has_value());
+}
+
+TEST(LoopPredictor, VeryShortLoopsDeclined)
+{
+    LoopPredictor pred;
+    driveLoop(pred, 2, 60, 0);
+    // Trip counts < 3 are freed (main predictor handles them better).
+    EXPECT_FALSE(pred.tripCount(loopPc).has_value());
+}
+
+TEST(LoopPredictor, NoAllocationWithoutMispredict)
+{
+    LoopPredictor pred;
+    for (unsigned run = 0; run < 30; ++run) {
+        for (unsigned i = 0; i < 16; ++i) {
+            const bool taken = i + 1 < 16;
+            pred.lookup(loopPc);
+            pred.update(loopPc, taken, /*alloc=*/false);
+        }
+    }
+    EXPECT_FALSE(pred.tripCount(loopPc).has_value());
+}
+
+TEST(LoopPredictor, ConfidentWrongPredictionFreesEntry)
+{
+    LoopPredictor pred;
+    driveLoop(pred, 15, 30, 0);
+    ASSERT_TRUE(pred.tripCount(loopPc).has_value());
+    // The loop changes trip count; after the first confident miss the
+    // entry must be invalidated.
+    for (unsigned run = 0; run < 4; ++run) {
+        for (unsigned i = 0; i < 9; ++i) {
+            const bool taken = i + 1 < 9;
+            pred.lookup(loopPc);
+            pred.update(loopPc, taken, !taken);
+        }
+    }
+    const auto trip = pred.tripCount(loopPc);
+    EXPECT_TRUE(!trip.has_value() || *trip != 15u);
+}
+
+TEST(LoopPredictor, DistinctLoopsCoexist)
+{
+    LoopPredictor pred(LoopPredictor::Config{/*logSets=*/2, /*ways=*/4});
+    const std::uint64_t pc_a = 0x1000, pc_b = 0x2000;
+    for (unsigned run = 0; run < 40; ++run) {
+        for (unsigned i = 0; i < 10; ++i) {
+            pred.lookup(pc_a);
+            pred.update(pc_a, i + 1 < 10, i + 1 == 10);
+        }
+        for (unsigned i = 0; i < 30; ++i) {
+            pred.lookup(pc_b);
+            pred.update(pc_b, i + 1 < 30, i + 1 == 30);
+        }
+    }
+    const auto trip_a = pred.tripCount(pc_a);
+    const auto trip_b = pred.tripCount(pc_b);
+    ASSERT_TRUE(trip_a.has_value());
+    ASSERT_TRUE(trip_b.has_value());
+    EXPECT_EQ(*trip_a, 10u);
+    EXPECT_EQ(*trip_b, 30u);
+}
+
+TEST(LoopPredictor, StorageMatchesGeometry)
+{
+    LoopPredictor::Config cfg;
+    cfg.logSets = 2;
+    cfg.ways = 4;
+    LoopPredictor pred(cfg);
+    StorageAccount acct;
+    pred.account(acct, "loop");
+    // 16 entries x (10+10 iter + 10 tag + 4 conf + 4 age + 1 dir).
+    EXPECT_EQ(acct.totalBits(), 16u * (10 + 10 + 10 + 4 + 4 + 1));
+}

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for the OMLI extension (outer-loop iteration counter + cross
+ * table; DESIGN.md section 8 — beyond the paper, in the spirit of its
+ * Section 6 outlook).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/imli_components.hh"
+#include "src/core/omli.hh"
+#include "src/predictors/zoo.hh"
+#include "src/sim/simulator.hh"
+#include "src/util/rng.hh"
+#include "src/workloads/suite.hh"
+#include "src/workloads/two_dim_loop.hh"
+
+using namespace imli;
+
+namespace
+{
+
+/** Drive a two-level nest through the counter pair; checks alignment. */
+struct NestDriver
+{
+    ImliCounter imli{10};
+    OmliCounter omli{8};
+
+    void
+    branch(std::uint64_t pc, std::uint64_t target, bool taken)
+    {
+        const unsigned before = imli.value();
+        imli.onConditionalBranch(pc, target, taken);
+        omli.onConditionalBranch(pc, target, taken, before);
+    }
+
+    /** One inner-loop run: trip-1 taken + one not-taken backedge. */
+    void
+    innerRun(unsigned trip)
+    {
+        for (unsigned m = 0; m + 1 < trip; ++m)
+            branch(0x200, 0x100, true);
+        branch(0x200, 0x100, false);
+    }
+};
+
+} // anonymous namespace
+
+TEST(OmliCounter, CountsOuterIterations)
+{
+    NestDriver d;
+    for (unsigned n = 0; n < 5; ++n) {
+        d.innerRun(8);
+        EXPECT_EQ(d.omli.value(), n + 1) << "after inner run " << n;
+        // Outer backedge taken: nest continues.
+        d.branch(0x300, 0x80, true);
+    }
+}
+
+TEST(OmliCounter, OuterExitResets)
+{
+    // A complete nest: three outer iterations, then the outer backedge
+    // falls through right after the last inner exit (the real emission
+    // order: inner exit -> outer backedge).
+    NestDriver d;
+    for (unsigned n = 0; n < 3; ++n) {
+        d.innerRun(8);
+        d.branch(0x300, 0x80, n + 1 < 3);
+        if (n + 1 < 3)
+            EXPECT_GT(d.omli.value(), 0u) << "outer iteration " << n;
+    }
+    // The outer exit arrives with the inner counter already at zero:
+    // the outer phase is over.
+    EXPECT_EQ(d.omli.value(), 0u);
+}
+
+TEST(OmliCounter, SurvivesAcrossOuterBackedges)
+{
+    // OMLI must keep counting across outer iterations (the whole point);
+    // the taken outer backedge must not disturb it.
+    NestDriver d;
+    for (unsigned n = 0; n < 6; ++n) {
+        d.innerRun(5);
+        EXPECT_EQ(d.omli.value(), n + 1);
+        d.branch(0x300, 0x80, true);
+        EXPECT_EQ(d.omli.value(), n + 1) << "outer backedge disturbed it";
+    }
+}
+
+TEST(OmliCounter, ForwardBranchesIgnored)
+{
+    NestDriver d;
+    d.innerRun(4);
+    const unsigned before = d.omli.value();
+    d.branch(0x100, 0x200, true);  // forward taken
+    d.branch(0x100, 0x200, false); // forward not taken
+    EXPECT_EQ(d.omli.value(), before);
+}
+
+TEST(OmliCounter, SaturatesAndCheckpoints)
+{
+    OmliCounter c(3); // max 7
+    for (int i = 0; i < 20; ++i) {
+        c.onConditionalBranch(0x200, 0x100, true, 0);
+        c.onConditionalBranch(0x200, 0x100, false, 1);
+    }
+    EXPECT_EQ(c.value(), 7u);
+    const auto cp = c.save();
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+    c.restore(cp);
+    EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(OmliSic, LearnsOuterPhaseDependentPattern)
+{
+    // Out[N][M] = base[M] XOR (N & 1): invisible to a phase-blind
+    // (PC, M) table, separable for the (PC, M, N mod 2) cross table.
+    OmliSic cross;
+    ImliSic plain;
+    Xoroshiro128 rng(3);
+    bool base[12];
+    for (auto &b : base)
+        b = rng.bernoulli(0.5);
+
+    ScContext ctx;
+    ctx.pc = 0x4242;
+    for (unsigned round = 0; round < 40; ++round) {
+        for (unsigned n = 0; n < 8; ++n) {
+            for (unsigned m = 1; m <= 12; ++m) {
+                ctx.imliCount = m;
+                ctx.omliCount = n;
+                const bool out = base[m - 1] ^ ((n & 1) != 0);
+                cross.update(ctx, out);
+                plain.update(ctx, out);
+            }
+        }
+    }
+    unsigned cross_right = 0, plain_confident = 0;
+    for (unsigned n = 0; n < 8; ++n) {
+        for (unsigned m = 1; m <= 12; ++m) {
+            ctx.imliCount = m;
+            ctx.omliCount = n;
+            const bool out = base[m - 1] ^ ((n & 1) != 0);
+            if ((cross.vote(ctx) >= 0) == out)
+                ++cross_right;
+            if (std::abs(plain.vote(ctx)) > 3 * 9)
+                ++plain_confident;
+        }
+    }
+    EXPECT_GT(cross_right, 90u) << "of 96: the cross table separates";
+    EXPECT_LT(plain_confident, 20u)
+        << "the phase-blind table sees alternating outcomes and stays "
+           "weak";
+}
+
+TEST(OmliSic, AbstainsOutsideLoops)
+{
+    OmliSic cross;
+    ScContext ctx;
+    ctx.pc = 0x4242;
+    ctx.imliCount = 0;
+    ctx.omliCount = 5;
+    for (int i = 0; i < 50; ++i)
+        cross.update(ctx, true);
+    EXPECT_EQ(cross.vote(ctx), 0);
+}
+
+TEST(OmliComponents, CheckpointCoversOmli)
+{
+    ImliComponents::Config cfg;
+    cfg.enableOmli = true;
+    ImliComponents imli(cfg);
+    // 10 (IMLI) + 16 (PIPE) + 8 + 12 (OMLI counter + inner tag).
+    EXPECT_EQ(imli.checkpointBits(), 46u);
+
+    for (int i = 0; i < 4; ++i) {
+        imli.onResolved(0x200, 0x100, true);
+        imli.onResolved(0x200, 0x100, false);
+    }
+    const auto cp = imli.save();
+    const unsigned omli_before = imli.omliCounter().value();
+    imli.onResolved(0x300, 0x80, false); // outer exit: resets OMLI
+    EXPECT_EQ(imli.omliCounter().value(), 0u);
+    imli.restore(cp);
+    EXPECT_EQ(imli.omliCounter().value(), omli_before);
+}
+
+TEST(OmliZoo, SpecsConstructAndName)
+{
+    EXPECT_EQ(makePredictor("tage-gsc+sic+omli")->name(),
+              "TAGE-GSC+SIC+OMLI");
+    EXPECT_EQ(makePredictor("gehl+sic+omli")->name(), "GEHL+SIC+OMLI");
+    // The extension costs one 1K x 6-bit table + a 20-bit counter pair.
+    const auto with = makePredictor("tage-gsc+sic+omli")->storage();
+    const auto without = makePredictor("tage-gsc+sic")->storage();
+    EXPECT_NEAR(static_cast<double>(with.totalBits() - without.totalBits()),
+                1024 * 6 + 20, 16);
+}
+
+TEST(OmliZoo, HelpsTheInvertedShowcase)
+{
+    // MM-4's inversion is an outer-phase pattern: OMLI-SIC should capture
+    // a good share of what IMLI-OH captures there, without the
+    // outer-history storage.
+    const Trace t = generateTrace(findBenchmark("MM-4"), 120000);
+    PredictorPtr sic = makePredictor("tage-gsc+sic");
+    PredictorPtr omli = makePredictor("tage-gsc+sic+omli");
+    const double sic_mpki = simulate(*sic, t).mpki();
+    const double omli_mpki = simulate(*omli, t).mpki();
+    EXPECT_LT(omli_mpki, sic_mpki - 0.1);
+}

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Edge-case tests for predictor internals that the behavioural suites
+ * exercise only implicitly: TAGE usefulness ageing under allocation
+ * pressure, the host-side wormhole trip-count feed, and storage-ledger
+ * composition in the hosts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/history/history_manager.hh"
+#include "src/predictors/tage.hh"
+#include "src/predictors/tage_gsc.hh"
+#include "src/predictors/zoo.hh"
+#include "src/sim/simulator.hh"
+#include "src/util/rng.hh"
+#include "src/workloads/two_dim_loop.hh"
+
+using namespace imli;
+
+// ---------------------------------------------------------------------------
+// TAGE under allocation pressure
+// ---------------------------------------------------------------------------
+
+TEST(TageInternals, SurvivesAdversarialAllocationStorm)
+{
+    // Thousands of distinct, randomly-behaving branches force constant
+    // allocation; the tick-based u-bit ageing must keep the predictor
+    // functional (no assert, no livelock) and still able to learn a
+    // stable branch planted in the storm.
+    HistoryManager mgr(4096);
+    TagePredictor tage(TagePredictor::Config(), mgr);
+    Xoroshiro128 rng(5);
+
+    auto step = [&](std::uint64_t pc, bool taken) {
+        const auto pred = tage.predict(pc);
+        tage.update(pc, taken, pred.taken);
+        mgr.push(taken, pc);
+        return pred.taken;
+    };
+
+    int planted_correct = 0, planted_seen = 0;
+    for (int i = 0; i < 60000; ++i) {
+        const std::uint64_t pc = 0x10000 + rng.below(4096) * 2;
+        step(pc, rng.bernoulli(0.5));
+        if (i % 7 == 0) {
+            const bool p = step(0x44, true); // the stable planted branch
+            if (i > 30000) {
+                ++planted_seen;
+                planted_correct += p ? 1 : 0;
+            }
+        }
+    }
+    ASSERT_GT(planted_seen, 1000);
+    EXPECT_GT(static_cast<double>(planted_correct) / planted_seen, 0.97);
+}
+
+TEST(TageInternals, UpdateAssertsOnUnpairedCall)
+{
+    // The predict/update pairing contract is load-bearing; in debug
+    // builds an unpaired update must trip the assertion.
+    HistoryManager mgr(4096);
+    TagePredictor tage(TagePredictor::Config(), mgr);
+    tage.predict(0x44);
+#ifndef NDEBUG
+    EXPECT_DEATH(tage.update(0x88, true, true), "pair");
+#else
+    GTEST_SKIP() << "assertions disabled in this build";
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Wormhole trip-count feed through the host
+// ---------------------------------------------------------------------------
+
+TEST(HostInternals, WormholeReceivesTripCountsFromLoopPredictor)
+{
+    // End-to-end: a constant-trip diagonal nest through the full
+    // TAGE-GSC+WH host.  The only way WH can beat the base here is if the
+    // host's loop predictor learned the trip count and fed it through.
+    TwoDimLoopParams params;
+    params.outerIters = 20;
+    params.innerTripMin = 16;
+    params.innerTripMax = 16;
+    params.rowMutateProb = 0.0;
+    params.body.push_back({BodyClass::DiagPrev, 0.0, 0.6, 0.5});
+    params.body.push_back({BodyClass::Random, 0.0, 0.6, 0.5});
+    TwoDimLoopKernel kernel(params, 0x400000, Xoroshiro128(11));
+    Trace trace;
+    for (int r = 0; r < 120; ++r)
+        kernel.emitRound(trace);
+
+    PredictorPtr base = makePredictor("tage-gsc");
+    PredictorPtr wh = makePredictor("tage-gsc+wh");
+    const double base_mpki = simulate(*base, trace).mpki();
+    const double wh_mpki = simulate(*wh, trace).mpki();
+    EXPECT_LT(wh_mpki, base_mpki * 0.8)
+        << "WH must capture the diagonal via the loop predictor's trip "
+           "count";
+}
+
+TEST(HostInternals, WormholeInertWithoutInnerLoops)
+{
+    // A loop-free branch stream: the trip-count feed never engages and
+    // WH must be bit-identical to the base.
+    Xoroshiro128 rng(13);
+    Trace trace("flat");
+    for (int i = 0; i < 30000; ++i) {
+        BranchRecord rec;
+        rec.pc = 0x1000 + (i % 37) * 0x10;
+        rec.target = rec.pc + 0x40; // all forward
+        rec.type = BranchType::CondDirect;
+        rec.taken = rng.bernoulli(0.6);
+        rec.instsBefore = 4;
+        trace.append(rec);
+    }
+    PredictorPtr base = makePredictor("tage-gsc");
+    PredictorPtr wh = makePredictor("tage-gsc+wh");
+    const SimResult rb = simulate(*base, trace);
+    const SimResult rw = simulate(*wh, trace);
+    EXPECT_EQ(rb.mispredictions, rw.mispredictions);
+}
+
+// ---------------------------------------------------------------------------
+// Storage-ledger composition
+// ---------------------------------------------------------------------------
+
+TEST(HostInternals, StorageLedgerItemizesEveryAddon)
+{
+    const auto has_item = [](const StorageAccount &acct,
+                             const std::string &needle) {
+        for (const auto &item : acct.items())
+            if (item.name.find(needle) != std::string::npos)
+                return true;
+        return false;
+    };
+
+    const auto base = makePredictor("tage-gsc")->storage();
+    EXPECT_TRUE(has_item(base, "tage/tagged"));
+    EXPECT_TRUE(has_item(base, "bias"));
+    EXPECT_TRUE(has_item(base, "gsc-global"));
+    EXPECT_FALSE(has_item(base, "imli-sic"));
+
+    const auto imli = makePredictor("tage-gsc+i")->storage();
+    EXPECT_TRUE(has_item(imli, "imli-sic"));
+    EXPECT_TRUE(has_item(imli, "imli-oh"));
+    EXPECT_TRUE(has_item(imli, "imli/history_table"));
+    EXPECT_TRUE(has_item(imli, "imli/pipe"));
+
+    const auto full = makePredictor("tage-gsc+i+l+wh")->storage();
+    EXPECT_TRUE(has_item(full, "local"));
+    EXPECT_TRUE(has_item(full, "loop"));
+    EXPECT_TRUE(has_item(full, "wormhole"));
+
+    // The ledger must be additive: composed total equals the sum of its
+    // own items.
+    std::uint64_t sum = 0;
+    for (const auto &item : full.items())
+        sum += item.bits;
+    EXPECT_EQ(sum, full.totalBits());
+}
+
+TEST(HostInternals, GehlLedgerMatchesTageStructure)
+{
+    const auto gehl = makePredictor("gehl+i")->storage();
+    bool has_gehl_bank = false, has_sic = false;
+    for (const auto &item : gehl.items()) {
+        if (item.name == "gehl")
+            has_gehl_bank = true;
+        if (item.name == "imli-sic")
+            has_sic = true;
+    }
+    EXPECT_TRUE(has_gehl_bank);
+    EXPECT_TRUE(has_sic);
+}

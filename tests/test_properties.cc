@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Cross-cutting property sweeps (parameterised): determinism of every
+ * predictor configuration, trace format round-trips over random content,
+ * loop-nest correlation invariants across geometries, and suite-wide
+ * generator health.  These are the "for all X" counterparts of the
+ * per-module unit tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <tuple>
+
+#include "src/predictors/zoo.hh"
+#include "src/sim/simulator.hh"
+#include "src/trace/trace_io.hh"
+#include "src/trace/trace_stats.hh"
+#include "src/trace/trace_text.hh"
+#include "src/workloads/suite.hh"
+#include "src/workloads/two_dim_loop.hh"
+
+using namespace imli;
+
+// ---------------------------------------------------------------------------
+// Every predictor spec is deterministic and sane on every seed.
+// ---------------------------------------------------------------------------
+
+class SpecSeedProperty
+    : public ::testing::TestWithParam<std::tuple<std::string, int>>
+{
+};
+
+TEST_P(SpecSeedProperty, DeterministicAndSane)
+{
+    const auto [spec, seed_idx] = GetParam();
+    BenchmarkSpec bench = findBenchmark("WS03");
+    bench.seed += static_cast<std::uint64_t>(seed_idx) * 0x9e3779b9;
+    const Trace trace = generateTrace(bench, 6000);
+
+    PredictorPtr a = makePredictor(spec);
+    PredictorPtr b = makePredictor(spec);
+    const SimResult ra = simulate(*a, trace);
+    const SimResult rb = simulate(*b, trace);
+
+    EXPECT_EQ(ra.mispredictions, rb.mispredictions) << spec;
+    EXPECT_EQ(ra.conditionals, rb.conditionals);
+    EXPECT_GT(ra.accuracy(), 0.5) << spec;
+    EXPECT_LE(ra.mispredictions, ra.conditionals);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ZooTimesSeeds, SpecSeedProperty,
+    ::testing::Combine(::testing::Values("tage-gsc", "tage-gsc+i",
+                                         "tage-gsc+i+l", "tage-gsc+wh",
+                                         "gehl", "gehl+i", "gehl+l",
+                                         "gehl+sic+wh"),
+                       ::testing::Values(0, 1, 2)));
+
+// ---------------------------------------------------------------------------
+// Trace formats: binary and text round-trips over random content.
+// ---------------------------------------------------------------------------
+
+class TraceRoundTripProperty : public ::testing::TestWithParam<int>
+{
+  protected:
+    Trace
+    makeTrace() const
+    {
+        BenchmarkSpec bench = findBenchmark("MM-4");
+        bench.seed = 77 + static_cast<std::uint64_t>(GetParam());
+        return generateTrace(bench, 3000);
+    }
+};
+
+TEST_P(TraceRoundTripProperty, BinaryExact)
+{
+    const Trace t = makeTrace();
+    std::ostringstream os;
+    writeTrace(t, os);
+    std::istringstream is(os.str());
+    const Trace back = readTrace(is);
+    ASSERT_EQ(back.size(), t.size());
+    for (std::size_t i = 0; i < t.size(); ++i)
+        ASSERT_EQ(t[i], back[i]);
+    EXPECT_EQ(back.instructionCount(), t.instructionCount());
+    EXPECT_EQ(back.name(), t.name());
+}
+
+TEST_P(TraceRoundTripProperty, TextExact)
+{
+    const Trace t = makeTrace();
+    std::ostringstream os;
+    writeTraceText(t, os);
+    std::istringstream is(os.str());
+    const Trace back = readTraceText(is);
+    ASSERT_EQ(back.size(), t.size());
+    for (std::size_t i = 0; i < t.size(); ++i)
+        ASSERT_EQ(t[i], back[i]);
+}
+
+TEST_P(TraceRoundTripProperty, TextAndBinaryAgree)
+{
+    const Trace t = makeTrace();
+    std::ostringstream bin, txt;
+    writeTrace(t, bin);
+    writeTraceText(t, txt);
+    std::istringstream bin_in(bin.str()), txt_in(txt.str());
+    const Trace from_bin = readTrace(bin_in);
+    const Trace from_txt = readTraceText(txt_in);
+    ASSERT_EQ(from_bin.size(), from_txt.size());
+    for (std::size_t i = 0; i < from_bin.size(); ++i)
+        ASSERT_EQ(from_bin[i], from_txt[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceRoundTripProperty,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+TEST(TraceText, RejectsGarbage)
+{
+    std::istringstream is("not a trace\n");
+    EXPECT_THROW(readTraceText(is), TraceFormatError);
+    std::istringstream is2("imli-trace-v1 x\nzzz\n");
+    EXPECT_THROW(readTraceText(is2), TraceFormatError);
+}
+
+// ---------------------------------------------------------------------------
+// Loop-nest correlation invariants across geometries.
+// ---------------------------------------------------------------------------
+
+class NestGeometryProperty
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+  protected:
+    static std::vector<std::vector<bool>>
+    matrixOf(BodyClass cls, unsigned trip, unsigned outers,
+             std::uint64_t seed)
+    {
+        TwoDimLoopParams p;
+        p.outerIters = outers;
+        p.innerTripMin = trip;
+        p.innerTripMax = trip;
+        p.rowMutateProb = 0.0;
+        p.body.push_back({cls, 0.0, 0.6, 0.5});
+        TwoDimLoopKernel kernel(p, 0x400000, Xoroshiro128(seed));
+        Trace trace;
+        kernel.emitRound(trace);
+
+        std::vector<std::vector<bool>> matrix;
+        std::vector<bool> row;
+        for (const BranchRecord &rec : trace.branches()) {
+            if (rec.pc == kernel.bodyBranchPc(0))
+                row.push_back(rec.taken);
+            else if (rec.pc == kernel.innerBackedgePc() && !rec.taken) {
+                matrix.push_back(row);
+                row.clear();
+            }
+        }
+        return matrix;
+    }
+};
+
+TEST_P(NestGeometryProperty, SameIterHoldsForAllGeometries)
+{
+    const auto [trip, outers] = GetParam();
+    const auto m = matrixOf(BodyClass::SameIter, trip, outers, trip * 31);
+    ASSERT_EQ(m.size(), outers);
+    for (std::size_t n = 1; n < m.size(); ++n)
+        for (std::size_t i = 0; i < trip; ++i)
+            ASSERT_EQ(m[n][i], m[n - 1][i]);
+}
+
+TEST_P(NestGeometryProperty, DiagPrevHoldsForAllGeometries)
+{
+    const auto [trip, outers] = GetParam();
+    const auto m = matrixOf(BodyClass::DiagPrev, trip, outers, trip * 37);
+    for (std::size_t n = 1; n < m.size(); ++n)
+        for (std::size_t i = 1; i < trip; ++i)
+            ASSERT_EQ(m[n][i], m[n - 1][i - 1]);
+}
+
+TEST_P(NestGeometryProperty, InvertedHoldsForAllGeometries)
+{
+    const auto [trip, outers] = GetParam();
+    const auto m = matrixOf(BodyClass::Inverted, trip, outers, trip * 41);
+    for (std::size_t n = 1; n < m.size(); ++n)
+        for (std::size_t i = 0; i < trip; ++i)
+            ASSERT_NE(m[n][i], m[n - 1][i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, NestGeometryProperty,
+    ::testing::Combine(::testing::Values(4u, 7u, 16u, 33u, 60u),
+                       ::testing::Values(3u, 10u, 25u)));
+
+// ---------------------------------------------------------------------------
+// Suite-wide generator health: every benchmark generates a usable trace.
+// ---------------------------------------------------------------------------
+
+class SuiteHealthProperty : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SuiteHealthProperty, GeneratesUsableTrace)
+{
+    const Trace t = generateTrace(findBenchmark(GetParam()), 8000);
+    const TraceStats s = computeStats(t);
+    EXPECT_GE(t.size(), 8000u);
+    EXPECT_GT(s.conditionals, t.size() / 2) << "mostly conditionals";
+    EXPECT_GT(s.takenRate(), 0.25);
+    EXPECT_LT(s.takenRate(), 0.95);
+    EXPECT_GT(s.instsPerBranch(), 3.0);
+    EXPECT_LT(s.instsPerBranch(), 10.0);
+    EXPECT_GE(s.staticConditionals, 10u);
+    EXPECT_LT(s.staticConditionals, 5000u);
+}
+
+namespace
+{
+
+std::vector<std::string>
+allBenchmarkNames()
+{
+    std::vector<std::string> names;
+    for (const auto &b : fullSuite())
+        names.push_back(b.name);
+    return names;
+}
+
+} // anonymous namespace
+
+INSTANTIATE_TEST_SUITE_P(All80, SuiteHealthProperty,
+                         ::testing::ValuesIn(allBenchmarkNames()));

@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Tests for the neural machinery: VotingEngine threshold adaptation, the
+ * bias / global GEHL components, the statistical corrector arbitration and
+ * the GEHL host predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/history/history_manager.hh"
+#include "src/predictors/gehl.hh"
+#include "src/predictors/statistical_corrector.hh"
+#include "src/util/rng.hh"
+
+using namespace imli;
+
+namespace
+{
+
+/** A controllable test component with a fixed vote. */
+class FixedComponent : public ScComponent
+{
+  public:
+    explicit FixedComponent(int v) : voteValue(v) {}
+
+    int vote(const ScContext &) const override { return voteValue; }
+    void update(const ScContext &, bool) override { ++updates; }
+    void onResolved(const ScContext &, bool) override { ++resolves; }
+    void
+    account(StorageAccount &acct) const override
+    {
+        acct.add("fixed", 1);
+    }
+    std::string name() const override { return "fixed"; }
+
+    int voteValue;
+    int updates = 0;
+    int resolves = 0;
+};
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------------------
+// VotingEngine
+// ---------------------------------------------------------------------------
+
+TEST(VotingEngine, SumsComponents)
+{
+    VotingEngine engine;
+    FixedComponent a(5), b(-2);
+    engine.addComponent(&a);
+    engine.addComponent(&b);
+    EXPECT_EQ(engine.sum(ScContext{}), 3);
+}
+
+TEST(VotingEngine, TrainsOnMisprediction)
+{
+    VotingEngine engine;
+    FixedComponent a(1);
+    engine.addComponent(&a);
+    EXPECT_TRUE(engine.onOutcome(/*mispredicted=*/true, /*abs_sum=*/1000));
+}
+
+TEST(VotingEngine, TrainsOnLowConfidence)
+{
+    VotingEngine::Config cfg;
+    cfg.thetaInit = 10;
+    VotingEngine engine(cfg);
+    EXPECT_TRUE(engine.onOutcome(false, 5));   // |sum| < theta
+    EXPECT_FALSE(engine.onOutcome(false, 50)); // confident and correct
+}
+
+TEST(VotingEngine, ThetaRisesUnderMispredictions)
+{
+    VotingEngine::Config cfg;
+    cfg.thetaInit = 8;
+    cfg.tcBits = 5;
+    VotingEngine engine(cfg);
+    for (int i = 0; i < 200; ++i)
+        engine.onOutcome(true, 100);
+    EXPECT_GT(engine.theta(), 8);
+}
+
+TEST(VotingEngine, ThetaFallsWhenOverCautious)
+{
+    VotingEngine::Config cfg;
+    cfg.thetaInit = 50;
+    cfg.tcBits = 5;
+    VotingEngine engine(cfg);
+    for (int i = 0; i < 400; ++i)
+        engine.onOutcome(false, 20); // correct but below theta
+    EXPECT_LT(engine.theta(), 50);
+}
+
+TEST(VotingEngine, ThetaRespectsBounds)
+{
+    VotingEngine::Config cfg;
+    cfg.thetaInit = 2;
+    cfg.thetaMin = 1;
+    cfg.thetaMax = 4;
+    cfg.tcBits = 3;
+    VotingEngine engine(cfg);
+    for (int i = 0; i < 500; ++i)
+        engine.onOutcome(true, 100);
+    EXPECT_LE(engine.theta(), 4);
+    for (int i = 0; i < 500; ++i)
+        engine.onOutcome(false, 0);
+    EXPECT_GE(engine.theta(), 1);
+}
+
+TEST(VotingEngine, TrainAndResolveFanOut)
+{
+    VotingEngine engine;
+    FixedComponent a(1), b(2);
+    engine.addComponent(&a);
+    engine.addComponent(&b);
+    engine.trainAll(ScContext{}, true);
+    engine.resolveAll(ScContext{}, true);
+    EXPECT_EQ(a.updates, 1);
+    EXPECT_EQ(b.updates, 1);
+    EXPECT_EQ(a.resolves, 1);
+    EXPECT_EQ(b.resolves, 1);
+}
+
+// ---------------------------------------------------------------------------
+// BiasComponent
+// ---------------------------------------------------------------------------
+
+TEST(BiasComponent, LearnsCorrectionPerPrediction)
+{
+    BiasComponent bias;
+    ScContext ctx;
+    ctx.pc = 0x44;
+    ctx.mainPred = true;
+    // Whenever TAGE says taken for this branch, the outcome is not taken.
+    for (int i = 0; i < 100; ++i)
+        bias.update(ctx, false);
+    EXPECT_LT(bias.vote(ctx), 0);
+    // The opposite context keeps its own counters.
+    ctx.mainPred = false;
+    for (int i = 0; i < 100; ++i)
+        bias.update(ctx, true);
+    EXPECT_GT(bias.vote(ctx), 0);
+}
+
+// ---------------------------------------------------------------------------
+// GlobalGehlComponent
+// ---------------------------------------------------------------------------
+
+TEST(GlobalGehl, LearnsHistoryContext)
+{
+    HistoryManager mgr(2048);
+    GlobalGehlComponent::Config cfg;
+    cfg.numTables = 4;
+    cfg.logEntries = 9;
+    cfg.maxHistory = 40;
+    GlobalGehlComponent comp(cfg, mgr);
+
+    Xoroshiro128 rng(3);
+    ScContext ctx;
+    ctx.pc = 0x88;
+    int correct = 0, counted = 0;
+    bool last = false;
+    for (int i = 0; i < 6000; ++i) {
+        // Outcome = previous random bit pushed to history.
+        const bool outcome = last;
+        const bool vote_taken = comp.vote(ctx) >= 0;
+        comp.update(ctx, outcome);
+        mgr.push(outcome, ctx.pc);
+        const bool r = rng.bernoulli(0.5);
+        mgr.push(r, 0x100);
+        last = r;
+        if (i >= 4000) {
+            ++counted;
+            correct += (vote_taken == outcome) ? 1 : 0;
+        }
+    }
+    EXPECT_GT(static_cast<double>(correct) / counted, 0.9);
+}
+
+TEST(GlobalGehl, ImliIndexingChangesIndices)
+{
+    HistoryManager mgr(2048);
+    GlobalGehlComponent::Config cfg;
+    cfg.numTables = 3;
+    cfg.imliIndexTables = 2;
+    GlobalGehlComponent comp(cfg, mgr);
+
+    ScContext a;
+    a.pc = 0x44;
+    a.imliCount = 0;
+    ScContext b = a;
+    b.imliCount = 9;
+    // Train heavily at IMLI count 0 ...
+    for (int i = 0; i < 200; ++i)
+        comp.update(a, true);
+    // ... the vote at a different IMLI count must differ (two of three
+    // tables index differently).
+    EXPECT_NE(comp.vote(a), comp.vote(b));
+}
+
+TEST(GlobalGehl, LengthsIncludeZero)
+{
+    HistoryManager mgr(2048);
+    GlobalGehlComponent::Config cfg;
+    cfg.numTables = 5;
+    cfg.minHistory = 0;
+    cfg.maxHistory = 100;
+    GlobalGehlComponent comp(cfg, mgr);
+    EXPECT_EQ(comp.historyLengths().front(), 0u);
+    EXPECT_EQ(comp.historyLengths().back(), 100u);
+}
+
+// ---------------------------------------------------------------------------
+// StatisticalCorrector arbitration
+// ---------------------------------------------------------------------------
+
+TEST(Corrector, AgreementPassesThrough)
+{
+    StatisticalCorrector sc;
+    FixedComponent comp(10);
+    sc.addComponent(&comp);
+    ScContext ctx;
+    const auto d = sc.decide(ctx, /*tage_pred=*/true, 2);
+    EXPECT_TRUE(d.finalPred);
+    EXPECT_FALSE(d.reverted);
+    EXPECT_EQ(d.band, -1);
+}
+
+TEST(Corrector, StrongDisagreementReverts)
+{
+    StatisticalCorrector::Config cfg;
+    cfg.voting.thetaInit = 8;
+    StatisticalCorrector sc(cfg);
+    FixedComponent comp(-100); // far beyond theta
+    sc.addComponent(&comp);
+    ScContext ctx;
+    const auto d = sc.decide(ctx, true, 2);
+    EXPECT_EQ(d.band, 2);
+    EXPECT_TRUE(d.reverted);
+    EXPECT_FALSE(d.finalPred);
+}
+
+TEST(Corrector, WeakDisagreementLearnsToRevert)
+{
+    StatisticalCorrector::Config cfg;
+    cfg.voting.thetaInit = 100;
+    StatisticalCorrector sc(cfg);
+    FixedComponent comp(-10); // weak band (|sum| < theta/2)
+    sc.addComponent(&comp);
+    ScContext ctx;
+    ctx.pc = 0x44;
+
+    // Initially the chooser (value 0) trusts the corrector.
+    auto d = sc.decide(ctx, true, 0);
+    EXPECT_EQ(d.band, 0);
+
+    // Make the corrector lose disagreements repeatedly: chooser must learn
+    // to stop reverting.
+    for (int i = 0; i < 50; ++i) {
+        d = sc.decide(ctx, true, 0);
+        sc.train(ctx, /*taken=*/true, d); // SC (not-taken) is wrong
+    }
+    EXPECT_LT(sc.weakChooser(0x44), 0);
+    d = sc.decide(ctx, true, 0);
+    EXPECT_FALSE(d.reverted);
+    EXPECT_TRUE(d.finalPred);
+}
+
+TEST(Corrector, ChoosersArePerPc)
+{
+    StatisticalCorrector::Config cfg;
+    cfg.voting.thetaInit = 100;
+    StatisticalCorrector sc(cfg);
+    FixedComponent comp(-10);
+    sc.addComponent(&comp);
+
+    ScContext loser;
+    loser.pc = 0x44;
+    for (int i = 0; i < 50; ++i) {
+        const auto d = sc.decide(loser, true, 0);
+        sc.train(loser, true, d);
+    }
+    // A branch hashing to a different chooser entry is unaffected.
+    std::uint64_t other_pc = 0;
+    for (std::uint64_t pc = 0x100; pc < 0x10000; pc += 2) {
+        if (sc.weakChooser(pc) == 0) {
+            other_pc = pc;
+            break;
+        }
+    }
+    ASSERT_NE(other_pc, 0u);
+    EXPECT_LT(sc.weakChooser(0x44), 0);
+    EXPECT_EQ(sc.weakChooser(other_pc), 0);
+}
+
+// ---------------------------------------------------------------------------
+// GEHL host
+// ---------------------------------------------------------------------------
+
+TEST(Gehl, LearnsPatternEndToEnd)
+{
+    GehlPredictor gehl;
+    static const bool pattern[] = {true, false, true, true, false, false};
+    int correct = 0;
+    for (int i = 0; i < 6000; ++i) {
+        const bool taken = pattern[i % 6];
+        const bool p = gehl.predict(0x44);
+        gehl.update(0x44, taken, 0x4c);
+        if (i >= 3000)
+            correct += (p == taken) ? 1 : 0;
+    }
+    EXPECT_GT(correct / 3000.0, 0.95);
+}
+
+TEST(Gehl, StorageMatchesPaperBudget)
+{
+    GehlPredictor gehl;
+    // Paper Section 3.2.2: 17 tables x 2K x 6 bits = 204 Kbits.
+    const double kbits = gehl.storage().totalKbits();
+    EXPECT_GT(kbits, 200.0);
+    EXPECT_LT(kbits, 210.0);
+}
+
+TEST(Gehl, LoopOverridePredictsLongLoops)
+{
+    GehlPredictor::Config cfg;
+    cfg.enableLoop = true;
+    cfg.loopOverride = true;
+    GehlPredictor gehl(cfg);
+    // Trip count 700 with a noisy body: beyond GEHL's history reach, meat
+    // for the loop predictor.
+    Xoroshiro128 rng(3);
+    unsigned exit_misses = 0, runs = 0;
+    for (int run = 0; run < 40; ++run) {
+        for (int i = 0; i < 700; ++i) {
+            gehl.predict(0x9000);
+            gehl.update(0x9000, rng.bernoulli(0.9), 0x9008);
+            const bool taken = i + 1 < 700;
+            const bool p = gehl.predict(0xa000);
+            gehl.update(0xa000, taken, 0x8ff0);
+            if (run >= 30 && !taken) {
+                ++runs;
+                exit_misses += (p != taken) ? 1 : 0;
+            }
+        }
+    }
+    ASSERT_GT(runs, 0u);
+    EXPECT_EQ(exit_misses, 0u);
+}
+
+TEST(Gehl, NameReflectsConfig)
+{
+    GehlPredictor gehl;
+    EXPECT_EQ(gehl.name(), "GEHL");
+}

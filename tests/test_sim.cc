@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for the simulation harness: MPKI accounting, warm-up, per-PC
+ * collection and the suite runner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "src/sim/report.hh"
+#include "src/sim/simulator.hh"
+#include "src/sim/suite_runner.hh"
+#include "src/workloads/suite.hh"
+
+using namespace imli;
+
+namespace
+{
+
+/** Predictor with a scripted fixed answer. */
+class ConstantPredictor : public ConditionalPredictor
+{
+  public:
+    explicit ConstantPredictor(bool answer) : fixed(answer) {}
+
+    bool predict(std::uint64_t) override { return fixed; }
+    void update(std::uint64_t, bool, std::uint64_t) override {}
+    std::string name() const override { return "const"; }
+    StorageAccount
+    storage() const override
+    {
+        return StorageAccount();
+    }
+
+  private:
+    bool fixed;
+};
+
+Trace
+tinyTrace()
+{
+    Trace t("tiny");
+    auto add = [&t](std::uint64_t pc, bool taken, BranchType type,
+                    unsigned gap) {
+        BranchRecord rec;
+        rec.pc = pc;
+        rec.target = pc + 16;
+        rec.taken = taken;
+        rec.type = type;
+        rec.instsBefore = gap;
+        t.append(rec);
+    };
+    add(0x10, true, BranchType::CondDirect, 9);   // predicted T: correct
+    add(0x20, false, BranchType::CondDirect, 9);  // predicted T: wrong
+    add(0x30, true, BranchType::UncondDirect, 9); // not graded
+    add(0x20, false, BranchType::CondDirect, 9);  // wrong again
+    return t;
+}
+
+} // anonymous namespace
+
+TEST(Simulator, CountsExactly)
+{
+    ConstantPredictor pred(true);
+    const SimResult r = simulate(pred, tinyTrace());
+    EXPECT_EQ(r.conditionals, 3u);
+    EXPECT_EQ(r.mispredictions, 2u);
+    EXPECT_EQ(r.instructions, 40u);
+    EXPECT_DOUBLE_EQ(r.mpki(), 1000.0 * 2 / 40);
+    EXPECT_NEAR(r.accuracy(), 1.0 / 3.0, 1e-9);
+}
+
+TEST(Simulator, WarmupSkipsEarlyBranches)
+{
+    ConstantPredictor pred(true);
+    SimOptions opt;
+    opt.warmupBranches = 2; // skip the first two records
+    const SimResult r = simulate(pred, tinyTrace(), opt);
+    EXPECT_EQ(r.conditionals, 1u);
+    EXPECT_EQ(r.mispredictions, 1u);
+    EXPECT_EQ(r.instructions, 20u);
+}
+
+TEST(Simulator, PerPcCollection)
+{
+    ConstantPredictor pred(true);
+    SimOptions opt;
+    opt.collectPerPc = true;
+    const SimResult r = simulate(pred, tinyTrace(), opt);
+    ASSERT_EQ(r.perPcMispredictions.size(), 1u);
+    EXPECT_EQ(r.perPcMispredictions.at(0x20), 2u);
+    const auto top = r.topOffenders(5);
+    ASSERT_EQ(top.size(), 1u);
+    EXPECT_EQ(top[0].first, 0x20u);
+}
+
+TEST(Simulator, EmptyTraceSafe)
+{
+    ConstantPredictor pred(true);
+    const SimResult r = simulate(pred, Trace("empty"));
+    EXPECT_DOUBLE_EQ(r.mpki(), 0.0);
+    EXPECT_DOUBLE_EQ(r.accuracy(), 1.0);
+}
+
+TEST(SuiteRunner, ProducesAllCells)
+{
+    std::vector<BenchmarkSpec> benchmarks = {findBenchmark("MM-4"),
+                                             findBenchmark("WS03")};
+    SuiteRunOptions opt;
+    opt.branchesPerTrace = 5000;
+    const SuiteResults results =
+        runSuite(benchmarks, {"bimodal", "gshare"}, opt);
+    EXPECT_EQ(results.cells.size(), 4u);
+    EXPECT_NO_THROW(results.at("MM-4", "bimodal"));
+    EXPECT_NO_THROW(results.at("WS03", "gshare"));
+    EXPECT_THROW(results.at("MM-4", "nope"), std::out_of_range);
+}
+
+TEST(SuiteRunner, AveragesFilterBySuite)
+{
+    std::vector<BenchmarkSpec> benchmarks = {findBenchmark("MM-4"),
+                                             findBenchmark("WS03")};
+    SuiteRunOptions opt;
+    opt.branchesPerTrace = 5000;
+    const SuiteResults results = runSuite(benchmarks, {"bimodal"}, opt);
+    const double cbp4 = results.averageMpki("bimodal", "CBP4");
+    const double cbp3 = results.averageMpki("bimodal", "CBP3");
+    const double all = results.averageMpki("bimodal");
+    EXPECT_DOUBLE_EQ(all, (cbp4 + cbp3) / 2.0);
+}
+
+TEST(SuiteRunner, RankByDeltaOrdersDescending)
+{
+    std::vector<BenchmarkSpec> benchmarks = {
+        findBenchmark("MM-4"), findBenchmark("WS03"),
+        findBenchmark("SPEC2K6-12")};
+    SuiteRunOptions opt;
+    opt.branchesPerTrace = 8000;
+    const SuiteResults results =
+        runSuite(benchmarks, {"bimodal", "tage-gsc"}, opt);
+    const auto ranked = results.rankByDelta("bimodal", "tage-gsc");
+    ASSERT_EQ(ranked.size(), 3u);
+    double prev = 1e9;
+    for (const auto &name : ranked) {
+        const double delta =
+            std::abs(results.at(name, "bimodal").mpki -
+                     results.at(name, "tage-gsc").mpki);
+        EXPECT_LE(delta, prev);
+        prev = delta;
+    }
+}
+
+TEST(SuiteRunner, IdenticalTraceAcrossConfigs)
+{
+    std::vector<BenchmarkSpec> benchmarks = {findBenchmark("MM-4")};
+    SuiteRunOptions opt;
+    opt.branchesPerTrace = 5000;
+    const SuiteResults results =
+        runSuite(benchmarks, {"bimodal", "bimodal"}, opt);
+    // Same config twice on the same generated trace: identical numbers.
+    EXPECT_EQ(results.cells[0].mispredictions,
+              results.cells[1].mispredictions);
+}
+
+TEST(SuiteRunner, DefaultBranchesHonoursEnv)
+{
+    ::setenv("IMLI_BRANCHES", "123456", 1);
+    EXPECT_EQ(defaultBranchesPerTrace(), 123456u);
+    ::setenv("IMLI_BRANCHES", "nonsense", 1);
+    EXPECT_EQ(defaultBranchesPerTrace(), 200000u);
+    ::unsetenv("IMLI_BRANCHES");
+    EXPECT_EQ(defaultBranchesPerTrace(), 200000u);
+}
+
+TEST(Report, PrintsPaperAndMeasured)
+{
+    ExperimentReport report("Table 9", "unit test table");
+    report.addMetric("metric-a", 1.234, 1.3);
+    report.addMetric("metric-b", 9.0);
+    report.addNote("a note");
+    std::ostringstream os;
+    report.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("Table 9"), std::string::npos);
+    EXPECT_NE(s.find("1.234"), std::string::npos);
+    EXPECT_NE(s.find("1.300"), std::string::npos);
+    EXPECT_NE(s.find("a note"), std::string::npos);
+}

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Unit tests for src/trace: records, in-memory traces, binary round-trips
+ * and statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/trace/branch_record.hh"
+#include "src/trace/trace.hh"
+#include "src/trace/trace_io.hh"
+#include "src/trace/trace_stats.hh"
+#include "src/util/rng.hh"
+
+using namespace imli;
+
+namespace
+{
+
+BranchRecord
+makeRecord(std::uint64_t pc, std::uint64_t target, bool taken,
+           BranchType type = BranchType::CondDirect, unsigned gap = 4)
+{
+    BranchRecord rec;
+    rec.pc = pc;
+    rec.target = target;
+    rec.taken = taken;
+    rec.type = type;
+    rec.instsBefore = gap;
+    return rec;
+}
+
+Trace
+randomTrace(std::uint64_t seed, std::size_t n)
+{
+    Xoroshiro128 rng(seed);
+    Trace trace("random");
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t pc = 0x1000 + rng.below(1 << 20) * 2;
+        const std::int64_t delta =
+            rng.range(-1024, 1024) * 2;
+        BranchRecord rec = makeRecord(
+            pc, static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(pc) + delta),
+            rng.bernoulli(0.6),
+            static_cast<BranchType>(rng.below(6)),
+            static_cast<unsigned>(rng.below(30)));
+        trace.append(rec);
+    }
+    return trace;
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------------------
+// BranchRecord
+// ---------------------------------------------------------------------------
+
+TEST(BranchRecord, BackwardDetection)
+{
+    EXPECT_TRUE(makeRecord(0x100, 0x80, true).isBackward());
+    EXPECT_FALSE(makeRecord(0x100, 0x180, true).isBackward());
+    EXPECT_FALSE(makeRecord(0x100, 0x100, true).isBackward());
+}
+
+TEST(BranchRecord, OnlyCondDirectIsConditional)
+{
+    EXPECT_TRUE(isConditional(BranchType::CondDirect));
+    EXPECT_FALSE(isConditional(BranchType::UncondDirect));
+    EXPECT_FALSE(isConditional(BranchType::Return));
+    EXPECT_FALSE(isConditional(BranchType::Call));
+}
+
+TEST(BranchRecord, TypeNamesDistinct)
+{
+    std::set<std::string> names;
+    for (int i = 0; i <= 5; ++i)
+        names.insert(branchTypeName(static_cast<BranchType>(i)));
+    EXPECT_EQ(names.size(), 6u);
+}
+
+// ---------------------------------------------------------------------------
+// Trace
+// ---------------------------------------------------------------------------
+
+TEST(Trace, CountsInstructionsAndConditionals)
+{
+    Trace t("t");
+    t.append(makeRecord(0x10, 0x20, true, BranchType::CondDirect, 5));
+    t.append(makeRecord(0x30, 0x40, true, BranchType::UncondDirect, 3));
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.instructionCount(), 5u + 1 + 3 + 1);
+    EXPECT_EQ(t.conditionalCount(), 1u);
+}
+
+TEST(Trace, ClearResets)
+{
+    Trace t("t");
+    t.append(makeRecord(0x10, 0x20, true));
+    t.clear();
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.instructionCount(), 0u);
+    EXPECT_EQ(t.conditionalCount(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Binary round-trip
+// ---------------------------------------------------------------------------
+
+TEST(TraceIo, EmptyTraceRoundTrip)
+{
+    Trace t("empty");
+    std::ostringstream os;
+    writeTrace(t, os);
+    std::istringstream is(os.str());
+    const Trace back = readTrace(is);
+    EXPECT_EQ(back.name(), "empty");
+    EXPECT_TRUE(back.empty());
+}
+
+TEST(TraceIo, RandomRoundTripExact)
+{
+    const Trace t = randomTrace(99, 5000);
+    std::ostringstream os;
+    writeTrace(t, os);
+    std::istringstream is(os.str());
+    const Trace back = readTrace(is);
+    ASSERT_EQ(back.size(), t.size());
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(t[i], back[i]) << "record " << i;
+    EXPECT_EQ(back.instructionCount(), t.instructionCount());
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+    const Trace t = randomTrace(123, 1000);
+    const std::string path = "test_trace_roundtrip.imt";
+    writeTraceFile(t, path);
+    const Trace back = readTraceFile(path);
+    EXPECT_EQ(back.size(), t.size());
+    for (std::size_t i = 0; i < t.size(); ++i)
+        ASSERT_EQ(t[i], back[i]);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsBadMagic)
+{
+    std::istringstream is("NOPE....garbage");
+    EXPECT_THROW(readTrace(is), TraceFormatError);
+}
+
+TEST(TraceIo, RejectsTruncatedBody)
+{
+    const Trace t = randomTrace(7, 100);
+    std::ostringstream os;
+    writeTrace(t, os);
+    std::string data = os.str();
+    data.resize(data.size() / 2);
+    std::istringstream is(data);
+    EXPECT_THROW(readTrace(is), TraceFormatError);
+}
+
+TEST(TraceIo, RejectsUnsupportedVersion)
+{
+    Trace t("v");
+    std::ostringstream os;
+    writeTrace(t, os);
+    std::string data = os.str();
+    data[4] = 99; // version byte
+    std::istringstream is(data);
+    EXPECT_THROW(readTrace(is), TraceFormatError);
+}
+
+TEST(TraceIo, MissingFileThrows)
+{
+    EXPECT_THROW(readTraceFile("/nonexistent/path/x.imt"),
+                 std::runtime_error);
+}
+
+TEST(TraceIo, LargePcDeltasSurvive)
+{
+    Trace t("far");
+    t.append(makeRecord(0xffffffff0000ULL, 0x10, false));
+    t.append(makeRecord(0x10, 0xffffffffff00ULL, true));
+    std::ostringstream os;
+    writeTrace(t, os);
+    std::istringstream is(os.str());
+    const Trace back = readTrace(is);
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back[0], t[0]);
+    EXPECT_EQ(back[1], t[1]);
+}
+
+// ---------------------------------------------------------------------------
+// TraceStats
+// ---------------------------------------------------------------------------
+
+TEST(TraceStats, CountsPerType)
+{
+    Trace t("s");
+    t.append(makeRecord(0x100, 0x80, true));                      // backward
+    t.append(makeRecord(0x100, 0x80, true));                      // same pc
+    t.append(makeRecord(0x200, 0x300, false));                    // forward
+    t.append(makeRecord(0x400, 0x500, true, BranchType::Call));
+    const TraceStats s = computeStats(t);
+    EXPECT_EQ(s.records, 4u);
+    EXPECT_EQ(s.conditionals, 3u);
+    EXPECT_EQ(s.takenConditionals, 2u);
+    EXPECT_EQ(s.backwardConditionals, 2u);
+    EXPECT_EQ(s.staticBranches, 3u);
+    EXPECT_EQ(s.staticConditionals, 2u);
+    EXPECT_EQ(s.perType.at(BranchType::Call), 1u);
+}
+
+TEST(TraceStats, Rates)
+{
+    Trace t("r");
+    t.append(makeRecord(0x10, 0x20, true, BranchType::CondDirect, 9));
+    t.append(makeRecord(0x30, 0x40, false, BranchType::CondDirect, 9));
+    const TraceStats s = computeStats(t);
+    EXPECT_DOUBLE_EQ(s.takenRate(), 0.5);
+    EXPECT_DOUBLE_EQ(s.instsPerBranch(), 10.0);
+}
+
+TEST(TraceStats, EmptyTraceSafe)
+{
+    const TraceStats s = computeStats(Trace("e"));
+    EXPECT_DOUBLE_EQ(s.takenRate(), 0.0);
+    EXPECT_DOUBLE_EQ(s.instsPerBranch(), 0.0);
+    EXPECT_FALSE(s.toString().empty());
+}

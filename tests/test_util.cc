@@ -1,0 +1,408 @@
+/**
+ * @file
+ * Unit tests for src/util: RNG, counters, hashing, tables, CLI, storage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "src/util/cli.hh"
+#include "src/util/counters.hh"
+#include "src/util/hashing.hh"
+#include "src/util/rng.hh"
+#include "src/util/storage.hh"
+#include "src/util/table_writer.hh"
+
+using namespace imli;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Xoroshiro128 a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Xoroshiro128 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Xoroshiro128 rng(7);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowOneAlwaysZero)
+{
+    Xoroshiro128 rng(9);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Xoroshiro128 rng(11);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const std::int64_t v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u) << "all values of a small range reachable";
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Xoroshiro128 rng(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated)
+{
+    Xoroshiro128 rng(17);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    const double rate = static_cast<double>(hits) / n;
+    EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Xoroshiro128 rng(19);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ForkDecorrelates)
+{
+    Xoroshiro128 parent(23);
+    Xoroshiro128 child1 = parent.fork(1);
+    Xoroshiro128 child2 = parent.fork(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (child1.next() == child2.next())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SplitMixKnownProgression)
+{
+    // SplitMix64 must never emit two identical consecutive values from a
+    // sane seed (would break Xoroshiro seeding).
+    SplitMix64 sm(0);
+    const std::uint64_t a = sm.next();
+    const std::uint64_t b = sm.next();
+    EXPECT_NE(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// SatCounter
+// ---------------------------------------------------------------------------
+
+TEST(SatCounter, SaturatesHigh)
+{
+    SatCounter c(2, 0);
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.raw(), 3u);
+    EXPECT_TRUE(c.taken());
+}
+
+TEST(SatCounter, SaturatesLow)
+{
+    SatCounter c(2, 3);
+    for (int i = 0; i < 10; ++i)
+        c.decrement();
+    EXPECT_EQ(c.raw(), 0u);
+    EXPECT_FALSE(c.taken());
+}
+
+TEST(SatCounter, MidpointPredictsTaken)
+{
+    SatCounter c(3, 4); // midpoint of 3-bit counter
+    EXPECT_TRUE(c.taken());
+    c.decrement();
+    EXPECT_FALSE(c.taken());
+}
+
+TEST(SatCounter, WeakStates)
+{
+    SatCounter c(2, 1);
+    EXPECT_TRUE(c.isWeak());
+    c.increment();
+    EXPECT_TRUE(c.isWeak()); // value 2 == midpoint
+    c.increment();
+    EXPECT_FALSE(c.isWeak());
+}
+
+TEST(SatCounter, ResetDirections)
+{
+    SatCounter c(2);
+    c.reset(true);
+    EXPECT_TRUE(c.taken());
+    EXPECT_TRUE(c.isWeak());
+    c.reset(false);
+    EXPECT_FALSE(c.taken());
+    EXPECT_TRUE(c.isWeak());
+}
+
+TEST(SatCounter, UpdateMovesTowardsOutcome)
+{
+    SatCounter c(2, 1);
+    c.update(true);
+    EXPECT_EQ(c.raw(), 2u);
+    c.update(false);
+    EXPECT_EQ(c.raw(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// SignedCounter
+// ---------------------------------------------------------------------------
+
+TEST(SignedCounter, Bounds)
+{
+    SignedCounter c(6);
+    EXPECT_EQ(c.maxValue(), 31);
+    EXPECT_EQ(c.minValue(), -32);
+}
+
+TEST(SignedCounter, SaturatesBothWays)
+{
+    SignedCounter c(4);
+    for (int i = 0; i < 20; ++i)
+        c.update(true);
+    EXPECT_EQ(c.raw(), 7);
+    for (int i = 0; i < 40; ++i)
+        c.update(false);
+    EXPECT_EQ(c.raw(), -8);
+}
+
+TEST(SignedCounter, CenteredNeverZero)
+{
+    SignedCounter c(6);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_NE(c.centered(), 0);
+        c.update((i & 3) != 0);
+    }
+}
+
+TEST(SignedCounter, CenteredFormula)
+{
+    SignedCounter c(6, 5);
+    EXPECT_EQ(c.centered(), 11);
+    c.set(-3);
+    EXPECT_EQ(c.centered(), -5);
+}
+
+TEST(SignedCounter, SignPrediction)
+{
+    SignedCounter c(6, 0);
+    EXPECT_TRUE(c.taken()); // zero counts as weakly taken
+    c.set(-1);
+    EXPECT_FALSE(c.taken());
+}
+
+// ---------------------------------------------------------------------------
+// Hashing
+// ---------------------------------------------------------------------------
+
+TEST(Hashing, Mix64Bijective)
+{
+    // mix64 is a bijection; distinct inputs produce distinct outputs.
+    std::set<std::uint64_t> outs;
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        outs.insert(mix64(i));
+    EXPECT_EQ(outs.size(), 1000u);
+}
+
+TEST(Hashing, FoldBitsWidth)
+{
+    Xoroshiro128 rng(3);
+    for (unsigned bits : {1u, 5u, 9u, 13u, 31u}) {
+        for (int i = 0; i < 100; ++i)
+            EXPECT_LT(foldBits(rng.next(), bits), 1ULL << bits);
+    }
+}
+
+TEST(Hashing, FoldBitsPreservesFullWidth)
+{
+    EXPECT_EQ(foldBits(0xdeadbeefULL, 64), 0xdeadbeefULL);
+}
+
+TEST(Hashing, MaskBits)
+{
+    EXPECT_EQ(maskBits(0), 0u);
+    EXPECT_EQ(maskBits(4), 0xfu);
+    EXPECT_EQ(maskBits(64), ~0ULL);
+}
+
+TEST(Hashing, PowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(1024));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_FALSE(isPowerOfTwo(1023));
+}
+
+TEST(Hashing, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+// ---------------------------------------------------------------------------
+// TableWriter
+// ---------------------------------------------------------------------------
+
+TEST(TableWriter, AlignedOutputContainsCells)
+{
+    TableWriter t("caption");
+    t.setHeader({"name", "value"});
+    t.addRow({"alpha", "1.5"});
+    t.addRow({"b", "20"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("caption"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("20"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(TableWriter, CsvEscapesCommas)
+{
+    TableWriter t;
+    t.setHeader({"a", "b"});
+    t.addRow({"x,y", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_NE(os.str().find("\"x,y\""), std::string::npos);
+}
+
+TEST(TableWriter, SeparatorRowsNotCounted)
+{
+    TableWriter t;
+    t.setHeader({"a"});
+    t.addRow({"1"});
+    t.addSeparator();
+    t.addRow({"2"});
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(TableWriter, Formatters)
+{
+    EXPECT_EQ(formatDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(formatDelta(0.5, 1), "+0.5");
+    EXPECT_EQ(formatDelta(-0.5, 1), "-0.5");
+    EXPECT_EQ(formatPercent(-0.068, 1), "-6.8 %");
+}
+
+// ---------------------------------------------------------------------------
+// CommandLine
+// ---------------------------------------------------------------------------
+
+TEST(CommandLine, ParsesEqualsForm)
+{
+    const char *argv[] = {"prog", "--alpha=3", "--name=x"};
+    CommandLine cli(3, argv);
+    EXPECT_EQ(cli.getInt("alpha", 0), 3);
+    EXPECT_EQ(cli.getString("name"), "x");
+}
+
+TEST(CommandLine, ParsesSpaceForm)
+{
+    const char *argv[] = {"prog", "--count", "17"};
+    CommandLine cli(3, argv);
+    EXPECT_EQ(cli.getInt("count", 0), 17);
+}
+
+TEST(CommandLine, BooleanFlags)
+{
+    const char *argv[] = {"prog", "--verbose", "--csv=false"};
+    CommandLine cli(3, argv);
+    EXPECT_TRUE(cli.getBool("verbose"));
+    EXPECT_FALSE(cli.getBool("csv"));
+    EXPECT_FALSE(cli.getBool("absent"));
+}
+
+TEST(CommandLine, Positionals)
+{
+    const char *argv[] = {"prog", "generate", "--out=x", "extra"};
+    CommandLine cli(4, argv);
+    ASSERT_EQ(cli.positionals().size(), 2u);
+    EXPECT_EQ(cli.positionals()[0], "generate");
+    EXPECT_EQ(cli.positionals()[1], "extra");
+}
+
+TEST(CommandLine, DefaultsOnMissingOrMalformed)
+{
+    const char *argv[] = {"prog", "--num=abc"};
+    CommandLine cli(2, argv);
+    EXPECT_EQ(cli.getInt("num", 42), 42);
+    EXPECT_EQ(cli.getDouble("pi", 3.14), 3.14);
+}
+
+// ---------------------------------------------------------------------------
+// StorageAccount
+// ---------------------------------------------------------------------------
+
+TEST(Storage, TotalsAndBytes)
+{
+    StorageAccount acct;
+    acct.add("a", 10);
+    acct.add("b", 6);
+    EXPECT_EQ(acct.totalBits(), 16u);
+    EXPECT_EQ(acct.totalBytes(), 2u);
+    acct.add("c", 1);
+    EXPECT_EQ(acct.totalBytes(), 3u); // rounds up
+}
+
+TEST(Storage, MergePrefixes)
+{
+    StorageAccount child;
+    child.add("table", 100);
+    StorageAccount parent;
+    parent.merge("sub", child);
+    ASSERT_EQ(parent.items().size(), 1u);
+    EXPECT_EQ(parent.items()[0].name, "sub/table");
+    EXPECT_EQ(parent.totalBits(), 100u);
+}
+
+TEST(Storage, KbitsConversion)
+{
+    StorageAccount acct;
+    acct.add("x", 2048);
+    EXPECT_DOUBLE_EQ(acct.totalKbits(), 2.0);
+}

@@ -1,0 +1,394 @@
+/**
+ * @file
+ * Tests for the synthetic workload generators: determinism, loop-nest
+ * structure, and — crucially — the correlation invariants each branch
+ * class promises (these invariants are what make the trace substitution
+ * valid; see DESIGN.md Section 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/trace/trace_stats.hh"
+#include "src/workloads/background.hh"
+#include "src/workloads/benchmark_spec.hh"
+#include "src/workloads/suite.hh"
+#include "src/workloads/two_dim_loop.hh"
+
+using namespace imli;
+
+namespace
+{
+
+/** Collect the outcome matrix Out[N][M] of one body branch by replay. */
+std::vector<std::vector<bool>>
+outcomeMatrix(const Trace &trace, const TwoDimLoopKernel &kernel,
+              unsigned branch)
+{
+    std::vector<std::vector<bool>> rounds_matrix;
+    std::vector<bool> row;
+    std::vector<std::vector<bool>> matrix;
+    for (const BranchRecord &rec : trace.branches()) {
+        if (rec.pc == kernel.bodyBranchPc(branch)) {
+            row.push_back(rec.taken);
+        } else if (rec.pc == kernel.innerBackedgePc() && !rec.taken) {
+            matrix.push_back(row);
+            row.clear();
+        }
+    }
+    return matrix;
+}
+
+TwoDimLoopParams
+nestParams(BodyClass cls, unsigned trip_min, unsigned trip_max)
+{
+    TwoDimLoopParams p;
+    p.outerIters = 10;
+    p.innerTripMin = trip_min;
+    p.innerTripMax = trip_max;
+    p.rowMutateProb = 0.0;
+    p.body.push_back({cls, 0.0, 0.6, 0.5});
+    return p;
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------------------
+// Determinism
+// ---------------------------------------------------------------------------
+
+TEST(Workloads, GenerationIsDeterministic)
+{
+    const BenchmarkSpec spec = findBenchmark("SPEC2K6-12");
+    const Trace a = generateTrace(spec, 20000);
+    const Trace b = generateTrace(spec, 20000);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i], b[i]) << "record " << i;
+}
+
+TEST(Workloads, DifferentSeedsDiffer)
+{
+    BenchmarkSpec spec = findBenchmark("SPEC2K6-12");
+    const Trace a = generateTrace(spec, 5000);
+    spec.seed ^= 0x12345;
+    const Trace b = generateTrace(spec, 5000);
+    bool differs = a.size() != b.size();
+    for (std::size_t i = 0; !differs && i < a.size(); ++i)
+        differs = !(a[i] == b[i]);
+    EXPECT_TRUE(differs);
+}
+
+// ---------------------------------------------------------------------------
+// Loop-nest structure
+// ---------------------------------------------------------------------------
+
+TEST(TwoDimLoop, BackedgesAreBackward)
+{
+    TwoDimLoopKernel kernel(nestParams(BodyClass::SameIter, 8, 8),
+                            0x400000, Xoroshiro128(1));
+    Trace trace;
+    kernel.emitRound(trace);
+    for (const BranchRecord &rec : trace.branches()) {
+        if (rec.pc == kernel.innerBackedgePc() ||
+            rec.pc == kernel.outerBackedgePc())
+            EXPECT_TRUE(rec.isBackward());
+    }
+}
+
+TEST(TwoDimLoop, InnerTripCountRespected)
+{
+    TwoDimLoopKernel kernel(nestParams(BodyClass::SameIter, 8, 8),
+                            0x400000, Xoroshiro128(2));
+    Trace trace;
+    kernel.emitRound(trace);
+    // Count body executions between inner-backedge not-taken events.
+    unsigned count = 0;
+    for (const BranchRecord &rec : trace.branches()) {
+        if (rec.pc == kernel.bodyBranchPc(0))
+            ++count;
+        if (rec.pc == kernel.innerBackedgePc() && !rec.taken) {
+            EXPECT_EQ(count, 8u);
+            count = 0;
+        }
+    }
+}
+
+TEST(TwoDimLoop, VariableTripStaysInRange)
+{
+    TwoDimLoopKernel kernel(nestParams(BodyClass::SameIter, 6, 14),
+                            0x400000, Xoroshiro128(3));
+    Trace trace;
+    for (int i = 0; i < 5; ++i)
+        kernel.emitRound(trace);
+    unsigned count = 0;
+    std::set<unsigned> trips;
+    for (const BranchRecord &rec : trace.branches()) {
+        if (rec.pc == kernel.bodyBranchPc(0))
+            ++count;
+        if (rec.pc == kernel.innerBackedgePc() && !rec.taken) {
+            EXPECT_GE(count, 6u);
+            EXPECT_LE(count, 14u);
+            trips.insert(count);
+            count = 0;
+        }
+    }
+    EXPECT_GT(trips.size(), 3u) << "trip count actually varies";
+}
+
+TEST(TwoDimLoop, OuterIterationsPerRound)
+{
+    TwoDimLoopParams p = nestParams(BodyClass::SameIter, 8, 8);
+    p.outerIters = 10;
+    TwoDimLoopKernel kernel(p, 0x400000, Xoroshiro128(4));
+    Trace trace;
+    kernel.emitRound(trace);
+    unsigned exits = 0;
+    for (const BranchRecord &rec : trace.branches())
+        if (rec.pc == kernel.outerBackedgePc() && !rec.taken)
+            ++exits;
+    EXPECT_EQ(exits, 1u);
+    unsigned inner_exits = 0;
+    for (const BranchRecord &rec : trace.branches())
+        if (rec.pc == kernel.innerBackedgePc() && !rec.taken)
+            ++inner_exits;
+    EXPECT_EQ(inner_exits, 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Correlation invariants (the heart of the substitution argument)
+// ---------------------------------------------------------------------------
+
+TEST(TwoDimLoop, SameIterInvariant)
+{
+    TwoDimLoopKernel kernel(nestParams(BodyClass::SameIter, 12, 12),
+                            0x400000, Xoroshiro128(5));
+    Trace trace;
+    kernel.emitRound(trace);
+    const auto m = outcomeMatrix(trace, kernel, 0);
+    ASSERT_EQ(m.size(), 10u);
+    for (std::size_t n = 1; n < m.size(); ++n)
+        for (std::size_t i = 0; i < 12; ++i)
+            EXPECT_EQ(m[n][i], m[n - 1][i])
+                << "Out[N][M] == Out[N-1][M] violated at N=" << n
+                << " M=" << i;
+}
+
+TEST(TwoDimLoop, DiagPrevInvariant)
+{
+    TwoDimLoopKernel kernel(nestParams(BodyClass::DiagPrev, 12, 12),
+                            0x400000, Xoroshiro128(6));
+    Trace trace;
+    kernel.emitRound(trace);
+    const auto m = outcomeMatrix(trace, kernel, 0);
+    for (std::size_t n = 1; n < m.size(); ++n)
+        for (std::size_t i = 1; i < 12; ++i)
+            EXPECT_EQ(m[n][i], m[n - 1][i - 1])
+                << "Out[N][M] == Out[N-1][M-1] violated at N=" << n
+                << " M=" << i;
+}
+
+TEST(TwoDimLoop, DiagNextInvariant)
+{
+    TwoDimLoopKernel kernel(nestParams(BodyClass::DiagNext, 12, 12),
+                            0x400000, Xoroshiro128(7));
+    Trace trace;
+    kernel.emitRound(trace);
+    const auto m = outcomeMatrix(trace, kernel, 0);
+    for (std::size_t n = 1; n < m.size(); ++n)
+        for (std::size_t i = 0; i + 1 < 12; ++i)
+            EXPECT_EQ(m[n][i], m[n - 1][i + 1])
+                << "Out[N][M] == Out[N-1][M+1] violated at N=" << n
+                << " M=" << i;
+}
+
+TEST(TwoDimLoop, InvertedInvariant)
+{
+    TwoDimLoopKernel kernel(nestParams(BodyClass::Inverted, 12, 12),
+                            0x400000, Xoroshiro128(8));
+    Trace trace;
+    kernel.emitRound(trace);
+    const auto m = outcomeMatrix(trace, kernel, 0);
+    for (std::size_t n = 1; n < m.size(); ++n)
+        for (std::size_t i = 0; i < 12; ++i)
+            EXPECT_NE(m[n][i], m[n - 1][i])
+                << "Out[N][M] == !Out[N-1][M] violated at N=" << n
+                << " M=" << i;
+}
+
+TEST(TwoDimLoop, WeakCorrelationRate)
+{
+    TwoDimLoopParams p = nestParams(BodyClass::Weak, 16, 16);
+    p.outerIters = 40;
+    p.body[0].noise = 0.25;
+    TwoDimLoopKernel kernel(p, 0x400000, Xoroshiro128(9));
+    Trace trace;
+    for (int i = 0; i < 5; ++i)
+        kernel.emitRound(trace);
+    const auto m = outcomeMatrix(trace, kernel, 0);
+    unsigned agree = 0, total = 0;
+    for (std::size_t n = 1; n < m.size(); ++n)
+        for (std::size_t i = 0; i < 16; ++i) {
+            ++total;
+            agree += (m[n][i] == m[n - 1][i]) ? 1 : 0;
+        }
+    const double rate = static_cast<double>(agree) / total;
+    // With flip probability 0.25 + random resample the agreement sits
+    // around 1 - 0.25/2 ... 1 - 0.25; allow a generous band well away
+    // from both 1.0 (perfect) and 0.5 (uncorrelated).
+    EXPECT_GT(rate, 0.72);
+    EXPECT_LT(rate, 0.96);
+}
+
+TEST(TwoDimLoop, NestedGuardGatesExecution)
+{
+    TwoDimLoopParams p = nestParams(BodyClass::Nested, 10, 10);
+    TwoDimLoopKernel kernel(p, 0x400000, Xoroshiro128(10));
+    Trace trace;
+    kernel.emitRound(trace);
+    // The nested branch must execute exactly when its guard was taken.
+    bool pending_guard = false;
+    for (const BranchRecord &rec : trace.branches()) {
+        if (rec.pc == kernel.guardBranchPc(0)) {
+            EXPECT_FALSE(pending_guard);
+            pending_guard = rec.taken;
+        } else if (rec.pc == kernel.bodyBranchPc(0)) {
+            EXPECT_TRUE(pending_guard)
+                << "guarded branch executed without guard";
+            pending_guard = false;
+        } else if (rec.pc == kernel.innerBackedgePc()) {
+            EXPECT_FALSE(pending_guard)
+                << "guard taken but nested branch missing";
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Background kernels
+// ---------------------------------------------------------------------------
+
+TEST(Background, LocalPatternPeriodicity)
+{
+    LocalPatternParams p;
+    p.branches = 2;
+    p.periodMin = 5;
+    p.periodMax = 5;
+    p.noiseBetween = 2;
+    p.stepsPerRound = 50;
+    LocalPatternKernel kernel(p, 0x400000, Xoroshiro128(11));
+    Trace trace;
+    kernel.emitRound(trace);
+    // Pattern branch 0: exactly one not-taken per 5 occurrences.
+    std::vector<bool> outcomes;
+    for (const BranchRecord &rec : trace.branches())
+        if (rec.pc == kernel.patternBranchPc(0))
+            outcomes.push_back(rec.taken);
+    ASSERT_EQ(outcomes.size(), 50u);
+    for (std::size_t i = 0; i + 5 <= outcomes.size(); i += 5) {
+        unsigned not_taken = 0;
+        for (std::size_t j = i; j < i + 5; ++j)
+            not_taken += outcomes[j] ? 0 : 1;
+        EXPECT_EQ(not_taken, 1u);
+    }
+}
+
+TEST(Background, RegularLoopTripCounts)
+{
+    RegularLoopParams p;
+    p.trip = 30;
+    p.tripJitter = 0;
+    p.bodyBranches = 1;
+    p.runsPerRound = 3;
+    RegularLoopKernel kernel(p, 0x400000, Xoroshiro128(12));
+    Trace trace;
+    kernel.emitRound(trace);
+    unsigned takens = 0, exits = 0;
+    for (const BranchRecord &rec : trace.branches()) {
+        if (rec.pc == kernel.backedgePc()) {
+            if (rec.taken)
+                ++takens;
+            else
+                ++exits;
+        }
+    }
+    EXPECT_EQ(exits, 3u);
+    EXPECT_EQ(takens, 3u * 29u);
+}
+
+TEST(Background, BiasedRandomRates)
+{
+    BiasedRandomParams p;
+    p.branches = 1;
+    p.takenProbMin = 0.8;
+    p.takenProbMax = 0.8;
+    p.burstsPerRound = 4000;
+    BiasedRandomKernel kernel(p, 0x400000, Xoroshiro128(13));
+    Trace trace;
+    kernel.emitRound(trace);
+    const TraceStats s = computeStats(trace);
+    EXPECT_NEAR(s.takenRate(), 0.8, 0.03);
+}
+
+// ---------------------------------------------------------------------------
+// Suite
+// ---------------------------------------------------------------------------
+
+TEST(Suite, FortyPlusFortyUniqueNames)
+{
+    const auto cbp4 = cbp4Suite();
+    const auto cbp3 = cbp3Suite();
+    EXPECT_EQ(cbp4.size(), 40u);
+    EXPECT_EQ(cbp3.size(), 40u);
+    std::set<std::string> names;
+    for (const auto &b : fullSuite())
+        names.insert(b.name);
+    EXPECT_EQ(names.size(), 80u);
+}
+
+TEST(Suite, ShowcaseBenchmarksPresent)
+{
+    for (const char *name : {"SPEC2K6-04", "SPEC2K6-12", "MM-4", "CLIENT02",
+                             "MM07", "WS03", "WS04"}) {
+        EXPECT_NO_THROW({
+            const BenchmarkSpec b = findBenchmark(name);
+            EXPECT_FALSE(b.kernels.empty());
+        }) << name;
+    }
+}
+
+TEST(Suite, UnknownBenchmarkThrows)
+{
+    EXPECT_THROW(findBenchmark("NOPE-77"), std::invalid_argument);
+}
+
+TEST(Suite, SuitesTagged)
+{
+    for (const auto &b : cbp4Suite())
+        EXPECT_EQ(b.suite, "CBP4");
+    for (const auto &b : cbp3Suite())
+        EXPECT_EQ(b.suite, "CBP3");
+}
+
+TEST(Suite, GeneratedTraceMeetsTarget)
+{
+    const Trace t = generateTrace(findBenchmark("MM-4"), 30000);
+    EXPECT_GE(t.size(), 30000u);
+    EXPECT_LT(t.size(), 60000u) << "no runaway overshoot";
+    const TraceStats s = computeStats(t);
+    EXPECT_GT(s.conditionals, 20000u);
+    EXPECT_GT(s.instsPerBranch(), 3.0);
+    EXPECT_LT(s.instsPerBranch(), 10.0);
+}
+
+TEST(Suite, ShowcaseBenchmarksContainBackwardBranches)
+{
+    // The IMLI mechanism only engages on backward conditional branches.
+    for (const char *name : {"SPEC2K6-04", "SPEC2K6-12", "MM07"}) {
+        const Trace t = generateTrace(findBenchmark(name), 20000);
+        const TraceStats s = computeStats(t);
+        EXPECT_GT(s.backwardConditionals, 500u) << name;
+    }
+}
