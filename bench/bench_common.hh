@@ -7,6 +7,9 @@
  *   --branches N   trace length per benchmark (default 200000, or the
  *                  IMLI_BRANCHES environment variable)
  *   --csv          dump the raw per-benchmark cells as CSV and exit
+ *   --jobs N       suite-runner worker threads (default 1, or the
+ *                  IMLI_JOBS environment variable; 0/auto = all hardware
+ *                  threads).  Results are bit-identical at any N.
  */
 
 #ifndef IMLI_BENCH_BENCH_COMMON_HH
@@ -31,6 +34,7 @@ struct BenchArgs
 {
     std::size_t branches;
     bool csv;
+    unsigned jobs;
 
     BenchArgs(int argc, char **argv)
     {
@@ -39,23 +43,33 @@ struct BenchArgs
             "branches",
             static_cast<std::int64_t>(defaultBranchesPerTrace())));
         csv = cli.getBool("csv");
+        jobs = cli.getJobs(defaultJobs());
     }
 };
 
 /** Run @p configs over the full 80-benchmark suite. */
 inline SuiteResults
-runFullSuite(const std::vector<std::string> &configs, std::size_t branches)
+runFullSuite(const std::vector<std::string> &configs, std::size_t branches,
+             unsigned jobs = 1)
 {
     SuiteRunOptions opt;
     opt.branchesPerTrace = branches;
+    opt.jobs = jobs;
     return runSuite(fullSuite(), configs, opt);
+}
+
+/** Run @p configs over the full suite with the parsed bench flags. */
+inline SuiteResults
+runFullSuite(const std::vector<std::string> &configs, const BenchArgs &args)
+{
+    return runFullSuite(configs, args.branches, args.jobs);
 }
 
 /** Run @p configs over a named subset of the suite. */
 inline SuiteResults
 runBenchmarks(const std::vector<std::string> &names,
               const std::vector<std::string> &configs,
-              std::size_t branches)
+              std::size_t branches, unsigned jobs = 1)
 {
     std::vector<BenchmarkSpec> specs;
     specs.reserve(names.size());
@@ -63,7 +77,16 @@ runBenchmarks(const std::vector<std::string> &names,
         specs.push_back(findBenchmark(name));
     SuiteRunOptions opt;
     opt.branchesPerTrace = branches;
+    opt.jobs = jobs;
     return runSuite(specs, configs, opt);
+}
+
+/** Run @p configs over a named subset with the parsed bench flags. */
+inline SuiteResults
+runBenchmarks(const std::vector<std::string> &names,
+              const std::vector<std::string> &configs, const BenchArgs &args)
+{
+    return runBenchmarks(names, configs, args.branches, args.jobs);
 }
 
 /** Storage of a zoo config in Kbits. */

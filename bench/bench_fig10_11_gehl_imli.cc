@@ -18,7 +18,7 @@ main(int argc, char **argv)
     const BenchArgs args(argc, argv);
     const std::vector<std::string> configs = {"gehl", "gehl+sic", "gehl+i"};
 
-    const SuiteResults results = runFullSuite(configs, args.branches);
+    const SuiteResults results = runFullSuite(configs, args);
     if (args.csv) {
         printCellsCsv(std::cout, results);
         return 0;

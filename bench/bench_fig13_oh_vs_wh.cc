@@ -22,7 +22,7 @@ main(int argc, char **argv)
     const std::vector<std::string> configs = {"gehl", "gehl+wh", "gehl+oh",
                                               "gehl+i"};
 
-    const SuiteResults results = runFullSuite(configs, args.branches);
+    const SuiteResults results = runFullSuite(configs, args);
     if (args.csv) {
         printCellsCsv(std::cout, results);
         return 0;

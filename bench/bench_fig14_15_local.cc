@@ -50,7 +50,7 @@ main(int argc, char **argv)
         "tage-gsc", "tage-gsc+l", "tage-gsc+i", "tage-gsc+i+l",
         "gehl",     "gehl+l",     "gehl+i",     "gehl+i+l"};
 
-    const SuiteResults results = runFullSuite(configs, args.branches);
+    const SuiteResults results = runFullSuite(configs, args);
     if (args.csv) {
         printCellsCsv(std::cout, results);
         return 0;

@@ -21,7 +21,7 @@ main(int argc, char **argv)
     const std::vector<std::string> configs = {"tage-gsc", "tage-gsc+loop",
                                               "tage-gsc+l"};
 
-    const SuiteResults results = runFullSuite(configs, args.branches);
+    const SuiteResults results = runFullSuite(configs, args);
     if (args.csv) {
         printCellsCsv(std::cout, results);
         return 0;

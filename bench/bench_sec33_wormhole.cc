@@ -23,7 +23,7 @@ main(int argc, char **argv)
         "tage-gsc", "tage-gsc+wh", "tage-gsc+sic", "tage-gsc+sic+wh",
         "gehl",     "gehl+wh",     "gehl+sic",     "gehl+sic+wh"};
 
-    const SuiteResults results = runFullSuite(configs, args.branches);
+    const SuiteResults results = runFullSuite(configs, args);
     if (args.csv) {
         printCellsCsv(std::cout, results);
         return 0;

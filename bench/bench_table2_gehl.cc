@@ -19,7 +19,7 @@ main(int argc, char **argv)
     const std::vector<std::string> configs = {"gehl", "gehl+l", "gehl+i",
                                               "gehl+i+l"};
 
-    const SuiteResults results = runFullSuite(configs, args.branches);
+    const SuiteResults results = runFullSuite(configs, args);
     if (args.csv) {
         printCellsCsv(std::cout, results);
         return 0;

@@ -8,10 +8,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <set>
+
 #include "src/core/imli_components.hh"
 #include "src/predictors/zoo.hh"
 #include "src/sim/simulator.hh"
+#include "src/sim/suite_runner.hh"
 #include "src/spec/checkpoint.hh"
+#include "src/util/thread_pool.hh"
 #include "src/workloads/suite.hh"
 
 using namespace imli;
@@ -111,6 +115,51 @@ BM_SpeculativeModel(benchmark::State &state)
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_SpeculativeModel);
+
+static void
+BM_SuiteRunner(benchmark::State &state)
+{
+    // End-to-end suite-runner throughput at a given worker count (the
+    // Arg): 8 benchmarks x 2 configs, short traces.  The jobs = 1 row is
+    // the serial baseline future scaling PRs are measured against.
+    const std::vector<std::string> names = {
+        "SPEC2K6-04", "SPEC2K6-12", "MM-4", "CLIENT02",
+        "MM07",       "WS04",       "WS03", "SERVER-1"};
+    std::vector<BenchmarkSpec> specs;
+    for (const std::string &n : names)
+        specs.push_back(findBenchmark(n));
+    const std::vector<std::string> configs = {"tage-gsc", "tage-gsc+i"};
+    SuiteRunOptions opt;
+    opt.branchesPerTrace = 20000;
+    opt.jobs = static_cast<unsigned>(state.range(0));
+    std::uint64_t branches = 0;
+    for (auto _ : state) {
+        const SuiteResults r = runSuite(specs, configs, opt);
+        branches = 0;
+        for (const SuiteCell &cell : r.cells)
+            branches += cell.conditionals;
+        benchmark::DoNotOptimize(branches);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(branches));
+    state.SetLabel("branches/s");
+}
+// UseRealTime: the work runs on pool worker threads, so calling-thread
+// CPU time (the default clock) would read near zero for jobs > 1.  The
+// job counts are deduplicated so machines where hardwareThreads() is
+// already in the sweep don't get a double-registered row.
+static void
+suiteRunnerJobArgs(benchmark::internal::Benchmark *b)
+{
+    const std::set<int> jobs = {
+        1, 2, 4, 8, static_cast<int>(imli::ThreadPool::hardwareThreads())};
+    for (int j : jobs)
+        b->Arg(j);
+}
+BENCHMARK(BM_SuiteRunner)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Apply(suiteRunnerJobArgs);
 
 static void
 BM_TraceGeneration(benchmark::State &state)

@@ -8,8 +8,10 @@
  * Usage: suite_report [--configs tage-gsc,tage-gsc+i]
  *                     [--suite CBP4|CBP3] [--branches 200000]
  *                     [--benchmarks NAME1,NAME2] [--csv]
+ *                     [--jobs N]   (0/auto = all hardware threads)
  */
 
+#include <chrono>
 #include <iostream>
 #include <sstream>
 
@@ -65,8 +67,14 @@ main(int argc, char **argv)
     options.branchesPerTrace = static_cast<std::size_t>(
         cli.getInt("branches",
                    static_cast<std::int64_t>(defaultBranchesPerTrace())));
+    options.jobs = cli.getJobs(defaultJobs());
 
+    const auto start = std::chrono::steady_clock::now();
     const SuiteResults results = runSuite(benchmarks, configs, options);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
 
     if (cli.getBool("csv")) {
         printCellsCsv(std::cout, results);
@@ -75,6 +83,7 @@ main(int argc, char **argv)
 
     printPerBenchmark(std::cout, results, results.benchmarkNames(), configs,
                       "Per-benchmark MPKI");
+    printRunSummary(std::cout, results, seconds, options.jobs);
 
     std::cout << "Suite averages (MPKI):\n";
     for (const std::string &config : configs) {

@@ -79,4 +79,21 @@ printCellsCsv(std::ostream &os, const SuiteResults &results)
     table.printCsv(os);
 }
 
+void
+printRunSummary(std::ostream &os, const SuiteResults &results,
+                double wallSeconds, unsigned jobs)
+{
+    std::uint64_t branches = 0;
+    for (const SuiteCell &cell : results.cells)
+        branches += cell.conditionals;
+    os << "run: " << results.cells.size() << " cells, " << branches
+       << " conditional branches, " << formatDouble(wallSeconds, 2)
+       << " s wall";
+    if (wallSeconds > 0.0)
+        os << " (" << formatDouble(static_cast<double>(branches) /
+                                       wallSeconds / 1e6, 2)
+           << " M branches/s)";
+    os << ", jobs=" << jobs << '\n';
+}
+
 } // namespace imli

@@ -66,6 +66,13 @@ void printPerBenchmark(std::ostream &os, const SuiteResults &results,
 /** Dump every cell of @p results as CSV. */
 void printCellsCsv(std::ostream &os, const SuiteResults &results);
 
+/**
+ * One-line wall-clock summary of a suite run: cell count, simulated
+ * conditional branches, throughput and the worker count used.
+ */
+void printRunSummary(std::ostream &os, const SuiteResults &results,
+                     double wallSeconds, unsigned jobs);
+
 } // namespace imli
 
 #endif // IMLI_SRC_SIM_REPORT_HH

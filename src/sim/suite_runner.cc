@@ -1,10 +1,15 @@
 #include "src/sim/suite_runner.hh"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 
 #include "src/predictors/zoo.hh"
+#include "src/util/thread_pool.hh"
 
 namespace imli
 {
@@ -62,6 +67,19 @@ SuiteResults::rankByDelta(const std::string &config_a,
     return names;
 }
 
+void
+SuiteResults::merge(const SuiteResults &shard)
+{
+    if (configs.empty() && cells.empty()) {
+        *this = shard;
+        return;
+    }
+    if (shard.configs != configs)
+        throw std::invalid_argument(
+            "SuiteResults::merge: shards ran different config lists");
+    cells.insert(cells.end(), shard.cells.begin(), shard.cells.end());
+}
+
 std::vector<std::string>
 SuiteResults::benchmarkNames() const
 {
@@ -79,11 +97,89 @@ SuiteResults::benchmarkNames() const
     return names;
 }
 
+namespace
+{
+
+SuiteCell
+runCell(const BenchmarkSpec &spec, const Trace &trace,
+        const std::string &config)
+{
+    PredictorPtr predictor = makePredictor(config);
+    const SimResult r = simulate(*predictor, trace);
+    SuiteCell cell;
+    cell.benchmark = spec.name;
+    cell.suite = spec.suite;
+    cell.config = config;
+    cell.mpki = r.mpki();
+    cell.mispredictions = r.mispredictions;
+    cell.conditionals = r.conditionals;
+    cell.instructions = r.instructions;
+    return cell;
+}
+
+/** Per-benchmark state shared by the workers of a parallel run. */
+struct BenchShard
+{
+    std::once_flag traceOnce;
+    std::unique_ptr<const Trace> trace;
+    std::atomic<std::size_t> remainingConfigs{0};
+    std::size_t progressDone = 0; //!< guarded by the progress mutex
+};
+
+SuiteResults
+runSuiteParallel(const std::vector<BenchmarkSpec> &benchmarks,
+                 const std::vector<std::string> &configs,
+                 const SuiteRunOptions &options, unsigned jobs)
+{
+    SuiteResults results;
+    results.configs = configs;
+    const std::size_t nconfigs = configs.size();
+    results.cells.resize(benchmarks.size() * nconfigs);
+
+    std::vector<BenchShard> shards(benchmarks.size());
+    for (BenchShard &s : shards)
+        s.remainingConfigs.store(nconfigs, std::memory_order_relaxed);
+
+    std::mutex progressMutex;
+    ThreadPool pool(jobs);
+    pool.parallelFor(results.cells.size(), [&](std::size_t i) {
+        const std::size_t b = i / nconfigs;
+        const std::size_t c = i % nconfigs;
+        BenchShard &shard = shards[b];
+        std::call_once(shard.traceOnce, [&] {
+            shard.trace = std::make_unique<const Trace>(
+                generateTrace(benchmarks[b], options.branchesPerTrace));
+        });
+        results.cells[i] = runCell(benchmarks[b], *shard.trace, configs[c]);
+        // Last cell of a benchmark frees its trace, bounding live traces
+        // to roughly the worker count.
+        const std::size_t left =
+            shard.remainingConfigs.fetch_sub(1, std::memory_order_acq_rel) -
+            1;
+        if (left == 0)
+            shard.trace.reset();
+        if (options.progress) {
+            // Count under the mutex so each benchmark's reported count is
+            // strictly increasing, matching the serial path's ++done.
+            std::lock_guard<std::mutex> lock(progressMutex);
+            options.progress(benchmarks[b].name, ++shard.progressDone);
+        }
+    });
+    return results;
+}
+
+} // anonymous namespace
+
 SuiteResults
 runSuite(const std::vector<BenchmarkSpec> &benchmarks,
          const std::vector<std::string> &configs,
          const SuiteRunOptions &options)
 {
+    const unsigned jobs =
+        options.jobs == 0 ? ThreadPool::hardwareThreads() : options.jobs;
+    if (jobs > 1)
+        return runSuiteParallel(benchmarks, configs, options, jobs);
+
     SuiteResults results;
     results.configs = configs;
     results.cells.reserve(benchmarks.size() * configs.size());
@@ -92,17 +188,7 @@ runSuite(const std::vector<BenchmarkSpec> &benchmarks,
         const Trace trace = generateTrace(spec, options.branchesPerTrace);
         std::size_t done = 0;
         for (const std::string &config : configs) {
-            PredictorPtr predictor = makePredictor(config);
-            const SimResult r = simulate(*predictor, trace);
-            SuiteCell cell;
-            cell.benchmark = spec.name;
-            cell.suite = spec.suite;
-            cell.config = config;
-            cell.mpki = r.mpki();
-            cell.mispredictions = r.mispredictions;
-            cell.conditionals = r.conditionals;
-            cell.instructions = r.instructions;
-            results.cells.push_back(std::move(cell));
+            results.cells.push_back(runCell(spec, trace, config));
             if (options.progress)
                 options.progress(spec.name, ++done);
         }
@@ -120,6 +206,14 @@ defaultBranchesPerTrace()
             return static_cast<std::size_t>(v);
     }
     return 200000;
+}
+
+unsigned
+defaultJobs()
+{
+    if (const char *env = std::getenv("IMLI_JOBS"))
+        return ThreadPool::parseJobs(env, 1);
+    return 1;
 }
 
 } // namespace imli

@@ -43,6 +43,14 @@ struct SuiteResults
     const SuiteCell &at(const std::string &benchmark,
                         const std::string &config) const;
 
+    /**
+     * Append @p shard's cells (benchmark partitioning).  Both results must
+     * carry the same config list; throws std::invalid_argument otherwise.
+     * Merging is deterministic: cell order is this-then-shard, so merging
+     * shards in partition order reproduces the unsharded run exactly.
+     */
+    void merge(const SuiteResults &shard);
+
     /** Arithmetic-mean MPKI of @p config over benchmarks in @p suite
      *  ("" = all). */
     double averageMpki(const std::string &config,
@@ -61,13 +69,27 @@ struct SuiteResults
 struct SuiteRunOptions
 {
     std::size_t branchesPerTrace = 200000;
-    /** Progress callback (benchmark name, finished configs). */
+    /**
+     * Worker threads for the (benchmark, config) cell fan-out; 1 runs the
+     * serial in-caller path, 0 means one worker per hardware thread.  Any
+     * value yields bit-identical results (cells are independent and each
+     * is written into its fixed benchmark-major slot).
+     */
+    unsigned jobs = 1;
+    /**
+     * Progress callback (benchmark name, finished configs for that
+     * benchmark).  With jobs > 1 it is invoked under a mutex, from worker
+     * threads, and benchmarks may interleave.
+     */
     std::function<void(const std::string &, std::size_t)> progress;
 };
 
 /**
  * Run every config (spec strings for makePredictor) over every benchmark.
- * Each benchmark's trace is generated once and reused across configs.
+ * Each benchmark's trace is generated once and reused across configs; with
+ * jobs > 1 the cells are self-scheduled across a ThreadPool and at most
+ * ~jobs traces are alive at once (a benchmark's trace is freed when its
+ * last config finishes).
  */
 SuiteResults runSuite(const std::vector<BenchmarkSpec> &benchmarks,
                       const std::vector<std::string> &configs,
@@ -75,6 +97,10 @@ SuiteResults runSuite(const std::vector<BenchmarkSpec> &benchmarks,
 
 /** Default trace length, honouring the IMLI_BRANCHES env override. */
 std::size_t defaultBranchesPerTrace();
+
+/** Default worker count, honouring the IMLI_JOBS env override (0 = all
+ *  hardware threads); falls back to 1 (serial) when unset. */
+unsigned defaultJobs();
 
 } // namespace imli
 

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "src/util/thread_pool.hh"
+
 namespace imli
 {
 
@@ -73,6 +75,15 @@ CommandLine::getBool(const std::string &name, bool def) const
     if (v.empty() || v == "true" || v == "1" || v == "yes")
         return true;
     return false;
+}
+
+unsigned
+CommandLine::getJobs(unsigned def, const std::string &name) const
+{
+    auto it = flags.find(name);
+    if (it == flags.end())
+        return def;
+    return ThreadPool::parseJobs(it->second, def);
 }
 
 } // namespace imli

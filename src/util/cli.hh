@@ -42,6 +42,12 @@ class CommandLine
     /** Boolean: present without value or with true/1/yes = true. */
     bool getBool(const std::string &name, bool def = false) const;
 
+    /**
+     * Worker-count flag: "--jobs N".  N = 0, "auto" or "max" mean one
+     * worker per hardware thread; absent or unparsable yields @p def.
+     */
+    unsigned getJobs(unsigned def = 1, const std::string &name = "jobs") const;
+
     const std::vector<std::string> &positionals() const { return positional; }
 
     const std::string &programName() const { return program; }

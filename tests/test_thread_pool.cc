@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Tests for the worker thread pool and the parallel suite runner: task
+ * execution, exception propagation, self-scheduled parallelFor coverage,
+ * and — the load-bearing property — bit-identical results between the
+ * serial and parallel suite-runner paths at any worker count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "src/sim/suite_runner.hh"
+#include "src/util/thread_pool.hh"
+#include "src/workloads/suite.hh"
+
+using namespace imli;
+
+namespace
+{
+
+/** Exact comparison of two results matrices, doubles compared bitwise. */
+void
+expectBitIdentical(const SuiteResults &a, const SuiteResults &b)
+{
+    ASSERT_EQ(a.configs, b.configs);
+    ASSERT_EQ(a.cells.size(), b.cells.size());
+    for (std::size_t i = 0; i < a.cells.size(); ++i) {
+        const SuiteCell &x = a.cells[i];
+        const SuiteCell &y = b.cells[i];
+        EXPECT_EQ(x.benchmark, y.benchmark) << "cell " << i;
+        EXPECT_EQ(x.suite, y.suite) << "cell " << i;
+        EXPECT_EQ(x.config, y.config) << "cell " << i;
+        EXPECT_EQ(x.mispredictions, y.mispredictions) << "cell " << i;
+        EXPECT_EQ(x.conditionals, y.conditionals) << "cell " << i;
+        EXPECT_EQ(x.instructions, y.instructions) << "cell " << i;
+        EXPECT_EQ(std::memcmp(&x.mpki, &y.mpki, sizeof(double)), 0)
+            << "cell " << i << ": mpki differs in bit pattern";
+    }
+}
+
+std::vector<BenchmarkSpec>
+smallSubset()
+{
+    return {findBenchmark("MM-4"), findBenchmark("WS03"),
+            findBenchmark("SPEC2K6-04"), findBenchmark("SERVER-1"),
+            findBenchmark("CLIENT02")};
+}
+
+} // anonymous namespace
+
+TEST(ThreadPool, RunsSubmittedTasks)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&counter] { ++counter; });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ZeroMeansHardwareThreads)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), ThreadPool::hardwareThreads());
+    EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    pool.submit([&counter] { ++counter; });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 1);
+    pool.submit([&counter] { ++counter; });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue)
+{
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&counter] { ++counter; });
+    }
+    EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    const std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto &h : hits)
+        h.store(0);
+    pool.parallelFor(n, [&hits](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForEmptyIsNoop)
+{
+    ThreadPool pool(2);
+    pool.parallelFor(0, [](std::size_t) { FAIL() << "body ran"; });
+}
+
+TEST(ThreadPool, ParallelForFewerItemsThanWorkers)
+{
+    ThreadPool pool(8);
+    std::atomic<int> counter{0};
+    pool.parallelFor(3, [&counter](std::size_t) { ++counter; });
+    EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadPool, TaskExceptionRethrownFromWait)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The pool stays usable after an error.
+    std::atomic<int> counter{0};
+    pool.submit([&counter] { ++counter; });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesBodyException)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(100,
+                                  [](std::size_t i) {
+                                      if (i == 42)
+                                          throw std::invalid_argument("42");
+                                  }),
+                 std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Parallel suite runner determinism.
+// ---------------------------------------------------------------------
+
+TEST(ParallelSuiteRunner, BitIdenticalToSerial)
+{
+    const std::vector<std::string> configs = {"bimodal", "gshare",
+                                              "tage-gsc"};
+    SuiteRunOptions serial;
+    serial.branchesPerTrace = 8000;
+    serial.jobs = 1;
+    const SuiteResults base = runSuite(smallSubset(), configs, serial);
+
+    for (unsigned jobs : {2u, 4u, 8u}) {
+        SuiteRunOptions opt;
+        opt.branchesPerTrace = 8000;
+        opt.jobs = jobs;
+        const SuiteResults par = runSuite(smallSubset(), configs, opt);
+        expectBitIdentical(base, par);
+    }
+}
+
+TEST(ParallelSuiteRunner, RepeatedParallelRunsAgree)
+{
+    const std::vector<std::string> configs = {"gshare", "tage-gsc+i"};
+    SuiteRunOptions opt;
+    opt.branchesPerTrace = 6000;
+    opt.jobs = 4;
+    const SuiteResults a = runSuite(smallSubset(), configs, opt);
+    const SuiteResults b = runSuite(smallSubset(), configs, opt);
+    expectBitIdentical(a, b);
+}
+
+TEST(ParallelSuiteRunner, ProgressReportsEveryCell)
+{
+    const std::vector<std::string> configs = {"bimodal", "gshare"};
+    std::atomic<std::size_t> calls{0};
+    SuiteRunOptions opt;
+    opt.branchesPerTrace = 3000;
+    opt.jobs = 4;
+    opt.progress = [&calls](const std::string &, std::size_t) { ++calls; };
+    const SuiteResults r = runSuite(smallSubset(), configs, opt);
+    EXPECT_EQ(calls.load(), r.cells.size());
+}
+
+TEST(ParallelSuiteRunner, ProgressCountsAreMonotonicPerBenchmark)
+{
+    const std::vector<std::string> configs = {"bimodal", "gshare",
+                                              "gehl"};
+    // The callback runs under the runner's progress mutex, so a plain map
+    // is safe here.
+    std::map<std::string, std::size_t> last;
+    bool monotonic = true;
+    SuiteRunOptions opt;
+    opt.branchesPerTrace = 3000;
+    opt.jobs = 4;
+    opt.progress = [&](const std::string &name, std::size_t done) {
+        if (done != last[name] + 1)
+            monotonic = false;
+        last[name] = done;
+    };
+    runSuite(smallSubset(), configs, opt);
+    EXPECT_TRUE(monotonic);
+    for (const auto &[name, done] : last)
+        EXPECT_EQ(done, configs.size()) << name;
+}
+
+TEST(ParallelSuiteRunner, JobsZeroUsesHardwareThreads)
+{
+    const std::vector<std::string> configs = {"bimodal"};
+    SuiteRunOptions serial;
+    serial.branchesPerTrace = 3000;
+    const SuiteResults base =
+        runSuite({findBenchmark("MM-4")}, configs, serial);
+    SuiteRunOptions opt;
+    opt.branchesPerTrace = 3000;
+    opt.jobs = 0;
+    const SuiteResults par =
+        runSuite({findBenchmark("MM-4")}, configs, opt);
+    expectBitIdentical(base, par);
+}
+
+TEST(ParallelSuiteRunner, MergeOfBenchmarkShardsMatchesFullRun)
+{
+    const std::vector<std::string> configs = {"gshare", "bimodal"};
+    const std::vector<BenchmarkSpec> all = smallSubset();
+    SuiteRunOptions opt;
+    opt.branchesPerTrace = 4000;
+    opt.jobs = 2;
+    const SuiteResults full = runSuite(all, configs, opt);
+
+    const std::vector<BenchmarkSpec> lo(all.begin(), all.begin() + 2);
+    const std::vector<BenchmarkSpec> hi(all.begin() + 2, all.end());
+    SuiteResults merged = runSuite(lo, configs, opt);
+    merged.merge(runSuite(hi, configs, opt));
+    expectBitIdentical(full, merged);
+}
+
+TEST(SuiteResultsMerge, RejectsMismatchedConfigs)
+{
+    SuiteResults a;
+    a.configs = {"bimodal"};
+    a.cells.resize(1);
+    SuiteResults b;
+    b.configs = {"gshare"};
+    b.cells.resize(1);
+    EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(DefaultJobs, HonoursEnvIncludingAutoAndRejectsGarbage)
+{
+    ::setenv("IMLI_JOBS", "6", 1);
+    EXPECT_EQ(defaultJobs(), 6u);
+    ::setenv("IMLI_JOBS", "auto", 1);
+    EXPECT_EQ(defaultJobs(), ThreadPool::hardwareThreads());
+    ::setenv("IMLI_JOBS", "0", 1);
+    EXPECT_EQ(defaultJobs(), ThreadPool::hardwareThreads());
+    ::setenv("IMLI_JOBS", "-1", 1);
+    EXPECT_EQ(defaultJobs(), 1u);
+    ::unsetenv("IMLI_JOBS");
+    EXPECT_EQ(defaultJobs(), 1u);
+}
+
+TEST(SuiteResultsMerge, MergeIntoEmptyAdopts)
+{
+    SuiteResults empty;
+    SuiteResults shard;
+    shard.configs = {"bimodal"};
+    shard.cells.resize(2);
+    shard.cells[0].benchmark = "X";
+    empty.merge(shard);
+    EXPECT_EQ(empty.configs, shard.configs);
+    EXPECT_EQ(empty.cells.size(), 2u);
+    EXPECT_EQ(empty.cells[0].benchmark, "X");
+}

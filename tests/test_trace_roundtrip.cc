@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Golden-file regression tests for the trace formats: a checked-in text
+ * trace with hand-computed statistics pins the on-disk format, and every
+ * write -> read -> stats round trip (binary .imt and text, stream and
+ * file) must reproduce the records and the statistics exactly.
+ *
+ * IMLI_TEST_DATA_DIR is injected by CMake and points at tests/data in the
+ * source tree.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+
+#include "src/trace/trace_io.hh"
+#include "src/trace/trace_stats.hh"
+#include "src/trace/trace_text.hh"
+#include "src/workloads/suite.hh"
+
+using namespace imli;
+
+namespace
+{
+
+std::string
+goldenPath()
+{
+#ifdef IMLI_TEST_DATA_DIR
+    return std::string(IMLI_TEST_DATA_DIR) + "/golden_mini.trace.txt";
+#else
+    return "tests/data/golden_mini.trace.txt";
+#endif
+}
+
+/** Temporary file path that is removed on destruction. */
+struct TempFile
+{
+    std::string path;
+
+    explicit TempFile(const std::string &suffix)
+        : path(std::string(::testing::TempDir()) + "imli_roundtrip_" +
+               std::to_string(::getpid()) + suffix)
+    {}
+
+    ~TempFile() { std::remove(path.c_str()); }
+};
+
+void
+expectSameRecords(const Trace &a, const Trace &b)
+{
+    EXPECT_EQ(a.name(), b.name());
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_TRUE(a[i] == b[i]) << "record " << i << " differs";
+    EXPECT_EQ(a.instructionCount(), b.instructionCount());
+    EXPECT_EQ(a.conditionalCount(), b.conditionalCount());
+}
+
+void
+expectSameStats(const TraceStats &a, const TraceStats &b)
+{
+    EXPECT_EQ(a.records, b.records);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.conditionals, b.conditionals);
+    EXPECT_EQ(a.takenConditionals, b.takenConditionals);
+    EXPECT_EQ(a.backwardConditionals, b.backwardConditionals);
+    EXPECT_EQ(a.staticBranches, b.staticBranches);
+    EXPECT_EQ(a.staticConditionals, b.staticConditionals);
+    EXPECT_EQ(a.perType, b.perType);
+}
+
+} // anonymous namespace
+
+TEST(GoldenTrace, FileParsesWithExpectedStats)
+{
+    const Trace trace = readTraceTextFile(goldenPath());
+    EXPECT_EQ(trace.name(), "golden-mini");
+
+    // Golden values computed by hand from tests/data/golden_mini.trace.txt;
+    // a change here means the text format or the stats definitions moved.
+    const TraceStats stats = computeStats(trace);
+    EXPECT_EQ(stats.records, 10u);
+    EXPECT_EQ(stats.instructions, 37u);
+    EXPECT_EQ(stats.conditionals, 5u);
+    EXPECT_EQ(stats.takenConditionals, 3u);
+    EXPECT_EQ(stats.backwardConditionals, 4u);
+    EXPECT_EQ(stats.staticBranches, 9u);
+    EXPECT_EQ(stats.staticConditionals, 4u);
+    EXPECT_DOUBLE_EQ(stats.takenRate(), 3.0 / 5.0);
+    EXPECT_DOUBLE_EQ(stats.instsPerBranch(), 3.7);
+    EXPECT_EQ(stats.perType.at(BranchType::CondDirect), 5u);
+    EXPECT_EQ(stats.perType.at(BranchType::UncondDirect), 1u);
+    EXPECT_EQ(stats.perType.at(BranchType::UncondIndirect), 1u);
+    EXPECT_EQ(stats.perType.at(BranchType::Call), 1u);
+    EXPECT_EQ(stats.perType.at(BranchType::IndirectCall), 1u);
+    EXPECT_EQ(stats.perType.at(BranchType::Return), 1u);
+}
+
+TEST(GoldenTrace, BinaryRoundTripPreservesRecordsAndStats)
+{
+    const Trace golden = readTraceTextFile(goldenPath());
+    std::stringstream buffer;
+    writeTrace(golden, buffer);
+    const Trace back = readTrace(buffer);
+    expectSameRecords(golden, back);
+    expectSameStats(computeStats(golden), computeStats(back));
+}
+
+TEST(GoldenTrace, TextRoundTripPreservesRecordsAndStats)
+{
+    const Trace golden = readTraceTextFile(goldenPath());
+    std::stringstream buffer;
+    writeTraceText(golden, buffer);
+    const Trace back = readTraceText(buffer);
+    expectSameRecords(golden, back);
+    expectSameStats(computeStats(golden), computeStats(back));
+}
+
+TEST(GoldenTrace, TextSerializationIsByteStable)
+{
+    // Writing the parsed golden trace back out must reproduce the
+    // checked-in bytes exactly: the writer is the format's spec.
+    std::ifstream original(goldenPath());
+    ASSERT_TRUE(original.good());
+    std::stringstream golden_bytes;
+    golden_bytes << original.rdbuf();
+
+    const Trace golden = readTraceTextFile(goldenPath());
+    std::stringstream rewritten;
+    writeTraceText(golden, rewritten);
+    EXPECT_EQ(rewritten.str(), golden_bytes.str());
+}
+
+TEST(TraceRoundTrip, GeneratedWorkloadThroughBinaryFile)
+{
+    const Trace trace = generateTrace(findBenchmark("MM-4"), 20000);
+    TempFile file(".imt");
+    writeTraceFile(trace, file.path);
+    const Trace back = readTraceFile(file.path);
+    expectSameRecords(trace, back);
+    expectSameStats(computeStats(trace), computeStats(back));
+}
+
+TEST(TraceRoundTrip, GeneratedWorkloadThroughTextFile)
+{
+    const Trace trace = generateTrace(findBenchmark("WS03"), 5000);
+    TempFile file(".txt");
+    writeTraceTextFile(trace, file.path);
+    const Trace back = readTraceTextFile(file.path);
+    expectSameRecords(trace, back);
+    expectSameStats(computeStats(trace), computeStats(back));
+}
+
+TEST(TraceRoundTrip, BinaryThenTextThenBinaryIsStable)
+{
+    const Trace trace = generateTrace(findBenchmark("SPEC2K6-12"), 8000);
+    std::stringstream bin1, text, bin2;
+    writeTrace(trace, bin1);
+    const Trace t1 = readTrace(bin1);
+    writeTraceText(t1, text);
+    const Trace t2 = readTraceText(text);
+    writeTrace(t2, bin2);
+    const Trace t3 = readTrace(bin2);
+    expectSameRecords(trace, t3);
+}

@@ -15,6 +15,7 @@
 #include "src/util/rng.hh"
 #include "src/util/storage.hh"
 #include "src/util/table_writer.hh"
+#include "src/util/thread_pool.hh"
 
 using namespace imli;
 
@@ -372,6 +373,46 @@ TEST(CommandLine, DefaultsOnMissingOrMalformed)
     CommandLine cli(2, argv);
     EXPECT_EQ(cli.getInt("num", 42), 42);
     EXPECT_EQ(cli.getDouble("pi", 3.14), 3.14);
+}
+
+TEST(CommandLine, GetJobsParsesCountAutoAndZero)
+{
+    {
+        const char *argv[] = {"prog", "--jobs=6"};
+        EXPECT_EQ(CommandLine(2, argv).getJobs(1), 6u);
+    }
+    {
+        const char *argv[] = {"prog", "--jobs=auto"};
+        EXPECT_EQ(CommandLine(2, argv).getJobs(1),
+                  ThreadPool::hardwareThreads());
+    }
+    {
+        const char *argv[] = {"prog", "--jobs=0"};
+        EXPECT_EQ(CommandLine(2, argv).getJobs(1),
+                  ThreadPool::hardwareThreads());
+    }
+    {
+        const char *argv[] = {"prog"};
+        EXPECT_EQ(CommandLine(1, argv).getJobs(3), 3u);
+    }
+}
+
+TEST(CommandLine, GetJobsRejectsGarbageAndClampsHuge)
+{
+    {
+        // strtoul would wrap "-1" to ULONG_MAX; must fall back instead.
+        const char *argv[] = {"prog", "--jobs=-1"};
+        EXPECT_EQ(CommandLine(2, argv).getJobs(1), 1u);
+    }
+    {
+        const char *argv[] = {"prog", "--jobs=2x"};
+        EXPECT_EQ(CommandLine(2, argv).getJobs(5), 5u);
+    }
+    {
+        const char *argv[] = {"prog", "--jobs=999999999999"};
+        EXPECT_EQ(CommandLine(2, argv).getJobs(1),
+                  static_cast<unsigned>(ThreadPool::maxJobs));
+    }
 }
 
 // ---------------------------------------------------------------------------
