@@ -15,6 +15,7 @@
 #ifndef IMLI_BENCH_BENCH_COMMON_HH
 #define IMLI_BENCH_BENCH_COMMON_HH
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "src/sim/suite_runner.hh"
 #include "src/util/cli.hh"
 #include "src/util/table_writer.hh"
+#include "src/util/thread_pool.hh"
 #include "src/workloads/suite.hh"
 
 namespace imli::bench
@@ -38,12 +40,26 @@ struct BenchArgs
 
     BenchArgs(int argc, char **argv)
     {
-        CommandLine cli(argc, argv);
-        branches = static_cast<std::size_t>(cli.getInt(
-            "branches",
-            static_cast<std::int64_t>(defaultBranchesPerTrace())));
-        csv = cli.getBool("csv");
-        jobs = cli.getJobs(defaultJobs());
+        try {
+            CommandLine cli(argc, argv);
+            // Flags parse strictly, like the env overrides; env defaults
+            // are only consulted when the flag is absent, so an explicit
+            // flag still works under a malformed env var.
+            branches = cli.has("branches")
+                           ? parseBranchCount(cli.getString("branches"),
+                                              "--branches")
+                           : defaultBranchesPerTrace();
+            csv = cli.getBool("csv");
+            jobs = cli.has("jobs")
+                       ? ThreadPool::parseJobsStrict(cli.getString("jobs"),
+                                                     "--jobs")
+                       : defaultJobs();
+        } catch (const std::exception &e) {
+            // Bad IMLI_BRANCHES / IMLI_JOBS overrides: fail the run with
+            // the parse error, not a raw terminate().
+            std::cerr << "error: " << e.what() << '\n';
+            std::exit(1);
+        }
     }
 };
 

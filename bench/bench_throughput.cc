@@ -16,6 +16,7 @@
 #include "src/sim/suite_runner.hh"
 #include "src/spec/checkpoint.hh"
 #include "src/util/thread_pool.hh"
+#include "src/workloads/generator_source.hh"
 #include "src/workloads/suite.hh"
 
 using namespace imli;
@@ -160,6 +161,80 @@ BENCHMARK(BM_SuiteRunner)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime()
     ->Apply(suiteRunnerJobArgs);
+
+static void
+BM_SimulateMaterialized(benchmark::State &state)
+{
+    // Reference point for the streaming rows: generate + materialize the
+    // trace, then simulate — the pre-streaming engine's per-cell cost.
+    const BenchmarkSpec spec = findBenchmark("SPEC2K6-12");
+    std::uint64_t conditionals = 0;
+    for (auto _ : state) {
+        const Trace trace = generateTrace(spec, 100000);
+        PredictorPtr pred = makePredictor("tage-gsc");
+        const SimResult r = simulate(*pred, trace);
+        conditionals = r.conditionals;
+        benchmark::DoNotOptimize(conditionals);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            100000);
+    state.SetLabel("branches/s");
+}
+BENCHMARK(BM_SimulateMaterialized)->Unit(benchmark::kMillisecond);
+
+static void
+BM_SimulateStreaming(benchmark::State &state)
+{
+    // Same work on the streaming path: generator -> chunk -> predictor,
+    // no materialized trace.  Arg is the chunk size in records.
+    const BenchmarkSpec spec = findBenchmark("SPEC2K6-12");
+    const std::size_t chunk = static_cast<std::size_t>(state.range(0));
+    std::uint64_t conditionals = 0;
+    for (auto _ : state) {
+        GeneratorBranchSource source(spec, 100000, chunk);
+        PredictorPtr pred = makePredictor("tage-gsc");
+        const SimResult r = simulate(*pred, source);
+        conditionals = r.conditionals;
+        benchmark::DoNotOptimize(conditionals);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            100000);
+    state.SetLabel("branches/s");
+}
+BENCHMARK(BM_SimulateStreaming)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(4096)
+    ->Arg(65536);
+
+static void
+BM_SimulateMany(benchmark::State &state)
+{
+    // Single-pass multi-config: Arg configs share one streamed pass, so
+    // generation cost is amortized Arg-fold.  Compare branches/s against
+    // Arg independent BM_SimulateStreaming runs.
+    const BenchmarkSpec spec = findBenchmark("SPEC2K6-12");
+    const std::size_t nconfigs = static_cast<std::size_t>(state.range(0));
+    std::uint64_t conditionals = 0;
+    for (auto _ : state) {
+        std::vector<PredictorPtr> predictors;
+        for (std::size_t i = 0; i < nconfigs; ++i)
+            predictors.push_back(makePredictor("tage-gsc"));
+        GeneratorBranchSource source(spec, 100000);
+        const std::vector<SimResult> rs = simulateMany(predictors, source);
+        conditionals = rs.back().conditionals;
+        benchmark::DoNotOptimize(conditionals);
+    }
+    // Simulated branches: every config replays the whole stream.
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            100000 *
+                            static_cast<std::int64_t>(nconfigs));
+    state.SetLabel("branches/s");
+}
+BENCHMARK(BM_SimulateMany)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8);
 
 static void
 BM_TraceGeneration(benchmark::State &state)

@@ -15,6 +15,7 @@
 #include "src/sim/simulator.hh"
 #include "src/util/cli.hh"
 #include "src/util/table_writer.hh"
+#include "src/workloads/generator_source.hh"
 #include "src/workloads/suite.hh"
 
 namespace
@@ -52,14 +53,18 @@ main(int argc, char **argv)
     table.setHeader(header);
 
     for (const std::string &name : benchmarks) {
-        const imli::Trace trace =
-            imli::generateTrace(imli::findBenchmark(name), branches);
+        // The whole ladder rides one streamed pass of the benchmark: the
+        // branch stream is generated once and never materialized.
+        std::vector<imli::PredictorPtr> predictors;
+        for (const std::string &spec : ladder)
+            predictors.push_back(imli::makePredictor(spec));
+        imli::GeneratorBranchSource source(imli::findBenchmark(name),
+                                           branches);
+        const std::vector<imli::SimResult> results =
+            imli::simulateMany(predictors, source);
         std::vector<std::string> row = {name};
-        for (const std::string &spec : ladder) {
-            imli::PredictorPtr predictor = imli::makePredictor(spec);
-            const imli::SimResult r = imli::simulate(*predictor, trace);
+        for (const imli::SimResult &r : results)
             row.push_back(imli::formatDouble(r.mpki(), 3));
-        }
         table.addRow(row);
     }
     table.print(std::cout);

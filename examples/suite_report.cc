@@ -18,6 +18,7 @@
 #include "src/sim/report.hh"
 #include "src/sim/suite_runner.hh"
 #include "src/util/cli.hh"
+#include "src/util/thread_pool.hh"
 #include "src/workloads/suite.hh"
 
 using namespace imli;
@@ -41,7 +42,7 @@ splitList(const std::string &csv)
 
 int
 main(int argc, char **argv)
-{
+try {
     CommandLine cli(argc, argv);
     const std::vector<std::string> configs =
         splitList(cli.getString("configs", "tage-gsc,tage-gsc+i"));
@@ -64,10 +65,17 @@ main(int argc, char **argv)
     }
 
     SuiteRunOptions options;
-    options.branchesPerTrace = static_cast<std::size_t>(
-        cli.getInt("branches",
-                   static_cast<std::int64_t>(defaultBranchesPerTrace())));
-    options.jobs = cli.getJobs(defaultJobs());
+    // Flags parse strictly, like the env overrides; env defaults are only
+    // consulted when the flag is absent, so an explicit flag still works
+    // under a malformed env var.
+    options.branchesPerTrace =
+        cli.has("branches")
+            ? parseBranchCount(cli.getString("branches"), "--branches")
+            : defaultBranchesPerTrace();
+    options.jobs = cli.has("jobs")
+                       ? ThreadPool::parseJobsStrict(cli.getString("jobs"),
+                                                     "--jobs")
+                       : defaultJobs();
 
     const auto start = std::chrono::steady_clock::now();
     const SuiteResults results = runSuite(benchmarks, configs, options);
@@ -93,4 +101,9 @@ main(int argc, char **argv)
                   << ", all " << results.averageMpki(config) << '\n';
     }
     return 0;
+} catch (const std::exception &e) {
+    // Bad env overrides (IMLI_BRANCHES/IMLI_JOBS) or unknown specs: fail
+    // with the message, not a raw terminate().
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
 }

@@ -16,6 +16,7 @@
 #include "src/trace/trace_stats.hh"
 #include "src/trace/trace_text.hh"
 #include "src/util/cli.hh"
+#include "src/workloads/generator_source.hh"
 #include "src/workloads/suite.hh"
 
 using namespace imli;
@@ -30,13 +31,19 @@ cmdGenerate(const CommandLine &cli)
     const std::string out = cli.getString("out", name + ".imt");
     const std::size_t branches =
         static_cast<std::size_t>(cli.getInt("branches", 200000));
-    const Trace trace = generateTrace(findBenchmark(name), branches);
-    if (cli.getString("format", "binary") == "text")
+    if (cli.getString("format", "binary") == "text") {
+        const Trace trace = generateTrace(findBenchmark(name), branches);
         writeTraceTextFile(trace, out);
-    else
-        writeTraceFile(trace, out);
-    std::cout << "wrote " << trace.size() << " branches ("
-              << trace.instructionCount() << " instructions) to " << out
+        std::cout << "wrote " << trace.size() << " branches ("
+                  << trace.instructionCount() << " instructions) to " << out
+                  << '\n';
+        return 0;
+    }
+    // Binary output streams generator -> file chunk by chunk: arbitrarily
+    // long traces are generated in O(chunk) memory.
+    GeneratorBranchSource source(findBenchmark(name), branches);
+    const std::uint64_t written = writeTraceFile(source, out);
+    std::cout << "wrote " << written << " branches (streamed) to " << out
               << '\n';
     return 0;
 }

@@ -37,16 +37,19 @@ SimResult::topOffenders(std::size_t n) const
     return all;
 }
 
-SimResult
-simulate(ConditionalPredictor &predictor, const Trace &trace,
-         const SimOptions &options)
+namespace
 {
-    SimResult result;
-    result.traceName = trace.name();
-    result.predictorName = predictor.name();
 
-    std::uint64_t seen = 0;
-    for (const BranchRecord &rec : trace.branches()) {
+/**
+ * Replay one chunk through one predictor.  @p seen is the stream position
+ * of the chunk's first record; shared between simulate and simulateMany
+ * so the two paths cannot drift.
+ */
+void
+replayChunk(ConditionalPredictor &predictor, const BranchSpan &chunk,
+            std::uint64_t seen, const SimOptions &options, SimResult &result)
+{
+    for (const BranchRecord &rec : chunk) {
         const bool counted = seen >= options.warmupBranches;
         if (isConditional(rec.type)) {
             const bool pred = predictor.predict(rec.pc);
@@ -67,7 +70,66 @@ simulate(ConditionalPredictor &predictor, const Trace &trace,
             result.instructions += rec.instsBefore + 1;
         ++seen;
     }
+}
+
+} // anonymous namespace
+
+SimResult
+simulate(ConditionalPredictor &predictor, BranchSource &source,
+         const SimOptions &options)
+{
+    SimResult result;
+    result.traceName = source.name();
+    result.predictorName = predictor.name();
+
+    std::uint64_t seen = 0;
+    for (BranchSpan chunk = source.nextChunk(); !chunk.empty();
+         chunk = source.nextChunk()) {
+        replayChunk(predictor, chunk, seen, options, result);
+        seen += chunk.count;
+    }
     return result;
+}
+
+SimResult
+simulate(ConditionalPredictor &predictor, const Trace &trace,
+         const SimOptions &options)
+{
+    TraceBranchSource source(trace);
+    return simulate(predictor, source, options);
+}
+
+std::vector<SimResult>
+simulateMany(const std::vector<ConditionalPredictor *> &predictors,
+             BranchSource &source, const SimOptions &options)
+{
+    std::vector<SimResult> results(predictors.size());
+    for (std::size_t p = 0; p < predictors.size(); ++p) {
+        results[p].traceName = source.name();
+        results[p].predictorName = predictors[p]->name();
+    }
+
+    std::uint64_t seen = 0;
+    for (BranchSpan chunk = source.nextChunk(); !chunk.empty();
+         chunk = source.nextChunk()) {
+        // One generate/decode, N replays: every predictor walks the same
+        // span from the same stream position.
+        for (std::size_t p = 0; p < predictors.size(); ++p)
+            replayChunk(*predictors[p], chunk, seen, options, results[p]);
+        seen += chunk.count;
+    }
+    return results;
+}
+
+std::vector<SimResult>
+simulateMany(const std::vector<PredictorPtr> &predictors,
+             BranchSource &source, const SimOptions &options)
+{
+    std::vector<ConditionalPredictor *> raw;
+    raw.reserve(predictors.size());
+    for (const PredictorPtr &p : predictors)
+        raw.push_back(p.get());
+    return simulateMany(raw, source, options);
 }
 
 } // namespace imli

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/predictors/predictor.hh"
+#include "src/trace/branch_source.hh"
 #include "src/trace/trace.hh"
 
 namespace imli
@@ -58,9 +59,33 @@ struct SimResult
     topOffenders(std::size_t n) const;
 };
 
-/** Run @p predictor over @p trace. */
+/**
+ * Run @p predictor over @p source, chunk by chunk, from the source's
+ * current position to end of stream.  Peak memory is one chunk.
+ */
+SimResult simulate(ConditionalPredictor &predictor, BranchSource &source,
+                   const SimOptions &options = SimOptions());
+
+/** Run @p predictor over an in-memory @p trace (adapter convenience). */
 SimResult simulate(ConditionalPredictor &predictor, const Trace &trace,
                    const SimOptions &options = SimOptions());
+
+/**
+ * Drive every predictor over one shared stream in a single pass: each
+ * chunk is produced once (one generate / decode) and then replayed
+ * through all N predictors, so the stream cost is amortized N-fold while
+ * every predictor still observes the exact record sequence — results are
+ * bit-identical to N independent simulate() runs over the same stream.
+ * Null entries in @p predictors are not allowed.
+ */
+std::vector<SimResult>
+simulateMany(const std::vector<ConditionalPredictor *> &predictors,
+             BranchSource &source, const SimOptions &options = SimOptions());
+
+/** Convenience overload for caller-owned predictors (zoo factories). */
+std::vector<SimResult>
+simulateMany(const std::vector<PredictorPtr> &predictors,
+             BranchSource &source, const SimOptions &options = SimOptions());
 
 } // namespace imli
 

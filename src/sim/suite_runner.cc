@@ -1,15 +1,17 @@
 #include "src/sim/suite_runner.hh"
 
 #include <algorithm>
-#include <atomic>
+#include <cerrno>
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
 
 #include "src/predictors/zoo.hh"
 #include "src/util/thread_pool.hh"
+#include "src/workloads/generator_source.hh"
 
 namespace imli
 {
@@ -100,72 +102,36 @@ SuiteResults::benchmarkNames() const
 namespace
 {
 
-SuiteCell
-runCell(const BenchmarkSpec &spec, const Trace &trace,
-        const std::string &config)
+/**
+ * Stream one benchmark through every config in a single pass and write
+ * its cells into their fixed benchmark-major slots.  The generator is
+ * the only trace state alive: one chunk at a time, never a full trace.
+ */
+void
+runBenchmark(const BenchmarkSpec &spec,
+             const std::vector<std::string> &configs,
+             const SuiteRunOptions &options, SuiteCell *cells)
 {
-    PredictorPtr predictor = makePredictor(config);
-    const SimResult r = simulate(*predictor, trace);
-    SuiteCell cell;
-    cell.benchmark = spec.name;
-    cell.suite = spec.suite;
-    cell.config = config;
-    cell.mpki = r.mpki();
-    cell.mispredictions = r.mispredictions;
-    cell.conditionals = r.conditionals;
-    cell.instructions = r.instructions;
-    return cell;
-}
+    std::vector<PredictorPtr> predictors;
+    predictors.reserve(configs.size());
+    for (const std::string &config : configs)
+        predictors.push_back(makePredictor(config));
 
-/** Per-benchmark state shared by the workers of a parallel run. */
-struct BenchShard
-{
-    std::once_flag traceOnce;
-    std::unique_ptr<const Trace> trace;
-    std::atomic<std::size_t> remainingConfigs{0};
-    std::size_t progressDone = 0; //!< guarded by the progress mutex
-};
+    GeneratorBranchSource source(spec, options.branchesPerTrace,
+                                 options.chunkBranches);
+    const std::vector<SimResult> results =
+        simulateMany(predictors, source, options.sim);
 
-SuiteResults
-runSuiteParallel(const std::vector<BenchmarkSpec> &benchmarks,
-                 const std::vector<std::string> &configs,
-                 const SuiteRunOptions &options, unsigned jobs)
-{
-    SuiteResults results;
-    results.configs = configs;
-    const std::size_t nconfigs = configs.size();
-    results.cells.resize(benchmarks.size() * nconfigs);
-
-    std::vector<BenchShard> shards(benchmarks.size());
-    for (BenchShard &s : shards)
-        s.remainingConfigs.store(nconfigs, std::memory_order_relaxed);
-
-    std::mutex progressMutex;
-    ThreadPool pool(jobs);
-    pool.parallelFor(results.cells.size(), [&](std::size_t i) {
-        const std::size_t b = i / nconfigs;
-        const std::size_t c = i % nconfigs;
-        BenchShard &shard = shards[b];
-        std::call_once(shard.traceOnce, [&] {
-            shard.trace = std::make_unique<const Trace>(
-                generateTrace(benchmarks[b], options.branchesPerTrace));
-        });
-        results.cells[i] = runCell(benchmarks[b], *shard.trace, configs[c]);
-        // Last cell of a benchmark frees its trace, bounding live traces
-        // to roughly the worker count.
-        const std::size_t left =
-            shard.remainingConfigs.fetch_sub(1, std::memory_order_acq_rel) -
-            1;
-        if (left == 0)
-            shard.trace.reset();
-        if (options.progress) {
-            // Count under the mutex so each benchmark's reported count is
-            // strictly increasing, matching the serial path's ++done.
-            std::lock_guard<std::mutex> lock(progressMutex);
-            options.progress(benchmarks[b].name, ++shard.progressDone);
-        }
-    });
-    return results;
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        SuiteCell &cell = cells[c];
+        cell.benchmark = spec.name;
+        cell.suite = spec.suite;
+        cell.config = configs[c];
+        cell.mpki = results[c].mpki();
+        cell.mispredictions = results[c].mispredictions;
+        cell.conditionals = results[c].conditionals;
+        cell.instructions = results[c].instructions;
+    }
 }
 
 } // anonymous namespace
@@ -177,42 +143,84 @@ runSuite(const std::vector<BenchmarkSpec> &benchmarks,
 {
     const unsigned jobs =
         options.jobs == 0 ? ThreadPool::hardwareThreads() : options.jobs;
-    if (jobs > 1)
-        return runSuiteParallel(benchmarks, configs, options, jobs);
 
     SuiteResults results;
     results.configs = configs;
-    results.cells.reserve(benchmarks.size() * configs.size());
+    const std::size_t nconfigs = configs.size();
+    results.cells.resize(benchmarks.size() * nconfigs);
 
-    for (const BenchmarkSpec &spec : benchmarks) {
-        const Trace trace = generateTrace(spec, options.branchesPerTrace);
-        std::size_t done = 0;
-        for (const std::string &config : configs) {
-            results.cells.push_back(runCell(spec, trace, config));
+    // The single-pass engine completes a benchmark's configs together, so
+    // progress is reported per benchmark: configs-many calls in a row.
+    const auto reportBenchmark = [&](const BenchmarkSpec &spec) {
+        for (std::size_t done = 1; done <= nconfigs; ++done)
+            options.progress(spec.name, done);
+    };
+
+    if (benchmarks.empty())
+        return results;
+
+    if (jobs <= 1) {
+        for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+            runBenchmark(benchmarks[b], configs, options,
+                         results.cells.data() + b * nconfigs);
             if (options.progress)
-                options.progress(spec.name, ++done);
+                reportBenchmark(benchmarks[b]);
         }
+        return results;
     }
+
+    // Benchmark-level fan-out: each task streams one benchmark through
+    // all configs, so at most ~jobs chunk buffers are resident at once.
+    // More workers than benchmarks would never get a task.
+    std::mutex progressMutex;
+    ThreadPool pool(static_cast<unsigned>(
+        std::min<std::size_t>(jobs, benchmarks.size())));
+    pool.parallelFor(benchmarks.size(), [&](std::size_t b) {
+        runBenchmark(benchmarks[b], configs, options,
+                     results.cells.data() + b * nconfigs);
+        if (options.progress) {
+            std::lock_guard<std::mutex> lock(progressMutex);
+            reportBenchmark(benchmarks[b]);
+        }
+    });
     return results;
+}
+
+std::size_t
+parseBranchCount(const std::string &text, const std::string &what)
+{
+    const bool digits_only =
+        !text.empty() &&
+        text.find_first_not_of("0123456789") == std::string::npos;
+    if (!digits_only)
+        throw std::runtime_error(
+            what + ": invalid branch count \"" + text +
+            "\" (expected a plain decimal integer >= 1000)");
+    errno = 0;
+    const unsigned long long v = std::strtoull(text.c_str(), nullptr, 10);
+    if (errno == ERANGE || v > std::numeric_limits<std::size_t>::max())
+        throw std::runtime_error(
+            what + ": branch count " + text + " is out of range");
+    if (v < 1000)
+        throw std::runtime_error(
+            what + ": branch count " + text + " is too small (minimum 1000)");
+    return static_cast<std::size_t>(v);
 }
 
 std::size_t
 defaultBranchesPerTrace()
 {
-    if (const char *env = std::getenv("IMLI_BRANCHES")) {
-        char *end = nullptr;
-        const unsigned long long v = std::strtoull(env, &end, 10);
-        if (end && *end == '\0' && v >= 1000)
-            return static_cast<std::size_t>(v);
-    }
-    return 200000;
+    const char *env = std::getenv("IMLI_BRANCHES");
+    if (!env)
+        return 200000;
+    return parseBranchCount(env, "IMLI_BRANCHES");
 }
 
 unsigned
 defaultJobs()
 {
     if (const char *env = std::getenv("IMLI_JOBS"))
-        return ThreadPool::parseJobs(env, 1);
+        return ThreadPool::parseJobsStrict(env, "IMLI_JOBS");
     return 1;
 }
 

@@ -1,9 +1,17 @@
 /**
  * @file
  * Suite-level experiment driver: run a set of predictor configurations
- * over a benchmark suite, one generated trace at a time (so the memory
- * footprint stays at one trace), with identical traces across
- * configurations for exact deltas.
+ * over a benchmark suite on the streaming engine, with identical branch
+ * streams across configurations for exact deltas.
+ *
+ * Memory model: no benchmark is ever materialized.  Each benchmark is a
+ * GeneratorBranchSource streamed chunk by chunk through simulateMany, so
+ * a worker's resident trace memory is one chunk (options.chunkBranches
+ * records, ~24 bytes each) plus the one kernel round that crossed the
+ * chunk boundary — O(chunk), independent of branchesPerTrace.  With J
+ * workers the whole run holds O(chunk)·J records plus the predictor
+ * tables; the old engine held O(branchesPerTrace)·J.  Generation cost is
+ * paid once per benchmark, not once per (benchmark, config) cell.
  */
 
 #ifndef IMLI_SRC_SIM_SUITE_RUNNER_HH
@@ -70,36 +78,68 @@ struct SuiteRunOptions
 {
     std::size_t branchesPerTrace = 200000;
     /**
-     * Worker threads for the (benchmark, config) cell fan-out; 1 runs the
+     * Records per streamed chunk.  Smaller chunks lower resident memory;
+     * the chunk size never changes results (any value yields the same
+     * record stream).
+     */
+    std::size_t chunkBranches = 65536;
+    /**
+     * Worker threads for the benchmark-level fan-out (each task streams
+     * one benchmark through all configs in a single pass); 1 runs the
      * serial in-caller path, 0 means one worker per hardware thread.  Any
-     * value yields bit-identical results (cells are independent and each
-     * is written into its fixed benchmark-major slot).
+     * value yields bit-identical results (benchmarks are independent and
+     * each writes its fixed benchmark-major slice of the cell matrix).
      */
     unsigned jobs = 1;
     /**
+     * Per-simulation options (warm-up, per-PC collection) applied to
+     * every (benchmark, config) cell.  warmupBranches excludes the first
+     * N records of each benchmark's stream from grading, per the CBP
+     * methodology note in simulator.hh.
+     */
+    SimOptions sim;
+    /**
      * Progress callback (benchmark name, finished configs for that
-     * benchmark).  With jobs > 1 it is invoked under a mutex, from worker
-     * threads, and benchmarks may interleave.
+     * benchmark).  The single-pass engine finishes a benchmark's configs
+     * together, so the callback fires configs-many times in a row when a
+     * benchmark completes; with jobs > 1 it is invoked under a mutex,
+     * from worker threads, and benchmarks may interleave.
      */
     std::function<void(const std::string &, std::size_t)> progress;
 };
 
 /**
  * Run every config (spec strings for makePredictor) over every benchmark.
- * Each benchmark's trace is generated once and reused across configs; with
- * jobs > 1 the cells are self-scheduled across a ThreadPool and at most
- * ~jobs traces are alive at once (a benchmark's trace is freed when its
- * last config finishes).
+ * Each benchmark is streamed exactly once — one generator pass feeds all
+ * configs via simulateMany — and with jobs > 1 whole benchmarks are
+ * self-scheduled across a ThreadPool, so at most jobs chunks are alive at
+ * once (see the file header for the memory model).
  */
 SuiteResults runSuite(const std::vector<BenchmarkSpec> &benchmarks,
                       const std::vector<std::string> &configs,
                       const SuiteRunOptions &options = SuiteRunOptions());
 
-/** Default trace length, honouring the IMLI_BRANCHES env override. */
+/**
+ * Parse a trace-length string (shared by --branches flags and the
+ * IMLI_BRANCHES env override): a plain decimal count >= 1000.  Anything
+ * else throws std::runtime_error naming @p what — a typo'd length would
+ * silently measure the wrong experiment.
+ */
+std::size_t parseBranchCount(const std::string &text,
+                             const std::string &what);
+
+/**
+ * Default trace length, honouring the IMLI_BRANCHES env override.
+ * Throws std::runtime_error when the variable is set to anything but a
+ * plain decimal count >= 1000.
+ */
 std::size_t defaultBranchesPerTrace();
 
-/** Default worker count, honouring the IMLI_JOBS env override (0 = all
- *  hardware threads); falls back to 1 (serial) when unset. */
+/**
+ * Default worker count, honouring the IMLI_JOBS env override ("auto",
+ * "max" and 0 = all hardware threads); falls back to 1 (serial) when
+ * unset.  Throws std::runtime_error on garbage values.
+ */
 unsigned defaultJobs();
 
 } // namespace imli

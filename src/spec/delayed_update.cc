@@ -4,6 +4,7 @@
 
 #include "src/predictors/zoo.hh"
 #include "src/sim/simulator.hh"
+#include "src/workloads/generator_source.hh"
 
 namespace imli
 {
@@ -28,16 +29,24 @@ runDelayedUpdateSweep(const std::vector<BenchmarkSpec> &benchmarks,
     std::vector<Accum> accums(delays.size());
 
     for (const BenchmarkSpec &spec : benchmarks) {
-        const Trace trace = generateTrace(spec, branches_per_trace);
-        for (std::size_t d = 0; d < delays.size(); ++d) {
+        // One delay config per predictor, all driven over a single
+        // streamed pass of the benchmark — the stream is generated once,
+        // never materialized.
+        std::vector<PredictorPtr> predictors;
+        predictors.reserve(delays.size());
+        for (unsigned delay : delays) {
             ZooOptions opts;
             opts.imliSic = true;
             opts.imliOh = true;
-            opts.ohUpdateDelay = delays[d];
-            PredictorPtr predictor =
-                host == "tage-gsc" ? makeTageGsc(opts) : makeGehl(opts);
-            const SimResult r = simulate(*predictor, trace);
-            const double mpki = r.mpki();
+            opts.ohUpdateDelay = delay;
+            predictors.push_back(host == "tage-gsc" ? makeTageGsc(opts)
+                                                    : makeGehl(opts));
+        }
+        GeneratorBranchSource source(spec, branches_per_trace);
+        const std::vector<SimResult> results =
+            simulateMany(predictors, source);
+        for (std::size_t d = 0; d < delays.size(); ++d) {
+            const double mpki = results[d].mpki();
             accums[d].all += mpki;
             if (spec.suite == "CBP4") {
                 accums[d].cbp4 += mpki;

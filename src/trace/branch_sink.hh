@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Consumer side of the streaming data path: anything that accepts a
+ * sequence of BranchRecords one at a time.
+ *
+ * Workload kernels emit into a BranchSink instead of a concrete Trace, so
+ * the same kernel code can fill an in-memory Trace (golden tests, small
+ * runs), a bounded chunk buffer (the streaming generator source) or a
+ * file writer, without materializing the whole stream.
+ */
+
+#ifndef IMLI_SRC_TRACE_BRANCH_SINK_HH
+#define IMLI_SRC_TRACE_BRANCH_SINK_HH
+
+#include "src/trace/branch_record.hh"
+
+namespace imli
+{
+
+/** Abstract consumer of an ordered branch stream. */
+class BranchSink
+{
+  public:
+    virtual ~BranchSink() = default;
+
+    /** Accept the next dynamic branch of the stream. */
+    virtual void append(const BranchRecord &rec) = 0;
+};
+
+} // namespace imli
+
+#endif // IMLI_SRC_TRACE_BRANCH_SINK_HH

@@ -1,0 +1,50 @@
+#include "src/trace/branch_source.hh"
+
+#include <algorithm>
+
+namespace imli
+{
+
+TraceBranchSource::TraceBranchSource(const Trace &trace,
+                                     std::size_t chunk_records)
+    : trace(trace), chunkRecords(chunk_records == 0 ? 1 : chunk_records)
+{
+}
+
+const std::string &
+TraceBranchSource::name() const
+{
+    return trace.name();
+}
+
+BranchSpan
+TraceBranchSource::nextChunk()
+{
+    const std::size_t total = trace.size();
+    if (cursor >= total)
+        return BranchSpan{};
+    const std::size_t n = std::min(chunkRecords, total - cursor);
+    BranchSpan span{trace.branches().data() + cursor, n};
+    cursor += n;
+    return span;
+}
+
+void
+TraceBranchSource::reset()
+{
+    cursor = 0;
+}
+
+Trace
+drainSource(BranchSource &source, std::size_t reserve_hint)
+{
+    Trace trace(source.name());
+    trace.reserve(reserve_hint);
+    for (BranchSpan span = source.nextChunk(); !span.empty();
+         span = source.nextChunk())
+        for (const BranchRecord &rec : span)
+            trace.append(rec);
+    return trace;
+}
+
+} // namespace imli

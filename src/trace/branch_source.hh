@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Producer side of the streaming data path: pull-based, chunked iteration
+ * over an ordered BranchRecord stream.
+ *
+ * A BranchSource hands out read-only spans of consecutive records; an
+ * empty span marks end of stream.  Consumers (the simulator) never see
+ * more than one chunk at a time, so peak memory is O(chunk) regardless of
+ * stream length.  Three backends exist:
+ *
+ *  - TraceBranchSource (here): adapter over an in-memory Trace; chunks are
+ *    subspans of the materialized vector, no copy.  For golden tests and
+ *    small runs.
+ *  - GeneratorBranchSource (src/workloads/generator_source.hh): workload
+ *    kernels emit rounds into a bounded buffer on demand; nothing is ever
+ *    materialized.  The suite runner's backend.
+ *  - FileBranchSource (src/trace/trace_io.hh): streaming .imt reader,
+ *    decoding one chunk at a time.  For persisted / external traces.
+ *
+ * Every backend supports reset() back to the start of the stream, so one
+ * source object can serve repeated passes (e.g. warm-up studies).
+ */
+
+#ifndef IMLI_SRC_TRACE_BRANCH_SOURCE_HH
+#define IMLI_SRC_TRACE_BRANCH_SOURCE_HH
+
+#include <cstddef>
+#include <string>
+
+#include "src/trace/trace.hh"
+
+namespace imli
+{
+
+/** A read-only view of consecutive records inside a source's chunk. */
+struct BranchSpan
+{
+    const BranchRecord *records = nullptr;
+    std::size_t count = 0;
+
+    bool empty() const { return count == 0; }
+    const BranchRecord *begin() const { return records; }
+    const BranchRecord *end() const { return records + count; }
+    const BranchRecord &operator[](std::size_t i) const
+    {
+        return records[i];
+    }
+};
+
+/** Abstract pull-based producer of an ordered branch stream. */
+class BranchSource
+{
+  public:
+    /** Chunk granularity used when callers do not specify one. */
+    static constexpr std::size_t defaultChunkRecords = 65536;
+
+    virtual ~BranchSource() = default;
+
+    /** Stream name (benchmark / trace name carried into SimResult). */
+    virtual const std::string &name() const = 0;
+
+    /**
+     * The next chunk of the stream, or an empty span at end of stream.
+     * The span stays valid until the next nextChunk() / reset() call on
+     * the same source.
+     */
+    virtual BranchSpan nextChunk() = 0;
+
+    /** Rewind to the beginning of the stream. */
+    virtual void reset() = 0;
+};
+
+/** Adapter serving an existing in-memory Trace as chunked spans. */
+class TraceBranchSource : public BranchSource
+{
+  public:
+    /** @p trace must outlive the source; spans alias its storage. */
+    explicit TraceBranchSource(const Trace &trace,
+                               std::size_t chunk_records =
+                                   defaultChunkRecords);
+
+    const std::string &name() const override;
+    BranchSpan nextChunk() override;
+    void reset() override;
+
+  private:
+    const Trace &trace;
+    std::size_t chunkRecords;
+    std::size_t cursor = 0;
+};
+
+/**
+ * Materialize the remainder of @p source into a Trace named after it.
+ * The streaming counterpart of generateTrace/readTraceFile; mostly for
+ * tests and tools that need random access.  @p reserve_hint pre-sizes
+ * the trace when the caller knows the stream length.
+ */
+Trace drainSource(BranchSource &source, std::size_t reserve_hint = 0);
+
+} // namespace imli
+
+#endif // IMLI_SRC_TRACE_BRANCH_SOURCE_HH

@@ -15,12 +15,13 @@
 #include <vector>
 
 #include "src/trace/branch_record.hh"
+#include "src/trace/branch_sink.hh"
 
 namespace imli
 {
 
 /** An ordered branch stream with instruction-count bookkeeping. */
-class Trace
+class Trace : public BranchSink
 {
   public:
     Trace() = default;
@@ -29,7 +30,7 @@ class Trace
 
     /** Append one dynamic branch. */
     void
-    append(const BranchRecord &rec)
+    append(const BranchRecord &rec) override
     {
         records.push_back(rec);
         instructions += rec.instsBefore + 1; // +1 for the branch itself

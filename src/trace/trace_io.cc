@@ -96,47 +96,42 @@ getU64(std::istream &is)
     return v;
 }
 
-} // anonymous namespace
-
+/** Write the fixed header: magic, version, name, record count. */
 void
-writeTrace(const Trace &trace, std::ostream &os)
+putHeader(std::ostream &os, const std::string &name, std::uint64_t count)
 {
     os.write(traceMagic, sizeof(traceMagic));
     putU32(os, traceVersion);
-    putU32(os, static_cast<std::uint32_t>(trace.name().size()));
-    os.write(trace.name().data(),
-             static_cast<std::streamsize>(trace.name().size()));
-    putU64(os, trace.size());
-
-    std::uint64_t last_pc = 0;
-    for (const BranchRecord &rec : trace.branches()) {
-        const std::uint8_t header =
-            static_cast<std::uint8_t>(
-                (static_cast<unsigned>(rec.type) & 0x7) |
-                (rec.taken ? 0x08 : 0x00));
-        os.put(static_cast<char>(header));
-        putVarint(os, zigzagEncode(static_cast<std::int64_t>(rec.pc) -
-                                   static_cast<std::int64_t>(last_pc)));
-        putVarint(os, zigzagEncode(static_cast<std::int64_t>(rec.target) -
-                                   static_cast<std::int64_t>(rec.pc)));
-        putVarint(os, rec.instsBefore);
-        last_pc = rec.pc;
-    }
+    putU32(os, static_cast<std::uint32_t>(name.size()));
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    putU64(os, count);
 }
 
 void
-writeTraceFile(const Trace &trace, const std::string &path)
+putRecord(std::ostream &os, const BranchRecord &rec, std::uint64_t &last_pc)
 {
-    std::ofstream os(path, std::ios::binary);
-    if (!os)
-        throw std::runtime_error("cannot open trace file for write: " + path);
-    writeTrace(trace, os);
-    if (!os)
-        throw std::runtime_error("I/O error while writing trace: " + path);
+    const std::uint8_t header =
+        static_cast<std::uint8_t>(
+            (static_cast<unsigned>(rec.type) & 0x7) |
+            (rec.taken ? 0x08 : 0x00));
+    os.put(static_cast<char>(header));
+    putVarint(os, zigzagEncode(static_cast<std::int64_t>(rec.pc) -
+                               static_cast<std::int64_t>(last_pc)));
+    putVarint(os, zigzagEncode(static_cast<std::int64_t>(rec.target) -
+                               static_cast<std::int64_t>(rec.pc)));
+    putVarint(os, rec.instsBefore);
+    last_pc = rec.pc;
 }
 
-Trace
-readTrace(std::istream &is)
+/** Parsed .imt header. */
+struct TraceHeader
+{
+    std::string name;
+    std::uint64_t count = 0;
+};
+
+TraceHeader
+getHeader(std::istream &is)
 {
     char magic[4] = {};
     is.read(magic, sizeof(magic));
@@ -150,36 +145,96 @@ readTrace(std::istream &is)
     const std::uint32_t name_len = getU32(is);
     if (name_len > (1u << 20))
         throw TraceFormatError("implausible trace name length");
-    std::string name(name_len, '\0');
-    is.read(name.data(), name_len);
+    TraceHeader header;
+    header.name.resize(name_len);
+    is.read(header.name.data(), name_len);
     if (is.gcount() != static_cast<std::streamsize>(name_len))
         throw TraceFormatError("truncated trace name");
-    const std::uint64_t count = getU64(is);
+    header.count = getU64(is);
+    return header;
+}
 
-    Trace trace(name);
-    trace.reserve(count);
+BranchRecord
+getRecord(std::istream &is, std::uint64_t &last_pc)
+{
+    const int header = is.get();
+    if (header == std::char_traits<char>::eof())
+        throw TraceFormatError("truncated trace body");
+    BranchRecord rec;
+    const unsigned type_bits = static_cast<unsigned>(header) & 0x7;
+    if (type_bits > static_cast<unsigned>(BranchType::Return))
+        throw TraceFormatError("invalid branch type in trace");
+    rec.type = static_cast<BranchType>(type_bits);
+    rec.taken = (header & 0x08) != 0;
+    rec.pc = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(last_pc) + zigzagDecode(getVarint(is)));
+    rec.target = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(rec.pc) + zigzagDecode(getVarint(is)));
+    const std::uint64_t insts = getVarint(is);
+    if (insts > 0xffffffffULL)
+        throw TraceFormatError("implausible instruction gap");
+    rec.instsBefore = static_cast<std::uint32_t>(insts);
+    last_pc = rec.pc;
+    return rec;
+}
+
+} // anonymous namespace
+
+void
+writeTrace(const Trace &trace, std::ostream &os)
+{
+    putHeader(os, trace.name(), trace.size());
     std::uint64_t last_pc = 0;
-    for (std::uint64_t i = 0; i < count; ++i) {
-        const int header = is.get();
-        if (header == std::char_traits<char>::eof())
-            throw TraceFormatError("truncated trace body");
-        BranchRecord rec;
-        const unsigned type_bits = static_cast<unsigned>(header) & 0x7;
-        if (type_bits > static_cast<unsigned>(BranchType::Return))
-            throw TraceFormatError("invalid branch type in trace");
-        rec.type = static_cast<BranchType>(type_bits);
-        rec.taken = (header & 0x08) != 0;
-        rec.pc = static_cast<std::uint64_t>(
-            static_cast<std::int64_t>(last_pc) + zigzagDecode(getVarint(is)));
-        rec.target = static_cast<std::uint64_t>(
-            static_cast<std::int64_t>(rec.pc) + zigzagDecode(getVarint(is)));
-        const std::uint64_t insts = getVarint(is);
-        if (insts > 0xffffffffULL)
-            throw TraceFormatError("implausible instruction gap");
-        rec.instsBefore = static_cast<std::uint32_t>(insts);
-        trace.append(rec);
-        last_pc = rec.pc;
+    for (const BranchRecord &rec : trace.branches())
+        putRecord(os, rec, last_pc);
+}
+
+void
+writeTraceFile(const Trace &trace, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        throw std::runtime_error("cannot open trace file for write: " + path);
+    writeTrace(trace, os);
+    if (!os)
+        throw std::runtime_error("I/O error while writing trace: " + path);
+}
+
+std::uint64_t
+writeTraceFile(BranchSource &source, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        throw std::runtime_error("cannot open trace file for write: " + path);
+    // Record count is unknown until the stream ends: write a placeholder
+    // and back-patch it.  Its offset is fixed once the name is written.
+    putHeader(os, source.name(), 0);
+    const std::streampos count_pos =
+        static_cast<std::streamoff>(4 + 4 + 4 + source.name().size());
+    std::uint64_t written = 0;
+    std::uint64_t last_pc = 0;
+    for (BranchSpan span = source.nextChunk(); !span.empty();
+         span = source.nextChunk()) {
+        for (const BranchRecord &rec : span)
+            putRecord(os, rec, last_pc);
+        written += span.count;
     }
+    os.seekp(count_pos);
+    putU64(os, written);
+    if (!os)
+        throw std::runtime_error("I/O error while writing trace: " + path);
+    return written;
+}
+
+Trace
+readTrace(std::istream &is)
+{
+    const TraceHeader header = getHeader(is);
+    Trace trace(header.name);
+    trace.reserve(header.count);
+    std::uint64_t last_pc = 0;
+    for (std::uint64_t i = 0; i < header.count; ++i)
+        trace.append(getRecord(is, last_pc));
     return trace;
 }
 
@@ -190,6 +245,52 @@ readTraceFile(const std::string &path)
     if (!is)
         throw std::runtime_error("cannot open trace file for read: " + path);
     return readTrace(is);
+}
+
+FileBranchSource::FileBranchSource(const std::string &path,
+                                   std::size_t chunk_records)
+    : path(path), is(path, std::ios::binary),
+      chunkRecords(chunk_records == 0 ? 1 : chunk_records)
+{
+    if (!is)
+        throw std::runtime_error("cannot open trace file for read: " + path);
+    const TraceHeader header = getHeader(is);
+    traceName = header.name;
+    count = header.count;
+    bodyStart = is.tellg();
+}
+
+const std::string &
+FileBranchSource::name() const
+{
+    return traceName;
+}
+
+BranchSpan
+FileBranchSource::nextChunk()
+{
+    if (decoded >= count)
+        return BranchSpan{};
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(chunkRecords, count - decoded));
+    buffer.clear();
+    buffer.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        buffer.push_back(getRecord(is, lastPc));
+    decoded += n;
+    return BranchSpan{buffer.data(), buffer.size()};
+}
+
+void
+FileBranchSource::reset()
+{
+    is.clear();
+    is.seekg(bodyStart);
+    if (!is)
+        throw std::runtime_error("cannot rewind trace file: " + path);
+    decoded = 0;
+    lastPc = 0;
+    buffer.clear();
 }
 
 } // namespace imli

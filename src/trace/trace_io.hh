@@ -24,10 +24,13 @@
 #define IMLI_SRC_TRACE_TRACE_IO_HH
 
 #include <cstdint>
+#include <fstream>
 #include <iosfwd>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
+#include "src/trace/branch_source.hh"
 #include "src/trace/trace.hh"
 
 namespace imli
@@ -48,11 +51,51 @@ void writeTrace(const Trace &trace, std::ostream &os);
 /** Serialise @p trace to @p path; throws std::runtime_error on I/O error. */
 void writeTraceFile(const Trace &trace, const std::string &path);
 
+/**
+ * Stream @p source to @p path in .imt format, one chunk at a time (the
+ * record count in the header is back-patched at the end, so nothing is
+ * materialized).  Returns the number of records written.  Byte-identical
+ * to materializing the stream and calling writeTraceFile.
+ */
+std::uint64_t writeTraceFile(BranchSource &source, const std::string &path);
+
 /** Parse an .imt stream; throws TraceFormatError on malformed input. */
 Trace readTrace(std::istream &is);
 
 /** Parse an .imt file; throws on I/O or format error. */
 Trace readTraceFile(const std::string &path);
+
+/**
+ * Streaming .imt reader: decodes one chunk of records at a time, so peak
+ * memory is O(chunk) regardless of file size.  Draining it yields exactly
+ * readTraceFile(path) (same codec underneath).
+ */
+class FileBranchSource : public BranchSource
+{
+  public:
+    /** Opens @p path and parses the header; throws on I/O/format error. */
+    explicit FileBranchSource(const std::string &path,
+                              std::size_t chunk_records =
+                                  defaultChunkRecords);
+
+    const std::string &name() const override;
+    BranchSpan nextChunk() override;
+    void reset() override;
+
+    /** Record count promised by the file header. */
+    std::uint64_t totalRecords() const { return count; }
+
+  private:
+    std::string path;
+    std::ifstream is;
+    std::string traceName;
+    std::uint64_t count = 0;
+    std::uint64_t decoded = 0;  //!< records decoded so far
+    std::uint64_t lastPc = 0;   //!< delta-codec state
+    std::streampos bodyStart;
+    std::size_t chunkRecords;
+    std::vector<BranchRecord> buffer;
+};
 
 } // namespace imli
 

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
+#include <limits>
 #include <memory>
+#include <stdexcept>
 #include <utility>
 
 namespace imli
@@ -94,18 +97,69 @@ ThreadPool::hardwareThreads()
     return n == 0 ? 1 : n;
 }
 
+namespace
+{
+
+enum class JobsParse
+{
+    HardwareThreads, //!< "auto", "max" or 0
+    Value,           //!< a positive worker count (possibly saturated)
+    Invalid,
+};
+
+JobsParse
+parseJobsText(const std::string &text, unsigned long &value)
+{
+    if (text == "auto" || text == "max")
+        return JobsParse::HardwareThreads;
+    if (text.empty() ||
+        text.find_first_not_of("0123456789") != std::string::npos)
+        return JobsParse::Invalid;
+    errno = 0;
+    value = std::strtoul(text.c_str(), nullptr, 10);
+    if (errno == ERANGE)
+        value = std::numeric_limits<unsigned long>::max();
+    if (value == 0)
+        return JobsParse::HardwareThreads;
+    return JobsParse::Value;
+}
+
+} // anonymous namespace
+
 unsigned
 ThreadPool::parseJobs(const std::string &text, unsigned def)
 {
-    if (text == "auto" || text == "max")
+    unsigned long value = 0;
+    switch (parseJobsText(text, value)) {
+      case JobsParse::HardwareThreads:
         return hardwareThreads();
-    if (text.empty() ||
-        text.find_first_not_of("0123456789") != std::string::npos)
+      case JobsParse::Invalid:
         return def;
-    const unsigned long parsed = std::strtoul(text.c_str(), nullptr, 10);
-    if (parsed == 0)
+      case JobsParse::Value:
+        break;
+    }
+    return static_cast<unsigned>(std::min(value, maxJobs));
+}
+
+unsigned
+ThreadPool::parseJobsStrict(const std::string &text, const std::string &what)
+{
+    unsigned long value = 0;
+    switch (parseJobsText(text, value)) {
+      case JobsParse::HardwareThreads:
         return hardwareThreads();
-    return static_cast<unsigned>(std::min(parsed, maxJobs));
+      case JobsParse::Invalid:
+        throw std::runtime_error(
+            what + ": invalid worker count \"" + text +
+            "\" (expected a non-negative integer, \"auto\" or \"max\")");
+      case JobsParse::Value:
+        break;
+    }
+    if (value > maxJobs)
+        throw std::runtime_error(
+            what + ": worker count " + text + " exceeds the sanity cap of " +
+            std::to_string(maxJobs));
+    return static_cast<unsigned>(value);
 }
 
 void

@@ -84,6 +84,15 @@ class ThreadPool
      */
     static unsigned parseJobs(const std::string &text, unsigned def);
 
+    /**
+     * Strict variant for environment overrides: same accepted forms as
+     * parseJobs, but garbage and counts above maxJobs throw
+     * std::runtime_error naming @p what (e.g. "IMLI_JOBS") — a typo in
+     * an env var should fail loudly, not silently fall back or clamp.
+     */
+    static unsigned parseJobsStrict(const std::string &text,
+                                    const std::string &what);
+
   private:
     void workerLoop();
 

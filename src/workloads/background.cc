@@ -25,9 +25,9 @@ GlobalCorrKernel::GlobalCorrKernel(const GlobalCorrParams &params,
 }
 
 void
-GlobalCorrKernel::emitRound(Trace &trace)
+GlobalCorrKernel::emitRound(BranchSink &sink)
 {
-    BranchEmitter emit(trace, rng, cfg.gapMin, cfg.gapMax);
+    BranchEmitter emit(sink, rng, cfg.gapMin, cfg.gapMax);
     const unsigned width = cfg.statePeriodLog;
     for (unsigned burst = 0; burst < cfg.burstsPerRound; ++burst) {
         // Advance the hidden state: maximal-length-ish Fibonacci LFSR.
@@ -95,9 +95,9 @@ LocalPatternKernel::patternBranchPc(unsigned i) const
 }
 
 void
-LocalPatternKernel::emitRound(Trace &trace)
+LocalPatternKernel::emitRound(BranchSink &sink)
 {
-    BranchEmitter emit(trace, rng, cfg.gapMin, cfg.gapMax);
+    BranchEmitter emit(sink, rng, cfg.gapMin, cfg.gapMax);
     for (unsigned step = 0; step < cfg.stepsPerRound; ++step) {
         for (unsigned i = 0; i < cfg.branches; ++i) {
             // Polluters between occurrences: strongly biased (cheap to
@@ -141,9 +141,9 @@ PathCorrKernel::PathCorrKernel(const PathCorrParams &params,
 }
 
 void
-PathCorrKernel::emitRound(Trace &trace)
+PathCorrKernel::emitRound(BranchSink &sink)
 {
-    BranchEmitter emit(trace, rng, cfg.gapMin, cfg.gapMax);
+    BranchEmitter emit(sink, rng, cfg.gapMin, cfg.gapMax);
     for (unsigned burst = 0; burst < cfg.burstsPerRound; ++burst) {
         const bool c = rng.bernoulli(0.5);
         emit.cond(pcBase + 0x10, pcBase + 0x18, c);
@@ -188,9 +188,9 @@ BiasedRandomKernel::BiasedRandomKernel(const BiasedRandomParams &params,
 }
 
 void
-BiasedRandomKernel::emitRound(Trace &trace)
+BiasedRandomKernel::emitRound(BranchSink &sink)
 {
-    BranchEmitter emit(trace, rng, cfg.gapMin, cfg.gapMax);
+    BranchEmitter emit(sink, rng, cfg.gapMin, cfg.gapMax);
     for (unsigned burst = 0; burst < cfg.burstsPerRound; ++burst) {
         for (unsigned i = 0; i < cfg.branches; ++i) {
             const std::uint64_t pc = pcBase + 0x10 + i * 0x10;
@@ -221,9 +221,9 @@ PredictableKernel::PredictableKernel(const PredictableParams &params,
 }
 
 void
-PredictableKernel::emitRound(Trace &trace)
+PredictableKernel::emitRound(BranchSink &sink)
 {
-    BranchEmitter emit(trace, rng, cfg.gapMin, cfg.gapMax);
+    BranchEmitter emit(sink, rng, cfg.gapMin, cfg.gapMax);
     for (unsigned burst = 0; burst < cfg.burstsPerRound; ++burst) {
         for (unsigned i = 0; i < cfg.branches; ++i) {
             const std::uint64_t pc = pcBase + 0x10 + i * 0x10;

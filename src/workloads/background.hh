@@ -51,7 +51,7 @@ class GlobalCorrKernel : public Kernel
     GlobalCorrKernel(const GlobalCorrParams &params, std::uint64_t pc_base,
                      Xoroshiro128 rng);
 
-    void emitRound(Trace &trace) override;
+    void emitRound(BranchSink &sink) override;
     std::string describe() const override;
 
   private:
@@ -86,7 +86,7 @@ class LocalPatternKernel : public Kernel
     LocalPatternKernel(const LocalPatternParams &params,
                        std::uint64_t pc_base, Xoroshiro128 rng);
 
-    void emitRound(Trace &trace) override;
+    void emitRound(BranchSink &sink) override;
     std::string describe() const override;
 
     /** PC of patterned branch @p i, for tests. */
@@ -122,7 +122,7 @@ class PathCorrKernel : public Kernel
     PathCorrKernel(const PathCorrParams &params, std::uint64_t pc_base,
                    Xoroshiro128 rng);
 
-    void emitRound(Trace &trace) override;
+    void emitRound(BranchSink &sink) override;
     std::string describe() const override;
 
   private:
@@ -149,7 +149,7 @@ class BiasedRandomKernel : public Kernel
     BiasedRandomKernel(const BiasedRandomParams &params,
                        std::uint64_t pc_base, Xoroshiro128 rng);
 
-    void emitRound(Trace &trace) override;
+    void emitRound(BranchSink &sink) override;
     std::string describe() const override;
 
   private:
@@ -174,7 +174,7 @@ class PredictableKernel : public Kernel
     PredictableKernel(const PredictableParams &params, std::uint64_t pc_base,
                       Xoroshiro128 rng);
 
-    void emitRound(Trace &trace) override;
+    void emitRound(BranchSink &sink) override;
     std::string describe() const override;
 
   private:

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/workloads/generator_source.hh"
+
 namespace imli
 {
 
@@ -75,11 +77,9 @@ KernelSpec::makePredictable(const PredictableParams &p, unsigned w)
     return spec;
 }
 
-namespace
-{
-
 KernelPtr
-instantiate(const KernelSpec &spec, std::uint64_t pc_base, Xoroshiro128 rng)
+instantiateKernel(const KernelSpec &spec, std::uint64_t pc_base,
+                  Xoroshiro128 rng)
 {
     switch (spec.type) {
       case KernelSpec::Type::TwoDimLoop:
@@ -107,36 +107,15 @@ instantiate(const KernelSpec &spec, std::uint64_t pc_base, Xoroshiro128 rng)
     return nullptr;
 }
 
-} // anonymous namespace
-
 Trace
 generateTrace(const BenchmarkSpec &spec, std::size_t target_branches)
 {
     assert(!spec.kernels.empty());
-    Trace trace(spec.name);
-    trace.reserve(target_branches + 16384);
-
-    Xoroshiro128 master(spec.seed);
-    std::vector<KernelPtr> kernels;
-    kernels.reserve(spec.kernels.size());
-    for (std::size_t i = 0; i < spec.kernels.size(); ++i) {
-        // Each kernel gets a private PC region and random stream.
-        const std::uint64_t pc_base =
-            0x400000 + static_cast<std::uint64_t>(i) * 0x100000;
-        kernels.push_back(
-            instantiate(spec.kernels[i], pc_base, master.fork(i + 1)));
-    }
-
-    // Weighted round-robin interleaving until the target size is reached.
-    while (trace.size() < target_branches) {
-        for (std::size_t i = 0; i < kernels.size(); ++i) {
-            for (unsigned w = 0; w < spec.kernels[i].weight; ++w)
-                kernels[i]->emitRound(trace);
-            if (trace.size() >= target_branches)
-                break;
-        }
-    }
-    return trace;
+    // Drain the streaming source: one definition of the weighted
+    // round-robin schedule, shared between the materialized and streaming
+    // paths, keeps the two record sequences identical by construction.
+    GeneratorBranchSource source(spec, target_branches);
+    return drainSource(source, target_branches + 16384);
 }
 
 } // namespace imli

@@ -71,9 +71,16 @@ struct BenchmarkSpec
     std::vector<KernelSpec> kernels;
 };
 
+/** Instantiate one kernel of a spec (private PC region, forked stream). */
+KernelPtr instantiateKernel(const KernelSpec &spec, std::uint64_t pc_base,
+                            Xoroshiro128 rng);
+
 /**
  * Instantiate the kernels and interleave weighted rounds until the trace
- * holds at least @p target_branches records.
+ * holds at least @p target_branches records.  Implemented by draining a
+ * GeneratorBranchSource, so the materialized record sequence is identical
+ * to the streamed one by construction; prefer streaming (the source plus
+ * simulate/simulateMany) for anything large.
  */
 Trace generateTrace(const BenchmarkSpec &spec, std::size_t target_branches);
 

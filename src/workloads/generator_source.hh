@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Generator-backed BranchSource: workload kernels emit records on demand
+ * into a bounded chunk buffer instead of materializing a Trace.
+ *
+ * The round schedule (weighted round-robin over the spec's kernels, ended
+ * after the first full weight-block that crosses the target size) is
+ * byte-for-byte the schedule generateTrace() runs — generateTrace() is in
+ * fact implemented by draining this source — so the streamed record
+ * sequence is identical to the materialized one by construction.
+ *
+ * Memory: the buffer holds at most chunk_records plus the records of the
+ * one round that crossed the chunk boundary; kernel rounds are bounded
+ * (a few thousand records), so a source is O(chunk) resident however long
+ * the stream is.  A process-wide high-water mark over all live generator
+ * buffers (peakLiveRecords()) lets tests assert that suite runs really
+ * stay at O(chunk) per worker.
+ */
+
+#ifndef IMLI_SRC_WORKLOADS_GENERATOR_SOURCE_HH
+#define IMLI_SRC_WORKLOADS_GENERATOR_SOURCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/trace/branch_source.hh"
+#include "src/workloads/benchmark_spec.hh"
+
+namespace imli
+{
+
+/** Streams a synthetic benchmark without materializing it. */
+class GeneratorBranchSource : public BranchSource
+{
+  public:
+    /**
+     * @param spec benchmark to generate (copied; the source re-seeds its
+     *             kernels from it on reset())
+     * @param target_branches stop after the weight-block crossing this
+     *             many records, exactly like generateTrace()
+     * @param chunk_records preferred span size handed to the consumer
+     */
+    GeneratorBranchSource(BenchmarkSpec spec, std::size_t target_branches,
+                          std::size_t chunk_records = defaultChunkRecords);
+
+    ~GeneratorBranchSource() override;
+
+    const std::string &name() const override;
+    BranchSpan nextChunk() override;
+    void reset() override;
+
+    /** Records emitted so far (across all chunks served). */
+    std::uint64_t emittedRecords() const { return served; }
+
+    /** Largest buffer this source ever held, in records. */
+    std::size_t peakBufferedRecords() const { return peakBuffered; }
+
+    // -- process-wide residency instrumentation ------------------------
+    /**
+     * High-water mark of records buffered simultaneously across every
+     * live GeneratorBranchSource since the last resetPeakLiveRecords().
+     * During a suite run this bounds the engine's resident trace memory:
+     * it must stay at O(chunk) x workers, not O(trace).
+     */
+    static std::uint64_t peakLiveRecords();
+    static void resetPeakLiveRecords();
+
+  private:
+    void instantiateKernels();
+    void refill();
+    void trackBuffered(std::size_t now_buffered);
+
+    BenchmarkSpec spec;
+    std::size_t targetBranches;
+    std::size_t chunkRecords;
+
+    std::vector<KernelPtr> kernels;
+    std::size_t kernelIdx = 0;   //!< next kernel in the round-robin
+    unsigned weightDone = 0;     //!< rounds of kernelIdx already emitted
+    std::uint64_t emitted = 0;   //!< records generated so far
+    std::uint64_t served = 0;    //!< records handed to the consumer
+    bool exhausted = false;
+
+    std::vector<BranchRecord> buffer;
+    std::size_t bufferCursor = 0;   //!< first unserved record in buffer
+    std::size_t trackedBuffered = 0;//!< this source's share of the global
+    std::size_t peakBuffered = 0;
+};
+
+} // namespace imli
+
+#endif // IMLI_SRC_WORKLOADS_GENERATOR_SOURCE_HH

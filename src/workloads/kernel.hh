@@ -20,7 +20,7 @@
 #include <memory>
 #include <string>
 
-#include "src/trace/trace.hh"
+#include "src/trace/branch_sink.hh"
 #include "src/util/rng.hh"
 
 namespace imli
@@ -34,14 +34,14 @@ class BranchEmitter
 {
   public:
     /**
-     * @param trace output trace
+     * @param sink output stream (a Trace, a chunk buffer, ...)
      * @param rng gap randomisation source (kernel-owned)
      * @param gap_min minimum instructions between branches
      * @param gap_max maximum instructions between branches
      */
-    BranchEmitter(Trace &trace, Xoroshiro128 &rng, unsigned gap_min,
+    BranchEmitter(BranchSink &sink, Xoroshiro128 &rng, unsigned gap_min,
                   unsigned gap_max)
-        : out(trace), gapRng(rng), gapMin(gap_min), gapMax(gap_max)
+        : out(sink), gapRng(rng), gapMin(gap_min), gapMax(gap_max)
     {
     }
 
@@ -107,7 +107,7 @@ class BranchEmitter
                          static_cast<std::int64_t>(gapMax)));
     }
 
-    Trace &out;
+    BranchSink &out;
     Xoroshiro128 &gapRng;
     unsigned gapMin;
     unsigned gapMax;
@@ -120,12 +120,14 @@ class Kernel
     virtual ~Kernel() = default;
 
     /**
-     * Emit one complete round of the kernel into @p trace.  A round is the
+     * Emit one complete round of the kernel into @p sink.  A round is the
      * kernel's natural phase unit (a whole loop-nest execution, a burst of
      * pattern cycles, ...), so correlation internal to the kernel is not
-     * broken by interleaving.
+     * broken by interleaving.  Rounds are bounded (at most a few thousand
+     * branches), which is what lets the streaming generator source keep
+     * its buffer at O(chunk + one round).
      */
-    virtual void emitRound(Trace &trace) = 0;
+    virtual void emitRound(BranchSink &sink) = 0;
 
     /** Human-readable description for trace tooling. */
     virtual std::string describe() const = 0;

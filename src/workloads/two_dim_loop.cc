@@ -126,9 +126,9 @@ TwoDimLoopKernel::advanceRow(unsigned branch, Xoroshiro128 &r)
 }
 
 void
-TwoDimLoopKernel::emitRound(Trace &trace)
+TwoDimLoopKernel::emitRound(BranchSink &sink)
 {
-    BranchEmitter emit(trace, rng, cfg.gapMin, cfg.gapMax);
+    BranchEmitter emit(sink, rng, cfg.gapMin, cfg.gapMax);
     const std::uint64_t nest_top = pcBase + nestTopOff;
     const std::uint64_t loop_top = pcBase + loopTopOff;
     const std::uint64_t inner_pc = innerBackedgePc();
@@ -225,9 +225,9 @@ RegularLoopKernel::backedgePc() const
 }
 
 void
-RegularLoopKernel::emitRound(Trace &trace)
+RegularLoopKernel::emitRound(BranchSink &sink)
 {
-    BranchEmitter emit(trace, rng, cfg.gapMin, cfg.gapMax);
+    BranchEmitter emit(sink, rng, cfg.gapMin, cfg.gapMax);
     const std::uint64_t loop_top = pcBase + 0x10;
     const std::uint64_t backedge = backedgePc();
 

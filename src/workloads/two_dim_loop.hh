@@ -88,7 +88,7 @@ class TwoDimLoopKernel : public Kernel
     TwoDimLoopKernel(const TwoDimLoopParams &params, std::uint64_t pc_base,
                      Xoroshiro128 rng);
 
-    void emitRound(Trace &trace) override;
+    void emitRound(BranchSink &sink) override;
     std::string describe() const override;
 
     const TwoDimLoopParams &params() const { return cfg; }
@@ -145,7 +145,7 @@ class RegularLoopKernel : public Kernel
     RegularLoopKernel(const RegularLoopParams &params, std::uint64_t pc_base,
                       Xoroshiro128 rng);
 
-    void emitRound(Trace &trace) override;
+    void emitRound(BranchSink &sink) override;
     std::string describe() const override;
 
     std::uint64_t backedgePc() const;

@@ -167,10 +167,28 @@ TEST(SuiteRunner, DefaultBranchesHonoursEnv)
 {
     ::setenv("IMLI_BRANCHES", "123456", 1);
     EXPECT_EQ(defaultBranchesPerTrace(), 123456u);
-    ::setenv("IMLI_BRANCHES", "nonsense", 1);
-    EXPECT_EQ(defaultBranchesPerTrace(), 200000u);
     ::unsetenv("IMLI_BRANCHES");
     EXPECT_EQ(defaultBranchesPerTrace(), 200000u);
+}
+
+TEST(SuiteRunner, DefaultBranchesRejectsGarbageLoudly)
+{
+    // A typo'd override must fail the run, not silently pick a default
+    // trace length (the experiment would measure the wrong workload).
+    for (const char *bad : {"nonsense", "12k", "-5", " 123456", "1e6", ""}) {
+        ::setenv("IMLI_BRANCHES", bad, 1);
+        EXPECT_THROW(defaultBranchesPerTrace(), std::runtime_error)
+            << "value: \"" << bad << '"';
+    }
+    // Numerically valid but below the sanity floor: also an error.
+    ::setenv("IMLI_BRANCHES", "999", 1);
+    EXPECT_THROW(defaultBranchesPerTrace(), std::runtime_error);
+    // All digits but overflowing 64 bits: out of range, not ULLONG_MAX.
+    ::setenv("IMLI_BRANCHES", "18446744073709551616", 1);
+    EXPECT_THROW(defaultBranchesPerTrace(), std::runtime_error);
+    ::setenv("IMLI_BRANCHES", "1000", 1);
+    EXPECT_EQ(defaultBranchesPerTrace(), 1000u);
+    ::unsetenv("IMLI_BRANCHES");
 }
 
 TEST(Report, PrintsPaperAndMeasured)

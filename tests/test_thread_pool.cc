@@ -262,8 +262,13 @@ TEST(DefaultJobs, HonoursEnvIncludingAutoAndRejectsGarbage)
     EXPECT_EQ(defaultJobs(), ThreadPool::hardwareThreads());
     ::setenv("IMLI_JOBS", "0", 1);
     EXPECT_EQ(defaultJobs(), ThreadPool::hardwareThreads());
-    ::setenv("IMLI_JOBS", "-1", 1);
-    EXPECT_EQ(defaultJobs(), 1u);
+    // Garbage must fail loudly instead of silently running serial, and
+    // counts above the sanity cap must not silently clamp.
+    for (const char *bad : {"-1", "fast", "4x", "", " 4", "999999999999"}) {
+        ::setenv("IMLI_JOBS", bad, 1);
+        EXPECT_THROW(defaultJobs(), std::runtime_error)
+            << "value: \"" << bad << '"';
+    }
     ::unsetenv("IMLI_JOBS");
     EXPECT_EQ(defaultJobs(), 1u);
 }
