@@ -8,13 +8,19 @@
 
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
 #include <set>
+#include <string>
 
 #include "src/core/imli_components.hh"
 #include "src/predictors/zoo.hh"
 #include "src/sim/simulator.hh"
 #include "src/sim/suite_runner.hh"
 #include "src/spec/checkpoint.hh"
+#include "src/trace/cbp_reader.hh"
 #include "src/util/thread_pool.hh"
 #include "src/workloads/generator_source.hh"
 #include "src/workloads/suite.hh"
@@ -235,6 +241,50 @@ BENCHMARK(BM_SimulateMany)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8);
+
+namespace
+{
+
+std::string cbpBenchPath;
+
+void
+removeCbpBenchFile()
+{
+    std::remove(cbpBenchPath.c_str());
+}
+
+} // anonymous namespace
+
+static void
+BM_SimulateCbpSource(benchmark::State &state)
+{
+    // External-trace ingestion throughput: fixed-width CBP records are
+    // decoded chunk by chunk and simulated.  Compare against
+    // BM_SimulateStreaming (generator backend) to see what replaying a
+    // recording costs relative to generating the same stream.
+    static const std::string path = [] {
+        cbpBenchPath = "/tmp/imli_bench_" + std::to_string(::getpid()) +
+                       ".cbp";
+        GeneratorBranchSource source(findBenchmark("SPEC2K6-12"), 100000);
+        writeCbpFile(source, cbpBenchPath);
+        std::atexit(removeCbpBenchFile);
+        return cbpBenchPath;
+    }();
+    std::uint64_t conditionals = 0;
+    std::uint64_t records = 0;
+    for (auto _ : state) {
+        CbpFileBranchSource source(path);
+        PredictorPtr pred = makePredictor("tage-gsc");
+        const SimResult r = simulate(*pred, source);
+        conditionals = r.conditionals;
+        records = source.decodedRecords();
+        benchmark::DoNotOptimize(conditionals);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(records));
+    state.SetLabel("branches/s");
+}
+BENCHMARK(BM_SimulateCbpSource)->Unit(benchmark::kMillisecond);
 
 static void
 BM_TraceGeneration(benchmark::State &state)

@@ -27,11 +27,12 @@ using namespace imli;
 
 int
 main(int argc, char **argv)
-{
+try {
     CommandLine cli(argc, argv);
-    const unsigned trip = static_cast<unsigned>(cli.getInt("trip", 24));
-    const unsigned outer = static_cast<unsigned>(cli.getInt("outer", 30));
-    const unsigned rounds = static_cast<unsigned>(cli.getInt("rounds", 60));
+    const unsigned trip = static_cast<unsigned>(cli.getCount("trip", 24));
+    const unsigned outer = static_cast<unsigned>(cli.getCount("outer", 30));
+    const unsigned rounds =
+        static_cast<unsigned>(cli.getCount("rounds", 60));
 
     // One nest containing every correlation class of the paper.
     TwoDimLoopParams params;
@@ -131,4 +132,7 @@ main(int argc, char **argv)
                  "inverted; only WH tracks diag-next;\nnobody fixes the "
                  "random row.\n";
     return 0;
+} catch (const std::exception &e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
 }

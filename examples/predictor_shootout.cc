@@ -37,10 +37,9 @@ splitList(const std::string &csv)
 
 int
 main(int argc, char **argv)
-{
+try {
     imli::CommandLine cli(argc, argv);
-    const std::size_t branches =
-        static_cast<std::size_t>(cli.getInt("branches", 150000));
+    const std::size_t branches = cli.getCount("branches", 150000);
     const std::vector<std::string> benchmarks = splitList(cli.getString(
         "benchmarks", "SPEC2K6-04,SPEC2K6-12,MM-4,CLIENT02,MM07,WS04"));
     const std::vector<std::string> ladder = {
@@ -76,4 +75,7 @@ main(int argc, char **argv)
                   << predictor->storage().totalKbits() << " Kbits\n";
     }
     return 0;
+} catch (const std::exception &e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
 }

@@ -16,12 +16,11 @@
 
 int
 main(int argc, char **argv)
-{
+try {
     imli::CommandLine cli(argc, argv);
     const std::string spec = cli.getString("predictor", "tage-gsc+i");
     const std::string bench = cli.getString("benchmark", "SPEC2K6-12");
-    const std::size_t branches =
-        static_cast<std::size_t>(cli.getInt("branches", 200000));
+    const std::size_t branches = cli.getCount("branches", 200000);
 
     // 1. Pick a workload: a named benchmark from the synthetic suite.
     const imli::BenchmarkSpec benchmark = imli::findBenchmark(bench);
@@ -46,12 +45,20 @@ main(int argc, char **argv)
               << " Kbits\n";
 
     if (cli.has("offenders")) {
+        // Bare "--offenders" means the default count; a value overrides.
+        const std::size_t n = cli.getString("offenders").empty()
+                                  ? 10
+                                  : cli.getCount("offenders");
         std::cout << "top offending branches:\n";
-        for (const auto &[pc, count] : result.topOffenders(
-                 static_cast<std::size_t>(cli.getInt("offenders", 10)))) {
+        for (const auto &[pc, count] : result.topOffenders(n)) {
             std::cout << "  pc 0x" << std::hex << pc << std::dec << ": "
                       << count << " mispredictions\n";
         }
     }
     return 0;
+} catch (const std::exception &e) {
+    // Unknown benchmark/predictor names or malformed numeric flags: fail
+    // with the message, not a raw terminate().
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
 }

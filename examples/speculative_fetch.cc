@@ -26,13 +26,12 @@ using namespace imli;
 
 int
 main(int argc, char **argv)
-{
+try {
     CommandLine cli(argc, argv);
     const std::string bench = cli.getString("benchmark", "MM07");
-    const std::size_t branches =
-        static_cast<std::size_t>(cli.getInt("branches", 100000));
+    const std::size_t branches = cli.getCount("branches", 100000);
     const unsigned window =
-        static_cast<unsigned>(cli.getInt("window", 64));
+        static_cast<unsigned>(cli.getCount("window", 64));
 
     const Trace trace = generateTrace(findBenchmark(bench), branches);
 
@@ -74,4 +73,7 @@ main(int argc, char **argv)
                         "{IMLI counter, PIPE} fully repairs the state.\n"
                       : "ERROR: speculative state diverged!\n");
     return mismatches == 0 ? 0 : 1;
+} catch (const std::exception &e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
 }

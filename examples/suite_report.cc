@@ -6,8 +6,11 @@
  * custom experiments.
  *
  * Usage: suite_report [--configs tage-gsc,tage-gsc+i]
- *                     [--suite CBP4|CBP3] [--branches 200000]
+ *                     [--suite CBP4|CBP3|REC] [--branches 200000]
  *                     [--benchmarks NAME1,NAME2] [--csv]
+ *                     [--recorded DIR]  (append the REC-01..REC-08
+ *                      recorded scenarios from DIR/rec-0N.cbp — a mixed
+ *                      generated + recorded run)
  *                     [--jobs N]   (0/auto = all hardware threads)
  */
 
@@ -49,8 +52,19 @@ try {
     const std::string which = cli.getString("suite", "");
     const std::string only = cli.getString("benchmarks", "");
 
+    // The candidate pool: the 80 generated members, plus the recorded
+    // scenarios when --recorded names their directory (a mixed suite —
+    // the runner schedules both backends identically).
+    std::vector<BenchmarkSpec> pool = fullSuite();
+    if (cli.has("recorded")) {
+        std::vector<BenchmarkSpec> recorded =
+            recordedSuite(cli.getString("recorded"));
+        pool.insert(pool.end(), std::make_move_iterator(recorded.begin()),
+                    std::make_move_iterator(recorded.end()));
+    }
+
     std::vector<BenchmarkSpec> benchmarks;
-    for (BenchmarkSpec &b : fullSuite()) {
+    for (BenchmarkSpec &b : pool) {
         if (!which.empty() && b.suite != which)
             continue;
         if (!only.empty()) {
@@ -62,6 +76,19 @@ try {
                 continue;
         }
         benchmarks.push_back(std::move(b));
+    }
+    if (benchmarks.empty()) {
+        // An all-zero "0 cells" report looks like a successful run; an
+        // empty selection is always a usage error (e.g. --suite REC or
+        // --benchmarks REC-05 without --recorded DIR).
+        bool wants_rec = which == "REC";
+        for (const std::string &name : splitList(only))
+            wants_rec = wants_rec || name.rfind("REC-", 0) == 0;
+        std::cerr << "error: no benchmarks selected";
+        if (!cli.has("recorded") && wants_rec)
+            std::cerr << " (the REC scenarios need --recorded DIR)";
+        std::cerr << '\n';
+        return 1;
     }
 
     SuiteRunOptions options;
@@ -93,12 +120,18 @@ try {
                       "Per-benchmark MPKI");
     printRunSummary(std::cout, results, seconds, options.jobs);
 
+    bool has_recorded = false;
+    for (const BenchmarkSpec &b : benchmarks)
+        has_recorded = has_recorded || b.suite == "REC";
+
     std::cout << "Suite averages (MPKI):\n";
     for (const std::string &config : configs) {
         std::cout << "  " << config << ": "
                   << "CBP4 " << results.averageMpki(config, "CBP4")
-                  << ", CBP3 " << results.averageMpki(config, "CBP3")
-                  << ", all " << results.averageMpki(config) << '\n';
+                  << ", CBP3 " << results.averageMpki(config, "CBP3");
+        if (has_recorded)
+            std::cout << ", REC " << results.averageMpki(config, "REC");
+        std::cout << ", all " << results.averageMpki(config) << '\n';
     }
     return 0;
 } catch (const std::exception &e) {

@@ -1,17 +1,23 @@
 /**
  * @file
- * Trace tooling: generate, inspect and round-trip binary trace files.
+ * Trace tooling: generate, inspect, convert and round-trip trace files
+ * in the native (.imt), text and CBP formats.
  *
  * Subcommands:
  *   trace_tools generate --benchmark NAME --out FILE [--branches N]
- *   trace_tools info     --in FILE
- *   trace_tools suite    [--suite CBP4|CBP3]        (list benchmarks)
- *   trace_tools verify   --in FILE                  (read + re-encode check)
+ *                        [--format binary|text|cbp]
+ *   trace_tools import   --in FILE.cbp --out FILE.imt [--name NAME]
+ *   trace_tools convert  --in FILE --out FILE [--format text|binary]
+ *   trace_tools info     --in FILE [--format binary|cbp]
+ *   trace_tools suite    [--suite CBP4|CBP3|REC]      (list benchmarks)
+ *   trace_tools verify   --in FILE                    (read + re-encode)
+ *   trace_tools synth-recorded --dir DIR              (write rec-0N.cbp)
  */
 
 #include <iostream>
 #include <sstream>
 
+#include "src/trace/cbp_reader.hh"
 #include "src/trace/trace_io.hh"
 #include "src/trace/trace_stats.hh"
 #include "src/trace/trace_text.hh"
@@ -28,10 +34,11 @@ int
 cmdGenerate(const CommandLine &cli)
 {
     const std::string name = cli.getString("benchmark", "SPEC2K6-12");
-    const std::string out = cli.getString("out", name + ".imt");
-    const std::size_t branches =
-        static_cast<std::size_t>(cli.getInt("branches", 200000));
-    if (cli.getString("format", "binary") == "text") {
+    const std::string format = cli.getString("format", "binary");
+    const std::string out = cli.getString(
+        "out", name + (format == "cbp" ? ".cbp" : ".imt"));
+    const std::size_t branches = cli.getCount("branches", 200000);
+    if (format == "text") {
         const Trace trace = generateTrace(findBenchmark(name), branches);
         writeTraceTextFile(trace, out);
         std::cout << "wrote " << trace.size() << " branches ("
@@ -39,12 +46,73 @@ cmdGenerate(const CommandLine &cli)
                   << '\n';
         return 0;
     }
-    // Binary output streams generator -> file chunk by chunk: arbitrarily
+    // Binary outputs stream generator -> file chunk by chunk: arbitrarily
     // long traces are generated in O(chunk) memory.
     GeneratorBranchSource source(findBenchmark(name), branches);
+    const std::uint64_t written =
+        format == "cbp" ? writeCbpFile(source, out)
+                        : writeTraceFile(source, out);
+    std::cout << "wrote " << written << " branches (streamed, " << format
+              << ") to " << out << '\n';
+    return 0;
+}
+
+int
+cmdImport(const CommandLine &cli)
+{
+    const std::string in = cli.getString("in");
+    const std::string out = cli.getString("out");
+    if (in.empty() || out.empty()) {
+        std::cerr << "import: need --in FILE.cbp and --out FILE.imt\n";
+        return 1;
+    }
+    const std::string name = cli.getString("name", pathStem(in));
+
+    // Stream CBP -> .imt: neither trace is ever materialized.
+    CbpFileBranchSource source(in, name);
     const std::uint64_t written = writeTraceFile(source, out);
-    std::cout << "wrote " << written << " branches (streamed) to " << out
-              << '\n';
+
+    // Round-trip verification: replay both files in lockstep and compare
+    // record by record, still O(chunk) — a championship-scale trace must
+    // verify without ever being materialized.  An import that cannot be
+    // verified is deleted-grade.
+    CbpFileBranchSource again(in, name);
+    FileBranchSource imported(out);
+    if (imported.totalRecords() != written) {
+        std::cerr << "import: header count mismatch after conversion\n";
+        return 1;
+    }
+    BranchSpan sa = again.nextChunk();
+    BranchSpan sb = imported.nextChunk();
+    std::size_t ia = 0, ib = 0;
+    std::uint64_t compared = 0;
+    while (true) {
+        if (ia == sa.count) {
+            sa = again.nextChunk();
+            ia = 0;
+        }
+        if (ib == sb.count) {
+            sb = imported.nextChunk();
+            ib = 0;
+        }
+        if (sa.empty() || sb.empty())
+            break;
+        if (!(sa[ia] == sb[ib])) {
+            std::cerr << "import: record " << compared
+                      << " mismatch after round-trip\n";
+            return 1;
+        }
+        ++ia;
+        ++ib;
+        ++compared;
+    }
+    if (!sa.empty() || !sb.empty() || compared != written) {
+        std::cerr << "import: size mismatch after round-trip ("
+                  << compared << " of " << written << " compared)\n";
+        return 1;
+    }
+    std::cout << "imported " << written << " branches: " << in << " -> "
+              << out << " (round-trip verified)\n";
     return 0;
 }
 
@@ -78,7 +146,9 @@ cmdInfo(const CommandLine &cli)
         std::cerr << "info: missing --in FILE\n";
         return 1;
     }
-    const Trace trace = readTraceFile(in);
+    const Trace trace = cli.getString("format", "binary") == "cbp"
+                            ? readCbpFile(in)
+                            : readTraceFile(in);
     std::cout << "trace " << trace.name() << ":\n"
               << computeStats(trace).toString();
     return 0;
@@ -88,12 +158,12 @@ int
 cmdSuite(const CommandLine &cli)
 {
     const std::string which = cli.getString("suite", "");
-    for (const BenchmarkSpec &b : fullSuite()) {
+    std::vector<BenchmarkSpec> all = fullSuite();
+    std::vector<BenchmarkSpec> recorded = recordedScenarios();
+    all.insert(all.end(), recorded.begin(), recorded.end());
+    for (const BenchmarkSpec &b : all) {
         if (!which.empty() && b.suite != which)
             continue;
-        std::ostringstream kernels;
-        for (std::size_t i = 0; i < b.kernels.size(); ++i)
-            kernels << (i ? "," : "") << static_cast<int>(b.kernels[i].type);
         std::cout << b.suite << "  " << b.name << "  (seed "
                   << b.seed << ", " << b.kernels.size() << " kernels)\n";
     }
@@ -127,6 +197,32 @@ cmdVerify(const CommandLine &cli)
     return 0;
 }
 
+int
+cmdSynthRecorded(const CommandLine &cli)
+{
+    const std::string dir = cli.getString("dir");
+    if (dir.empty()) {
+        std::cerr << "synth-recorded: missing --dir DIR\n";
+        return 1;
+    }
+    // Deterministic by construction: each scenario streams its generating
+    // spec into CBP format, so re-running reproduces the checked-in
+    // tests/data files bit for bit (a golden test holds us to that).
+    // recordedSuite() supplies the paths, so the writer can never drift
+    // from where the suite runner will look.
+    const std::vector<BenchmarkSpec> scenarios = recordedScenarios();
+    const std::vector<BenchmarkSpec> targets = recordedSuite(dir);
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        GeneratorBranchSource source(scenarios[i],
+                                     recordedScenarioBranches);
+        const std::uint64_t written =
+            writeCbpFile(source, targets[i].tracePath);
+        std::cout << "wrote " << written << " branches to "
+                  << targets[i].tracePath << '\n';
+    }
+    return 0;
+}
+
 } // anonymous namespace
 
 int
@@ -135,19 +231,24 @@ main(int argc, char **argv)
     CommandLine cli(argc, argv);
     if (cli.positionals().empty()) {
         std::cout <<
-            "usage: trace_tools <generate|convert|info|suite|verify>\n"
+            "usage: trace_tools "
+            "<generate|import|convert|info|suite|verify|synth-recorded>\n"
             "  generate --benchmark NAME --out FILE [--branches N]\n"
-            "           [--format binary|text]\n"
+            "           [--format binary|text|cbp]\n"
+            "  import   --in FILE.cbp --out FILE.imt [--name NAME]\n"
             "  convert  --in FILE --out FILE [--format text|binary]\n"
-            "  info     --in FILE\n"
-            "  suite    [--suite CBP4|CBP3]\n"
-            "  verify   --in FILE\n";
+            "  info     --in FILE [--format binary|cbp]\n"
+            "  suite    [--suite CBP4|CBP3|REC]\n"
+            "  verify   --in FILE\n"
+            "  synth-recorded --dir DIR\n";
         return 0;
     }
     const std::string &cmd = cli.positionals()[0];
     try {
         if (cmd == "generate")
             return cmdGenerate(cli);
+        if (cmd == "import")
+            return cmdImport(cli);
         if (cmd == "convert")
             return cmdConvert(cli);
         if (cmd == "info")
@@ -156,6 +257,8 @@ main(int argc, char **argv)
             return cmdSuite(cli);
         if (cmd == "verify")
             return cmdVerify(cli);
+        if (cmd == "synth-recorded")
+            return cmdSynthRecorded(cli);
         std::cerr << "unknown subcommand: " << cmd << '\n';
         return 1;
     } catch (const std::exception &e) {

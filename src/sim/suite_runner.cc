@@ -11,7 +11,6 @@
 
 #include "src/predictors/zoo.hh"
 #include "src/util/thread_pool.hh"
-#include "src/workloads/generator_source.hh"
 
 namespace imli
 {
@@ -117,10 +116,14 @@ runBenchmark(const BenchmarkSpec &spec,
     for (const std::string &config : configs)
         predictors.push_back(makePredictor(config));
 
-    GeneratorBranchSource source(spec, options.branchesPerTrace,
-                                 options.chunkBranches);
+    // The backend factory: generator for synthetic specs, streaming file
+    // reader for recorded ones.  Either way the stream arrives chunk by
+    // chunk, so the memory model below is backend-independent.
+    const std::unique_ptr<BranchSource> source =
+        makeBranchSource(spec, options.branchesPerTrace,
+                         options.chunkBranches);
     const std::vector<SimResult> results =
-        simulateMany(predictors, source, options.sim);
+        simulateMany(predictors, *source, options.sim);
 
     for (std::size_t c = 0; c < configs.size(); ++c) {
         SuiteCell &cell = cells[c];
@@ -143,6 +146,11 @@ runSuite(const std::vector<BenchmarkSpec> &benchmarks,
 {
     const unsigned jobs =
         options.jobs == 0 ? ThreadPool::hardwareThreads() : options.jobs;
+
+    // Fail on a broken spec (no kernels, missing / corrupt trace file)
+    // before any simulation runs, not from a worker thread mid-suite.
+    for (const BenchmarkSpec &spec : benchmarks)
+        validateBenchmark(spec);
 
     SuiteResults results;
     results.configs = configs;

@@ -5,13 +5,22 @@
  * streams across configurations for exact deltas.
  *
  * Memory model: no benchmark is ever materialized.  Each benchmark is a
- * GeneratorBranchSource streamed chunk by chunk through simulateMany, so
- * a worker's resident trace memory is one chunk (options.chunkBranches
- * records, ~24 bytes each) plus the one kernel round that crossed the
- * chunk boundary — O(chunk), independent of branchesPerTrace.  With J
- * workers the whole run holds O(chunk)·J records plus the predictor
- * tables; the old engine held O(branchesPerTrace)·J.  Generation cost is
+ * BranchSource streamed chunk by chunk through simulateMany, so a
+ * worker's resident trace memory is one chunk (options.chunkBranches
+ * records, ~24 bytes each) plus a bounded backend overhang — O(chunk),
+ * independent of benchmark length.  With J workers the whole run holds
+ * O(chunk)·J records plus the predictor tables; the old engine held
+ * O(branchesPerTrace)·J.  Stream cost (generation or file decode) is
  * paid once per benchmark, not once per (benchmark, config) cell.
+ *
+ * Multi-backend note: the benchmark's TraceBackend picks the source —
+ * GeneratorBranchSource for synthetic specs (overhang: the one kernel
+ * round crossing the chunk boundary), CbpFileBranchSource /
+ * FileBranchSource for recorded specs (overhang: none; the reader's
+ * buffer IS the chunk).  Mixed suites therefore keep the same O(chunk)·J
+ * bound, and recorded benchmarks add only an open file handle per live
+ * worker.  Recorded streams ignore branchesPerTrace: a recording's
+ * length is part of the scenario, so the whole file always plays.
  */
 
 #ifndef IMLI_SRC_SIM_SUITE_RUNNER_HH

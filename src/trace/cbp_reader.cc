@@ -1,0 +1,281 @@
+#include "src/trace/cbp_reader.hh"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+namespace imli
+{
+
+namespace
+{
+
+constexpr char cbpMagic[4] = {'C', 'B', 'P', 'T'};
+constexpr std::uint32_t cbpVersion = 1;
+constexpr std::size_t cbpHeaderBytes = 8;   //!< magic + version
+constexpr std::size_t cbpRecordBytes = 22;  //!< pc, target, insts, op, taken
+
+void
+putLe(std::ostream &os, std::uint64_t v, int bytes)
+{
+    for (int i = 0; i < bytes; ++i)
+        os.put(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+/** Decode @p bytes little-endian integer from a raw buffer. */
+std::uint64_t
+getLe(const unsigned char *p, int bytes)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < bytes; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+void
+putCbpHeader(std::ostream &os)
+{
+    os.write(cbpMagic, sizeof(cbpMagic));
+    putLe(os, cbpVersion, 4);
+}
+
+/** Validate magic + version; @p what names the file in errors. */
+void
+getCbpHeader(std::istream &is, const std::string &what)
+{
+    unsigned char header[cbpHeaderBytes] = {};
+    is.read(reinterpret_cast<char *>(header), sizeof(header));
+    if (is.gcount() != static_cast<std::streamsize>(sizeof(header)))
+        throw TraceFormatError(what + ": truncated CBP header");
+    if (!std::equal(header, header + 4,
+                    reinterpret_cast<const unsigned char *>(cbpMagic)))
+        throw TraceFormatError(what + ": bad CBP magic (not a CBP trace)");
+    const std::uint64_t version = getLe(header + 4, 4);
+    if (version != cbpVersion)
+        throw TraceFormatError(what + ": unsupported CBP version " +
+                               std::to_string(version));
+}
+
+void
+putCbpRecord(std::ostream &os, const BranchRecord &rec)
+{
+    putLe(os, rec.pc, 8);
+    putLe(os, rec.target, 8);
+    putLe(os, rec.instsBefore, 4);
+    os.put(static_cast<char>(cbpOpFromBranchType(rec.type)));
+    os.put(rec.taken ? 1 : 0);
+}
+
+/**
+ * Decode the next record, or return false at a clean EOF.  A partial
+ * record (EOF inside the 22 bytes) is damage, not end of stream.
+ */
+bool
+getCbpRecord(std::istream &is, const std::string &what, BranchRecord &rec)
+{
+    unsigned char raw[cbpRecordBytes];
+    is.read(reinterpret_cast<char *>(raw), sizeof(raw));
+    if (is.gcount() == 0) {
+        // Only a genuine end of file ends the stream; a mid-file read
+        // failure (badbit: failing disk, dropped mount) must not pass
+        // for a shorter recording.
+        if (is.bad() || !is.eof())
+            throw TraceFormatError(what +
+                                   ": I/O error while reading CBP body");
+        return false;
+    }
+    if (is.gcount() != static_cast<std::streamsize>(sizeof(raw)))
+        throw TraceFormatError(what + ": truncated CBP record at offset " +
+                               std::to_string(static_cast<long long>(
+                                   is.gcount())) +
+                               " bytes into the final record");
+    rec.pc = getLe(raw, 8);
+    rec.target = getLe(raw + 8, 8);
+    rec.instsBefore = static_cast<std::uint32_t>(getLe(raw + 16, 4));
+    try {
+        rec.type = branchTypeFromCbpOp(raw[20]);
+    } catch (const TraceFormatError &e) {
+        // Body damage surfaces mid-run (the probe only checks the header
+        // and tail): name the file so the operator can tell which of a
+        // mixed suite's recordings is broken.
+        throw TraceFormatError(what + ": " + e.what());
+    }
+    if (raw[21] > 1)
+        throw TraceFormatError(what + ": invalid taken byte " +
+                               std::to_string(raw[21]));
+    rec.taken = raw[21] == 1;
+    return true;
+}
+
+} // anonymous namespace
+
+BranchType
+branchTypeFromCbpOp(std::uint8_t op)
+{
+    switch (static_cast<CbpOpType>(op)) {
+      case CbpOpType::JmpDirectUncond:
+        return BranchType::UncondDirect;
+      case CbpOpType::JmpIndirectUncond:
+        return BranchType::UncondIndirect;
+      case CbpOpType::JmpDirectCond:
+        return BranchType::CondDirect;
+      case CbpOpType::CallDirect:
+        return BranchType::Call;
+      case CbpOpType::CallIndirect:
+        return BranchType::IndirectCall;
+      case CbpOpType::Ret:
+        return BranchType::Return;
+    }
+    throw TraceFormatError("unknown CBP op code " + std::to_string(op));
+}
+
+CbpOpType
+cbpOpFromBranchType(BranchType type)
+{
+    switch (type) {
+      case BranchType::UncondDirect:
+        return CbpOpType::JmpDirectUncond;
+      case BranchType::UncondIndirect:
+        return CbpOpType::JmpIndirectUncond;
+      case BranchType::CondDirect:
+        return CbpOpType::JmpDirectCond;
+      case BranchType::Call:
+        return CbpOpType::CallDirect;
+      case BranchType::IndirectCall:
+        return CbpOpType::CallIndirect;
+      case BranchType::Return:
+        return CbpOpType::Ret;
+    }
+    throw TraceFormatError("unmappable branch type " +
+                           std::to_string(static_cast<unsigned>(type)));
+}
+
+std::string
+pathStem(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of("/\\");
+    const std::size_t start = slash == std::string::npos ? 0 : slash + 1;
+    std::size_t dot = path.find_last_of('.');
+    if (dot == std::string::npos || dot <= start)
+        dot = path.size();
+    return path.substr(start, dot - start);
+}
+
+std::string
+pathExtension(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of("/\\");
+    const std::size_t start = slash == std::string::npos ? 0 : slash + 1;
+    const std::size_t dot = path.find_last_of('.');
+    if (dot == std::string::npos || dot <= start)
+        return "";
+    return path.substr(dot);
+}
+
+CbpFileBranchSource::CbpFileBranchSource(const std::string &path,
+                                         const std::string &name,
+                                         std::size_t chunk_records)
+    : path(path), is(path, std::ios::binary),
+      traceName(name.empty() ? pathStem(path) : name),
+      chunkRecords(chunk_records == 0 ? 1 : chunk_records)
+{
+    if (!is)
+        throw std::runtime_error("cannot open CBP trace for read: " + path);
+    getCbpHeader(is, path);
+    bodyStart = is.tellg();
+}
+
+const std::string &
+CbpFileBranchSource::name() const
+{
+    return traceName;
+}
+
+BranchSpan
+CbpFileBranchSource::nextChunk()
+{
+    buffer.clear();
+    buffer.reserve(chunkRecords);
+    BranchRecord rec;
+    while (buffer.size() < chunkRecords && getCbpRecord(is, path, rec))
+        buffer.push_back(rec);
+    decoded += buffer.size();
+    return BranchSpan{buffer.data(), buffer.size()};
+}
+
+void
+CbpFileBranchSource::reset()
+{
+    is.clear();
+    is.seekg(bodyStart);
+    if (!is)
+        throw std::runtime_error("cannot rewind CBP trace: " + path);
+    decoded = 0;
+    buffer.clear();
+}
+
+Trace
+readCbpTrace(std::istream &is, const std::string &name)
+{
+    getCbpHeader(is, name.empty() ? "<stream>" : name);
+    Trace trace(name);
+    BranchRecord rec;
+    while (getCbpRecord(is, name.empty() ? "<stream>" : name, rec))
+        trace.append(rec);
+    return trace;
+}
+
+Trace
+readCbpFile(const std::string &path, const std::string &name)
+{
+    CbpFileBranchSource source(path, name);
+    return drainSource(source);
+}
+
+void
+writeCbpTrace(const Trace &trace, std::ostream &os)
+{
+    putCbpHeader(os);
+    for (const BranchRecord &rec : trace.branches())
+        putCbpRecord(os, rec);
+}
+
+std::uint64_t
+writeCbpFile(BranchSource &source, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        throw std::runtime_error("cannot open CBP trace for write: " + path);
+    putCbpHeader(os);
+    std::uint64_t written = 0;
+    for (BranchSpan span = source.nextChunk(); !span.empty();
+         span = source.nextChunk()) {
+        for (const BranchRecord &rec : span)
+            putCbpRecord(os, rec);
+        written += span.count;
+    }
+    if (!os)
+        throw std::runtime_error("I/O error while writing CBP trace: " +
+                                 path);
+    return written;
+}
+
+void
+probeCbpFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw std::runtime_error("cannot open CBP trace for read: " + path);
+    getCbpHeader(is, path);
+    // Body must be whole records: a torn tail means a damaged recording.
+    const std::streampos body = is.tellg();
+    is.seekg(0, std::ios::end);
+    const std::streamoff body_bytes = is.tellg() - body;
+    if (body_bytes % static_cast<std::streamoff>(cbpRecordBytes) != 0)
+        throw TraceFormatError(
+            path + ": CBP body is " + std::to_string(body_bytes) +
+            " bytes, not a multiple of the " +
+            std::to_string(cbpRecordBytes) + "-byte record size");
+}
+
+} // namespace imli

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * CBP-format branch trace codec: the external-trace ingestion backend.
+ *
+ * Models the championship (CBP-style) trace interface: a flat stream of
+ * fixed-width records, one per dynamic branch, classified by an OpType
+ * code, with no record count in the header — the stream simply ends at
+ * EOF, exactly like piping a championship trace through the framework.
+ * That is the structural opposite of the native .imt format (counted,
+ * varint-delta compressed), which is why the two exercise different
+ * reader paths and why `trace_tools import` exists to convert between
+ * them.
+ *
+ * Layout (little-endian):
+ *   magic   "CBPT"            4 bytes
+ *   version u32               currently 1
+ *   records until EOF, each exactly 22 bytes:
+ *     pc      u64             branch instruction address
+ *     target  u64             taken target address
+ *     insts   u32             non-branch instructions since previous record
+ *     opType  u8              CBP op code (see CbpOpType)
+ *     taken   u8              0 / 1 resolved direction
+ *
+ * A truncated final record, an unknown op code or a taken byte other
+ * than 0/1 raise TraceFormatError: recorded traces are immutable inputs,
+ * so any damage means the file must not be silently half-read.
+ */
+
+#ifndef IMLI_SRC_TRACE_CBP_READER_HH
+#define IMLI_SRC_TRACE_CBP_READER_HH
+
+#include <cstdint>
+#include <fstream>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/trace/branch_source.hh"
+#include "src/trace/trace.hh"
+#include "src/trace/trace_error.hh"
+
+namespace imli
+{
+
+/** CBP-style branch op codes carried in the record's opType byte. */
+enum class CbpOpType : std::uint8_t
+{
+    JmpDirectUncond = 1,
+    JmpIndirectUncond = 2,
+    JmpDirectCond = 3,   //!< the predicted class
+    CallDirect = 4,
+    CallIndirect = 5,
+    Ret = 6,
+};
+
+/** Map a CBP op code to the internal class; throws on unknown codes. */
+BranchType branchTypeFromCbpOp(std::uint8_t op);
+
+/** Map an internal branch class to its CBP op code. */
+CbpOpType cbpOpFromBranchType(BranchType type);
+
+/**
+ * Streaming CBP trace reader: decodes one chunk of fixed-width records
+ * at a time, so peak memory is O(chunk) however large the file.  The
+ * record count is unknown up front (CBP streams end at EOF), so there is
+ * no totalRecords(); consumers just pull until the empty span.
+ */
+class CbpFileBranchSource : public BranchSource
+{
+  public:
+    /**
+     * Opens @p path and validates the header; throws TraceFormatError /
+     * std::runtime_error on damage or I/O failure.  @p name becomes the
+     * stream name; empty derives it from the file name (stem of the
+     * path), since the CBP header carries no name.
+     */
+    explicit CbpFileBranchSource(const std::string &path,
+                                 const std::string &name = "",
+                                 std::size_t chunk_records =
+                                     defaultChunkRecords);
+
+    const std::string &name() const override;
+    BranchSpan nextChunk() override;
+    void reset() override;
+
+    /** Records decoded so far (across all served chunks). */
+    std::uint64_t decodedRecords() const { return decoded; }
+
+  private:
+    std::string path;
+    std::ifstream is;
+    std::string traceName;
+    std::uint64_t decoded = 0;
+    std::streampos bodyStart;
+    std::size_t chunkRecords;
+    std::vector<BranchRecord> buffer;
+};
+
+/** Parse a whole CBP stream; throws TraceFormatError on malformed input. */
+Trace readCbpTrace(std::istream &is, const std::string &name);
+
+/** Parse a whole CBP file (convenience drain of CbpFileBranchSource). */
+Trace readCbpFile(const std::string &path, const std::string &name = "");
+
+/** Serialise @p trace to @p os in CBP format. */
+void writeCbpTrace(const Trace &trace, std::ostream &os);
+
+/**
+ * Stream @p source to @p path in CBP format; returns records written.
+ * Used to synthesize recorded-style scenario files and by tests; the CBP
+ * record is lossless for BranchRecord, so write-then-read round-trips
+ * exactly.
+ */
+std::uint64_t writeCbpFile(BranchSource &source, const std::string &path);
+
+/**
+ * Cheap validity probe: opens @p path and checks the header, without
+ * reading the body.  Throws std::runtime_error (missing / unreadable) or
+ * TraceFormatError (bad magic / version / torn record tail) with a
+ * message naming the path.  Benchmark-spec validation runs this so a
+ * mixed suite fails before any simulation starts, not mid-run.
+ */
+void probeCbpFile(const std::string &path);
+
+/** "stem" of a path: file name without directory or final extension. */
+std::string pathStem(const std::string &path);
+
+/**
+ * Final extension of a path including the dot ("dir/x.cbp" -> ".cbp"),
+ * or "" when the leaf has none.  Shares pathStem's rule: the dot must
+ * be inside the leaf and not its first character, so dotted directories
+ * ("/v1.0/trace") and dotfiles ("dir/.cbp") have no extension.
+ */
+std::string pathExtension(const std::string &path);
+
+} // namespace imli
+
+#endif // IMLI_SRC_TRACE_CBP_READER_HH

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Error type shared by every trace codec (.imt, text, CBP).
+ *
+ * Lives in its own header so format readers don't have to include each
+ * other just to throw the common error.
+ */
+
+#ifndef IMLI_SRC_TRACE_TRACE_ERROR_HH
+#define IMLI_SRC_TRACE_TRACE_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace imli
+{
+
+/** Raised on malformed trace files, whatever the format. */
+class TraceFormatError : public std::runtime_error
+{
+  public:
+    explicit TraceFormatError(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+} // namespace imli
+
+#endif // IMLI_SRC_TRACE_TRACE_ERROR_HH

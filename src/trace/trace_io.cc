@@ -248,14 +248,15 @@ readTraceFile(const std::string &path)
 }
 
 FileBranchSource::FileBranchSource(const std::string &path,
-                                   std::size_t chunk_records)
+                                   std::size_t chunk_records,
+                                   const std::string &name_override)
     : path(path), is(path, std::ios::binary),
       chunkRecords(chunk_records == 0 ? 1 : chunk_records)
 {
     if (!is)
         throw std::runtime_error("cannot open trace file for read: " + path);
     const TraceHeader header = getHeader(is);
-    traceName = header.name;
+    traceName = name_override.empty() ? header.name : name_override;
     count = header.count;
     bodyStart = is.tellg();
 }

@@ -26,24 +26,15 @@
 #include <cstdint>
 #include <fstream>
 #include <iosfwd>
-#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "src/trace/branch_source.hh"
 #include "src/trace/trace.hh"
+#include "src/trace/trace_error.hh"
 
 namespace imli
 {
-
-/** Error raised on malformed trace files. */
-class TraceFormatError : public std::runtime_error
-{
-  public:
-    explicit TraceFormatError(const std::string &what_arg)
-        : std::runtime_error(what_arg)
-    {}
-};
 
 /** Serialise @p trace to @p os in .imt format. */
 void writeTrace(const Trace &trace, std::ostream &os);
@@ -73,10 +64,16 @@ Trace readTraceFile(const std::string &path);
 class FileBranchSource : public BranchSource
 {
   public:
-    /** Opens @p path and parses the header; throws on I/O/format error. */
+    /**
+     * Opens @p path and parses the header; throws on I/O/format error.
+     * @p name_override replaces the name embedded in the file header
+     * when non-empty (recorded benchmarks stream under their benchmark
+     * name, whatever the file was originally generated as).
+     */
     explicit FileBranchSource(const std::string &path,
                               std::size_t chunk_records =
-                                  defaultChunkRecords);
+                                  defaultChunkRecords,
+                              const std::string &name_override = "");
 
     const std::string &name() const override;
     BranchSpan nextChunk() override;

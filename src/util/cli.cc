@@ -1,18 +1,51 @@
 #include "src/util/cli.hh"
 
+#include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
+#include <stdexcept>
 
 #include "src/util/thread_pool.hh"
 
 namespace imli
 {
 
+namespace
+{
+
+/**
+ * True when a lookahead argument starting with '-' is a negative number
+ * ("-0.3", "-12") rather than the next flag.  "-" alone (the stdin
+ * convention) and "--x" are not values.
+ */
+bool
+looksNumeric(const std::string &arg)
+{
+    if (arg.size() < 2 || arg[0] != '-')
+        return false;
+    return std::isdigit(static_cast<unsigned char>(arg[1])) != 0 ||
+           arg[1] == '.';
+}
+
+} // anonymous namespace
+
 CommandLine::CommandLine(int argc, const char *const *argv)
 {
     if (argc > 0)
         program = argv[0];
+    bool flags_ended = false;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
+        if (flags_ended) {
+            positional.push_back(arg);
+            continue;
+        }
+        if (arg == "--") {
+            // Conventional separator: everything after is positional.
+            flags_ended = true;
+            continue;
+        }
         if (arg.size() < 3 || arg.compare(0, 2, "--") != 0) {
             positional.push_back(arg);
             continue;
@@ -21,7 +54,8 @@ CommandLine::CommandLine(int argc, const char *const *argv)
         auto eq = body.find('=');
         if (eq != std::string::npos) {
             flags[body.substr(0, eq)] = body.substr(eq + 1);
-        } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+        } else if (i + 1 < argc &&
+                   (argv[i + 1][0] != '-' || looksNumeric(argv[i + 1]))) {
             flags[body] = argv[i + 1];
             ++i;
         } else {
@@ -47,22 +81,53 @@ std::int64_t
 CommandLine::getInt(const std::string &name, std::int64_t def) const
 {
     auto it = flags.find(name);
-    if (it == flags.end() || it->second.empty())
+    if (it == flags.end())
         return def;
+    errno = 0;
     char *end = nullptr;
     const std::int64_t v = std::strtoll(it->second.c_str(), &end, 0);
-    return (end && *end == '\0') ? v : def;
+    if (it->second.empty() || !end || *end != '\0')
+        throw std::runtime_error(
+            "--" + name + ": invalid integer \"" + it->second + "\"");
+    // strtoll clamps on overflow with *end == '\0': ERANGE is the only
+    // sign the value was not what the user typed.
+    if (errno == ERANGE)
+        throw std::runtime_error(
+            "--" + name + ": integer \"" + it->second + "\" is out of range");
+    return v;
 }
 
 double
 CommandLine::getDouble(const std::string &name, double def) const
 {
     auto it = flags.find(name);
-    if (it == flags.end() || it->second.empty())
+    if (it == flags.end())
         return def;
+    errno = 0;
     char *end = nullptr;
     const double v = std::strtod(it->second.c_str(), &end);
-    return (end && *end == '\0') ? v : def;
+    if (it->second.empty() || !end || *end != '\0')
+        throw std::runtime_error(
+            "--" + name + ": invalid number \"" + it->second + "\"");
+    // Overflow saturates to +-HUGE_VAL with a clean end pointer; reject
+    // it (harmless underflow-to-subnormal is allowed through).
+    if (errno == ERANGE && std::abs(v) == HUGE_VAL)
+        throw std::runtime_error(
+            "--" + name + ": number \"" + it->second + "\" is out of range");
+    return v;
+}
+
+std::size_t
+CommandLine::getCount(const std::string &name, std::size_t def) const
+{
+    if (!has(name))
+        return def;
+    const std::int64_t v = getInt(name);
+    if (v < 0)
+        throw std::runtime_error(
+            "--" + name + ": expected a non-negative count, got \"" +
+            getString(name) + "\"");
+    return static_cast<std::size_t>(v);
 }
 
 bool

@@ -2,15 +2,24 @@
  * @file
  * Minimal command-line flag parsing for bench and example binaries.
  *
- * Supports "--name=value", "--name value" and bare boolean "--name".
- * Unknown flags are collected so callers can reject or ignore them.  This
- * is intentionally tiny; the binaries only need a handful of knobs
- * (trace length, suite subset, CSV output, seeds).
+ * Supports "--name=value", "--name value" and bare boolean "--name".  A
+ * bare "--" ends flag parsing: everything after it is positional, per the
+ * usual Unix convention.  Negative numbers work as space-form values
+ * ("--bias -0.3"): a lookahead argument that starts with '-' is consumed
+ * as the value when it looks numeric, and treated as the next flag
+ * otherwise.  This is intentionally tiny; the binaries only need a
+ * handful of knobs (trace length, suite subset, CSV output, seeds).
+ *
+ * Numeric accessors parse strictly: a malformed value ("--branches 10x")
+ * throws std::runtime_error naming the flag instead of silently running
+ * the wrong experiment with the default.  Defaults apply only when the
+ * flag is absent.
  */
 
 #ifndef IMLI_SRC_UTIL_CLI_HH
 #define IMLI_SRC_UTIL_CLI_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -23,7 +32,7 @@ namespace imli
 class CommandLine
 {
   public:
-    /** Parse argv; never throws, malformed flags become positionals. */
+    /** Parse argv; never throws, non-flag arguments become positionals. */
     CommandLine(int argc, const char *const *argv);
 
     /** True iff --name was present (with or without a value). */
@@ -33,11 +42,26 @@ class CommandLine
     std::string getString(const std::string &name,
                           const std::string &def = "") const;
 
-    /** Integer value of --name, or @p def when absent or unparsable. */
+    /**
+     * Integer value of --name, or @p def when absent.  Throws
+     * std::runtime_error when the flag is present but its value is not a
+     * plain integer (strict-parse policy, like the IMLI_* env overrides).
+     */
     std::int64_t getInt(const std::string &name, std::int64_t def = 0) const;
 
-    /** Double value of --name, or @p def when absent or unparsable. */
+    /**
+     * Double value of --name, or @p def when absent.  Throws
+     * std::runtime_error when the flag is present but its value does not
+     * parse as a floating-point number.
+     */
     double getDouble(const std::string &name, double def = 0.0) const;
+
+    /**
+     * Non-negative count flag (trace lengths, iteration counts, window
+     * sizes): getInt plus a >= 0 check, so "--branches -5" throws
+     * instead of wrapping to 1.8e19 in the caller's size_t cast.
+     */
+    std::size_t getCount(const std::string &name, std::size_t def = 0) const;
 
     /** Boolean: present without value or with true/1/yes = true. */
     bool getBool(const std::string &name, bool def = false) const;

@@ -1,7 +1,10 @@
 #include "src/workloads/benchmark_spec.hh"
 
 #include <cassert>
+#include <stdexcept>
 
+#include "src/trace/cbp_reader.hh"
+#include "src/trace/trace_io.hh"
 #include "src/workloads/generator_source.hh"
 
 namespace imli
@@ -116,6 +119,74 @@ generateTrace(const BenchmarkSpec &spec, std::size_t target_branches)
     // paths, keeps the two record sequences identical by construction.
     GeneratorBranchSource source(spec, target_branches);
     return drainSource(source, target_branches + 16384);
+}
+
+BenchmarkSpec
+makeRecordedBenchmark(const std::string &name, const std::string &suite,
+                      const std::string &path)
+{
+    BenchmarkSpec spec;
+    spec.name = name;
+    spec.suite = suite;
+    spec.tracePath = path;
+    const std::string ext = pathExtension(path);
+    if (ext == ".cbp")
+        spec.backend = TraceBackend::RecordedCbp;
+    else if (ext == ".imt")
+        spec.backend = TraceBackend::RecordedImt;
+    else
+        throw std::invalid_argument(
+            "benchmark " + name + ": cannot pick a trace backend from \"" +
+            path + "\" (expected a .cbp or .imt extension)");
+    return spec;
+}
+
+void
+validateBenchmark(const BenchmarkSpec &spec)
+{
+    switch (spec.backend) {
+      case TraceBackend::Generated:
+        if (spec.kernels.empty())
+            throw std::runtime_error("benchmark " + spec.name +
+                                     ": generated spec has no kernels");
+        return;
+      case TraceBackend::RecordedCbp:
+      case TraceBackend::RecordedImt:
+        if (spec.tracePath.empty())
+            throw std::runtime_error("benchmark " + spec.name +
+                                     ": recorded spec has no trace path");
+        try {
+            if (spec.backend == TraceBackend::RecordedCbp)
+                probeCbpFile(spec.tracePath);
+            else
+                FileBranchSource probe(spec.tracePath);
+        } catch (const std::exception &e) {
+            throw std::runtime_error("benchmark " + spec.name + ": " +
+                                     e.what());
+        }
+        return;
+    }
+    throw std::runtime_error("benchmark " + spec.name +
+                             ": unknown trace backend");
+}
+
+std::unique_ptr<BranchSource>
+makeBranchSource(const BenchmarkSpec &spec, std::size_t target_branches,
+                 std::size_t chunk_records)
+{
+    switch (spec.backend) {
+      case TraceBackend::Generated:
+        return std::make_unique<GeneratorBranchSource>(
+            spec, target_branches, chunk_records);
+      case TraceBackend::RecordedCbp:
+        return std::make_unique<CbpFileBranchSource>(
+            spec.tracePath, spec.name, chunk_records);
+      case TraceBackend::RecordedImt:
+        return std::make_unique<FileBranchSource>(spec.tracePath,
+                                                  chunk_records, spec.name);
+    }
+    throw std::runtime_error("benchmark " + spec.name +
+                             ": unknown trace backend");
 }
 
 } // namespace imli

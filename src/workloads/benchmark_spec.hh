@@ -1,20 +1,27 @@
 /**
  * @file
- * Benchmark specification: a named, seeded, weighted mixture of kernels,
- * plus the generator that turns it into a Trace.
+ * Benchmark specification: a name plus the branch-stream backend behind
+ * it — either a seeded, weighted mixture of generator kernels, or a
+ * recorded trace file (CBP or native .imt format) replayed from disk.
  *
- * Generation is fully deterministic from (spec.seed, target size): every
- * predictor configuration sees the identical branch stream, so deltas
- * between configurations measure the predictors, not generator noise.
+ * Every backend is fully deterministic: generated streams from
+ * (spec.seed, target size), recorded streams from the immutable file —
+ * so every predictor configuration sees the identical branch sequence
+ * and deltas between configurations measure the predictors, not input
+ * noise.  makeBranchSource() is the single factory the suite runner (and
+ * anything else) uses to open a benchmark's stream, whatever its
+ * backend.
  */
 
 #ifndef IMLI_SRC_WORKLOADS_BENCHMARK_SPEC_HH
 #define IMLI_SRC_WORKLOADS_BENCHMARK_SPEC_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "src/trace/branch_source.hh"
 #include "src/trace/trace.hh"
 #include "src/workloads/background.hh"
 #include "src/workloads/two_dim_loop.hh"
@@ -62,14 +69,56 @@ struct KernelSpec
                                       unsigned w = 1);
 };
 
-/** A named synthetic benchmark. */
+/** Where a benchmark's branch stream comes from. */
+enum class TraceBackend
+{
+    Generated,    //!< synthesized by the kernel generator (the default)
+    RecordedCbp,  //!< replayed from a CBP-format trace file
+    RecordedImt,  //!< replayed from a native .imt trace file
+};
+
+/** A named benchmark: generated kernel mix or recorded trace. */
 struct BenchmarkSpec
 {
     std::string name;   //!< e.g. "SPEC2K6-12"
-    std::string suite;  //!< "CBP4" or "CBP3"
+    std::string suite;  //!< "CBP4", "CBP3" or "REC"
     std::uint64_t seed = 1;
-    std::vector<KernelSpec> kernels;
+    std::vector<KernelSpec> kernels;  //!< Generated backend only
+
+    TraceBackend backend = TraceBackend::Generated;
+    std::string tracePath;  //!< recorded backends: the trace file
 };
+
+/**
+ * A recorded benchmark over @p path; the backend is picked from the
+ * extension (".cbp" / ".imt").  Throws std::invalid_argument on any
+ * other extension.
+ */
+BenchmarkSpec makeRecordedBenchmark(const std::string &name,
+                                    const std::string &suite,
+                                    const std::string &path);
+
+/**
+ * Check @p spec is runnable: a Generated spec needs kernels; a recorded
+ * spec needs a readable, well-formed trace file (header probe — the body
+ * is not read).  Throws std::runtime_error naming the benchmark and what
+ * is wrong.  runSuite() validates every spec up front so a mixed suite
+ * fails before any simulation starts, not minutes into the run.
+ */
+void validateBenchmark(const BenchmarkSpec &spec);
+
+/**
+ * Open @p spec's branch stream: a GeneratorBranchSource for Generated
+ * specs (capped at @p target_branches like generateTrace), or a
+ * streaming file reader for recorded specs.  Recorded streams always
+ * play the whole file — the recording's length is part of the scenario —
+ * so @p target_branches only applies to generated specs.  All backends
+ * hand out O(chunk_records) spans and support reset().
+ */
+std::unique_ptr<BranchSource>
+makeBranchSource(const BenchmarkSpec &spec, std::size_t target_branches,
+                 std::size_t chunk_records =
+                     BranchSource::defaultChunkRecords);
 
 /** Instantiate one kernel of a spec (private PC region, forked stream). */
 KernelPtr instantiateKernel(const KernelSpec &spec, std::uint64_t pc_base,

@@ -1,5 +1,6 @@
 #include "src/workloads/suite.hh"
 
+#include <cctype>
 #include <cstdio>
 #include <stdexcept>
 
@@ -10,6 +11,18 @@ namespace imli
 
 namespace
 {
+
+/** An empty generated spec with identity fields filled in. */
+BenchmarkSpec
+namedSpec(const std::string &name, const std::string &suite,
+          std::uint64_t seed)
+{
+    BenchmarkSpec b;
+    b.name = name;
+    b.suite = suite;
+    b.seed = seed;
+    return b;
+}
 
 // ---------------------------------------------------------------------
 // Background recipes.  Each helper emits roughly 1000 branches per round
@@ -196,7 +209,7 @@ BenchmarkSpec
 makeEasy(const std::string &name, const std::string &suite,
          std::uint64_t seed, bool with_local)
 {
-    BenchmarkSpec b{name, suite, seed, {}};
+    BenchmarkSpec b = namedSpec(name, suite, seed);
     addPredictableFiller(b, 14);
     addEasyGlobal(b, 3);
     addNoise(b, 0.95, 0.99, 1); // near-always-taken: tiny noise
@@ -209,7 +222,7 @@ BenchmarkSpec
 makeMedium(const std::string &name, const std::string &suite,
            std::uint64_t seed, bool with_local, bool with_loop)
 {
-    BenchmarkSpec b{name, suite, seed, {}};
+    BenchmarkSpec b = namedSpec(name, suite, seed);
     addPredictableFiller(b, 14);
     addEasyGlobal(b, 3);
     addMediumGlobal(b, 2);
@@ -234,7 +247,7 @@ makeHard(const std::string &name, const std::string &suite,
     // The CBP3-like suite is noticeably harder on average (paper: 3.902
     // vs 2.473 MPKI base), so its hard tier carries more noise.
     const bool cbp3 = suite == "CBP3";
-    BenchmarkSpec b{name, suite, seed, {}};
+    BenchmarkSpec b = namedSpec(name, suite, seed);
     addPredictableFiller(b, cbp3 ? 12 : 20);
     addMediumGlobal(b, 2);
     addNoise(b, 0.5, 0.78, cbp3 ? 2 : 1);
@@ -268,7 +281,7 @@ cbp4Suite()
         std::snprintf(name, sizeof(name), "SPEC2K6-%02u", i);
         if (i == 4) {
             // IMLI-SIC showcase: variable-trip nests, no WH benefit.
-            BenchmarkSpec b{name, s, seed(name), {}};
+            BenchmarkSpec b = namedSpec(name, s, seed(name));
             addSicNest(b, 18, 34, 3, 1, 1, 1);   // ~20*26*7 = ~3600
             addSicNest(b, 12, 26, 2, 0, 0, 1);   // ~20*19*3 = ~1100
             addPredictableFiller(b, 18);
@@ -278,7 +291,7 @@ cbp4Suite()
             suite.push_back(std::move(b));
         } else if (i == 12) {
             // Wormhole/IMLI-OH showcase: constant-trip DiagPrev, hard.
-            BenchmarkSpec b{name, s, seed(name), {}};
+            BenchmarkSpec b = namedSpec(name, s, seed(name));
             addWormholeNest(b, 32, 2, 0, 1, 1);  // ~20*32*4 = ~2600
             addSicNest(b, 20, 36, 2, 0, 1, 1);   // ~20*28*4 = ~2300
             addPredictableFiller(b, 20);
@@ -305,7 +318,7 @@ cbp4Suite()
         std::snprintf(name, sizeof(name), "MM-%u", i);
         if (i == 4) {
             // Inverted-correlation nest on a very accurate baseline.
-            BenchmarkSpec b{name, s, seed(name), {}};
+            BenchmarkSpec b = namedSpec(name, s, seed(name));
             addInvertedNest(b, 24, 1);           // ~24*24*2 = ~1150
             addPredictableFiller(b, 14);
             addEasyGlobal(b, 4);
@@ -352,7 +365,7 @@ cbp3Suite()
         std::snprintf(name, sizeof(name), "CLIENT%02u", i);
         if (i == 2) {
             // Wormhole/IMLI-OH showcase, hard (paper: > 15 MPKI).
-            BenchmarkSpec b{name, s, seed(name), {}};
+            BenchmarkSpec b = namedSpec(name, s, seed(name));
             addWormholeNest(b, 40, 1, 0, 1, 1);  // ~20*40*3 = ~2400
             addSicNest(b, 24, 36, 1, 0, 1, 1);   // SIC side dish
             addPredictableFiller(b, 20);
@@ -379,7 +392,7 @@ cbp3Suite()
         if (i == 7) {
             // Hardest benchmark (paper: > 20 MPKI); both SIC and OH/WH
             // correlation classes present.
-            BenchmarkSpec b{name, s, seed(name), {}};
+            BenchmarkSpec b = namedSpec(name, s, seed(name));
             addWormholeNest(b, 28, 2, 0, 1, 1);  // ~20*28*4 = ~2300
             addSicNest(b, 16, 32, 2, 1, 1, 1);   // ~20*24*6 = ~2900
             addPredictableFiller(b, 14);
@@ -406,7 +419,7 @@ cbp3Suite()
         if (i == 4) {
             // Strongest IMLI-SIC benchmark (paper: -3.20 MPKI), also
             // responsive to local history (Figure 14).
-            BenchmarkSpec b{name, s, seed(name), {}};
+            BenchmarkSpec b = namedSpec(name, s, seed(name));
             addSicNest(b, 16, 36, 3, 1, 1, 1);   // ~20*26*7 = ~3600
             addSicNest(b, 10, 24, 2, 0, 0, 1);   // ~20*17*3 = ~1000
             addPredictableFiller(b, 16);
@@ -415,7 +428,7 @@ cbp3Suite()
             suite.push_back(std::move(b));
         } else if (i == 3) {
             // Marginally improved by both SIC and OH (paper, Fig. 13).
-            BenchmarkSpec b{name, s, seed(name), {}};
+            BenchmarkSpec b = namedSpec(name, s, seed(name));
             addWeakNest(b, 20, 1);
             addSmallWormholeNest(b, 16, 1);
             addPredictableFiller(b, 16);
@@ -467,6 +480,99 @@ findBenchmark(const std::string &name)
         if (b.name == name)
             return b;
     throw std::invalid_argument("unknown benchmark: " + name);
+}
+
+// ---------------------------------------------------------------------
+// Recorded-style scenarios.  The mixes deliberately differ from the 80
+// synthetic members: denser nests, heavier noise floors and abrupt
+// phase changes are the shapes recorded championship traces stress that
+// steady-state generated mixes do not.
+// ---------------------------------------------------------------------
+
+std::vector<BenchmarkSpec>
+recordedScenarios()
+{
+    std::vector<BenchmarkSpec> scenarios;
+    const auto start = [&](const char *name, std::uint64_t seed) ->
+        BenchmarkSpec & {
+        scenarios.push_back(namedSpec(name, "REC", seed));
+        return scenarios.back();
+    };
+
+    {   // Nest storm: stacked variable-trip SIC food over a noise floor.
+        BenchmarkSpec &b = start("REC-01", 0x9e3779b97f4a7c15ull);
+        addSicNest(b, 9, 31, 3, 2, 1, 3);
+        addSicNest(b, 5, 13, 2, 1, 0, 2);
+        addNoise(b, 0.35, 0.65, 2);
+    }
+    {   // Constant-trip diagonal nests: wormhole / IMLI-OH territory.
+        BenchmarkSpec &b = start("REC-02", 0xc2b2ae3d27d4eb4full);
+        addWormholeNest(b, 21, 3, 1, 1, 3);
+        addInvertedNest(b, 17, 2);
+        addPredictableFiller(b, 1);
+    }
+    {   // Noise flood: a recording dominated by hard random content.
+        BenchmarkSpec &b = start("REC-03", 0x165667b19e3779f9ull);
+        addNoise(b, 0.42, 0.58, 5);
+        addPathCorr(b, 64, 0.8, 2);
+        addPredictableFiller(b, 1);
+    }
+    {   // Local-pattern heavy with jittered long loops (CBP3-ish).
+        BenchmarkSpec &b = start("REC-04", 0x27d4eb2f165667c5ull);
+        addLocalPattern(b, 4);
+        addLongLoop(b, 45, 9, 3);
+        addNoise(b, 0.3, 0.7, 1);
+    }
+    {   // Mixed nest depths: two wormhole trips plus weak correlation.
+        BenchmarkSpec &b = start("REC-05", 0x85ebca6b2c2f994bull);
+        addWormholeNest(b, 13, 2, 1, 0, 2);
+        addWormholeNest(b, 29, 2, 0, 1, 2);
+        addWeakNest(b, 11, 2);
+    }
+    {   // Global-correlation chains against a SIC nest.
+        BenchmarkSpec &b = start("REC-06", 0x2545f4914f6cdd1dull);
+        addMediumGlobal(b, 3);
+        addEasyGlobal(b, 2);
+        addSicNest(b, 7, 19, 2, 2, 1, 2);
+    }
+    {   // Mostly-easy recording with a marginal small nest (WS03-ish).
+        BenchmarkSpec &b = start("REC-07", 0xd6e8feb86659fd93ull);
+        addPredictableFiller(b, 5);
+        addSmallWormholeNest(b, 6, 2);
+        addNoise(b, 0.15, 0.25, 1);
+    }
+    {   // Kitchen sink: every correlation class phase-interleaved.
+        BenchmarkSpec &b = start("REC-08", 0xff51afd7ed558ccdull);
+        addSicNest(b, 8, 24, 2, 1, 1, 2);
+        addWormholeNest(b, 19, 2, 1, 1, 2);
+        addInvertedNest(b, 15, 1);
+        addLocalPattern(b, 2);
+        addNoise(b, 0.4, 0.6, 1);
+    }
+    return scenarios;
+}
+
+std::string
+recordedScenarioFileName(const BenchmarkSpec &scenario)
+{
+    std::string leaf = scenario.name;
+    for (char &c : leaf)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return leaf + ".cbp";
+}
+
+std::vector<BenchmarkSpec>
+recordedSuite(const std::string &dir)
+{
+    std::vector<BenchmarkSpec> suite;
+    for (const BenchmarkSpec &scenario : recordedScenarios()) {
+        const std::string path =
+            (dir.empty() || dir.back() == '/' ? dir : dir + "/") +
+            recordedScenarioFileName(scenario);
+        suite.push_back(
+            makeRecordedBenchmark(scenario.name, scenario.suite, path));
+    }
+    return suite;
 }
 
 } // namespace imli

@@ -43,6 +43,40 @@ std::vector<BenchmarkSpec> fullSuite();
 /** Find a benchmark by name across both suites; throws if unknown. */
 BenchmarkSpec findBenchmark(const std::string &name);
 
+// ---------------------------------------------------------------------
+// Recorded-style scenarios (suite "REC").
+//
+// Eight scenario benchmarks shipped as CBP-format trace files under
+// tests/data/, exercising the external-trace ingestion path end to end.
+// They are synthesized — recordedScenarios() holds the generating specs,
+// `trace_tools synth-recorded` writes the files — so the repository can
+// regenerate them bit for bit, yet the suite runner consumes them purely
+// as recordings: replayed from disk, never re-generated.
+// ---------------------------------------------------------------------
+
+/** Records per recorded scenario file (the synthesis target length). */
+constexpr std::size_t recordedScenarioBranches = 2000;
+
+/**
+ * The generating specs behind the recorded scenarios: 8 Generated-backend
+ * specs named REC-01..REC-08, suite "REC", with kernel mixes distinct
+ * from the 80 synthetic members (loop-nest heavy, noise-flooded,
+ * long-loop and phase-change shapes).  Used by the synthesis tool and by
+ * equivalence tests; experiments should use recordedSuite().
+ */
+std::vector<BenchmarkSpec> recordedScenarios();
+
+/**
+ * The recorded suite: REC-01..REC-08 replayed from "<dir>/rec-0N.cbp".
+ * The specs only reference the files — existence is checked by
+ * validateBenchmark / runSuite, so a wrong @p dir fails loudly at run
+ * start.
+ */
+std::vector<BenchmarkSpec> recordedSuite(const std::string &dir);
+
+/** File name (without directory) of a recorded scenario, "rec-0N.cbp". */
+std::string recordedScenarioFileName(const BenchmarkSpec &scenario);
+
 } // namespace imli
 
 #endif // IMLI_SRC_WORKLOADS_SUITE_HH

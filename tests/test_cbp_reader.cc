@@ -1,0 +1,423 @@
+/**
+ * @file
+ * CBP-format codec tests: golden-file decode, exact write/read
+ * round-trips, corrupt/truncated error paths, streaming equivalence
+ * against the native .imt path, and the bit-reproducibility of the
+ * checked-in recorded scenario files.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/predictors/zoo.hh"
+#include "src/sim/simulator.hh"
+#include "src/trace/cbp_reader.hh"
+#include "src/trace/trace_io.hh"
+#include "src/trace/trace_text.hh"
+#include "src/workloads/generator_source.hh"
+#include "src/workloads/suite.hh"
+
+using namespace imli;
+
+namespace
+{
+
+const std::string dataDir = IMLI_TEST_DATA_DIR;
+
+std::string
+tempPath(const std::string &leaf)
+{
+    // Process-unique: ctest runs discovered tests in parallel processes.
+    return ::testing::TempDir() + leaf + "." + std::to_string(::getpid());
+}
+
+void
+expectSameRecords(const Trace &a, const Trace &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_TRUE(a[i] == b[i]) << "record " << i;
+}
+
+std::string
+fileBytes(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    EXPECT_TRUE(is.good()) << path;
+    return std::string((std::istreambuf_iterator<char>(is)),
+                       std::istreambuf_iterator<char>());
+}
+
+void
+writeBytes(const std::string &path, const std::string &bytes)
+{
+    std::ofstream os(path, std::ios::binary);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/** A valid CBP byte stream holding @p trace, for corruption tests. */
+std::string
+cbpBytes(const Trace &trace)
+{
+    std::ostringstream os;
+    writeCbpTrace(trace, os);
+    return os.str();
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------------
+// Op-code mapping.
+// ---------------------------------------------------------------------
+
+TEST(CbpOpCodes, RoundTripEveryBranchType)
+{
+    const std::vector<BranchType> types = {
+        BranchType::CondDirect,   BranchType::UncondDirect,
+        BranchType::UncondIndirect, BranchType::Call,
+        BranchType::IndirectCall, BranchType::Return};
+    for (BranchType t : types)
+        EXPECT_EQ(branchTypeFromCbpOp(static_cast<std::uint8_t>(
+                      cbpOpFromBranchType(t))),
+                  t);
+}
+
+TEST(CbpOpCodes, UnknownOpCodeThrows)
+{
+    EXPECT_THROW(branchTypeFromCbpOp(0), TraceFormatError);
+    EXPECT_THROW(branchTypeFromCbpOp(7), TraceFormatError);
+    EXPECT_THROW(branchTypeFromCbpOp(255), TraceFormatError);
+}
+
+// ---------------------------------------------------------------------
+// Golden file: the checked-in golden_mini.cbp must decode to exactly
+// the records of the (independently parsed) text golden.
+// ---------------------------------------------------------------------
+
+TEST(CbpGolden, DecodesToTheTextGoldenRecords)
+{
+    const Trace expected =
+        readTraceTextFile(dataDir + "/golden_mini.trace.txt");
+    const Trace decoded = readCbpFile(dataDir + "/golden_mini.cbp");
+    expectSameRecords(expected, decoded);
+    // Name comes from the file stem (CBP headers carry no name).
+    EXPECT_EQ(decoded.name(), "golden_mini");
+}
+
+TEST(CbpGolden, ExplicitNameOverridesTheStem)
+{
+    EXPECT_EQ(readCbpFile(dataDir + "/golden_mini.cbp", "custom").name(),
+              "custom");
+}
+
+TEST(CbpGolden, ReencodeIsByteIdentical)
+{
+    const Trace decoded = readCbpFile(dataDir + "/golden_mini.cbp");
+    EXPECT_EQ(cbpBytes(decoded), fileBytes(dataDir + "/golden_mini.cbp"));
+}
+
+// ---------------------------------------------------------------------
+// Write/read round-trips on generated content.
+// ---------------------------------------------------------------------
+
+TEST(CbpRoundTrip, WriteThenReadIsExactAtOddChunkSizes)
+{
+    const Trace trace = generateTrace(findBenchmark("MM07"), 6000);
+    const std::string path = tempPath("imli_cbp_roundtrip.cbp");
+    TraceBranchSource source(trace);
+    EXPECT_EQ(writeCbpFile(source, path), trace.size());
+
+    for (std::size_t chunk : {std::size_t(1), std::size_t(7),
+                              std::size_t(997), std::size_t(1u << 20)}) {
+        CbpFileBranchSource reader(path, trace.name(), chunk);
+        EXPECT_EQ(reader.name(), trace.name());
+        const Trace drained = drainSource(reader);
+        expectSameRecords(trace, drained);
+        EXPECT_EQ(reader.decodedRecords(), trace.size());
+    }
+    std::remove(path.c_str());
+}
+
+TEST(CbpRoundTrip, ResetReplaysTheIdenticalStream)
+{
+    const Trace trace = generateTrace(findBenchmark("WS03"), 3000);
+    const std::string path = tempPath("imli_cbp_reset.cbp");
+    TraceBranchSource source(trace);
+    writeCbpFile(source, path);
+
+    CbpFileBranchSource reader(path, "", 311);
+    const Trace first = drainSource(reader);
+    EXPECT_TRUE(reader.nextChunk().empty()) << "exhausted source";
+    reader.reset();
+    EXPECT_EQ(reader.decodedRecords(), 0u);
+    // Rewind mid-stream too: a fresh full pass must still be exact.
+    (void)reader.nextChunk();
+    reader.reset();
+    expectSameRecords(first, drainSource(reader));
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Damage: missing, truncated and corrupt inputs must fail loudly.
+// ---------------------------------------------------------------------
+
+TEST(CbpDamage, MissingFileThrows)
+{
+    EXPECT_THROW(CbpFileBranchSource("/nonexistent/nope.cbp"),
+                 std::runtime_error);
+    EXPECT_THROW(probeCbpFile("/nonexistent/nope.cbp"),
+                 std::runtime_error);
+}
+
+TEST(CbpDamage, TruncatedHeaderThrows)
+{
+    const std::string path = tempPath("imli_cbp_trunchdr.cbp");
+    writeBytes(path, "CBPT\x01");  // half a header
+    EXPECT_THROW(CbpFileBranchSource src(path), TraceFormatError);
+    EXPECT_THROW(probeCbpFile(path), TraceFormatError);
+    writeBytes(path, "");  // empty file
+    EXPECT_THROW(CbpFileBranchSource src(path), TraceFormatError);
+    std::remove(path.c_str());
+}
+
+TEST(CbpDamage, BadMagicThrows)
+{
+    const std::string path = tempPath("imli_cbp_badmagic.cbp");
+    std::string bytes = cbpBytes(generateTrace(findBenchmark("WS03"), 1000));
+    bytes[0] = 'X';
+    writeBytes(path, bytes);
+    EXPECT_THROW(CbpFileBranchSource src(path), TraceFormatError);
+    std::remove(path.c_str());
+}
+
+TEST(CbpDamage, UnsupportedVersionThrows)
+{
+    const std::string path = tempPath("imli_cbp_badver.cbp");
+    std::string bytes = cbpBytes(generateTrace(findBenchmark("WS03"), 1000));
+    bytes[4] = 9;
+    writeBytes(path, bytes);
+    try {
+        CbpFileBranchSource src(path);
+        FAIL() << "expected TraceFormatError";
+    } catch (const TraceFormatError &e) {
+        EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(CbpDamage, TornFinalRecordThrowsOnDecodeAndProbe)
+{
+    const Trace trace = generateTrace(findBenchmark("WS03"), 1000);
+    const std::string path = tempPath("imli_cbp_torn.cbp");
+    const std::string whole = cbpBytes(trace);
+    writeBytes(path, whole.substr(0, whole.size() - 5));
+
+    // The probe sees the torn tail without reading the body...
+    EXPECT_THROW(probeCbpFile(path), TraceFormatError);
+
+    // ...and the streaming decode hits it as a truncated record, not a
+    // silent short stream.
+    CbpFileBranchSource reader(path, "", 64);
+    EXPECT_THROW(
+        {
+            for (BranchSpan s = reader.nextChunk(); !s.empty();
+                 s = reader.nextChunk()) {
+            }
+        },
+        TraceFormatError);
+    std::remove(path.c_str());
+}
+
+TEST(CbpDamage, CorruptOpCodeAndTakenByteThrow)
+{
+    const Trace trace = generateTrace(findBenchmark("WS03"), 1000);
+    const std::string path = tempPath("imli_cbp_badbody.cbp");
+    const std::string whole = cbpBytes(trace);
+
+    // First record's opType byte (header 8 + pc 8 + target 8 + insts 4).
+    std::string bad_op = whole;
+    bad_op[8 + 20] = 0;
+    writeBytes(path, bad_op);
+    {
+        CbpFileBranchSource reader(path);
+        try {
+            reader.nextChunk();
+            FAIL() << "expected TraceFormatError";
+        } catch (const TraceFormatError &e) {
+            // Body damage surfaces mid-run: the error must say which
+            // file of a mixed suite is broken.
+            EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+        }
+    }
+
+    std::string bad_taken = whole;
+    bad_taken[8 + 21] = 2;
+    writeBytes(path, bad_taken);
+    {
+        CbpFileBranchSource reader(path);
+        EXPECT_THROW(reader.nextChunk(), TraceFormatError);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(CbpDamage, ProbeAcceptsHealthyFiles)
+{
+    EXPECT_NO_THROW(probeCbpFile(dataDir + "/golden_mini.cbp"));
+    EXPECT_NO_THROW(probeCbpFile(dataDir + "/rec-01.cbp"));
+}
+
+// ---------------------------------------------------------------------
+// Streaming equivalence: the CBP source and the imported .imt source
+// must be indistinguishable to the simulator (satellite: the property
+// test behind `trace_tools import`).
+// ---------------------------------------------------------------------
+
+TEST(CbpEquivalence, CbpSourceMatchesImportedImtSource)
+{
+    const BenchmarkSpec bench = findBenchmark("SPEC2K6-04");
+    const std::string cbp_path = tempPath("imli_cbp_equiv.cbp");
+    const std::string imt_path = tempPath("imli_cbp_equiv.imt");
+
+    GeneratorBranchSource generator(bench, 5000);
+    const std::uint64_t written = writeCbpFile(generator, cbp_path);
+
+    // "import": stream CBP -> .imt exactly like the tool does.
+    CbpFileBranchSource importer(cbp_path, "equiv");
+    EXPECT_EQ(writeTraceFile(importer, imt_path), written);
+
+    // Record-level equality at deliberately different chunkings.
+    CbpFileBranchSource cbp(cbp_path, "equiv", 313);
+    FileBranchSource imt(imt_path, 257);
+    expectSameRecords(drainSource(cbp), drainSource(imt));
+
+    // Simulation-level equality, per-PC counters included.
+    SimOptions opt;
+    opt.collectPerPc = true;
+    cbp.reset();
+    imt.reset();
+    PredictorPtr a = makePredictor("tage-gsc+i");
+    PredictorPtr b = makePredictor("tage-gsc+i");
+    const SimResult ra = simulate(*a, cbp, opt);
+    const SimResult rb = simulate(*b, imt, opt);
+    EXPECT_EQ(ra.conditionals, rb.conditionals);
+    EXPECT_EQ(ra.mispredictions, rb.mispredictions);
+    EXPECT_EQ(ra.instructions, rb.instructions);
+    EXPECT_EQ(ra.perPcMispredictions, rb.perPcMispredictions);
+
+    std::remove(cbp_path.c_str());
+    std::remove(imt_path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Recorded scenario files: regenerating them must reproduce the
+// checked-in bytes exactly, and each must decode and carry real content.
+// ---------------------------------------------------------------------
+
+TEST(RecordedScenarios, SynthesisReproducesCheckedInFilesBitForBit)
+{
+    const std::vector<BenchmarkSpec> scenarios = recordedScenarios();
+    ASSERT_EQ(scenarios.size(), 8u);
+    for (const BenchmarkSpec &scenario : scenarios) {
+        const std::string leaf = recordedScenarioFileName(scenario);
+        const std::string fresh = tempPath(leaf);
+        GeneratorBranchSource source(scenario, recordedScenarioBranches);
+        writeCbpFile(source, fresh);
+        EXPECT_EQ(fileBytes(fresh), fileBytes(dataDir + "/" + leaf))
+            << scenario.name
+            << ": tests/data is stale; rerun trace_tools synth-recorded";
+        std::remove(fresh.c_str());
+    }
+}
+
+TEST(RecordedScenarios, EveryFileDecodesWithConditionalContent)
+{
+    for (const BenchmarkSpec &spec : recordedSuite(dataDir)) {
+        ASSERT_EQ(spec.backend, TraceBackend::RecordedCbp);
+        const Trace trace = readCbpFile(spec.tracePath, spec.name);
+        EXPECT_GE(trace.size(), recordedScenarioBranches) << spec.name;
+        EXPECT_GT(trace.conditionalCount(), 0u) << spec.name;
+        EXPECT_GT(trace.instructionCount(), trace.size()) << spec.name;
+    }
+}
+
+TEST(RecordedScenarios, ValidationNamesTheBenchmarkOnMissingFiles)
+{
+    const std::vector<BenchmarkSpec> bogus = recordedSuite("/nonexistent");
+    try {
+        validateBenchmark(bogus.front());
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("REC-01"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("/nonexistent"),
+                  std::string::npos);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Backend factory plumbing.
+// ---------------------------------------------------------------------
+
+TEST(BranchSourceFactory, PicksTheBackendFromTheExtension)
+{
+    EXPECT_EQ(makeRecordedBenchmark("r", "REC", "x/y.cbp").backend,
+              TraceBackend::RecordedCbp);
+    EXPECT_EQ(makeRecordedBenchmark("r", "REC", "x/y.imt").backend,
+              TraceBackend::RecordedImt);
+    EXPECT_THROW(makeRecordedBenchmark("r", "REC", "x/y.txt"),
+                 std::invalid_argument);
+    // Dots in directory components are not extensions.
+    EXPECT_THROW(makeRecordedBenchmark("r", "REC", "/data/v1.0/trace"),
+                 std::invalid_argument);
+}
+
+TEST(BranchSourceFactory, OpensEveryBackendWithTheBenchmarkStream)
+{
+    const BenchmarkSpec generated = findBenchmark("WS03");
+    const Trace reference = generateTrace(generated, 2000);
+
+    // Extension must stay last: makeRecordedBenchmark sniffs it.
+    const std::string base = tempPath("imli_factory");
+    const std::string cbp_path = base + ".cbp";
+    const std::string imt_path = base + ".imt";
+    {
+        TraceBranchSource src(reference);
+        writeCbpFile(src, cbp_path);
+    }
+    writeTraceFile(reference, imt_path);
+
+    // Generated: capped at the target like generateTrace.
+    expectSameRecords(reference,
+                      drainSource(*makeBranchSource(generated, 2000)));
+
+    // Recorded: whole file, whatever the target argument says.
+    const BenchmarkSpec cbp =
+        makeRecordedBenchmark("WS03-rec", "REC", cbp_path);
+    validateBenchmark(cbp);
+    expectSameRecords(reference, drainSource(*makeBranchSource(cbp, 1)));
+    EXPECT_EQ(makeBranchSource(cbp, 1)->name(), "WS03-rec")
+        << "CBP sources carry the benchmark name";
+
+    const BenchmarkSpec imt =
+        makeRecordedBenchmark("WS03-imt", "REC", imt_path);
+    validateBenchmark(imt);
+    expectSameRecords(reference, drainSource(*makeBranchSource(imt, 1)));
+    EXPECT_EQ(makeBranchSource(imt, 1)->name(), "WS03-imt")
+        << ".imt sources carry the benchmark name, not the file header's";
+
+    std::remove(cbp_path.c_str());
+    std::remove(imt_path.c_str());
+}
+
+TEST(BranchSourceFactory, ValidateRejectsKernellessGeneratedSpecs)
+{
+    BenchmarkSpec empty;
+    empty.name = "EMPTY";
+    EXPECT_THROW(validateBenchmark(empty), std::runtime_error);
+}

@@ -21,6 +21,7 @@
 #include "src/sim/simulator.hh"
 #include "src/sim/suite_runner.hh"
 #include "src/trace/branch_source.hh"
+#include "src/trace/cbp_reader.hh"
 #include "src/trace/trace_io.hh"
 #include "src/workloads/generator_source.hh"
 #include "src/workloads/suite.hh"
@@ -390,4 +391,101 @@ TEST(StreamingSuiteRunner, ResidentTraceMemoryIsChunkBoundPerWorker)
               opt.jobs * per_worker_bound);
     EXPECT_LT(GeneratorBranchSource::peakLiveRecords(),
               opt.branchesPerTrace);
+}
+
+// ---------------------------------------------------------------------
+// Mixed generated + recorded suites: the multi-backend scheduler must
+// stay bit-identical at any worker count, and the recorded cells must
+// match a direct simulation of their trace files.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Generated members plus the full recorded suite from tests/data. */
+std::vector<BenchmarkSpec>
+mixedSuite()
+{
+    std::vector<BenchmarkSpec> benchmarks = {
+        findBenchmark("MM-4"), findBenchmark("WS03"),
+        findBenchmark("SPEC2K6-04")};
+    for (BenchmarkSpec &rec : recordedSuite(IMLI_TEST_DATA_DIR))
+        benchmarks.push_back(std::move(rec));
+    return benchmarks;
+}
+
+} // anonymous namespace
+
+TEST(MixedSuiteRunner, BitIdenticalAcrossJobCounts)
+{
+    const std::vector<BenchmarkSpec> benchmarks = mixedSuite();
+    const std::vector<std::string> configs = {"bimodal", "tage-gsc+i"};
+
+    SuiteRunOptions opt;
+    opt.branchesPerTrace = 6000;
+    opt.chunkBranches = 1000; // several chunks per benchmark, both paths
+    opt.jobs = 1;
+    const SuiteResults reference = runSuite(benchmarks, configs, opt);
+    ASSERT_EQ(reference.cells.size(), benchmarks.size() * configs.size());
+
+    for (unsigned jobs : {2u, 4u, 8u}) {
+        opt.jobs = jobs;
+        expectBitIdentical(reference, runSuite(benchmarks, configs, opt));
+    }
+}
+
+TEST(MixedSuiteRunner, RecordedCellsMatchDirectFileSimulation)
+{
+    const std::vector<BenchmarkSpec> benchmarks = mixedSuite();
+    const std::vector<std::string> configs = {"tage-gsc"};
+    SuiteRunOptions opt;
+    opt.branchesPerTrace = 6000;
+    opt.jobs = 2;
+    const SuiteResults results = runSuite(benchmarks, configs, opt);
+
+    for (const BenchmarkSpec &spec : benchmarks) {
+        if (spec.backend != TraceBackend::RecordedCbp)
+            continue;
+        PredictorPtr predictor = makePredictor("tage-gsc");
+        CbpFileBranchSource source(spec.tracePath, spec.name);
+        const SimResult direct = simulate(*predictor, source);
+        const SuiteCell &cell = results.at(spec.name, "tage-gsc");
+        EXPECT_EQ(cell.suite, "REC");
+        EXPECT_EQ(cell.mispredictions, direct.mispredictions) << spec.name;
+        EXPECT_EQ(cell.conditionals, direct.conditionals) << spec.name;
+        EXPECT_EQ(cell.instructions, direct.instructions) << spec.name;
+    }
+}
+
+TEST(MixedSuiteRunner, RecordedCellsMatchTheirGeneratingSpecs)
+{
+    // The recorded files were synthesized from recordedScenarios(): a
+    // suite run that replays the files must produce the exact cells of a
+    // run that generates the same specs on the fly.  This closes the
+    // loop between the two backends end to end.
+    const std::vector<std::string> configs = {"tage-gsc+i"};
+    SuiteRunOptions opt;
+    opt.branchesPerTrace = recordedScenarioBranches;
+    const SuiteResults replayed =
+        runSuite(recordedSuite(IMLI_TEST_DATA_DIR), configs, opt);
+    const SuiteResults generated =
+        runSuite(recordedScenarios(), configs, opt);
+    expectBitIdentical(generated, replayed);
+}
+
+TEST(MixedSuiteRunner, BrokenRecordedSpecFailsBeforeAnySimulation)
+{
+    std::vector<BenchmarkSpec> benchmarks = {findBenchmark("WS03")};
+    benchmarks.push_back(
+        makeRecordedBenchmark("REC-GONE", "REC", "/nonexistent/gone.cbp"));
+
+    SuiteRunOptions opt;
+    opt.branchesPerTrace = 2000;
+    bool progressed = false;
+    opt.progress = [&](const std::string &, std::size_t) {
+        progressed = true;
+    };
+    EXPECT_THROW(runSuite(benchmarks, {"bimodal"}, opt),
+                 std::runtime_error);
+    EXPECT_FALSE(progressed) << "validation must precede simulation";
 }

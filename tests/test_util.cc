@@ -8,6 +8,7 @@
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 
 #include "src/util/cli.hh"
 #include "src/util/counters.hh"
@@ -367,12 +368,115 @@ TEST(CommandLine, Positionals)
     EXPECT_EQ(cli.positionals()[1], "extra");
 }
 
-TEST(CommandLine, DefaultsOnMissingOrMalformed)
+TEST(CommandLine, DefaultsOnMissingFlags)
 {
-    const char *argv[] = {"prog", "--num=abc"};
-    CommandLine cli(2, argv);
+    const char *argv[] = {"prog"};
+    CommandLine cli(1, argv);
     EXPECT_EQ(cli.getInt("num", 42), 42);
     EXPECT_EQ(cli.getDouble("pi", 3.14), 3.14);
+}
+
+TEST(CommandLine, MalformedNumericValuesThrow)
+{
+    // Strict-parse policy: "--branches 10x" must fail loudly instead of
+    // silently running the wrong experiment with the default.
+    {
+        const char *argv[] = {"prog", "--num=abc", "--branches=10x"};
+        CommandLine cli(3, argv);
+        EXPECT_THROW(cli.getInt("num", 42), std::runtime_error);
+        EXPECT_THROW(cli.getInt("branches", 0), std::runtime_error);
+        EXPECT_THROW(cli.getDouble("num", 1.0), std::runtime_error);
+    }
+    {
+        const char *argv[] = {"prog", "--pi=3.14.15"};
+        CommandLine cli(2, argv);
+        EXPECT_THROW(cli.getDouble("pi", 3.14), std::runtime_error);
+    }
+    {
+        // Present without a value is malformed for numeric flags.
+        const char *argv[] = {"prog", "--num"};
+        CommandLine cli(2, argv);
+        EXPECT_THROW(cli.getInt("num", 42), std::runtime_error);
+        EXPECT_THROW(cli.getDouble("num", 1.0), std::runtime_error);
+    }
+    {
+        // Overflow clamps inside strtoll/strtod with a clean end pointer;
+        // the strict parse must still reject it.
+        const char *argv[] = {"prog", "--big=99999999999999999999",
+                              "--huge=1e999"};
+        CommandLine cli(3, argv);
+        EXPECT_THROW(cli.getInt("big", 0), std::runtime_error);
+        EXPECT_THROW(cli.getDouble("huge", 0.0), std::runtime_error);
+    }
+    {
+        // The error names the flag, so the user can find the typo.
+        const char *argv[] = {"prog", "--branches=10x"};
+        CommandLine cli(2, argv);
+        try {
+            cli.getInt("branches", 0);
+            FAIL() << "expected std::runtime_error";
+        } catch (const std::runtime_error &e) {
+            EXPECT_NE(std::string(e.what()).find("--branches"),
+                      std::string::npos);
+            EXPECT_NE(std::string(e.what()).find("10x"), std::string::npos);
+        }
+    }
+}
+
+TEST(CommandLine, GetCountRejectsNegativesButKeepsDefaults)
+{
+    // A negative count must throw, not wrap to 1.8e19 in a size_t cast
+    // ("--branches -5" would otherwise try to run ~2^64 branches).
+    const char *argv[] = {"prog", "--branches", "-5", "--window", "64"};
+    CommandLine cli(5, argv);
+    EXPECT_THROW(cli.getCount("branches", 1000), std::runtime_error);
+    EXPECT_EQ(cli.getCount("window", 1), 64u);
+    EXPECT_EQ(cli.getCount("absent", 42), 42u);
+}
+
+TEST(CommandLine, NegativeNumberLookaheadIsAValue)
+{
+    // "--bias -0.3" space form: the '-0.3' must be consumed as the value,
+    // not mistaken for the next flag (which silently dropped it before).
+    const char *argv[] = {"prog", "--bias", "-0.3", "--shift", "-12",
+                          "--frac", "-.5", "--verbose"};
+    CommandLine cli(8, argv);
+    EXPECT_DOUBLE_EQ(cli.getDouble("bias", 0.0), -0.3);
+    EXPECT_EQ(cli.getInt("shift", 0), -12);
+    EXPECT_DOUBLE_EQ(cli.getDouble("frac", 0.0), -0.5);
+    EXPECT_TRUE(cli.getBool("verbose"));
+    EXPECT_TRUE(cli.positionals().empty());
+}
+
+TEST(CommandLine, FlagLookaheadIsNotAValue)
+{
+    // A following flag (or bare "-") must not be swallowed as a value.
+    const char *argv[] = {"prog", "--csv", "--jobs", "4", "--in", "-"};
+    CommandLine cli(6, argv);
+    EXPECT_TRUE(cli.getBool("csv"));
+    EXPECT_EQ(cli.getJobs(1), 4u);
+    EXPECT_EQ(cli.getString("in", "absent"), "");
+    ASSERT_EQ(cli.positionals().size(), 1u);
+    EXPECT_EQ(cli.positionals()[0], "-");
+}
+
+TEST(CommandLine, DoubleDashEndsFlagParsing)
+{
+    const char *argv[] = {"prog", "--jobs", "2", "--", "--not-a-flag",
+                          "positional"};
+    CommandLine cli(6, argv);
+    EXPECT_EQ(cli.getJobs(1), 2u);
+    EXPECT_FALSE(cli.has("not-a-flag"));
+    ASSERT_EQ(cli.positionals().size(), 2u);
+    EXPECT_EQ(cli.positionals()[0], "--not-a-flag");
+    EXPECT_EQ(cli.positionals()[1], "positional");
+}
+
+TEST(CommandLine, BareDoubleDashAloneYieldsNoPositionals)
+{
+    const char *argv[] = {"prog", "--"};
+    CommandLine cli(2, argv);
+    EXPECT_TRUE(cli.positionals().empty());
 }
 
 TEST(CommandLine, GetJobsParsesCountAutoAndZero)
