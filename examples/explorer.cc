@@ -1,0 +1,384 @@
+/**
+ * @file
+ * Design-space exploration CLI: parameterized predictor sweeps and
+ * accuracy-per-bit Pareto reports on the streaming suite engine.
+ *
+ * Subcommands:
+ *
+ *   explorer describe SPEC [SPEC...]
+ *       Echo the canonical form of each spec and its fully resolved
+ *       geometry + storage ledger.  `--keys` lists every override key
+ *       of the spec grammar with its range.
+ *
+ *   explorer sweep --journal FILE [--base SPEC] [--dim key=v1,v2,...]...
+ *                  [--sample N --seed S] [--points SPEC,SPEC,...]
+ *                  [--benchmarks 'MM-*'] [--suite CBP4|CBP3|REC]
+ *                  [--recorded DIR] [--branches N] [--jobs N]
+ *                  [--json FILE]
+ *       Expand the parameter space (grid by default, seeded random
+ *       sampling with --sample) and evaluate every point over the
+ *       selected benchmarks, journaling each (benchmark, point) cell to
+ *       FILE.  Rerunning with the same journal resumes: journaled cells
+ *       are never re-simulated, and the final journal bytes are
+ *       identical whatever the worker count or interruption history.
+ *
+ *   explorer pareto --journal FILE [--suite S] [--csv | --json]
+ *       Aggregate a sweep journal per point (mean MPKI over the suite)
+ *       and print every point tagged frontier/dominated, frontier first.
+ *
+ * Examples:
+ *   explorer sweep --journal sic.csv --base tage-gsc+sic \
+ *       --dim sic.logsize=7..10 --dim sic.ctrbits=5,6 --benchmarks 'MM-*'
+ *   explorer pareto --journal sic.csv
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "src/dse/param_space.hh"
+#include "src/dse/pareto.hh"
+#include "src/dse/sweep.hh"
+#include "src/predictors/zoo.hh"
+#include "src/sim/suite_runner.hh"
+#include "src/util/cli.hh"
+#include "src/util/table_writer.hh"
+#include "src/util/thread_pool.hh"
+#include "src/workloads/suite.hh"
+
+using namespace imli;
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr << "usage: explorer describe SPEC [SPEC...] | --keys\n"
+              << "       explorer sweep --journal FILE [--base SPEC]"
+                 " [--dim key=v1,v2]... [--sample N --seed S]\n"
+              << "                      [--points SPECS] [--benchmarks"
+                 " GLOBS] [--suite S] [--recorded DIR]\n"
+              << "                      [--branches N] [--jobs N]"
+                 " [--json FILE]\n"
+              << "       explorer pareto --journal FILE [--suite S]"
+                 " [--csv | --json]\n";
+    return 1;
+}
+
+/** The shared recordedHint() over this CLI's flags. */
+std::string
+recordedHintFor(const CommandLine &cli)
+{
+    return recordedHint(cli.has("recorded"), cli.getString("suite", ""),
+                        splitCommaList(cli.getString("benchmarks", "")));
+}
+
+/** The benchmark pool shared by sweep: full suite + optional recorded. */
+std::vector<BenchmarkSpec>
+selectPool(const CommandLine &cli)
+{
+    std::vector<BenchmarkSpec> pool = fullSuite();
+    if (cli.has("recorded")) {
+        std::vector<BenchmarkSpec> recorded =
+            recordedSuite(cli.getString("recorded"));
+        pool.insert(pool.end(), std::make_move_iterator(recorded.begin()),
+                    std::make_move_iterator(recorded.end()));
+    }
+    const std::string which = cli.getString("suite", "");
+    std::vector<BenchmarkSpec> filtered;
+    for (BenchmarkSpec &b : pool) {
+        if (!which.empty() && b.suite != which)
+            continue;
+        filtered.push_back(std::move(b));
+    }
+    try {
+        return selectBenchmarks(
+            filtered, splitCommaList(cli.getString("benchmarks", "")));
+    } catch (const std::runtime_error &e) {
+        throw std::runtime_error(e.what() + recordedHintFor(cli));
+    }
+}
+
+int
+cmdDescribe(const CommandLine &cli)
+{
+    // Specs may arrive as positionals or — when the flag parser's value
+    // lookahead binds one to a bare --keys — as that flag's value
+    // ("describe --keys tage-gsc" must show both outputs, not usage).
+    std::vector<std::string> specs(cli.positionals().begin() + 1,
+                                   cli.positionals().end());
+    if (!cli.getString("keys").empty())
+        specs.insert(specs.begin(), cli.getString("keys"));
+
+    if (cli.has("keys")) {
+        TableWriter table("Override keys (spec@key=value,...)");
+        table.setHeader({"key", "min", "max", "host", "description"});
+        for (const OverrideKeyInfo &info : knownOverrideKeys()) {
+            table.addRow({info.key, std::to_string(info.minValue),
+                          std::to_string(info.maxValue),
+                          info.tageGscOnly ? "tage-gsc" : "both",
+                          info.doc + (info.powerOfTwo ? " (power of 2)"
+                                                      : "")});
+        }
+        table.print(std::cout);
+        if (!specs.empty())
+            std::cout << '\n';
+    } else if (specs.empty()) {
+        return usage();
+    }
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        std::cout << describeConfigDetail(parseSpec(specs[i]));
+        if (i + 1 < specs.size())
+            std::cout << '\n';
+    }
+    return 0;
+}
+
+/** Expand the declared parameter space into canonical config points. */
+std::vector<std::string>
+expandPoints(const CommandLine &cli)
+{
+    if (cli.has("points")) {
+        // An explicit point list and a declared space are two different
+        // sweeps; combining them would silently drop one, so refuse.
+        if (cli.has("base") || cli.has("dim") || cli.has("sample") ||
+            cli.has("seed"))
+            throw std::runtime_error(
+                "--points cannot be combined with --base/--dim/--sample/"
+                "--seed (give either an explicit point list or a space "
+                "to expand)");
+        std::vector<std::string> points;
+        for (const std::string &spec :
+             splitSpecList(cli.getString("points")))
+            points.push_back(canonicalSpec(spec));
+        return points;
+    }
+    ParamSpace space;
+    space.baseSpec = cli.getString("base", "tage-gsc");
+    for (const std::string &dim : cli.getList("dim"))
+        space.dimensions.push_back(parseDimension(dim));
+    if (cli.has("sample")) {
+        const std::size_t count =
+            cli.getCount("sample");
+        if (count == 0)
+            throw std::runtime_error("--sample: need a count >= 1");
+        return space.sampleRandom(
+            count, static_cast<std::uint64_t>(cli.getInt("seed", 1)));
+    }
+    // A seed without --sample would silently run a different experiment
+    // (the full grid); refuse like every other misused flag.
+    if (cli.has("seed"))
+        throw std::runtime_error(
+            "--seed only applies to --sample N (grid expansion is "
+            "exhaustive and unseeded)");
+    return space.expandGrid();
+}
+
+int
+cmdSweep(const CommandLine &cli)
+{
+    if (!cli.has("journal")) {
+        std::cerr << "error: sweep needs --journal FILE\n";
+        return usage();
+    }
+    // --json takes a file path here (unlike the boolean mode switches of
+    // suite_report / pareto); catch a bare --json before the sweep runs,
+    // not after minutes of simulation.
+    if (cli.has("json") && cli.getString("json").empty()) {
+        std::cerr << "error: sweep's --json needs a file path\n";
+        return usage();
+    }
+    const std::vector<std::string> points = expandPoints(cli);
+    const std::vector<BenchmarkSpec> benchmarks = selectPool(cli);
+    if (benchmarks.empty()) {
+        std::cerr << "error: no benchmarks selected" << recordedHintFor(cli)
+                  << '\n';
+        return 1;
+    }
+
+    SweepOptions options;
+    options.journalPath = cli.getString("journal");
+    options.branchesPerTrace =
+        cli.has("branches")
+            ? parseBranchCount(cli.getString("branches"), "--branches")
+            : defaultBranchesPerTrace();
+    options.jobs = cli.has("jobs")
+                       ? ThreadPool::parseJobsStrict(cli.getString("jobs"),
+                                                     "--jobs")
+                       : defaultJobs();
+    options.progress = [](const std::string &name, std::size_t simulated) {
+        std::cerr << "  " << name << ": " << simulated
+                  << " points simulated\n";
+    };
+
+    // Open the --json output before simulating: an unwritable path must
+    // fail now, not after minutes of sweep (same rationale as the bare
+    // --json guard above).  Write to a temp file and rename at the end
+    // so a failed sweep cannot destroy a previous run's JSON.
+    std::ofstream jsonOut;
+    const std::string jsonTmp =
+        cli.has("json") ? cli.getString("json") + ".tmp" : "";
+    if (cli.has("json")) {
+        jsonOut.open(jsonTmp, std::ios::binary | std::ios::trunc);
+        if (!jsonOut)
+            throw std::runtime_error("cannot write --json file: " +
+                                     cli.getString("json"));
+    }
+
+    std::cerr << "sweep: " << points.size() << " points x "
+              << benchmarks.size() << " benchmarks -> "
+              << options.journalPath << '\n';
+    SweepResults results;
+    try {
+        results = runSweep(benchmarks, points, options);
+    } catch (...) {
+        // Don't leak the --json temp file when the sweep fails.
+        jsonOut.close();
+        if (!jsonTmp.empty())
+            std::remove(jsonTmp.c_str());
+        throw;
+    }
+
+    // Per-point aggregates via the pareto layer (entries come back in
+    // first-appearance order, i.e. the declared point order).
+    const std::vector<ParetoEntry> perPoint = aggregateCells(results.cells);
+
+    TableWriter table("Sweep summary (mean MPKI over selection)");
+    table.setHeader({"spec", "storage_kbits", "avg_mpki"});
+    for (const ParetoEntry &entry : perPoint) {
+        table.addRow({entry.spec,
+                      formatDouble(entry.storageBits / 1024.0, 1),
+                      formatDouble(entry.avgMpki, 4)});
+    }
+    table.print(std::cout);
+    std::cout << "journal: " << options.journalPath << " ("
+              << results.cells.size() << " cells, "
+              << results.simulatedCells << " simulated this run)\n";
+
+    if (cli.has("json")) {
+        std::ofstream &os = jsonOut;
+        os << "{\n  \"points\": [\n";
+        for (std::size_t p = 0; p < perPoint.size(); ++p) {
+            os << "    {\"spec\": \"" << jsonEscape(perPoint[p].spec)
+               << "\", \"storage_bits\": " << perPoint[p].storageBits
+               << ", \"avg_mpki\": "
+               << formatDouble(perPoint[p].avgMpki, 4) << '}'
+               << (p + 1 < perPoint.size() ? "," : "") << '\n';
+        }
+        os << "  ],\n  \"cells\": " << results.cells.size() << "\n}\n";
+        os.close();
+        if (!os || std::rename(jsonTmp.c_str(),
+                               cli.getString("json").c_str()) != 0)
+            throw std::runtime_error("cannot write --json file: " +
+                                     cli.getString("json"));
+    }
+    return 0;
+}
+
+int
+cmdPareto(const CommandLine &cli)
+{
+    if (!cli.has("journal")) {
+        std::cerr << "error: pareto needs --journal FILE\n";
+        return usage();
+    }
+    // --csv/--json are output-mode booleans here (they print to stdout,
+    // unlike sweep's --json FILE); a path value or an ambiguous
+    // combination fails loudly.
+    cli.rejectValuedBool("csv");
+    cli.rejectValuedBool("json");
+    if (cli.getBool("csv") && cli.getBool("json")) {
+        std::cerr << "error: pick one of --csv or --json\n";
+        return 1;
+    }
+    const std::vector<SweepCell> cells =
+        loadJournal(cli.getString("journal"));
+    std::vector<ParetoEntry> entries =
+        aggregateCells(cells, cli.getString("suite", ""));
+    if (entries.empty()) {
+        std::cerr << "error: journal has no cells"
+                  << (cli.has("suite") ? " for that suite" : "") << '\n';
+        return 1;
+    }
+    markDominated(entries);
+
+    // Frontier first (storage ascending), then the dominated points in
+    // journal order — one dominance pass, one container.
+    std::vector<const ParetoEntry *> ordered;
+    for (const ParetoEntry &e : entries)
+        if (!e.dominated)
+            ordered.push_back(&e);
+    const std::size_t frontierCount = ordered.size();
+    std::sort(ordered.begin(), ordered.begin() + frontierCount,
+              [](const ParetoEntry *a, const ParetoEntry *b) {
+                  return paretoOrderLess(*a, *b);
+              });
+    for (const ParetoEntry &e : entries)
+        if (e.dominated)
+            ordered.push_back(&e);
+
+    if (cli.getBool("csv") || cli.getBool("json")) {
+        const bool json = cli.getBool("json");
+        if (json)
+            std::cout << "{\n  \"points\": [\n";
+        else
+            std::cout << "spec,storage_bits,avg_mpki,benchmarks,"
+                         "dominated\n";
+        for (std::size_t i = 0; i < ordered.size(); ++i) {
+            const ParetoEntry &e = *ordered[i];
+            if (json) {
+                std::cout << "    {\"spec\": \"" << jsonEscape(e.spec)
+                          << "\", \"storage_bits\": " << e.storageBits
+                          << ", \"avg_mpki\": "
+                          << formatDouble(e.avgMpki, 4)
+                          << ", \"benchmarks\": " << e.benchmarkCount
+                          << ", \"dominated\": "
+                          << (e.dominated ? "true" : "false") << '}'
+                          << (i + 1 < ordered.size() ? "," : "") << '\n';
+            } else {
+                std::cout << '"' << e.spec << "\"," << e.storageBits << ','
+                          << formatDouble(e.avgMpki, 4) << ','
+                          << e.benchmarkCount << ','
+                          << (e.dominated ? 1 : 0) << '\n';
+            }
+        }
+        if (json)
+            std::cout << "  ]\n}\n";
+        return 0;
+    }
+
+    TableWriter table("MPKI vs storage Pareto");
+    table.setHeader({"spec", "storage_kbits", "avg_mpki", "status"});
+    for (const ParetoEntry *e : ordered)
+        table.addRow({e->spec, formatDouble(e->storageBits / 1024.0, 1),
+                      formatDouble(e->avgMpki, 4),
+                      e->dominated ? "dominated" : "frontier"});
+    table.print(std::cout);
+    std::cout << frontierCount << " of " << entries.size()
+              << " points on the frontier\n";
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+try {
+    CommandLine cli(argc, argv);
+    if (cli.positionals().empty())
+        return usage();
+    const std::string &command = cli.positionals()[0];
+    if (command == "describe")
+        return cmdDescribe(cli);
+    if (command == "sweep")
+        return cmdSweep(cli);
+    if (command == "pareto")
+        return cmdPareto(cli);
+    std::cerr << "error: unknown subcommand \"" << command << "\"\n";
+    return usage();
+} catch (const std::exception &e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+}

@@ -9,7 +9,6 @@
  */
 
 #include <iostream>
-#include <sstream>
 
 #include "src/predictors/zoo.hh"
 #include "src/sim/simulator.hh"
@@ -18,29 +17,12 @@
 #include "src/workloads/generator_source.hh"
 #include "src/workloads/suite.hh"
 
-namespace
-{
-
-std::vector<std::string>
-splitList(const std::string &csv)
-{
-    std::vector<std::string> out;
-    std::string token;
-    std::istringstream is(csv);
-    while (std::getline(is, token, ','))
-        if (!token.empty())
-            out.push_back(token);
-    return out;
-}
-
-} // anonymous namespace
-
 int
 main(int argc, char **argv)
 try {
     imli::CommandLine cli(argc, argv);
     const std::size_t branches = cli.getCount("branches", 150000);
-    const std::vector<std::string> benchmarks = splitList(cli.getString(
+    const std::vector<std::string> benchmarks = imli::splitCommaList(cli.getString(
         "benchmarks", "SPEC2K6-04,SPEC2K6-12,MM-4,CLIENT02,MM07,WS04"));
     const std::vector<std::string> ladder = {
         "bimodal", "gshare", "gehl", "gehl+i", "tage-gsc", "tage-gsc+i",

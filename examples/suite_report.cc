@@ -7,17 +7,23 @@
  *
  * Usage: suite_report [--configs tage-gsc,tage-gsc+i]
  *                     [--suite CBP4|CBP3|REC] [--branches 200000]
- *                     [--benchmarks NAME1,NAME2] [--csv]
+ *                     [--benchmarks 'MM-*,WS03']  (glob patterns; a
+ *                      pattern matching nothing errors with near-misses)
+ *                     [--csv | --json]  (machine-readable cell dumps
+ *                      with stable field order)
  *                     [--recorded DIR]  (append the REC-01..REC-08
  *                      recorded scenarios from DIR/rec-0N.cbp — a mixed
  *                      generated + recorded run)
  *                     [--jobs N]   (0/auto = all hardware threads)
+ *
+ * Configs may carry design-space overrides ("tage-gsc@sic.logsize=10");
+ * see src/predictors/zoo.hh for the grammar and `explorer` for sweeps.
  */
 
 #include <chrono>
 #include <iostream>
-#include <sstream>
 
+#include "src/predictors/zoo.hh"
 #include "src/sim/report.hh"
 #include "src/sim/suite_runner.hh"
 #include "src/util/cli.hh"
@@ -26,29 +32,21 @@
 
 using namespace imli;
 
-namespace
-{
-
-std::vector<std::string>
-splitList(const std::string &csv)
-{
-    std::vector<std::string> out;
-    std::string token;
-    std::istringstream is(csv);
-    while (std::getline(is, token, ','))
-        if (!token.empty())
-            out.push_back(token);
-    return out;
-}
-
-} // anonymous namespace
-
 int
 main(int argc, char **argv)
 try {
     CommandLine cli(argc, argv);
+    // --csv/--json are output-mode booleans; a path value ("--json
+    // out.json") would be silently swallowed by getBool, so fail loudly.
+    cli.rejectValuedBool("csv");
+    cli.rejectValuedBool("json");
+    if (cli.getBool("csv") && cli.getBool("json")) {
+        std::cerr << "error: pick one of --csv or --json\n";
+        return 1;
+    }
+    // splitSpecList keeps override commas ("a@x=1,y=2") inside their spec.
     const std::vector<std::string> configs =
-        splitList(cli.getString("configs", "tage-gsc,tage-gsc+i"));
+        splitSpecList(cli.getString("configs", "tage-gsc,tage-gsc+i"));
     const std::string which = cli.getString("suite", "");
     const std::string only = cli.getString("benchmarks", "");
 
@@ -63,32 +61,34 @@ try {
                     std::make_move_iterator(recorded.end()));
     }
 
-    std::vector<BenchmarkSpec> benchmarks;
+    std::vector<BenchmarkSpec> suitePool;
     for (BenchmarkSpec &b : pool) {
         if (!which.empty() && b.suite != which)
             continue;
-        if (!only.empty()) {
-            bool match = false;
-            for (const std::string &name : splitList(only))
-                if (b.name == name)
-                    match = true;
-            if (!match)
-                continue;
-        }
-        benchmarks.push_back(std::move(b));
+        suitePool.push_back(std::move(b));
+    }
+    // A selection error is fatal either way; recordedHint appends the
+    // --recorded pointer when the request mentioned REC content.
+    const auto selectionError = [&](const std::string &message) {
+        std::cerr << "error: " << message
+                  << recordedHint(cli.has("recorded"), which,
+                                  splitCommaList(only))
+                  << '\n';
+        return 1;
+    };
+    // Glob selection: a pattern matching nothing throws with near-miss
+    // suggestions (caught below), so "MM4" vs "MM-4" fails loudly.
+    std::vector<BenchmarkSpec> benchmarks;
+    try {
+        benchmarks = selectBenchmarks(suitePool, splitCommaList(only));
+    } catch (const std::exception &e) {
+        return selectionError(e.what());
     }
     if (benchmarks.empty()) {
         // An all-zero "0 cells" report looks like a successful run; an
-        // empty selection is always a usage error (e.g. --suite REC or
-        // --benchmarks REC-05 without --recorded DIR).
-        bool wants_rec = which == "REC";
-        for (const std::string &name : splitList(only))
-            wants_rec = wants_rec || name.rfind("REC-", 0) == 0;
-        std::cerr << "error: no benchmarks selected";
-        if (!cli.has("recorded") && wants_rec)
-            std::cerr << " (the REC scenarios need --recorded DIR)";
-        std::cerr << '\n';
-        return 1;
+        // empty selection is always a usage error (e.g. --suite REC
+        // without --recorded DIR).
+        return selectionError("no benchmarks selected");
     }
 
     SuiteRunOptions options;
@@ -113,6 +113,10 @@ try {
 
     if (cli.getBool("csv")) {
         printCellsCsv(std::cout, results);
+        return 0;
+    }
+    if (cli.getBool("json")) {
+        printCellsJson(std::cout, results);
         return 0;
     }
 

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Parameter-space declaration and expansion for design-space exploration.
+ *
+ * Architecture note (src/dse/): the DSE subsystem turns the frozen spec
+ * table of the zoo into a production sweep surface.  It is layered as
+ *
+ *   param_space  declares a base spec plus value lists per override key
+ *                and expands them into canonical config points (grid or
+ *                seeded random sampling);
+ *   sweep        evaluates the points over a benchmark suite on the
+ *                streaming engine — one trace decode shared across all
+ *                points per benchmark — journaling every (benchmark,
+ *                point) cell incrementally so interrupted sweeps resume;
+ *   pareto       reduces a journal to the MPKI-vs-storage-bits frontier
+ *                with dominated-point tagging.
+ *
+ * Everything is deterministic: points expand in declared order, random
+ * sampling is seeded, and the sweep journal is byte-identical whatever
+ * the worker count or interruption history.
+ */
+
+#ifndef IMLI_SRC_DSE_PARAM_SPACE_HH
+#define IMLI_SRC_DSE_PARAM_SPACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace imli
+{
+
+/** One axis of a parameter space: an override key and its value list. */
+struct ParamDimension
+{
+    std::string key;
+    std::vector<long long> values;
+};
+
+/**
+ * Parse a dimension declaration "key=v1,v2,..." where each value token is
+ * a plain decimal integer, an inclusive range "lo..hi", or a stepped
+ * range "lo..hi..step".  The key must be a known override key and every
+ * value must be inside its documented range; anything else throws
+ * std::invalid_argument naming the offending token.
+ */
+ParamDimension parseDimension(const std::string &text);
+
+/** A base spec plus the declared sweep axes. */
+struct ParamSpace
+{
+    /** Base spec; may itself carry overrides ("tage-gsc+sic@oh.delay=4"). */
+    std::string baseSpec;
+    std::vector<ParamDimension> dimensions;
+
+    /** Largest grid expandGrid() will materialize (sanity backstop). */
+    static constexpr std::size_t maxGridPoints = 100000;
+
+    /**
+     * Number of grid points (product of value counts; 1 with no axes),
+     * saturating at SIZE_MAX on overflow.
+     */
+    std::size_t gridSize() const;
+
+    /**
+     * Full-factorial expansion into canonical spec strings, first
+     * dimension slowest (row-major).  Dimension values override any
+     * same-key override in the base spec.  Throws std::invalid_argument
+     * on duplicate dimension keys, an invalid base spec, an invalid
+     * point (the zoo's range/constraint checks run on every point), or
+     * a grid larger than maxGridPoints (a cross-product typo would OOM
+     * long before a simulator could ever sweep it).
+     */
+    std::vector<std::string> expandGrid() const;
+
+    /**
+     * Seeded uniform sampling of the grid: up to @p count distinct
+     * canonical points, deterministic for a given (@p seed, space).
+     * Returns fewer than @p count when the space is smaller than the
+     * request or sampling keeps re-drawing duplicates.
+     */
+    std::vector<std::string> sampleRandom(std::size_t count,
+                                          std::uint64_t seed) const;
+};
+
+} // namespace imli
+
+#endif // IMLI_SRC_DSE_PARAM_SPACE_HH

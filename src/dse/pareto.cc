@@ -1,0 +1,112 @@
+#include "src/dse/pareto.hh"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace imli
+{
+
+std::vector<ParetoEntry>
+aggregateCells(const std::vector<SweepCell> &cells, const std::string &suite)
+{
+    std::vector<ParetoEntry> entries;
+    std::vector<double> totals;
+    std::unordered_map<std::string, std::size_t> slots;
+    for (const SweepCell &cell : cells) {
+        if (!suite.empty() && cell.suite != suite)
+            continue;
+        const auto inserted = slots.emplace(cell.spec, entries.size());
+        const std::size_t slot = inserted.first->second;
+        if (inserted.second) {
+            ParetoEntry entry;
+            entry.spec = cell.spec;
+            entry.storageBits = cell.storageBits;
+            entries.push_back(std::move(entry));
+            totals.push_back(0.0);
+        }
+        if (entries[slot].storageBits != cell.storageBits)
+            throw std::runtime_error(
+                "inconsistent storage bits for spec " + cell.spec);
+        totals[slot] += cell.mpki();
+        entries[slot].benchmarkCount += 1;
+    }
+    for (std::size_t i = 0; i < entries.size(); ++i)
+        entries[i].avgMpki =
+            totals[i] / static_cast<double>(entries[i].benchmarkCount);
+    // Averages are only comparable over the same benchmark set.  A
+    // partial journal (killed sweep) can leave one spec with fewer cells
+    // than another; comparing those averages would produce an invalid
+    // frontier, so fail loudly and tell the user to finish the sweep.
+    for (std::size_t i = 1; i < entries.size(); ++i)
+        if (entries[i].benchmarkCount != entries[0].benchmarkCount)
+            throw std::runtime_error(
+                "journal is incomplete: spec " + entries[i].spec + " has " +
+                std::to_string(entries[i].benchmarkCount) +
+                " cells but " + entries[0].spec + " has " +
+                std::to_string(entries[0].benchmarkCount) +
+                " — resume the sweep to completion before pareto");
+    return entries;
+}
+
+bool
+paretoOrderLess(const ParetoEntry &a, const ParetoEntry &b)
+{
+    if (a.storageBits != b.storageBits)
+        return a.storageBits < b.storageBits;
+    if (a.avgMpki != b.avgMpki)
+        return a.avgMpki < b.avgMpki;
+    return a.spec < b.spec;
+}
+
+void
+markDominated(std::vector<ParetoEntry> &entries)
+{
+    // Sort an index view by (storage asc, mpki asc); then a single sweep
+    // sees every potential dominator before its victims.
+    std::vector<std::size_t> order(entries.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return paretoOrderLess(entries[a], entries[b]);
+              });
+
+    // bestSmaller: min MPKI among points with strictly smaller storage —
+    // such a point dominates anything at or above its MPKI here (strict
+    // on the storage axis).  Within an equal-storage group, the group
+    // minimum dominates the strictly worse members (strict on the MPKI
+    // axis); exact ties dominate nothing.
+    double bestSmaller = std::numeric_limits<double>::infinity();
+    std::size_t g = 0;
+    while (g < order.size()) {
+        std::size_t end = g;
+        while (end < order.size() &&
+               entries[order[end]].storageBits ==
+                   entries[order[g]].storageBits)
+            ++end;
+        const double groupMin = entries[order[g]].avgMpki;
+        for (std::size_t i = g; i < end; ++i) {
+            ParetoEntry &e = entries[order[i]];
+            e.dominated =
+                bestSmaller <= e.avgMpki || groupMin < e.avgMpki;
+        }
+        bestSmaller = std::min(bestSmaller, groupMin);
+        g = end;
+    }
+}
+
+std::vector<ParetoEntry>
+paretoFrontier(std::vector<ParetoEntry> entries)
+{
+    markDominated(entries);
+    std::vector<ParetoEntry> frontier;
+    for (const ParetoEntry &e : entries)
+        if (!e.dominated)
+            frontier.push_back(e);
+    std::sort(frontier.begin(), frontier.end(), paretoOrderLess);
+    return frontier;
+}
+
+} // namespace imli

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Pareto reduction of a sweep journal: the MPKI-vs-storage-bits frontier.
+ *
+ * Architecture note (src/dse/): this is the reporting end of the DSE
+ * pipeline (param_space -> sweep -> pareto).  The paper's Section 4.4
+ * argument is accuracy per bit; a sweep produces (spec, storage bits,
+ * per-benchmark counters) cells, and this layer aggregates them per spec
+ * (mean MPKI over the selected suite) and tags every point as dominated
+ * or frontier.
+ *
+ * Dominance: A dominates B iff A needs no more storage, mispredicts no
+ * more, and is strictly better on at least one of the two.  Points tied
+ * on both axes do not dominate each other, so duplicated design points
+ * both stay on the frontier.  Marking is O(n log n); tests cross-check
+ * it against an O(n^2) oracle.
+ */
+
+#ifndef IMLI_SRC_DSE_PARETO_HH
+#define IMLI_SRC_DSE_PARETO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/dse/sweep.hh"
+
+namespace imli
+{
+
+/** One config point on the accuracy/storage plane. */
+struct ParetoEntry
+{
+    std::string spec;
+    double avgMpki = 0.0;
+    std::uint64_t storageBits = 0;
+    std::size_t benchmarkCount = 0;  //!< cells behind the average
+    bool dominated = false;
+};
+
+/**
+ * Aggregate sweep cells per spec: mean MPKI over the cells whose suite
+ * matches @p suite ("" = all), storage bits from the cells (which pin it
+ * per row).  Specs with no matching cells are omitted.  Entry order is
+ * the specs' first appearance in @p cells.  Throws std::runtime_error if
+ * one spec appears with inconsistent storage bits, or if specs carry
+ * different cell counts (a partial journal — averages over different
+ * benchmark subsets are not comparable, so no frontier is computed).
+ */
+std::vector<ParetoEntry> aggregateCells(const std::vector<SweepCell> &cells,
+                                        const std::string &suite = "");
+
+/**
+ * The frontier display/scan order: storage ascending, then MPKI, then
+ * spec.  Shared by markDominated's sweep, paretoFrontier's output and
+ * the explorer CLI, so the CLI cannot silently diverge from the
+ * library's documented ordering.
+ */
+bool paretoOrderLess(const ParetoEntry &a, const ParetoEntry &b);
+
+/** Tag every entry's `dominated` flag in place (O(n log n)). */
+void markDominated(std::vector<ParetoEntry> &entries);
+
+/**
+ * The frontier: non-dominated entries of @p entries (dominance is
+ * recomputed), sorted by storage ascending, then MPKI, then spec.
+ */
+std::vector<ParetoEntry>
+paretoFrontier(std::vector<ParetoEntry> entries);
+
+} // namespace imli
+
+#endif // IMLI_SRC_DSE_PARETO_HH

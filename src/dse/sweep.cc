@@ -1,0 +1,427 @@
+#include "src/dse/sweep.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "src/predictors/zoo.hh"
+#include "src/util/cli.hh"
+#include "src/util/thread_pool.hh"
+
+namespace imli
+{
+
+double
+SweepCell::mpki() const
+{
+    if (instructions == 0)
+        return 0.0;
+    return 1000.0 * static_cast<double>(mispredictions) /
+           static_cast<double>(instructions);
+}
+
+const SweepCell &
+SweepResults::at(const std::string &benchmark, const std::string &spec) const
+{
+    for (const SweepCell &cell : cells)
+        if (cell.benchmark == benchmark && cell.spec == spec)
+            return cell;
+    throw std::out_of_range("no sweep cell for " + benchmark + " / " + spec);
+}
+
+double
+SweepResults::averageMpki(const std::string &spec,
+                          const std::string &suite) const
+{
+    double total = 0.0;
+    std::size_t count = 0;
+    for (const SweepCell &cell : cells) {
+        if (cell.spec != spec)
+            continue;
+        if (!suite.empty() && cell.suite != suite)
+            continue;
+        total += cell.mpki();
+        ++count;
+    }
+    return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+std::string
+journalMeta(const std::vector<BenchmarkSpec> &benchmarks,
+            const SweepOptions &options)
+{
+    // Everything that changes the simulated counters belongs here; the
+    // chunk size and worker count are scheduling details that provably
+    // do not (bit-identity is tested), so they are deliberately absent.
+    std::string meta =
+        "#sweep branches=" + std::to_string(options.branchesPerTrace) +
+        " warmup=" + std::to_string(options.sim.warmupBranches);
+
+    // Recorded benchmarks: FNV-1a over (name, trace bytes) in declared
+    // order.  A resumed sweep pointed at regenerated or different trace
+    // files must be rejected, not silently merged.
+    std::uint64_t hash = 1469598103934665603ull;
+    const auto mix = [&hash](const char *data, std::size_t size) {
+        for (std::size_t i = 0; i < size; ++i) {
+            hash ^= static_cast<unsigned char>(data[i]);
+            hash *= 1099511628211ull;
+        }
+    };
+    bool anyRecorded = false;
+    for (const BenchmarkSpec &spec : benchmarks) {
+        if (spec.backend == TraceBackend::Generated)
+            continue;
+        anyRecorded = true;
+        mix(spec.name.data(), spec.name.size());
+        mix("\0", 1);
+        std::ifstream in(spec.tracePath, std::ios::binary);
+        if (!in)
+            throw std::runtime_error("cannot read recorded trace for " +
+                                     spec.name + ": " + spec.tracePath);
+        // Fixed-size read loop: external CBP traces can be hundreds of
+        // MB, so hash in O(1) memory instead of slurping the file.
+        char chunk[65536];
+        while (in.read(chunk, sizeof(chunk)) || in.gcount() > 0)
+            mix(chunk, static_cast<std::size_t>(in.gcount()));
+        if (in.bad())
+            throw std::runtime_error("read failed on recorded trace for " +
+                                     spec.name + ": " + spec.tracePath);
+    }
+    if (anyRecorded) {
+        std::ostringstream hex;
+        hex << std::hex << hash;
+        meta += " traces=" + hex.str();
+    }
+    return meta;
+}
+
+std::string
+journalHeader()
+{
+    return "spec,benchmark,suite,storage_bits,mispredictions,conditionals,"
+           "instructions";
+}
+
+std::string
+formatJournalRow(const SweepCell &cell)
+{
+    // Only the spec can contain commas; it is always quoted.  Counters
+    // are stored as integers so a parsed row is exactly the simulated
+    // cell (MPKI is recomputed, never parsed from a rounded decimal).
+    std::ostringstream os;
+    os << '"' << cell.spec << "\"," << cell.benchmark << ',' << cell.suite
+       << ',' << cell.storageBits << ',' << cell.mispredictions << ','
+       << cell.conditionals << ',' << cell.instructions;
+    return os.str();
+}
+
+namespace
+{
+
+std::uint64_t
+parseJournalCount(const std::string &text, const std::string &line)
+{
+    std::uint64_t v = 0;
+    if (!parseDecimalU64(text, v))
+        throw std::runtime_error("malformed journal row (bad counter \"" +
+                                 text + "\"): " + line);
+    return v;
+}
+
+} // anonymous namespace
+
+SweepCell
+parseJournalRow(const std::string &line)
+{
+    if (line.size() < 2 || line[0] != '"')
+        throw std::runtime_error("malformed journal row (no quoted spec): " +
+                                 line);
+    const auto close = line.find('"', 1);
+    if (close == std::string::npos || close + 1 >= line.size() ||
+        line[close + 1] != ',')
+        throw std::runtime_error("malformed journal row (unterminated "
+                                 "spec): " + line);
+    SweepCell cell;
+    cell.spec = line.substr(1, close - 1);
+
+    std::vector<std::string> fields;
+    std::string token;
+    std::istringstream is(line.substr(close + 2));
+    while (std::getline(is, token, ','))
+        fields.push_back(token);
+    if (fields.size() != 6)
+        throw std::runtime_error("malformed journal row (want 6 fields "
+                                 "after spec, got " +
+                                 std::to_string(fields.size()) + "): " + line);
+    cell.benchmark = fields[0];
+    cell.suite = fields[1];
+    if (cell.benchmark.empty() || cell.suite.empty())
+        throw std::runtime_error(
+            "malformed journal row (empty benchmark/suite): " + line);
+    cell.storageBits = parseJournalCount(fields[2], line);
+    cell.mispredictions = parseJournalCount(fields[3], line);
+    cell.conditionals = parseJournalCount(fields[4], line);
+    cell.instructions = parseJournalCount(fields[5], line);
+    return cell;
+}
+
+std::vector<SweepCell>
+loadJournal(const std::string &path, std::string *meta)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("cannot open sweep journal: " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string content = buffer.str();
+
+    // A row is committed iff its newline reached the file: a kill during
+    // an append leaves a tail with no '\n', which is dropped here (even
+    // when the truncated prefix happens to still parse).
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    while (true) {
+        const auto nl = content.find('\n', start);
+        if (nl == std::string::npos)
+            break; // non-newline-terminated tail: incomplete, dropped
+        lines.push_back(content.substr(start, nl - start));
+        start = nl + 1;
+    }
+    if (lines.size() < 2 || lines[0].rfind("#sweep ", 0) != 0)
+        throw std::runtime_error("sweep journal has no metadata line: " +
+                                 path);
+    if (lines[1] != journalHeader())
+        throw std::runtime_error("sweep journal has a foreign header: " +
+                                 path);
+    if (meta)
+        *meta = lines[0];
+    std::vector<SweepCell> cells;
+    cells.reserve(lines.size() - 2);
+    for (std::size_t i = 2; i < lines.size(); ++i)
+        cells.push_back(parseJournalRow(lines[i]));
+    return cells;
+}
+
+namespace
+{
+
+/** Write meta + header + @p rows to @p path via temp file + rename. */
+void
+rewriteJournal(const std::string &path, const std::string &meta,
+               const std::vector<std::string> &rows)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            throw std::runtime_error("cannot write sweep journal: " + tmp);
+        os << meta << '\n' << journalHeader() << '\n';
+        for (const std::string &row : rows)
+            os << row << '\n';
+        os.flush();
+        if (!os)
+            throw std::runtime_error("write failed on sweep journal: " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        throw std::runtime_error("cannot replace sweep journal: " + path);
+}
+
+bool
+fileExists(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return static_cast<bool>(in);
+}
+
+} // anonymous namespace
+
+SweepResults
+runSweep(const std::vector<BenchmarkSpec> &benchmarks,
+         const std::vector<std::string> &points, const SweepOptions &options)
+{
+    if (options.journalPath.empty())
+        throw std::invalid_argument("runSweep: journalPath is required");
+    if (points.empty())
+        throw std::invalid_argument("runSweep: no config points");
+    if (benchmarks.empty())
+        throw std::invalid_argument("runSweep: no benchmarks");
+
+    SweepResults results;
+    results.points.reserve(points.size());
+    // One parse per point; workers and the storage audit below reuse the
+    // ParsedSpec instead of re-parsing the string.
+    std::vector<ParsedSpec> parsedPoints;
+    parsedPoints.reserve(points.size());
+    for (const std::string &point : points) {
+        parsedPoints.push_back(parseSpec(point));
+        results.points.push_back(describeConfig(parsedPoints.back()));
+    }
+    {
+        std::set<std::string> unique(results.points.begin(),
+                                     results.points.end());
+        if (unique.size() != results.points.size())
+            throw std::invalid_argument(
+                "runSweep: duplicate config points after canonicalization");
+    }
+    {
+        std::set<std::string> names;
+        for (const BenchmarkSpec &spec : benchmarks) {
+            validateBenchmark(spec);
+            if (!names.insert(spec.name).second)
+                throw std::invalid_argument(
+                    "runSweep: duplicate benchmark name " + spec.name);
+            results.benchmarks.push_back(spec.name);
+        }
+    }
+
+    const std::size_t npoints = results.points.size();
+    const std::size_t nbench = benchmarks.size();
+
+    // One predictor construction per point up front: pins the storage
+    // budget for every journal row and validates resumed rows against
+    // the current geometry.
+    std::vector<std::uint64_t> storageBits(npoints);
+    for (std::size_t p = 0; p < npoints; ++p)
+        storageBits[p] = makePredictor(parsedPoints[p])->storageBits();
+
+    // ---- Resume: absorb committed rows of an existing journal ----------
+    std::vector<std::string> rows(nbench * npoints);
+    std::vector<SweepCell> parsed(nbench * npoints);
+    std::vector<bool> done(nbench * npoints, false);
+    const std::string meta = journalMeta(benchmarks, options);
+    if (fileExists(options.journalPath)) {
+        std::unordered_map<std::string, std::size_t> benchIndex;
+        for (std::size_t i = 0; i < nbench; ++i)
+            benchIndex.emplace(benchmarks[i].name, i);
+        std::unordered_map<std::string, std::size_t> pointIndex;
+        for (std::size_t i = 0; i < npoints; ++i)
+            pointIndex.emplace(results.points[i], i);
+
+        std::string journalOptions;
+        const std::vector<SweepCell> loaded =
+            loadJournal(options.journalPath, &journalOptions);
+        if (journalOptions != meta)
+            throw std::runtime_error(
+                "sweep journal was recorded with different options (\"" +
+                journalOptions + "\" vs \"" + meta + "\"); merging would "
+                "corrupt the results — use a fresh journal file");
+        for (const SweepCell &cell : loaded) {
+            const auto bIt = benchIndex.find(cell.benchmark);
+            const auto pIt = pointIndex.find(cell.spec);
+            if (bIt == benchIndex.end() || pIt == pointIndex.end())
+                throw std::runtime_error(
+                    "sweep journal row is not part of this sweep (" +
+                    cell.benchmark + " / " + cell.spec + "); refusing to "
+                    "resume a different sweep's journal");
+            const std::size_t b = bIt->second, p = pIt->second;
+            if (cell.suite != benchmarks[b].suite)
+                throw std::runtime_error(
+                    "sweep journal suite mismatch for " + cell.benchmark);
+            if (cell.storageBits != storageBits[p])
+                throw std::runtime_error(
+                    "sweep journal storage mismatch for " + cell.spec +
+                    " (journal " + std::to_string(cell.storageBits) +
+                    " bits, current geometry " +
+                    std::to_string(storageBits[p]) + " bits)");
+            const std::size_t idx = b * npoints + p;
+            if (done[idx])
+                throw std::runtime_error(
+                    "sweep journal has a duplicate row for " +
+                    cell.benchmark + " / " + cell.spec);
+            done[idx] = true;
+            parsed[idx] = cell;
+            rows[idx] = formatJournalRow(cell);
+        }
+        // Drop any truncated tail before appending new rows after it.
+        std::vector<std::string> committed;
+        for (std::size_t i = 0; i < rows.size(); ++i)
+            if (done[i])
+                committed.push_back(rows[i]);
+        rewriteJournal(options.journalPath, meta, committed);
+    } else {
+        rewriteJournal(options.journalPath, meta, {});
+    }
+
+    // ---- Simulate the missing cells ------------------------------------
+    std::ofstream journal(options.journalPath,
+                          std::ios::binary | std::ios::app);
+    if (!journal)
+        throw std::runtime_error("cannot append to sweep journal: " +
+                                 options.journalPath);
+    std::mutex journalMutex;
+
+    // Pending lists are fixed before the fan-out: workers must not read
+    // the bit-packed `done` vector while other workers write it (adjacent
+    // bits share a byte, so that would be an unsynchronized data race).
+    std::vector<std::vector<std::size_t>> pendingByBench(nbench);
+    for (std::size_t b = 0; b < nbench; ++b)
+        for (std::size_t p = 0; p < npoints; ++p)
+            if (!done[b * npoints + p])
+                pendingByBench[b].push_back(p);
+
+    const auto runBenchmark = [&](std::size_t b) {
+        const std::vector<std::size_t> &pending = pendingByBench[b];
+        if (pending.empty()) {
+            if (options.progress) {
+                std::lock_guard<std::mutex> lock(journalMutex);
+                options.progress(benchmarks[b].name, 0);
+            }
+            return;
+        }
+        std::vector<PredictorPtr> predictors;
+        predictors.reserve(pending.size());
+        for (std::size_t p : pending)
+            predictors.push_back(makePredictor(parsedPoints[p]));
+        const std::unique_ptr<BranchSource> source = makeBranchSource(
+            benchmarks[b], options.branchesPerTrace, options.chunkBranches);
+        const std::vector<SimResult> simmed =
+            simulateMany(predictors, *source, options.sim);
+
+        std::lock_guard<std::mutex> lock(journalMutex);
+        for (std::size_t i = 0; i < pending.size(); ++i) {
+            const std::size_t p = pending[i];
+            SweepCell cell;
+            cell.spec = results.points[p];
+            cell.benchmark = benchmarks[b].name;
+            cell.suite = benchmarks[b].suite;
+            cell.storageBits = storageBits[p];
+            cell.mispredictions = simmed[i].mispredictions;
+            cell.conditionals = simmed[i].conditionals;
+            cell.instructions = simmed[i].instructions;
+            const std::size_t idx = b * npoints + p;
+            rows[idx] = formatJournalRow(cell);
+            parsed[idx] = std::move(cell);
+            journal << rows[idx] << '\n';
+        }
+        journal.flush();
+        results.simulatedCells += pending.size();
+        if (options.progress)
+            options.progress(benchmarks[b].name, pending.size());
+    };
+
+    const unsigned jobs =
+        options.jobs == 0 ? ThreadPool::hardwareThreads() : options.jobs;
+    if (jobs <= 1) {
+        for (std::size_t b = 0; b < nbench; ++b)
+            runBenchmark(b);
+    } else {
+        ThreadPool pool(static_cast<unsigned>(
+            std::min<std::size_t>(jobs, nbench)));
+        pool.parallelFor(nbench, runBenchmark);
+    }
+    journal.close();
+
+    // ---- Canonical rewrite: deterministic bytes whatever the history ---
+    rewriteJournal(options.journalPath, meta, rows);
+
+    results.cells = std::move(parsed);
+    return results;
+}
+
+} // namespace imli

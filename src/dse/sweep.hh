@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The DSE sweep engine: evaluate a set of config points (canonical spec
+ * strings) over a benchmark suite on the streaming engine, journaling
+ * every (benchmark, point) cell so interrupted sweeps resume.
+ *
+ * Architecture note (src/dse/): scheduling is benchmark-major, exactly
+ * like the suite runner — each worker task opens one benchmark's
+ * BranchSource and streams it through ALL pending points in a single
+ * simulateMany pass, so the trace decode/generation cost is shared
+ * across points and resident memory stays O(chunk) per worker.
+ *
+ * Journal model: a metadata line fingerprinting the run options
+ * (branches per trace, warm-up — everything that changes the numbers),
+ * then a CSV header, then one row per (benchmark, point) cell with
+ * integer counters only (MPKI is recomputed from them, so a parsed row
+ * is exactly the simulated cell).  During a run rows are appended and
+ * flushed as cells complete; at completion the file is rewritten via
+ * temp-file + atomic rename into canonical order (benchmark-major in
+ * declared benchmark order, point-minor in declared point order).  The
+ * final journal is therefore byte-identical whatever the worker count
+ * and however often the sweep was killed and resumed.  On resume, rows
+ * already journaled are trusted and their cells are not re-simulated; a
+ * truncated trailing line (a kill mid-append) is dropped and its cell
+ * re-simulated.  A journal whose metadata line does not match the
+ * current options — or whose rows fall outside the sweep's
+ * benchmarks x points matrix — is rejected: it belongs to a different
+ * experiment and silently merging it would corrupt the averages.
+ */
+
+#ifndef IMLI_SRC_DSE_SWEEP_HH
+#define IMLI_SRC_DSE_SWEEP_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.hh"
+#include "src/workloads/benchmark_spec.hh"
+
+namespace imli
+{
+
+/** One (benchmark, config point) measurement of a sweep. */
+struct SweepCell
+{
+    std::string spec;       //!< canonical config point
+    std::string benchmark;
+    std::string suite;
+    std::uint64_t storageBits = 0;  //!< the point's hardware budget
+    std::uint64_t mispredictions = 0;
+    std::uint64_t conditionals = 0;
+    std::uint64_t instructions = 0;
+
+    /** Mispredictions per kilo-instruction (recomputed, never stored). */
+    double mpki() const;
+};
+
+/** Sweep driver options. */
+struct SweepOptions
+{
+    std::size_t branchesPerTrace = 200000;
+    std::size_t chunkBranches = 65536;
+    /** Worker threads for the benchmark fan-out; 1 = serial in-caller. */
+    unsigned jobs = 1;
+    SimOptions sim;
+    /**
+     * Journal file (required).  Created with a header line when absent;
+     * an existing journal resumes the sweep it belongs to.  A journal
+     * holding rows outside this sweep's (benchmarks x points) matrix is
+     * rejected — it belongs to a different sweep.
+     */
+    std::string journalPath;
+    /** Called per finished benchmark task: (name, points simulated). */
+    std::function<void(const std::string &, std::size_t)> progress;
+};
+
+/** Results of a sweep: declared orders plus the full cell matrix. */
+struct SweepResults
+{
+    std::vector<std::string> points;      //!< canonical specs, declared order
+    std::vector<std::string> benchmarks;  //!< names, declared order
+    /** Benchmark-major, point-minor; loaded and simulated cells merged. */
+    std::vector<SweepCell> cells;
+    /** Cells simulated by this run (the rest came from the journal). */
+    std::size_t simulatedCells = 0;
+
+    /** Cell for (benchmark, spec); throws std::out_of_range if absent. */
+    const SweepCell &at(const std::string &benchmark,
+                        const std::string &spec) const;
+
+    /** Mean MPKI of @p spec over benchmarks in @p suite ("" = all). */
+    double averageMpki(const std::string &spec,
+                       const std::string &suite = "") const;
+};
+
+/**
+ * Run (or resume) a sweep of @p points over @p benchmarks.  Points are
+ * canonicalized and must be distinct; every benchmark is validated up
+ * front.  See the file header for the journal/resume/determinism model.
+ * Throws std::invalid_argument on bad inputs and std::runtime_error on
+ * journal mismatches or I/O failures.
+ */
+SweepResults runSweep(const std::vector<BenchmarkSpec> &benchmarks,
+                      const std::vector<std::string> &points,
+                      const SweepOptions &options);
+
+// -- Journal I/O (shared with the pareto layer and tests) -----------------
+
+/**
+ * The journal's metadata line: a fingerprint of everything that changes
+ * the simulated numbers — the run options (branches, warm-up) and, when
+ * the sweep includes recorded benchmarks, a content hash of their trace
+ * files (a generated benchmark is fully determined by its name + the
+ * options, but a recording's counters depend on the file bytes).
+ * Resume refuses a journal whose metadata differs.
+ */
+std::string journalMeta(const std::vector<BenchmarkSpec> &benchmarks,
+                        const SweepOptions &options);
+
+/** The journal's fixed CSV header line (no trailing newline). */
+std::string journalHeader();
+
+/** One journal row for @p cell (no trailing newline; spec is quoted). */
+std::string formatJournalRow(const SweepCell &cell);
+
+/** Parse one journal row; throws std::runtime_error on malformed rows. */
+SweepCell parseJournalRow(const std::string &line);
+
+/**
+ * Load every cell of a journal file.  A truncated trailing line (kill
+ * mid-append) is silently dropped; a malformed row anywhere else, a bad
+ * metadata/header line, or an unreadable file throws std::runtime_error.
+ * When @p meta is non-null it receives the journal's metadata line.
+ */
+std::vector<SweepCell> loadJournal(const std::string &path,
+                                   std::string *meta = nullptr);
+
+} // namespace imli
+
+#endif // IMLI_SRC_DSE_SWEEP_HH

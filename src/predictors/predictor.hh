@@ -68,6 +68,9 @@ class ConditionalPredictor
 
     /** Hardware budget ledger for the whole predictor. */
     virtual StorageAccount storage() const = 0;
+
+    /** Total hardware budget in bits (the ledger's bottom line). */
+    std::uint64_t storageBits() const { return storage().totalBits(); }
 };
 
 /** Convenience alias used throughout the zoo and the simulator. */

@@ -1,9 +1,10 @@
 /**
  * @file
  * Factory for the named predictor configurations used across the paper's
- * experiments.
+ * experiments, plus the parameterized-spec grammar behind the design-space
+ * exploration subsystem (src/dse/).
  *
- * Spec strings mirror the paper's notation:
+ * Base spec strings mirror the paper's notation:
  *
  *   "tage-gsc"            base TAGE-GSC (Section 3.2.1)
  *   "tage-gsc+sic"        + IMLI-SIC only (Section 4.2)
@@ -19,6 +20,23 @@
  * Extra spec suffixes (ablations): "+imligsc" hashes the IMLI counter into
  * the last two global SC tables (Section 4.2's index insertion); "+omli"
  * enables the beyond-the-paper outer-iteration (OMLI) extension.
+ *
+ * Parameter overrides (the design-space grammar) append to any tage-gsc /
+ * gehl spec as "spec@key=value,key=value":
+ *
+ *   "tage-gsc+sic@sic.logsize=10,sic.ctrbits=5"
+ *   "gehl@gsc.tables=12,gsc.maxhist=300"
+ *
+ * Every key names one geometry knob of the underlying Config structs
+ * (TAGE table count / log size / history lengths, SC table geometry,
+ * SIC/OH/loop/wormhole sizes, counter widths — see knownOverrideKeys()).
+ * Parsing is strict: unknown keys, values out of their documented range,
+ * non-integer values, keys that do not apply to the chosen host, and
+ * keys whose component the spec does not enable (e.g. sic.* without
+ * +sic — the override would be silently inert) all throw
+ * std::invalid_argument.  describeConfig() echoes the canonical
+ * form (sorted, deduplicated keys), so
+ * describeConfig(parseSpec(s)) == canonicalSpec(s) for every valid s.
  */
 
 #ifndef IMLI_SRC_PREDICTORS_ZOO_HH
@@ -48,6 +66,75 @@ struct ZooOptions
     unsigned ohUpdateDelay = 0;
 };
 
+/** One "key=value" geometry override from the @-section of a spec. */
+struct SpecOverride
+{
+    std::string key;
+    long long value = 0;
+};
+
+inline bool
+operator==(const SpecOverride &a, const SpecOverride &b)
+{
+    return a.key == b.key && a.value == b.value;
+}
+
+/**
+ * A fully parsed spec string: host, add-on set and canonicalized
+ * overrides (sorted by key, duplicates resolved last-wins).
+ */
+struct ParsedSpec
+{
+    std::string host;  //!< "tage-gsc", "gehl", "bimodal" or "gshare"
+    ZooOptions opts;
+    std::vector<SpecOverride> overrides;
+};
+
+/** One override key of the design-space grammar, with its legal range. */
+struct OverrideKeyInfo
+{
+    std::string key;
+    long long minValue = 0;
+    long long maxValue = 0;
+    bool powerOfTwo = false;   //!< value must be a power of two
+    bool tageGscOnly = false;  //!< key only applies to the tage-gsc host
+    std::string doc;           //!< one-line description for CLI help
+};
+
+/**
+ * Parse a spec string "host[+addon...][@key=value,...]" (see file
+ * header).  Throws std::invalid_argument on any grammar, key, range or
+ * host-applicability error; the message names the offending token.
+ */
+ParsedSpec parseSpec(const std::string &spec);
+
+/**
+ * Canonical spec string for @p parsed: host, add-ons in canonical order,
+ * then "@" and the overrides sorted by key.  This is the round-trip echo:
+ * describeConfig(parseSpec(s)) == canonicalSpec(s) for every valid s.
+ */
+std::string describeConfig(const ParsedSpec &parsed);
+
+/** Parse-then-echo convenience: the canonical form of @p spec. */
+std::string canonicalSpec(const std::string &spec);
+
+/**
+ * Multi-line human-readable echo of the fully resolved configuration:
+ * every geometry parameter after overrides, plus the storage total.
+ * Used by `explorer describe`.
+ */
+std::string describeConfigDetail(const ParsedSpec &parsed);
+
+/**
+ * Resolve @p parsed into the host Config struct with every override
+ * applied.  Exposed so tests and the describe surface can audit the
+ * plumbing; throws std::invalid_argument when @p parsed is not for the
+ * matching host or a cross-parameter constraint breaks (e.g.
+ * tage.minhist >= tage.maxhist).
+ */
+TageGscPredictor::Config buildTageGscConfig(const ParsedSpec &parsed);
+GehlPredictor::Config buildGehlConfig(const ParsedSpec &parsed);
+
 /** Build a TAGE-GSC configuration. */
 PredictorPtr makeTageGsc(const ZooOptions &opts = ZooOptions());
 
@@ -60,8 +147,24 @@ PredictorPtr makeGehl(const ZooOptions &opts = ZooOptions());
  */
 PredictorPtr makePredictor(const std::string &spec);
 
-/** All spec strings makePredictor accepts, for CLI help and tests. */
+/** Build a predictor from an already parsed spec. */
+PredictorPtr makePredictor(const ParsedSpec &parsed);
+
+/**
+ * Split a comma-separated list of spec strings, keeping override commas
+ * bound to their spec: a fragment of the form "key=value" that follows a
+ * spec with an '@' section continues that spec's overrides instead of
+ * starting a new spec, so "--configs a@x=1,y=2,b" is the two specs
+ * {"a@x=1,y=2", "b"}.  A "key=value" fragment with no preceding '@' spec
+ * throws std::invalid_argument.  Empty fragments are skipped.
+ */
+std::vector<std::string> splitSpecList(const std::string &text);
+
+/** All base spec strings makePredictor accepts, for CLI help and tests. */
 std::vector<std::string> knownSpecs();
+
+/** Every override key of the design-space grammar, sorted by key. */
+std::vector<OverrideKeyInfo> knownOverrideKeys();
 
 } // namespace imli
 

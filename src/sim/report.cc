@@ -80,6 +80,30 @@ printCellsCsv(std::ostream &os, const SuiteResults &results)
 }
 
 void
+printCellsJson(std::ostream &os, const SuiteResults &results)
+{
+    os << "{\n  \"configs\": [";
+    for (std::size_t i = 0; i < results.configs.size(); ++i) {
+        if (i > 0)
+            os << ", ";
+        os << '"' << jsonEscape(results.configs[i]) << '"';
+    }
+    os << "],\n  \"cells\": [\n";
+    for (std::size_t i = 0; i < results.cells.size(); ++i) {
+        const SuiteCell &cell = results.cells[i];
+        os << "    {\"suite\": \"" << jsonEscape(cell.suite)
+           << "\", \"benchmark\": \"" << jsonEscape(cell.benchmark)
+           << "\", \"config\": \"" << jsonEscape(cell.config)
+           << "\", \"mpki\": " << formatDouble(cell.mpki, 4)
+           << ", \"mispredictions\": " << cell.mispredictions
+           << ", \"conditionals\": " << cell.conditionals
+           << ", \"instructions\": " << cell.instructions << '}'
+           << (i + 1 < results.cells.size() ? "," : "") << '\n';
+    }
+    os << "  ]\n}\n";
+}
+
+void
 printRunSummary(std::ostream &os, const SuiteResults &results,
                 double wallSeconds, unsigned jobs)
 {

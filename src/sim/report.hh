@@ -67,6 +67,14 @@ void printPerBenchmark(std::ostream &os, const SuiteResults &results,
 void printCellsCsv(std::ostream &os, const SuiteResults &results);
 
 /**
+ * Dump @p results as JSON: {"configs": [...], "cells": [{...}]} with the
+ * cells in run order.  The key order and number formatting are stable
+ * (mpki uses the same 4-decimal format as the CSV), so sweeps and CI can
+ * diff the output byte for byte.
+ */
+void printCellsJson(std::ostream &os, const SuiteResults &results);
+
+/**
  * One-line wall-clock summary of a suite run: cell count, simulated
  * conditional branches, throughput and the worker count used.
  */

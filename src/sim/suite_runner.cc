@@ -1,7 +1,6 @@
 #include "src/sim/suite_runner.hh"
 
 #include <algorithm>
-#include <cerrno>
 #include <cmath>
 #include <cstdlib>
 #include <limits>
@@ -10,6 +9,7 @@
 #include <stdexcept>
 
 #include "src/predictors/zoo.hh"
+#include "src/util/cli.hh"
 #include "src/util/thread_pool.hh"
 
 namespace imli
@@ -197,16 +197,12 @@ runSuite(const std::vector<BenchmarkSpec> &benchmarks,
 std::size_t
 parseBranchCount(const std::string &text, const std::string &what)
 {
-    const bool digits_only =
-        !text.empty() &&
-        text.find_first_not_of("0123456789") == std::string::npos;
-    if (!digits_only)
+    std::uint64_t v = 0;
+    if (!parseDecimalU64(text, v))
         throw std::runtime_error(
             what + ": invalid branch count \"" + text +
             "\" (expected a plain decimal integer >= 1000)");
-    errno = 0;
-    const unsigned long long v = std::strtoull(text.c_str(), nullptr, 10);
-    if (errno == ERANGE || v > std::numeric_limits<std::size_t>::max())
+    if (v > std::numeric_limits<std::size_t>::max())
         throw std::runtime_error(
             what + ": branch count " + text + " is out of range");
     if (v < 1000)

@@ -4,6 +4,8 @@
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
+#include <limits>
+#include <sstream>
 #include <stdexcept>
 
 #include "src/util/thread_pool.hh"
@@ -30,6 +32,56 @@ looksNumeric(const std::string &arg)
 
 } // anonymous namespace
 
+std::vector<std::string>
+splitCommaList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::string token;
+    std::istringstream is(csv);
+    while (std::getline(is, token, ','))
+        if (!token.empty())
+            out.push_back(token);
+    return out;
+}
+
+bool
+parseDecimalU64(const std::string &text, std::uint64_t &value)
+{
+    const bool digits_only =
+        !text.empty() &&
+        text.find_first_not_of("0123456789") == std::string::npos;
+    if (!digits_only)
+        return false;
+    errno = 0;
+    const unsigned long long v = std::strtoull(text.c_str(), nullptr, 10);
+    if (errno == ERANGE)
+        return false;
+    value = static_cast<std::uint64_t>(v);
+    return true;
+}
+
+bool
+parseDecimalLL(const std::string &text, long long &value)
+{
+    std::uint64_t v = 0;
+    if (!parseDecimalU64(text, v) ||
+        v > std::uint64_t(std::numeric_limits<long long>::max()))
+        return false;
+    value = static_cast<long long>(v);
+    return true;
+}
+
+long long
+parseDecimalLLStrict(const std::string &text, const std::string &what)
+{
+    long long v = 0;
+    if (!parseDecimalLL(text, v))
+        throw std::invalid_argument(what + ": value \"" + text +
+                                    "\" is not a plain decimal integer "
+                                    "in range");
+    return v;
+}
+
 CommandLine::CommandLine(int argc, const char *const *argv)
 {
     if (argc > 0)
@@ -54,12 +106,15 @@ CommandLine::CommandLine(int argc, const char *const *argv)
         auto eq = body.find('=');
         if (eq != std::string::npos) {
             flags[body.substr(0, eq)] = body.substr(eq + 1);
+            occurrences.emplace_back(body.substr(0, eq), body.substr(eq + 1));
         } else if (i + 1 < argc &&
                    (argv[i + 1][0] != '-' || looksNumeric(argv[i + 1]))) {
             flags[body] = argv[i + 1];
+            occurrences.emplace_back(body, argv[i + 1]);
             ++i;
         } else {
             flags[body] = "";
+            occurrences.emplace_back(body, "");
         }
     }
 }
@@ -75,6 +130,16 @@ CommandLine::getString(const std::string &name, const std::string &def) const
 {
     auto it = flags.find(name);
     return it == flags.end() ? def : it->second;
+}
+
+std::vector<std::string>
+CommandLine::getList(const std::string &name) const
+{
+    std::vector<std::string> values;
+    for (const auto &occurrence : occurrences)
+        if (occurrence.first == name)
+            values.push_back(occurrence.second);
+    return values;
 }
 
 std::int64_t
@@ -128,6 +193,22 @@ CommandLine::getCount(const std::string &name, std::size_t def) const
             "--" + name + ": expected a non-negative count, got \"" +
             getString(name) + "\"");
     return static_cast<std::size_t>(v);
+}
+
+void
+CommandLine::rejectValuedBool(const std::string &name) const
+{
+    if (!has(name))
+        return;
+    const std::string v = getString(name);
+    // Recognized boolean spellings (getBool's, plus explicit negatives)
+    // pass through; anything else is a swallowed path or typo.
+    if (v.empty() || v == "true" || v == "1" || v == "yes" ||
+        v == "false" || v == "0" || v == "no")
+        return;
+    throw std::runtime_error(
+        "--" + name + " takes no value (it prints to stdout; "
+        "redirect instead)");
 }
 
 bool

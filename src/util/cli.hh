@@ -23,10 +23,38 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace imli
 {
+
+/**
+ * Split a comma-separated flag value into its non-empty tokens
+ * ("a,,b" -> {"a", "b"}).  The shared helper behind --configs /
+ * --benchmarks style list flags.
+ */
+std::vector<std::string> splitCommaList(const std::string &csv);
+
+/**
+ * Strict non-negative decimal parse shared by every "a typo must fail
+ * loudly" surface (spec overrides, sweep dimensions, journal counters,
+ * branch counts): digits only, no sign/hex/whitespace, no overflow.
+ * Returns false on anything else; callers own the error type/message.
+ */
+bool parseDecimalU64(const std::string &text, std::uint64_t &value);
+
+/** parseDecimalU64 restricted to values that fit a long long. */
+bool parseDecimalLL(const std::string &text, long long &value);
+
+/**
+ * Throwing form shared by the spec-override and sweep-dimension
+ * grammars: returns the parsed value or throws std::invalid_argument
+ * naming @p what (e.g. "override sic.logsize"), so the two grammars
+ * cannot drift in what they accept.
+ */
+long long parseDecimalLLStrict(const std::string &text,
+                               const std::string &what);
 
 /** Parsed command line: flag map plus positional arguments. */
 class CommandLine
@@ -38,9 +66,15 @@ class CommandLine
     /** True iff --name was present (with or without a value). */
     bool has(const std::string &name) const;
 
-    /** String value of --name, or @p def when absent. */
+    /** String value of --name, or @p def when absent (last wins). */
     std::string getString(const std::string &name,
                           const std::string &def = "") const;
+
+    /**
+     * Every value of a repeatable flag, in command-line order ("--dim a
+     * --dim b" yields {"a", "b"}); empty when the flag is absent.
+     */
+    std::vector<std::string> getList(const std::string &name) const;
 
     /**
      * Integer value of --name, or @p def when absent.  Throws
@@ -67,6 +101,15 @@ class CommandLine
     bool getBool(const std::string &name, bool def = false) const;
 
     /**
+     * Guard for output-mode booleans (--csv/--json print to stdout): a
+     * non-boolean value ("--json out.json") would be silently swallowed
+     * by getBool, so it throws std::runtime_error telling the user to
+     * redirect instead.  No-op when the flag is absent or carries a
+     * recognized boolean spelling (true/1/yes/false/0/no).
+     */
+    void rejectValuedBool(const std::string &name) const;
+
+    /**
      * Worker-count flag: "--jobs N".  N = 0, "auto" or "max" mean one
      * worker per hardware thread; absent or unparsable yields @p def.
      */
@@ -79,6 +122,8 @@ class CommandLine
   private:
     std::string program;
     std::map<std::string, std::string> flags;
+    /** Every flag occurrence in order, for repeatable flags (getList). */
+    std::vector<std::pair<std::string, std::string>> occurrences;
     std::vector<std::string> positional;
 };
 

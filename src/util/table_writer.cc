@@ -130,4 +130,20 @@ formatPercent(double fraction, int decimals)
     return buf;
 }
 
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += std::string("\\") + c;
+        else if (static_cast<unsigned char>(c) < 0x20)
+            out += ' ';
+        else
+            out += c;
+    }
+    return out;
+}
+
 } // namespace imli

@@ -67,6 +67,13 @@ std::string formatDelta(double v, int decimals = 3);
 /** Format a percentage such as "-6.8 %". */
 std::string formatPercent(double fraction, int decimals = 1);
 
+/**
+ * Minimal JSON string escaping (quotes, backslashes, control chars) for
+ * the machine-readable report emitters.  Shared so every JSON writer
+ * escapes the same way.
+ */
+std::string jsonEscape(const std::string &s);
+
 } // namespace imli
 
 #endif // IMLI_SRC_UTIL_TABLE_WRITER_HH

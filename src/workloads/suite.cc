@@ -1,5 +1,6 @@
 #include "src/workloads/suite.hh"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <stdexcept>
@@ -550,6 +551,122 @@ recordedScenarios()
         addNoise(b, 0.4, 0.6, 1);
     }
     return scenarios;
+}
+
+bool
+globMatch(const std::string &pattern, const std::string &name)
+{
+    // Iterative glob with single-star backtracking: on mismatch past a
+    // '*', retry that star against one more consumed character.
+    std::size_t p = 0, n = 0;
+    std::size_t starP = std::string::npos, starN = 0;
+    while (n < name.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == '?' || pattern[p] == name[n])) {
+            ++p;
+            ++n;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            starP = p++;
+            starN = n;
+        } else if (starP != std::string::npos) {
+            p = starP + 1;
+            n = ++starN;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*')
+        ++p;
+    return p == pattern.size();
+}
+
+namespace
+{
+
+/** Case-insensitive copy with '-'/'_' stripped, for near-miss ranking. */
+std::string
+foldName(const std::string &name)
+{
+    std::string folded;
+    for (char c : name) {
+        if (c == '-' || c == '_' || c == '*' || c == '?')
+            continue;
+        folded.push_back(
+            static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+    return folded;
+}
+
+/** Pool names resembling @p pattern, for the no-match error message. */
+std::vector<std::string>
+nearMisses(const std::vector<BenchmarkSpec> &pool,
+           const std::string &pattern)
+{
+    const std::string want = foldName(pattern);
+    std::vector<std::string> close;
+    for (const BenchmarkSpec &b : pool) {
+        const std::string have = foldName(b.name);
+        const bool related =
+            !want.empty() &&
+            (have.find(want) != std::string::npos ||
+             want.find(have) != std::string::npos ||
+             have.compare(0, std::min<std::size_t>(3, want.size()), want, 0,
+                          std::min<std::size_t>(3, want.size())) == 0);
+        if (related && close.size() < 5)
+            close.push_back(b.name);
+    }
+    return close;
+}
+
+} // anonymous namespace
+
+std::vector<BenchmarkSpec>
+selectBenchmarks(const std::vector<BenchmarkSpec> &pool,
+                 const std::vector<std::string> &patterns)
+{
+    if (patterns.empty())
+        return pool;
+    std::vector<bool> picked(pool.size(), false);
+    for (const std::string &pattern : patterns) {
+        if (pattern.empty())
+            continue;
+        bool any = false;
+        for (std::size_t i = 0; i < pool.size(); ++i) {
+            if (globMatch(pattern, pool[i].name)) {
+                picked[i] = true;
+                any = true;
+            }
+        }
+        if (!any) {
+            std::string msg =
+                "benchmark pattern \"" + pattern + "\" matches nothing";
+            const std::vector<std::string> close = nearMisses(pool, pattern);
+            if (!close.empty()) {
+                msg += "; did you mean";
+                for (std::size_t i = 0; i < close.size(); ++i)
+                    msg += (i == 0 ? " " : ", ") + close[i];
+                msg += "?";
+            }
+            throw std::runtime_error(msg);
+        }
+    }
+    std::vector<BenchmarkSpec> selected;
+    for (std::size_t i = 0; i < pool.size(); ++i)
+        if (picked[i])
+            selected.push_back(pool[i]);
+    return selected;
+}
+
+std::string
+recordedHint(bool has_recorded_dir, const std::string &suite,
+             const std::vector<std::string> &patterns)
+{
+    if (has_recorded_dir)
+        return "";
+    bool wants_rec = suite == "REC";
+    for (const std::string &pattern : patterns)
+        wants_rec = wants_rec || pattern.rfind("REC", 0) == 0;
+    return wants_rec ? " (the REC scenarios need --recorded DIR)" : "";
 }
 
 std::string

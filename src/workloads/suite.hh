@@ -43,6 +43,29 @@ std::vector<BenchmarkSpec> fullSuite();
 /** Find a benchmark by name across both suites; throws if unknown. */
 BenchmarkSpec findBenchmark(const std::string &name);
 
+/** Shell-style glob match: '*' = any run, '?' = any one character. */
+bool globMatch(const std::string &pattern, const std::string &name);
+
+/**
+ * Select benchmarks from @p pool by a list of glob patterns ("MM-*",
+ * "SPEC2K6-0?", exact names).  The selection keeps pool order and drops
+ * duplicates (overlapping patterns).  A pattern matching nothing throws
+ * std::runtime_error whose message lists near-miss pool names (to catch
+ * "MM4" vs "MM-4" typos); an empty pattern list selects the whole pool.
+ */
+std::vector<BenchmarkSpec>
+selectBenchmarks(const std::vector<BenchmarkSpec> &pool,
+                 const std::vector<std::string> &patterns);
+
+/**
+ * " (the REC scenarios need --recorded DIR)" when a selection that came
+ * up empty asked for REC content (suite filter "REC" or any pattern
+ * starting with "REC") without a recorded directory; "" otherwise.
+ * Shared by the CLIs so the diagnostic cannot drift between them.
+ */
+std::string recordedHint(bool has_recorded_dir, const std::string &suite,
+                         const std::vector<std::string> &patterns);
+
 // ---------------------------------------------------------------------
 // Recorded-style scenarios (suite "REC").
 //

@@ -191,6 +191,46 @@ TEST(SuiteRunner, DefaultBranchesRejectsGarbageLoudly)
     ::unsetenv("IMLI_BRANCHES");
 }
 
+TEST(Report, JsonMirrorsCsvCells)
+{
+    SuiteResults results;
+    results.configs = {"tage-gsc", "tage-gsc+i@sic.logsize=10"};
+    SuiteCell cell;
+    cell.benchmark = "MM-4";
+    cell.suite = "CBP4";
+    cell.config = "tage-gsc";
+    cell.mpki = 1.23456;
+    cell.mispredictions = 123;
+    cell.conditionals = 456;
+    cell.instructions = 789;
+    results.cells.push_back(cell);
+    cell.config = "tage-gsc+i@sic.logsize=10";
+    results.cells.push_back(cell);
+
+    std::ostringstream os;
+    printCellsJson(os, results);
+    const std::string s = os.str();
+    // Stable key order, one cell object per line, CSV-identical mpki
+    // formatting (4 decimals).
+    EXPECT_NE(s.find("\"configs\": [\"tage-gsc\", "
+                     "\"tage-gsc+i@sic.logsize=10\"]"),
+              std::string::npos);
+    EXPECT_NE(s.find("{\"suite\": \"CBP4\", \"benchmark\": \"MM-4\", "
+                     "\"config\": \"tage-gsc\", \"mpki\": 1.2346, "
+                     "\"mispredictions\": 123, \"conditionals\": 456, "
+                     "\"instructions\": 789},"),
+              std::string::npos);
+    // Valid JSON shape: one opening and closing brace pair at top level,
+    // and the second (last) cell carries no trailing comma.
+    EXPECT_EQ(s.find('{'), 0u);
+    EXPECT_NE(s.find("\"instructions\": 789}\n"), std::string::npos);
+
+    // Byte-stable across invocations (CI diffs the output).
+    std::ostringstream again;
+    printCellsJson(again, results);
+    EXPECT_EQ(again.str(), s);
+}
+
 TEST(Report, PrintsPaperAndMeasured)
 {
     ExperimentReport report("Table 9", "unit test table");

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Pinned storage-ledger budgets for every spec in the zoo.
+ *
+ * The paper's whole argument is accuracy per bit, so the exact ledger
+ * totals are part of the reproduction's contract: a geometry refactor
+ * that silently changes a table size would invalidate every Section 4.4
+ * comparison.  These tests pin (a) the paper's headline budgets — base
+ * TAGE-GSC = 228 Kbits, IMLI-SIC table = 384 bytes, IMLI-OH table =
+ * 192 bytes — and (b) the exact realised bit total of every
+ * knownSpecs() entry, so drift fails loudly and intentional geometry
+ * changes must update the numbers here in the same commit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/core/imli_components.hh"
+#include "src/core/imli_oh.hh"
+#include "src/core/imli_sic.hh"
+#include "src/predictors/zoo.hh"
+
+using namespace imli;
+
+// ---------------------------------------------------------------------------
+// Paper headline budgets (Section 4.4 / Tables 1-2).
+// ---------------------------------------------------------------------------
+
+TEST(StorageBudgets, PaperBaseTageGscIsAbout228Kbits)
+{
+    // Paper: 228 Kbits for the base TAGE-GSC.  Our realisation must stay
+    // in the same region (it differs slightly in tag/bimodal details).
+    const double kbits = makePredictor("tage-gsc")->storage().totalKbits();
+    EXPECT_GT(kbits, 205.0);
+    EXPECT_LT(kbits, 240.0);
+}
+
+TEST(StorageBudgets, PaperImliSicTableIs384Bytes)
+{
+    // Paper Section 4.4: the 512-entry 6-bit IMLI-SIC table is 384 bytes.
+    StorageAccount acct;
+    ImliSic sic; // paper-default geometry
+    sic.account(acct);
+    EXPECT_EQ(acct.totalBits(), 512u * 6u);
+    EXPECT_EQ(acct.totalBytes(), 384u);
+}
+
+TEST(StorageBudgets, PaperImliOhTableIs192Bytes)
+{
+    // Paper Section 4.4: the 256-entry 6-bit IMLI-OH table is 192 bytes.
+    StorageAccount acct;
+    ImliOh oh; // paper-default geometry
+    oh.account(acct);
+    EXPECT_EQ(acct.totalBits(), 256u * 6u);
+    EXPECT_EQ(acct.totalBytes(), 192u);
+}
+
+TEST(StorageBudgets, PaperImliComponentsTotal708Bytes)
+{
+    // Paper Section 4.4: 384 B SIC + 192 B OH + 128 B outer history +
+    // counter + PIPE = 708 bytes.
+    ImliComponents comps;
+    StorageAccount acct;
+    comps.accountAll(acct);
+    EXPECT_EQ(acct.totalBytes(), 708u);
+}
+
+// ---------------------------------------------------------------------------
+// Exact per-spec pins over Predictor::storageBits().
+// ---------------------------------------------------------------------------
+
+namespace
+{
+
+/** The realised ledger total of every spec, pinned bit-exact. */
+const std::map<std::string, std::uint64_t> &
+expectedBits()
+{
+    static const std::map<std::string, std::uint64_t> expected = {
+        {"bimodal", 16384ull},
+        {"gshare", 32782ull},
+        {"tage-gsc", 237369ull},
+        {"tage-gsc+sic", 240451ull},
+        {"tage-gsc+oh", 239955ull},
+        {"tage-gsc+i", 243027ull},
+        {"tage-gsc+l", 260521ull},
+        {"tage-gsc+i+l", 266179ull},
+        {"tage-gsc+loop", 237993ull},
+        {"tage-gsc+wh", 249466ull},
+        {"tage-gsc+sic+wh", 252548ull},
+        {"tage-gsc+i+imligsc", 243027ull},
+        {"tage-gsc+sic+omli", 246615ull},
+        {"tage-gsc+i+omli", 249191ull},
+        {"gehl", 208911ull},
+        {"gehl+sic", 211993ull},
+        {"gehl+oh", 211497ull},
+        {"gehl+i", 214569ull},
+        {"gehl+l", 265455ull},
+        {"gehl+i+l", 271113ull},
+        {"gehl+loop", 210159ull},
+        {"gehl+wh", 221632ull},
+        {"gehl+sic+wh", 224714ull},
+        {"gehl+sic+omli", 218157ull},
+    };
+    return expected;
+}
+
+} // anonymous namespace
+
+TEST(StorageBudgets, EveryKnownSpecIsPinned)
+{
+    // A new spec must come with its pinned budget.
+    for (const std::string &spec : knownSpecs())
+        EXPECT_EQ(expectedBits().count(spec), 1u)
+            << "no pinned storage budget for " << spec;
+}
+
+class SpecBudget : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SpecBudget, ExactBitTotal)
+{
+    const std::string &spec = GetParam();
+    const auto it = expectedBits().find(spec);
+    ASSERT_NE(it, expectedBits().end());
+    EXPECT_EQ(makePredictor(spec)->storageBits(), it->second)
+        << spec << ": ledger drifted from its pinned budget; if the "
+        << "geometry change is intentional, update this table";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSpecs, SpecBudget,
+                         ::testing::ValuesIn(knownSpecs()));
+
+TEST(StorageBudgets, StorageBitsMatchesLedgerTotal)
+{
+    const PredictorPtr pred = makePredictor("tage-gsc+i");
+    EXPECT_EQ(pred->storageBits(), pred->storage().totalBits());
+}
+
+TEST(StorageBudgets, OverridesMoveTheLedger)
+{
+    // The design-space grammar must actually reach the hardware tables:
+    // doubling the SIC adds exactly 512 * 6 bits on the +sic host.
+    const std::uint64_t base =
+        makePredictor("tage-gsc+sic")->storageBits();
+    const std::uint64_t grown =
+        makePredictor("tage-gsc+sic@sic.logsize=10")->storageBits();
+    EXPECT_EQ(grown - base, 512u * 6u);
+}

@@ -392,3 +392,66 @@ TEST(Suite, ShowcaseBenchmarksContainBackwardBranches)
         EXPECT_GT(s.backwardConditionals, 500u) << name;
     }
 }
+
+// ---------------------------------------------------------------------------
+// Benchmark glob selection.
+// ---------------------------------------------------------------------------
+
+TEST(Globs, MatchSemantics)
+{
+    EXPECT_TRUE(globMatch("MM-4", "MM-4"));
+    EXPECT_FALSE(globMatch("MM-4", "MM-41"));
+    EXPECT_TRUE(globMatch("MM-*", "MM-4"));
+    EXPECT_TRUE(globMatch("MM-*", "MM-"));
+    EXPECT_FALSE(globMatch("MM-*", "MM07"));
+    EXPECT_TRUE(globMatch("SPEC2K6-0?", "SPEC2K6-04"));
+    EXPECT_FALSE(globMatch("SPEC2K6-0?", "SPEC2K6-14"));
+    EXPECT_TRUE(globMatch("*", "anything"));
+    EXPECT_TRUE(globMatch("*-4", "MM-4"));
+    EXPECT_TRUE(globMatch("M*-*4", "MM-4"));
+    EXPECT_FALSE(globMatch("", "MM-4"));
+    EXPECT_TRUE(globMatch("*", ""));
+}
+
+TEST(Globs, SelectBenchmarksKeepsPoolOrderAndDeduplicates)
+{
+    const std::vector<BenchmarkSpec> pool = fullSuite();
+    const std::vector<BenchmarkSpec> picked =
+        selectBenchmarks(pool, {"MM-*", "MM-4", "WS03"});
+    ASSERT_FALSE(picked.empty());
+    // Pool order is preserved and MM-4 appears once despite matching two
+    // patterns.
+    std::size_t mm4 = 0;
+    std::vector<std::string> names;
+    for (const BenchmarkSpec &b : picked) {
+        names.push_back(b.name);
+        mm4 += b.name == "MM-4" ? 1 : 0;
+        EXPECT_TRUE(b.name.rfind("MM-", 0) == 0 || b.name == "WS03")
+            << b.name;
+    }
+    EXPECT_EQ(mm4, 1u);
+    std::vector<std::string> poolOrder;
+    for (const BenchmarkSpec &b : pool)
+        for (const std::string &n : names)
+            if (b.name == n)
+                poolOrder.push_back(b.name);
+    EXPECT_EQ(names, poolOrder);
+
+    // Empty pattern list selects everything.
+    EXPECT_EQ(selectBenchmarks(pool, {}).size(), pool.size());
+}
+
+TEST(Globs, NoMatchThrowsWithNearMisses)
+{
+    const std::vector<BenchmarkSpec> pool = fullSuite();
+    try {
+        selectBenchmarks(pool, {"MM4"});
+        FAIL() << "expected a no-match error";
+    } catch (const std::runtime_error &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("MM4"), std::string::npos);
+        EXPECT_NE(msg.find("did you mean"), std::string::npos);
+        EXPECT_NE(msg.find("MM-4"), std::string::npos);
+    }
+    EXPECT_THROW(selectBenchmarks(pool, {"ZZZ-*"}), std::runtime_error);
+}
