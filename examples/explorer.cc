@@ -29,6 +29,10 @@
  * Examples:
  *   explorer sweep --journal sic.csv --base tage-gsc+sic \
  *       --dim sic.logsize=7..10 --dim sic.ctrbits=5,6 --benchmarks 'MM-*'
+ *   explorer sweep --journal delay.csv --base tage-gsc+i \
+ *       --dim sim.delay=0,4,16,63 --benchmarks 'MM-*'
+ *       (update timing as a dimension: sim.delay points run on the
+ *        speculative pipeline engine at that in-flight depth)
  *   explorer pareto --journal sic.csv
  */
 

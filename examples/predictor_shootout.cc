@@ -6,12 +6,19 @@
  *
  * Usage: predictor_shootout [--branches 150000]
  *                           [--benchmarks SPEC2K6-12,MM-4,WS04]
+ *                           [--update-delay N | --pipeline]
+ *
+ * With --update-delay N the whole ladder runs on the speculative
+ * pipeline engine (training at commit, N in-flight branches); delay 0 is
+ * bit-identical to the default immediate engine, so the flag isolates
+ * pure update-timing effects across predictor generations.
  */
 
 #include <iostream>
 
 #include "src/predictors/zoo.hh"
 #include "src/sim/simulator.hh"
+#include "src/sim/suite_runner.hh"
 #include "src/util/cli.hh"
 #include "src/util/table_writer.hh"
 #include "src/workloads/generator_source.hh"
@@ -28,7 +35,14 @@ try {
         "bimodal", "gshare", "gehl", "gehl+i", "tage-gsc", "tage-gsc+i",
     };
 
-    imli::TableWriter table("MPKI by predictor generation");
+    imli::SimOptions sim;
+    imli::applyPipelineFlags(cli, sim);
+
+    imli::TableWriter table(
+        sim.usePipeline()
+            ? "MPKI by predictor generation (pipeline, update delay " +
+                  std::to_string(sim.updateDelay) + ")"
+            : "MPKI by predictor generation");
     std::vector<std::string> header = {"benchmark"};
     header.insert(header.end(), ladder.begin(), ladder.end());
     table.setHeader(header);
@@ -42,7 +56,7 @@ try {
         imli::GeneratorBranchSource source(imli::findBenchmark(name),
                                            branches);
         const std::vector<imli::SimResult> results =
-            imli::simulateMany(predictors, source);
+            imli::simulateMany(predictors, source, sim);
         std::vector<std::string> row = {name};
         for (const imli::SimResult &r : results)
             row.push_back(imli::formatDouble(r.mpki(), 3));

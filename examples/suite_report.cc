@@ -15,6 +15,13 @@
  *                      recorded scenarios from DIR/rec-0N.cbp — a mixed
  *                      generated + recorded run)
  *                     [--jobs N]   (0/auto = all hardware threads)
+ *                     [--update-delay N | --pipeline]  (speculative
+ *                      pipeline engine: predictor tables train at commit,
+ *                      N in-flight branches after prediction; N=0 — or
+ *                      bare --pipeline — is bit-identical to the default
+ *                      immediate engine.  Per-config delays also work via
+ *                      the spec key, e.g. --configs
+ *                      'tage-gsc+i,tage-gsc+i@sim.delay=63')
  *
  * Configs may carry design-space overrides ("tage-gsc@sic.logsize=10");
  * see src/predictors/zoo.hh for the grammar and `explorer` for sweeps.
@@ -103,6 +110,9 @@ try {
                        ? ThreadPool::parseJobsStrict(cli.getString("jobs"),
                                                      "--jobs")
                        : defaultJobs();
+    // Pipeline engine selection: --update-delay N (strict; 0 is the
+    // bit-identity oracle) or bare --pipeline (delay 0).
+    applyPipelineFlags(cli, options.sim);
 
     const auto start = std::chrono::steady_clock::now();
     const SuiteResults results = runSuite(benchmarks, configs, options);

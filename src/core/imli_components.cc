@@ -42,6 +42,17 @@ ImliComponents::onResolved(std::uint64_t pc, std::uint64_t target,
         omliCount.onConditionalBranch(pc, target, taken, imli_before);
 }
 
+void
+ImliComponents::speculate(std::uint64_t pc, std::uint64_t target, bool dir)
+{
+    const unsigned imli_before = imliCount.value();
+    if (cfg.enableOh)
+        outer.updatePipe(pc, imli_before);
+    imliCount.onConditionalBranch(pc, target, dir);
+    if (cfg.enableOmli)
+        omliCount.onConditionalBranch(pc, target, dir, imli_before);
+}
+
 std::vector<ScComponent *>
 ImliComponents::components()
 {

@@ -65,6 +65,16 @@ class ImliComponents
      */
     void onResolved(std::uint64_t pc, std::uint64_t target, bool taken);
 
+    /**
+     * Fetch-side speculative step (pipeline simulation, Section 4.3.2):
+     * exactly onResolved() with @p dir the *predicted* direction, minus
+     * the outer-history table write — the PIPE transfer and the counter
+     * heuristic are the checkpointed speculative half, the table write is
+     * deferred to the commit-time onResolved().  Mirrors
+     * SpeculativeImliModel::specStep so the two models cannot drift.
+     */
+    void speculate(std::uint64_t pc, std::uint64_t target, bool dir);
+
     /** Voting tables to register with the host's adder tree. */
     std::vector<ScComponent *> components();
 

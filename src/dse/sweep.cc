@@ -59,9 +59,15 @@ journalMeta(const std::vector<BenchmarkSpec> &benchmarks,
     // Everything that changes the simulated counters belongs here; the
     // chunk size and worker count are scheduling details that provably
     // do not (bit-identity is tested), so they are deliberately absent.
+    // A per-point sim.delay is not needed either: it is part of the
+    // point's canonical spec, so it already distinguishes journal rows.
     std::string meta =
         "#sweep branches=" + std::to_string(options.branchesPerTrace) +
         " warmup=" + std::to_string(options.sim.warmupBranches);
+    // Run-level pipeline engine (applied to every point): appended only
+    // when active so pre-pipeline journals still resume.
+    if (options.sim.usePipeline())
+        meta += " delay=" + std::to_string(options.sim.updateDelay);
 
     // Recorded benchmarks: FNV-1a over (name, trace bytes) in declared
     // order.  A resumed sweep pointed at regenerated or different trace
@@ -375,13 +381,21 @@ runSweep(const std::vector<BenchmarkSpec> &benchmarks,
             return;
         }
         std::vector<PredictorPtr> predictors;
+        std::vector<SimOptions> simOptions;
         predictors.reserve(pending.size());
-        for (std::size_t p : pending)
+        simOptions.reserve(pending.size());
+        for (std::size_t p : pending) {
             predictors.push_back(makePredictor(parsedPoints[p]));
+            // sim.delay is a sweepable dimension: a point carrying it is
+            // pinned to its own engine depth (see applySpecDelay),
+            // sharing the same streamed pass with the rest.
+            simOptions.push_back(applySpecDelay(parsedPoints[p],
+                                                options.sim));
+        }
         const std::unique_ptr<BranchSource> source = makeBranchSource(
             benchmarks[b], options.branchesPerTrace, options.chunkBranches);
         const std::vector<SimResult> simmed =
-            simulateMany(predictors, *source, options.sim);
+            simulateMany(predictors, *source, simOptions);
 
         std::lock_guard<std::mutex> lock(journalMutex);
         for (std::size_t i = 0; i < pending.size(); ++i) {

@@ -64,6 +64,11 @@ struct SweepOptions
     std::size_t chunkBranches = 65536;
     /** Worker threads for the benchmark fan-out; 1 = serial in-caller. */
     unsigned jobs = 1;
+    /**
+     * Run-level simulation options for every point; a point whose spec
+     * carries "sim.delay" additionally runs on the pipeline engine at
+     * that depth (update timing as a sweep dimension).
+     */
     SimOptions sim;
     /**
      * Journal file (required).  Created with a header line when absent;

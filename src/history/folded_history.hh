@@ -41,6 +41,15 @@ class FoldedHistory
      */
     void update(bool incoming, bool outgoing);
 
+    /**
+     * Exact inverse of update(): undo the most recent update, given the
+     * same @p incoming / @p outgoing bits that were fed to it.  Lets a
+     * restore walk the fold back in O(distance) instead of recomputing in
+     * O(origLength) — the cost that makes per-branch checkpointing viable
+     * in the pipeline simulator.
+     */
+    void rewind(bool incoming, bool outgoing);
+
     /** Current folded value. */
     std::uint32_t value() const { return folded; }
 

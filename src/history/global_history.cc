@@ -31,6 +31,12 @@ GlobalHistory::bit(unsigned age) const
     return buffer[(head - 1 - age) & mask] != 0;
 }
 
+bool
+GlobalHistory::bitAt(std::uint64_t pos) const
+{
+    return buffer[pos & mask] != 0;
+}
+
 std::uint64_t
 GlobalHistory::recent(unsigned length) const
 {
@@ -44,7 +50,11 @@ GlobalHistory::recent(unsigned length) const
 void
 GlobalHistory::restore(const Checkpoint &cp)
 {
-    assert(cp.head <= head);
+    // Backward = misprediction recovery; forward = the commit sandwich
+    // returning to the fetch front (see the header).  Either way the
+    // distance must not exceed the buffer, or the bits are gone.
+    assert((cp.head <= head ? head - cp.head : cp.head - head) <=
+           buffer.size());
     head = cp.head;
     pathHist = cp.pathHist;
 }

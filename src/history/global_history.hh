@@ -9,8 +9,10 @@
  * history after a misprediction — the contrast with local-history
  * management is the paper's central hardware argument.
  *
- * In trace-driven simulation (immediate update) only the speculative head
- * moves; the spec/ module exercises the two-pointer protocol explicitly.
+ * In immediate-update simulation only the speculative head moves; the
+ * spec/ module exercises the two-pointer protocol explicitly, and the
+ * pipeline simulator (src/sim/pipeline_simulator.hh) drives checkpoint /
+ * restore per in-flight branch as hardware would.
  */
 
 #ifndef IMLI_SRC_HISTORY_GLOBAL_HISTORY_HH
@@ -40,6 +42,15 @@ class GlobalHistory
     bool bit(unsigned age) const;
 
     /**
+     * Raw buffer bit at absolute push position @p pos (the @p pos-th push
+     * since construction); positions before the trace start read false.
+     * Valid for any position still resident in the circular buffer —
+     * including positions at or past a rewound head, which is what lets
+     * HistoryManager redo folds incrementally on a forward restore.
+     */
+    bool bitAt(std::uint64_t pos) const;
+
+    /**
      * Pack the @p length most recent bits into a word (bit 0 = most
      * recent).  @p length must be <= 64; longer histories are consumed
      * through FoldedHistory instead.
@@ -67,8 +78,15 @@ class GlobalHistory
     Checkpoint save() const { return {head, pathHist}; }
 
     /**
-     * Roll back to @p cp.  Only rewinding is meaningful (you cannot restore
-     * to the future); bits pushed after the checkpoint become dead.
+     * Move the speculative head to @p cp.  Rewinding is the hardware
+     * recovery path: bits pushed after the checkpoint become dead.  A
+     * *forward* restore (to a checkpoint taken before the current head
+     * was rewound) is also allowed — the pipeline simulator's commit
+     * sandwich rewinds to a branch's fetch point, trains, and returns to
+     * the fetch front; the buffer retains the in-between bits, so moving
+     * the pointer forward restores them.  The caller guarantees the bits
+     * between the two heads are still resident (|distance| bounded by the
+     * buffer capacity minus the longest fold length).
      */
     void restore(const Checkpoint &cp);
 

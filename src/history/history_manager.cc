@@ -27,9 +27,30 @@ HistoryManager::push(bool taken, std::uint64_t pc)
 void
 HistoryManager::restore(const GlobalHistory::Checkpoint &cp)
 {
+    // Undo (or redo) the fold updates push() performed, newest-first when
+    // rewinding and oldest-first when rolling forward.  The push that
+    // wrote absolute position p consumed incoming = bit(p) and outgoing =
+    // bit(p - length) (false before the trace start), so both are still
+    // readable from the buffer by absolute position.
+    const std::uint64_t cur = hist.headPointer();
+    if (cp.head <= cur) {
+        for (std::uint64_t p = cur; p-- > cp.head;) {
+            for (auto &fold : folds) {
+                const unsigned len = fold->origLength();
+                fold->rewind(hist.bitAt(p),
+                             p >= len && hist.bitAt(p - len));
+            }
+        }
+    } else {
+        for (std::uint64_t p = cur; p < cp.head; ++p) {
+            for (auto &fold : folds) {
+                const unsigned len = fold->origLength();
+                fold->update(hist.bitAt(p),
+                             p >= len && hist.bitAt(p - len));
+            }
+        }
+    }
     hist.restore(cp);
-    for (auto &fold : folds)
-        fold->recompute(hist);
 }
 
 } // namespace imli

@@ -44,8 +44,15 @@ class HistoryManager
     GlobalHistory::Checkpoint save() const { return hist.save(); }
 
     /**
-     * Roll back to @p cp and recompute every fold from the surviving
-     * buffer contents (recovery path; rare, so O(sum of lengths) is fine).
+     * Move to @p cp — backward (misprediction recovery) or forward (the
+     * pipeline simulator's commit sandwich returning to the fetch front).
+     * Folds are walked incrementally, one undo/redo step per history bit
+     * of distance, using the bits still resident in the buffer; cost is
+     * O(|distance| x folds), which is what makes per-commit restores in
+     * the pipeline simulator affordable.  The walk is exact: it lands on
+     * the same fold values a full recompute() would (pinned by tests).
+     * The caller guarantees distance + longest fold length fits in the
+     * buffer (the simulator caps the in-flight window far below it).
      */
     void restore(const GlobalHistory::Checkpoint &cp);
 

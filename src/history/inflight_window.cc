@@ -26,9 +26,15 @@ InflightWindow::insert(unsigned local_index, std::uint64_t spec_history)
 std::optional<std::uint64_t>
 InflightWindow::lookup(unsigned local_index)
 {
+    return lookupBefore(local_index, UINT64_MAX);
+}
+
+std::optional<std::uint64_t>
+InflightWindow::lookupBefore(unsigned local_index, std::uint64_t max_ticket)
+{
     for (auto it = window.rbegin(); it != window.rend(); ++it) {
         ++searched;
-        if (it->localIndex == local_index)
+        if (it->ticket <= max_ticket && it->localIndex == local_index)
             return it->history;
     }
     return std::nullopt;

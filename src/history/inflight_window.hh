@@ -57,10 +57,37 @@ class InflightWindow
      */
     std::optional<std::uint64_t> lookup(unsigned local_index);
 
+    /**
+     * lookup() restricted to instances with ticket <= @p max_ticket.
+     * This is the time-travel view the pipeline simulator's commit
+     * sandwich needs: re-deriving a branch's fetch-time lookup state must
+     * see only the in-flight instances that were already in the window at
+     * that branch's fetch, without destroying the younger ones (they are
+     * still in flight).  Entries skipped for being too young still count
+     * as searched — the hardware comparators examine them either way.
+     */
+    std::optional<std::uint64_t> lookupBefore(unsigned local_index,
+                                              std::uint64_t max_ticket);
+
+    /**
+     * Ticket of the most recent insert ever (0 before the first insert —
+     * tickets start at 1, so 0 as a lookupBefore() bound means "nothing
+     * visible" and as a squashAfter() bound means "squash everything").
+     */
+    std::uint64_t lastTicket() const { return nextTicket - 1; }
+
     /** Commit the oldest in-flight branch (it leaves the window). */
     void commitOldest();
 
-    /** Squash every instance younger than (inserted after) @p ticket. */
+    /**
+     * Squash every instance younger than (inserted after) @p ticket.  The
+     * bound need not name a live instance: a ticket older than every
+     * resident entry (including 0, or one whose instance was already
+     * evicted or committed) squashes the whole window, and a ticket from
+     * the future (never issued yet) squashes nothing.  Both follow from
+     * the one rule "pop while back().ticket > ticket" and are pinned by
+     * tests — recovery code may hold tickets for instances that are gone.
+     */
     void squashAfter(std::uint64_t ticket);
 
     /** Squash everything (pipeline flush). */
@@ -69,7 +96,12 @@ class InflightWindow
     std::size_t size() const { return window.size(); }
     unsigned capacity() const { return cap; }
 
-    /** Entries visited by lookup() so far (associative-search cost). */
+    /**
+     * Entries visited by lookup()/lookupBefore() so far (associative-
+     * search cost).  A plain uint64 event counter: it wraps modulo 2^64
+     * like every other counter in the library — at one entry per
+     * nanosecond that is five centuries, so no saturation logic.
+     */
     std::uint64_t entriesSearched() const { return searched; }
 
     /** Storage held by the window: history bits per in-flight branch. */

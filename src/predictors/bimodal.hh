@@ -30,6 +30,13 @@ class BimodalPredictor : public ConditionalPredictor
     bool predict(std::uint64_t pc) override;
     void update(std::uint64_t pc, bool taken, std::uint64_t target) override;
 
+    /**
+     * Bimodal keeps no speculative history at all (the degenerate case of
+     * the paper's recovery argument): the base-class no-op checkpoint /
+     * restore / speculate defaults are exactly right.
+     */
+    bool supportsSpeculation() const override { return true; }
+
     std::string name() const override { return "bimodal"; }
     StorageAccount storage() const override;
 

@@ -1,10 +1,14 @@
 #include "src/predictors/gehl.hh"
 
+#include "src/predictors/host_speculation.hh"
+
 namespace imli
 {
 
 GehlPredictor::GehlPredictor(const Config &config)
-    : cfg(config), histMgr(4096), global(cfg.global, histMgr),
+    : cfg(config),
+      histMgr(host_spec::historyCapacity(config.global.maxHistory)),
+      global(cfg.global, histMgr),
       voting(cfg.voting), imliComps(cfg.imli)
 {
     voting.addComponent(&global);
@@ -90,6 +94,39 @@ GehlPredictor::update(std::uint64_t pc, bool taken, std::uint64_t target)
     }
 
     histMgr.push(taken, pc);
+}
+
+void
+GehlPredictor::prepareSpeculation(unsigned max_inflight)
+{
+    host_spec::prepare(local.get(), max_inflight);
+}
+
+SpecCheckpoint
+GehlPredictor::checkpoint() const
+{
+    return host_spec::checkpoint(histMgr, cfg.enableImli, imliComps,
+                                 local.get());
+}
+
+void
+GehlPredictor::restore(const SpecCheckpoint &cp)
+{
+    host_spec::restore(histMgr, cfg.enableImli, imliComps, local.get(), cp);
+}
+
+void
+GehlPredictor::speculate(std::uint64_t pc, bool pred_taken,
+                         std::uint64_t target)
+{
+    host_spec::speculate(histMgr, cfg.enableImli, imliComps, local.get(),
+                         pc, pred_taken, target);
+}
+
+void
+GehlPredictor::squashSpeculation()
+{
+    host_spec::squash(local.get());
 }
 
 void

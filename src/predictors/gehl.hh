@@ -68,6 +68,17 @@ class GehlPredictor : public ConditionalPredictor
     void trackOtherInst(std::uint64_t pc, BranchType type, bool taken,
                         std::uint64_t target) override;
 
+    // Speculation contract — same recovery-state split as TageGsc (see
+    // tage_gsc.hh): history + IMLI + local ticket are checkpointed, loop
+    // / wormhole / adder-tree state is architectural.
+    bool supportsSpeculation() const override { return true; }
+    void prepareSpeculation(unsigned max_inflight) override;
+    SpecCheckpoint checkpoint() const override;
+    void restore(const SpecCheckpoint &cp) override;
+    void speculate(std::uint64_t pc, bool pred_taken,
+                   std::uint64_t target) override;
+    void squashSpeculation() override;
+
     std::string name() const override { return cfg.configName; }
     StorageAccount storage() const override;
 

@@ -46,6 +46,28 @@ GsharePredictor::trackOtherInst(std::uint64_t pc, BranchType type,
     hist.push(true, pc);
 }
 
+SpecCheckpoint
+GsharePredictor::checkpoint() const
+{
+    SpecCheckpoint cp;
+    cp.global = hist.save();
+    return cp;
+}
+
+void
+GsharePredictor::restore(const SpecCheckpoint &cp)
+{
+    hist.restore(cp.global);
+}
+
+void
+GsharePredictor::speculate(std::uint64_t pc, bool pred_taken,
+                           std::uint64_t target)
+{
+    (void)target;
+    hist.push(pred_taken, pc);
+}
+
 StorageAccount
 GsharePredictor::storage() const
 {

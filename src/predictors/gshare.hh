@@ -34,6 +34,14 @@ class GsharePredictor : public ConditionalPredictor
     void trackOtherInst(std::uint64_t pc, BranchType type, bool taken,
                         std::uint64_t target) override;
 
+    // Speculation contract: the only speculative state is the global
+    // history register, so a checkpoint is just its head + path pointer.
+    bool supportsSpeculation() const override { return true; }
+    SpecCheckpoint checkpoint() const override;
+    void restore(const SpecCheckpoint &cp) override;
+    void speculate(std::uint64_t pc, bool pred_taken,
+                   std::uint64_t target) override;
+
     std::string name() const override { return "gshare"; }
     StorageAccount storage() const override;
 

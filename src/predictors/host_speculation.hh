@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Shared implementation of the speculation contract for composed host
+ * predictors (TAGE-GSC and GEHL).  Both hosts hold the same speculative
+ * state — a HistoryManager, optional ImliComponents, an optional
+ * LocalComponent — and must checkpoint / restore / speculate over it
+ * identically; keeping the bodies here means a fix to the recovery
+ * protocol cannot be applied to one host and silently missed on the
+ * other (the zoo-wide checkpoint property test guards the contract, but
+ * only one definition makes divergence impossible).
+ */
+
+#ifndef IMLI_SRC_PREDICTORS_HOST_SPECULATION_HH
+#define IMLI_SRC_PREDICTORS_HOST_SPECULATION_HH
+
+#include <cstdint>
+
+#include "src/core/imli_components.hh"
+#include "src/history/history_manager.hh"
+#include "src/predictors/local_component.hh"
+#include "src/predictors/predictor.hh"
+
+namespace imli
+{
+namespace host_spec
+{
+
+/**
+ * History-buffer capacity for a host whose longest registered fold is
+ * @p longest_history bits.  The incremental restore walk of
+ * HistoryManager reads each push's outgoing bit (fold length positions
+ * back), so the buffer must keep longest + deepest-restore-distance
+ * bits resident — restores span at most the in-flight window
+ * (kMaxSpeculationDepth records) plus the commit sandwich's own push.
+ * Sizing the buffer here makes the residency invariant hold by
+ * construction for every legal geometry override (maxhist up to 4096),
+ * instead of silently corrupting folds when a big maxhist meets a
+ * fixed 4096-bit buffer.  The 4096 floor keeps default geometries on
+ * the capacity they always had.
+ */
+inline unsigned
+historyCapacity(unsigned longest_history)
+{
+    const unsigned needed = longest_history + kMaxSpeculationDepth + 64;
+    unsigned capacity = 4096;
+    while (capacity < needed)
+        capacity <<= 1;
+    return capacity;
+}
+
+inline void
+prepare(LocalComponent *local, unsigned max_inflight)
+{
+    if (local != nullptr)
+        local->enableSpeculation(max_inflight);
+}
+
+inline SpecCheckpoint
+checkpoint(const HistoryManager &hist, bool enable_imli,
+           const ImliComponents &imli, const LocalComponent *local)
+{
+    SpecCheckpoint cp;
+    cp.global = hist.save();
+    if (enable_imli) {
+        const ImliComponents::Checkpoint state = imli.save();
+        cp.imliCounter = state.counter;
+        cp.imliPipe = state.pipe;
+        cp.omliCounter = state.omli.count;
+        cp.omliTag = state.omli.innerTag;
+    }
+    if (local != nullptr)
+        cp.localTicket = local->lastTicket();
+    return cp;
+}
+
+inline void
+restore(HistoryManager &hist, bool enable_imli, ImliComponents &imli,
+        LocalComponent *local, const SpecCheckpoint &cp)
+{
+    hist.restore(cp.global);
+    if (enable_imli)
+        imli.restore({cp.imliCounter, cp.imliPipe,
+                      {cp.omliCounter, cp.omliTag}});
+    if (local != nullptr)
+        local->setTicketHorizon(cp.localTicket);
+}
+
+inline void
+speculate(HistoryManager &hist, bool enable_imli, ImliComponents &imli,
+          LocalComponent *local, std::uint64_t pc, bool pred_taken,
+          std::uint64_t target)
+{
+    if (enable_imli)
+        imli.speculate(pc, target, pred_taken);
+    if (local != nullptr)
+        local->speculate(pc, pred_taken);
+    hist.push(pred_taken, pc);
+}
+
+inline void
+squash(LocalComponent *local)
+{
+    if (local != nullptr)
+        local->squashSpeculation();
+}
+
+} // namespace host_spec
+} // namespace imli
+
+#endif // IMLI_SRC_PREDICTORS_HOST_SPECULATION_HH

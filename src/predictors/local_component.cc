@@ -21,11 +21,22 @@ LocalComponent::LocalComponent(const Config &config)
                       1u << cfg.logEntries, SignedCounter(cfg.counterBits)));
 }
 
+std::uint64_t
+LocalComponent::specHistory(std::uint64_t pc) const
+{
+    if (window != nullptr) {
+        const auto hit =
+            window->lookupBefore(histories.index(pc), ticketHorizon);
+        if (hit.has_value())
+            return *hit;
+    }
+    return histories.read(pc);
+}
+
 unsigned
 LocalComponent::index(unsigned table, const ScContext &ctx) const
 {
-    const std::uint64_t hist =
-        histories.read(ctx.pc) & maskBits(lengths[table]);
+    const std::uint64_t hist = specHistory(ctx.pc) & maskBits(lengths[table]);
     const std::uint64_t h =
         hashCombine(pcHash(ctx.pc) + table, hist * 0x9e3779b97f4a7c15ULL);
     return static_cast<unsigned>(h & maskBits(cfg.logEntries));
@@ -51,6 +62,50 @@ void
 LocalComponent::onResolved(const ScContext &ctx, bool taken)
 {
     histories.update(ctx.pc, taken);
+    // Pipeline mode: this is the commit of the oldest in-flight branch —
+    // its speculative window entry retires (FIFO with speculate()).
+    if (window != nullptr)
+        window->commitOldest();
+}
+
+void
+LocalComponent::enableSpeculation(unsigned max_inflight)
+{
+    window = std::make_unique<InflightWindow>(
+        max_inflight < 1 ? 1 : max_inflight, cfg.historyBits);
+    ticketHorizon = UINT64_MAX;
+}
+
+void
+LocalComponent::speculate(std::uint64_t pc, bool pred_taken)
+{
+    assert(window != nullptr &&
+           "speculate() requires enableSpeculation() first");
+    ticketHorizon = UINT64_MAX; // speculation happens at the fetch front
+    const std::uint64_t next =
+        ((specHistory(pc) << 1) | (pred_taken ? 1u : 0u)) &
+        maskBits(cfg.historyBits);
+    window->insert(histories.index(pc), next);
+}
+
+void
+LocalComponent::setTicketHorizon(std::uint64_t max_ticket)
+{
+    ticketHorizon = max_ticket;
+}
+
+std::uint64_t
+LocalComponent::lastTicket() const
+{
+    return window == nullptr ? 0 : window->lastTicket();
+}
+
+void
+LocalComponent::squashSpeculation()
+{
+    if (window != nullptr)
+        window->squashAll();
+    ticketHorizon = UINT64_MAX;
 }
 
 void

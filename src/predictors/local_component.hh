@@ -15,8 +15,11 @@
 #ifndef IMLI_SRC_PREDICTORS_LOCAL_COMPONENT_HH
 #define IMLI_SRC_PREDICTORS_LOCAL_COMPONENT_HH
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "src/history/inflight_window.hh"
 #include "src/history/local_history.hh"
 #include "src/predictors/sc_component.hh"
 #include "src/util/counters.hh"
@@ -44,20 +47,84 @@ class LocalComponent : public ScComponent
 
     int vote(const ScContext &ctx) const override;
     void update(const ScContext &ctx, bool taken) override;
-    /** Shifts the branch outcome into its local history — every branch. */
+    /**
+     * Shifts the branch outcome into its local history — every branch.
+     * Commit-time in pipeline mode: the architectural table write, paired
+     * FIFO with the speculate() that fetched the branch (the oldest
+     * in-flight window entry retires).
+     */
     void onResolved(const ScContext &ctx, bool taken) override;
     void account(StorageAccount &acct) const override;
     std::string name() const override { return cfg.label; }
+
+    // ---- Speculative local history (pipeline simulation) ----------------
+    //
+    // This is the machinery the paper says makes local history expensive
+    // (Section 2.3.2): the table is written at commit only, so fetch must
+    // associatively search the window of in-flight branches for a younger
+    // speculative history of the same entry.  Enabled, the InflightWindow
+    // stops being a passive cost ledger and becomes the live read path:
+    // votes and trains read through it, and its entriesSearched() counter
+    // measures the real per-fetch search work of the run.
+
+    /**
+     * Switch the component to speculative (pipeline) operation with up to
+     * @p max_inflight branches between fetch and commit.  Sizing the
+     * window to the pipeline depth means no in-flight entry is ever
+     * evicted early, so fetch-time reads are exact.  Resets any previous
+     * window.
+     */
+    void enableSpeculation(unsigned max_inflight);
+
+    bool speculationEnabled() const { return window != nullptr; }
+
+    /**
+     * Fetch-side step: insert the speculative local history following the
+     * branch at @p pc (current speculative read + the predicted outcome)
+     * into the in-flight window.  Lifts any restore-time visibility
+     * bound — speculation always happens at the fetch front.
+     */
+    void speculate(std::uint64_t pc, bool pred_taken);
+
+    /**
+     * Bound the speculative read path to window entries with ticket <=
+     * @p max_ticket (the commit sandbox's fetch-time view); UINT64_MAX
+     * lifts the bound.  Non-destructive.
+     */
+    void setTicketHorizon(std::uint64_t max_ticket);
+
+    /** Ticket of the youngest in-flight entry (0 before any insert). */
+    std::uint64_t lastTicket() const;
+
+    /** Misprediction squash: drop all in-flight entries, lift the bound. */
+    void squashSpeculation();
+
+    /** The window, for cost reporting (null until enableSpeculation). */
+    const InflightWindow *inflightWindow() const { return window.get(); }
 
     const Config &config() const { return cfg; }
 
   private:
     unsigned index(unsigned table, const ScContext &ctx) const;
 
+    /**
+     * The local history the branch at @p pc observes: the youngest
+     * visible in-flight speculative history for its table entry, falling
+     * back to the architectural table.  Identical to a plain table read
+     * when speculation is off (or the window misses).
+     */
+    std::uint64_t specHistory(std::uint64_t pc) const;
+
     Config cfg;
     LocalHistoryTable histories;
     std::vector<unsigned> lengths; //!< history prefix length per table
     std::vector<std::vector<SignedCounter>> tables;
+
+    // Mutable: vote() is const but the associative search bumps the
+    // window's entriesSearched() cost counter (a measurement, not state
+    // the prediction depends on).
+    mutable std::unique_ptr<InflightWindow> window;
+    std::uint64_t ticketHorizon = UINT64_MAX;
 };
 
 } // namespace imli

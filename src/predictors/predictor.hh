@@ -16,8 +16,15 @@
  *  - update(pc, ...) is always the next call after predict(pc) for the same
  *    dynamic branch; implementations may cache lookup state across the pair
  *    (every serious predictor does).
- *  - trace-driven simulation implies immediate update (paper, Section 3);
- *    speculative-state effects are studied separately in src/spec/.
+ *  - the immediate-update drive above is the CBP default (paper, Section 3).
+ *    The pipeline simulator (src/sim/pipeline_simulator.hh) instead drives
+ *    the speculation contract below: predict at fetch, speculate() the
+ *    predicted outcome into the history state, and only pair predict/update
+ *    at commit time inside a checkpoint()/restore() sandwich.  predict()
+ *    must therefore be free of side effects on shared predictor state
+ *    beyond the cached lookup pairing state (no LFSR draws, no table
+ *    writes) — calling it twice from the same state must yield the same
+ *    answer and leave the same state.
  */
 
 #ifndef IMLI_SRC_PREDICTORS_PREDICTOR_HH
@@ -27,11 +34,49 @@
 #include <memory>
 #include <string>
 
+#include "src/history/global_history.hh"
 #include "src/trace/branch_record.hh"
 #include "src/util/storage.hh"
 
 namespace imli
 {
+
+/**
+ * Deepest in-flight window the speculation contract supports, in
+ * branches.  Bounded by checkpoint recoverability: a restore walks the
+ * global-history buffer, so window + longest fold length must stay
+ * resident — every predictor sizes its buffer for this depth (hosts via
+ * host_spec::historyCapacity() from their configured maxhist; gshare's
+ * 1024 covers its 64-bit recent() ceiling).  The single source for the
+ * "sim.delay" key range, the --update-delay CLI check and the pipeline
+ * engine's own constructor guard.
+ */
+constexpr unsigned kMaxSpeculationDepth = 512;
+
+/**
+ * Snapshot of a predictor's *speculative history* state — the state the
+ * paper argues must be recoverable after a misprediction (Section 2.3):
+ * the global/path history head, the IMLI counter + PIPE vector (+ the
+ * OMLI extension's counter/tag), and the in-flight-window ticket bounding
+ * the speculative local history.  Deliberately NOT a snapshot of tables
+ * or counters: those are architectural state, written at commit time, and
+ * never need recovery.  A checkpoint is a few tens of bits in hardware;
+ * here it is a small value type taken once per in-flight branch.
+ */
+struct SpecCheckpoint
+{
+    GlobalHistory::Checkpoint global;
+    std::uint32_t imliCounter = 0;
+    std::uint32_t imliPipe = 0;
+    std::uint32_t omliCounter = 0;
+    std::uint32_t omliTag = 0;
+    /**
+     * In-flight-window visibility bound for the speculative local
+     * history: restore() makes entries younger than this invisible
+     * (non-destructively — see ConditionalPredictor::restore).
+     */
+    std::uint64_t localTicket = UINT64_MAX;
+};
 
 /** Abstract conditional branch direction predictor. */
 class ConditionalPredictor
@@ -62,6 +107,70 @@ class ConditionalPredictor
         (void)taken;
         (void)target;
     }
+
+    // ---- Speculation contract (pipeline simulation) ---------------------
+    //
+    // The pipeline simulator drives, per conditional branch:
+    //   fetch:   predict(pc); cp = checkpoint(); speculate(pc, pred, tgt)
+    //   commit:  cur = checkpoint(); restore(cp); predict(pc);
+    //            update(pc, taken, tgt);
+    //            correct   -> restore(cur)
+    //            mispredict-> squashSpeculation()   (history already
+    //                          repaired: restore(cp) + update's push)
+    // speculate() advances ONLY the speculative history state with the
+    // predicted outcome; update() remains the one architectural trainer
+    // (tables + the history push with the resolved outcome), which is
+    // what makes delay-0 pipeline simulation bit-identical to the
+    // immediate engine.
+
+    /** True when the speculation contract below is implemented. */
+    virtual bool supportsSpeculation() const { return false; }
+
+    /**
+     * Size the speculative structures for up to @p max_inflight branches
+     * between predict and commit (called once, before the first
+     * speculate()).  Default: nothing to size.
+     */
+    virtual void prepareSpeculation(unsigned max_inflight)
+    {
+        (void)max_inflight;
+    }
+
+    /** Snapshot the speculative history state (see SpecCheckpoint). */
+    virtual SpecCheckpoint checkpoint() const { return SpecCheckpoint(); }
+
+    /**
+     * Move the speculative history state to @p cp — backward for
+     * misprediction recovery, forward for the commit sandwich's return to
+     * the fetch front.  Non-destructive for the in-flight local-history
+     * window: entries younger than cp.localTicket become invisible but
+     * stay resident (a forward restore brings them back); an actual
+     * squash is a separate, explicit squashSpeculation().
+     */
+    virtual void restore(const SpecCheckpoint &cp) { (void)cp; }
+
+    /**
+     * Fetch-side speculative step: push the *predicted* outcome of the
+     * conditional branch at @p pc into the speculative history (global +
+     * path history, IMLI counter/PIPE, in-flight local history).  Tables
+     * are not touched.  @p target is the taken-target from the trace
+     * (backward detection needs it even when predicting not-taken).
+     */
+    virtual void speculate(std::uint64_t pc, bool pred_taken,
+                           std::uint64_t target)
+    {
+        (void)pc;
+        (void)pred_taken;
+        (void)target;
+    }
+
+    /**
+     * Misprediction squash: drop every in-flight speculative local-
+     * history entry and lift any restore() visibility bound.  The global
+     * history needs no explicit squash — restore() already moved the
+     * head, which is the paper's point.
+     */
+    virtual void squashSpeculation() {}
 
     /** Short configuration name, e.g. "TAGE-GSC+I". */
     virtual std::string name() const = 0;

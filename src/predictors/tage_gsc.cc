@@ -1,10 +1,17 @@
 #include "src/predictors/tage_gsc.hh"
 
+#include <algorithm>
+
+#include "src/predictors/host_speculation.hh"
+
 namespace imli
 {
 
 TageGscPredictor::TageGscPredictor(const Config &config)
-    : cfg(config), histMgr(4096), tage(cfg.tage, histMgr), bias(cfg.bias),
+    : cfg(config),
+      histMgr(host_spec::historyCapacity(std::max(
+          config.tage.maxHistory, config.gscGlobal.maxHistory))),
+      tage(cfg.tage, histMgr), bias(cfg.bias),
       gscGlobal(cfg.gscGlobal, histMgr), corrector(cfg.sc),
       imliComps(cfg.imli)
 {
@@ -89,6 +96,39 @@ TageGscPredictor::update(std::uint64_t pc, bool taken, std::uint64_t target)
     }
 
     histMgr.push(taken, pc);
+}
+
+void
+TageGscPredictor::prepareSpeculation(unsigned max_inflight)
+{
+    host_spec::prepare(local.get(), max_inflight);
+}
+
+SpecCheckpoint
+TageGscPredictor::checkpoint() const
+{
+    return host_spec::checkpoint(histMgr, cfg.enableImli, imliComps,
+                                 local.get());
+}
+
+void
+TageGscPredictor::restore(const SpecCheckpoint &cp)
+{
+    host_spec::restore(histMgr, cfg.enableImli, imliComps, local.get(), cp);
+}
+
+void
+TageGscPredictor::speculate(std::uint64_t pc, bool pred_taken,
+                            std::uint64_t target)
+{
+    host_spec::speculate(histMgr, cfg.enableImli, imliComps, local.get(),
+                         pc, pred_taken, target);
+}
+
+void
+TageGscPredictor::squashSpeculation()
+{
+    host_spec::squash(local.get());
 }
 
 void

@@ -72,6 +72,21 @@ class TageGscPredictor : public ConditionalPredictor
     void trackOtherInst(std::uint64_t pc, BranchType type, bool taken,
                         std::uint64_t target) override;
 
+    // Speculation contract (see predictor.hh): checkpoint = global/path
+    // head + IMLI counter/PIPE (+OMLI) + in-flight local-history ticket —
+    // the paper's Section 4.4 recovery state.  Loop / wormhole state and
+    // the loop-tracking PC are architectural (commit-updated) and are
+    // deliberately NOT checkpointed: under a deep pipeline their fetch
+    // view goes stale, which is exactly the hardware cost the paper
+    // charges those components with.
+    bool supportsSpeculation() const override { return true; }
+    void prepareSpeculation(unsigned max_inflight) override;
+    SpecCheckpoint checkpoint() const override;
+    void restore(const SpecCheckpoint &cp) override;
+    void speculate(std::uint64_t pc, bool pred_taken,
+                   std::uint64_t target) override;
+    void squashSpeculation() override;
+
     std::string name() const override { return cfg.configName; }
     StorageAccount storage() const override;
 

@@ -196,6 +196,15 @@ keyTable()
         {{"sic.weight", 1, 8, false, false, "IMLI-SIC vote weight"},
          +[](TageCfg &c, long long v) { c.imli.sic.weight = int(v); },
          +[](GehlCfg &c, long long v) { c.imli.sic.weight = int(v); }},
+        // Run-level, not geometry: consumed by the simulation drivers
+        // (suite runner / DSE sweep) as the pipeline engine's update
+        // delay for this point.  The no-op appliers keep the config
+        // builders uniform; specUpdateDelay() is the accessor.
+        {{"sim.delay", 0, kMaxSpeculationDepth, false, false,
+          "pipeline update delay for this config point (in-flight "
+          "branches; 0 = immediate)"},
+         +[](TageCfg &, long long) {},
+         +[](GehlCfg &, long long) {}},
         {{"tage.baselog", 4, 20, false, true,
           "log2 entries of the bimodal base table"},
          +[](TageCfg &c, long long v) { c.tage.baseLogEntries = unsigned(v); },
@@ -744,6 +753,24 @@ knownSpecs()
         "gehl+sic+wh",
         "gehl+sic+omli",
     };
+}
+
+bool
+hasSpecUpdateDelay(const ParsedSpec &parsed)
+{
+    for (const SpecOverride &o : parsed.overrides)
+        if (o.key == "sim.delay")
+            return true;
+    return false;
+}
+
+unsigned
+specUpdateDelay(const ParsedSpec &parsed)
+{
+    for (const SpecOverride &o : parsed.overrides)
+        if (o.key == "sim.delay")
+            return static_cast<unsigned>(o.value);
+    return 0;
 }
 
 std::vector<OverrideKeyInfo>

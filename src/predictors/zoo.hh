@@ -30,6 +30,9 @@
  * Every key names one geometry knob of the underlying Config structs
  * (TAGE table count / log size / history lengths, SC table geometry,
  * SIC/OH/loop/wormhole sizes, counter widths — see knownOverrideKeys()).
+ * One key is run-level rather than geometry: "sim.delay" selects the
+ * speculative pipeline engine's update delay for the point (see
+ * specUpdateDelay()), making update timing a sweepable DSE dimension.
  * Parsing is strict: unknown keys, values out of their documented range,
  * non-integer values, keys that do not apply to the chosen host, and
  * keys whose component the spec does not enable (e.g. sic.* without
@@ -162,6 +165,25 @@ std::vector<std::string> splitSpecList(const std::string &text);
 
 /** All base spec strings makePredictor accepts, for CLI help and tests. */
 std::vector<std::string> knownSpecs();
+
+/**
+ * True when @p parsed carries a "sim.delay" override at all.  Presence
+ * matters independently of the value: an explicit sim.delay=0 pins the
+ * config to the pipeline engine at depth 0 even when the run-level
+ * options select a deeper delay — the spec label must never lie about
+ * the numbers next to it.
+ */
+bool hasSpecUpdateDelay(const ParsedSpec &parsed);
+
+/**
+ * The "sim.delay" override of @p parsed (0 when absent): the speculative
+ * pipeline engine's update delay for this config point.  A run-level key,
+ * not predictor geometry — makePredictor() ignores it, the simulation
+ * drivers (suite runner, DSE sweep) honour it per point, and because it
+ * is part of the canonical spec string, sweep journals and Pareto
+ * reports distinguish delay points like any other dimension.
+ */
+unsigned specUpdateDelay(const ParsedSpec &parsed);
 
 /** Every override key of the design-space grammar, sorted by key. */
 std::vector<OverrideKeyInfo> knownOverrideKeys();

@@ -1,0 +1,118 @@
+#include "src/sim/pipeline_simulator.hh"
+
+#include <stdexcept>
+#include <vector>
+
+namespace imli
+{
+
+PipelineSimulator::PipelineSimulator(ConditionalPredictor &predictor,
+                                     const SimOptions &options)
+    : pred(predictor), opts(options)
+{
+    if (!pred.supportsSpeculation())
+        throw std::invalid_argument(
+            "pipeline simulation needs the speculation contract, which "
+            "predictor \"" + pred.name() + "\" does not implement");
+    // The engine boundary enforces the depth bound, not just the CLIs:
+    // beyond it the commit-sandwich restores could outrun the smallest
+    // history buffer in the zoo and silently corrupt state in Release.
+    if (opts.updateDelay > kMaxSpeculationDepth)
+        throw std::invalid_argument(
+            "updateDelay " + std::to_string(opts.updateDelay) +
+            " exceeds the supported window depth " +
+            std::to_string(kMaxSpeculationDepth));
+    pred.prepareSpeculation(opts.updateDelay + 1);
+}
+
+void
+PipelineSimulator::fetch(const BranchRecord &rec, std::uint64_t pos)
+{
+    Inflight entry;
+    entry.rec = rec;
+    entry.pos = pos;
+    entry.conditional = isConditional(rec.type);
+    if (entry.conditional) {
+        entry.pred = pred.predict(rec.pc);
+        entry.cp = pred.checkpoint();
+        pred.speculate(rec.pc, entry.pred, rec.target);
+    } else {
+        // Non-conditional control flow shifts history at fetch, exactly
+        // as in the immediate engine; it never mispredicts in this model,
+        // so no checkpoint is needed — a squash of an older conditional
+        // rewinds its push and the replay repeats it.
+        pred.trackOtherInst(rec.pc, rec.type, rec.taken, rec.target);
+    }
+    window.push_back(entry);
+}
+
+void
+PipelineSimulator::commitOldest()
+{
+    const Inflight entry = window.front();
+    window.pop_front();
+    ++pipeStats.commits;
+
+    const bool counted = entry.pos >= opts.warmupBranches;
+    if (!entry.conditional) {
+        if (counted)
+            simResult.instructions += entry.rec.instsBefore + 1;
+        return;
+    }
+
+    // Commit sandwich: train at the branch's fetch-time history view.
+    const SpecCheckpoint front = pred.checkpoint();
+    pred.restore(entry.cp);
+    (void)pred.predict(entry.rec.pc); // re-derive predict/update pairing
+    pred.update(entry.rec.pc, entry.rec.taken, entry.rec.target);
+
+    if (counted) {
+        ++simResult.conditionals;
+        if (entry.pred != entry.rec.taken) {
+            ++simResult.mispredictions;
+            if (opts.collectPerPc)
+                ++simResult.perPcMispredictions[entry.rec.pc];
+        }
+        simResult.instructions += entry.rec.instsBefore + 1;
+    }
+
+    if (entry.pred == entry.rec.taken) {
+        // Correct: back to the fetch front (history now holds the same
+        // bit the speculation pushed, so the forward restore is exact).
+        pred.restore(front);
+        return;
+    }
+
+    // Mispredict: update() already repaired the history (restore to the
+    // fetch point + push of the resolved outcome).  Everything younger in
+    // the window was fetched in the wrong-path shadow: squash it and
+    // re-fetch the same records — the trace is the correct path.
+    ++pipeStats.squashes;
+    pred.squashSpeculation();
+    std::vector<Inflight> shadow(window.begin(), window.end());
+    window.clear();
+    for (const Inflight &again : shadow) {
+        fetch(again.rec, again.pos);
+        ++pipeStats.replays;
+    }
+}
+
+void
+PipelineSimulator::onRecord(const BranchRecord &rec)
+{
+    fetch(rec, fetchPos++);
+    while (window.size() > opts.updateDelay)
+        commitOldest();
+}
+
+void
+PipelineSimulator::drain()
+{
+    // commitOldest() can temporarily refill the window on a squash
+    // (replayed fetches), but every call retires one record for good, so
+    // the loop strictly shrinks the in-flight set.
+    while (!window.empty())
+        commitOldest();
+}
+
+} // namespace imli

@@ -1,6 +1,11 @@
 #include "src/sim/simulator.hh"
 
 #include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "src/predictors/zoo.hh"
+#include "src/sim/pipeline_simulator.hh"
 
 namespace imli
 {
@@ -28,9 +33,14 @@ SimResult::topOffenders(std::size_t n) const
 {
     std::vector<std::pair<std::uint64_t, std::uint64_t>> all(
         perPcMispredictions.begin(), perPcMispredictions.end());
+    // Count descending with a PC tie-break: a count-only comparator under
+    // std::sort leaves tied PCs in implementation-defined order, so the
+    // --offenders report would differ across standard libraries.
     std::sort(all.begin(), all.end(),
               [](const auto &a, const auto &b) {
-                  return a.second > b.second;
+                  if (a.second != b.second)
+                      return a.second > b.second;
+                  return a.first < b.first;
               });
     if (all.size() > n)
         all.resize(n);
@@ -74,10 +84,34 @@ replayChunk(ConditionalPredictor &predictor, const BranchSpan &chunk,
 
 } // anonymous namespace
 
+SimOptions
+applySpecDelay(const ParsedSpec &parsed, SimOptions base)
+{
+    if (hasSpecUpdateDelay(parsed)) {
+        base.updateDelay = specUpdateDelay(parsed);
+        base.pipeline = true;
+    }
+    return base;
+}
+
 SimResult
 simulate(ConditionalPredictor &predictor, BranchSource &source,
          const SimOptions &options)
 {
+    if (options.usePipeline()) {
+        PipelineSimulator pipeline(predictor, options);
+        for (BranchSpan chunk = source.nextChunk(); !chunk.empty();
+             chunk = source.nextChunk()) {
+            for (const BranchRecord &rec : chunk)
+                pipeline.onRecord(rec);
+        }
+        pipeline.drain();
+        SimResult result = pipeline.result();
+        result.traceName = source.name();
+        result.predictorName = predictor.name();
+        return result;
+    }
+
     SimResult result;
     result.traceName = source.name();
     result.predictorName = predictor.name();
@@ -101,29 +135,76 @@ simulate(ConditionalPredictor &predictor, const Trace &trace,
 
 std::vector<SimResult>
 simulateMany(const std::vector<ConditionalPredictor *> &predictors,
-             BranchSource &source, const SimOptions &options)
+             BranchSource &source, const std::vector<SimOptions> &options)
 {
+    if (options.size() != predictors.size())
+        throw std::invalid_argument(
+            "simulateMany: need exactly one SimOptions per predictor");
+
     std::vector<SimResult> results(predictors.size());
+    // One pipeline driver per pipelined predictor; immediate predictors
+    // keep the replayChunk fast path.  Either way the stream is produced
+    // once and every predictor walks the same records.
+    std::vector<std::unique_ptr<PipelineSimulator>> pipes(predictors.size());
     for (std::size_t p = 0; p < predictors.size(); ++p) {
         results[p].traceName = source.name();
         results[p].predictorName = predictors[p]->name();
+        if (options[p].usePipeline())
+            pipes[p] = std::make_unique<PipelineSimulator>(*predictors[p],
+                                                           options[p]);
     }
 
     std::uint64_t seen = 0;
     for (BranchSpan chunk = source.nextChunk(); !chunk.empty();
          chunk = source.nextChunk()) {
-        // One generate/decode, N replays: every predictor walks the same
-        // span from the same stream position.
-        for (std::size_t p = 0; p < predictors.size(); ++p)
-            replayChunk(*predictors[p], chunk, seen, options, results[p]);
+        for (std::size_t p = 0; p < predictors.size(); ++p) {
+            if (pipes[p]) {
+                for (const BranchRecord &rec : chunk)
+                    pipes[p]->onRecord(rec);
+            } else {
+                replayChunk(*predictors[p], chunk, seen, options[p],
+                            results[p]);
+            }
+        }
         seen += chunk.count;
+    }
+    for (std::size_t p = 0; p < predictors.size(); ++p) {
+        if (pipes[p]) {
+            pipes[p]->drain();
+            // Move the whole graded result (the simulator is done with
+            // it) and keep the names set above — robust against new
+            // SimResult fields and free of per-PC map copies.
+            SimResult graded = std::move(pipes[p]->result());
+            graded.traceName = std::move(results[p].traceName);
+            graded.predictorName = std::move(results[p].predictorName);
+            results[p] = std::move(graded);
+        }
     }
     return results;
 }
 
 std::vector<SimResult>
+simulateMany(const std::vector<ConditionalPredictor *> &predictors,
+             BranchSource &source, const SimOptions &options)
+{
+    return simulateMany(predictors, source,
+                        std::vector<SimOptions>(predictors.size(), options));
+}
+
+std::vector<SimResult>
 simulateMany(const std::vector<PredictorPtr> &predictors,
              BranchSource &source, const SimOptions &options)
+{
+    std::vector<ConditionalPredictor *> raw;
+    raw.reserve(predictors.size());
+    for (const PredictorPtr &p : predictors)
+        raw.push_back(p.get());
+    return simulateMany(raw, source, options);
+}
+
+std::vector<SimResult>
+simulateMany(const std::vector<PredictorPtr> &predictors,
+             BranchSource &source, const std::vector<SimOptions> &options)
 {
     std::vector<ConditionalPredictor *> raw;
     raw.reserve(predictors.size());

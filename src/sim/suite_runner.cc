@@ -112,9 +112,16 @@ runBenchmark(const BenchmarkSpec &spec,
              const SuiteRunOptions &options, SuiteCell *cells)
 {
     std::vector<PredictorPtr> predictors;
+    std::vector<SimOptions> simOptions;
     predictors.reserve(configs.size());
-    for (const std::string &config : configs)
-        predictors.push_back(makePredictor(config));
+    simOptions.reserve(configs.size());
+    for (const std::string &config : configs) {
+        const ParsedSpec parsed = parseSpec(config);
+        predictors.push_back(makePredictor(parsed));
+        // Per-config engine selection: run-level options are the base, a
+        // sim.delay spec override pins the config (see applySpecDelay).
+        simOptions.push_back(applySpecDelay(parsed, options.sim));
+    }
 
     // The backend factory: generator for synthetic specs, streaming file
     // reader for recorded ones.  Either way the stream arrives chunk by
@@ -123,7 +130,7 @@ runBenchmark(const BenchmarkSpec &spec,
         makeBranchSource(spec, options.branchesPerTrace,
                          options.chunkBranches);
     const std::vector<SimResult> results =
-        simulateMany(predictors, *source, options.sim);
+        simulateMany(predictors, *source, simOptions);
 
     for (std::size_t c = 0; c < configs.size(); ++c) {
         SuiteCell &cell = cells[c];
@@ -226,6 +233,24 @@ defaultJobs()
     if (const char *env = std::getenv("IMLI_JOBS"))
         return ThreadPool::parseJobsStrict(env, "IMLI_JOBS");
     return 1;
+}
+
+void
+applyPipelineFlags(const CommandLine &cli, SimOptions &sim)
+{
+    cli.rejectValuedBool("pipeline");
+    if (cli.has("update-delay")) {
+        const std::int64_t delay = cli.getInt("update-delay");
+        if (delay < 0 ||
+            delay > static_cast<std::int64_t>(kMaxSpeculationDepth))
+            throw std::runtime_error(
+                "--update-delay: need a value in [0, " +
+                std::to_string(kMaxSpeculationDepth) + "]");
+        sim.updateDelay = static_cast<unsigned>(delay);
+        sim.pipeline = true;
+    } else if (cli.getBool("pipeline")) {
+        sim.pipeline = true;
+    }
 }
 
 } // namespace imli

@@ -101,10 +101,13 @@ struct SuiteRunOptions
      */
     unsigned jobs = 1;
     /**
-     * Per-simulation options (warm-up, per-PC collection) applied to
-     * every (benchmark, config) cell.  warmupBranches excludes the first
-     * N records of each benchmark's stream from grading, per the CBP
-     * methodology note in simulator.hh.
+     * Per-simulation options (warm-up, per-PC collection, pipeline
+     * engine / update delay) applied to every (benchmark, config) cell.
+     * warmupBranches excludes the first N records of each benchmark's
+     * stream from grading, per the CBP methodology note in simulator.hh.
+     * A config whose spec carries a "sim.delay" override runs on the
+     * pipeline engine at that depth regardless of these options, so one
+     * suite can mix update-timing points.
      */
     SimOptions sim;
     /**
@@ -150,6 +153,18 @@ std::size_t defaultBranchesPerTrace();
  * unset.  Throws std::runtime_error on garbage values.
  */
 unsigned defaultJobs();
+
+class CommandLine;
+
+/**
+ * Parse the shared pipeline-engine CLI flags into @p sim:
+ * "--update-delay N" (strict integer, 0..kMaxSpeculationDepth; selects
+ * the pipeline engine, 0 being the immediate-engine bit-identity
+ * oracle) or bare "--pipeline" (delay 0).  A value glued to --pipeline
+ * throws, like every other boolean mode switch.  Shared by suite_report
+ * and predictor_shootout so the two CLIs cannot drift.
+ */
+void applyPipelineFlags(const CommandLine &cli, SimOptions &sim);
 
 } // namespace imli
 

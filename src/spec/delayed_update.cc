@@ -77,4 +77,59 @@ runDelayedUpdateSweep(const std::vector<BenchmarkSpec> &benchmarks,
     return points;
 }
 
+std::vector<PipelineDelayPoint>
+runPipelineDelaySweep(const std::vector<BenchmarkSpec> &benchmarks,
+                      const std::vector<unsigned> &delays,
+                      const std::string &host,
+                      std::size_t branches_per_trace)
+{
+    if (host != "tage-gsc" && host != "gehl")
+        throw std::invalid_argument("unknown host: " + host);
+
+    std::vector<double> hostSum(delays.size(), 0.0);
+    std::vector<double> imliSum(delays.size(), 0.0);
+
+    for (const BenchmarkSpec &spec : benchmarks) {
+        // Predictor order: [host@d0, host+I@d0, host@d1, host+I@d1, ...],
+        // every pair pinned to its delay via per-predictor SimOptions —
+        // one streamed pass grades the full grid.
+        std::vector<PredictorPtr> predictors;
+        std::vector<SimOptions> simOptions;
+        for (unsigned delay : delays) {
+            ZooOptions plain;
+            ZooOptions withImli;
+            withImli.imliSic = true;
+            withImli.imliOh = true;
+            for (const ZooOptions &opts : {plain, withImli}) {
+                predictors.push_back(host == "tage-gsc" ? makeTageGsc(opts)
+                                                        : makeGehl(opts));
+                SimOptions sim;
+                sim.updateDelay = delay;
+                sim.pipeline = true;
+                simOptions.push_back(sim);
+            }
+        }
+        GeneratorBranchSource source(spec, branches_per_trace);
+        const std::vector<SimResult> results =
+            simulateMany(predictors, source, simOptions);
+        for (std::size_t d = 0; d < delays.size(); ++d) {
+            hostSum[d] += results[2 * d].mpki();
+            imliSum[d] += results[2 * d + 1].mpki();
+        }
+    }
+
+    std::vector<PipelineDelayPoint> points;
+    points.reserve(delays.size());
+    const double n =
+        benchmarks.empty() ? 1.0 : static_cast<double>(benchmarks.size());
+    for (std::size_t d = 0; d < delays.size(); ++d) {
+        PipelineDelayPoint p;
+        p.delay = delays[d];
+        p.mpkiHost = hostSum[d] / n;
+        p.mpkiImli = imliSum[d] / n;
+        points.push_back(p);
+    }
+    return points;
+}
+
 } // namespace imli

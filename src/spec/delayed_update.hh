@@ -31,10 +31,42 @@ struct DelayedUpdatePoint
 
 /**
  * Run "host+I" (host in {"tage-gsc", "gehl"}) over @p benchmarks for each
- * delay value and return the average MPKI per point.
+ * delay value and return the average MPKI per point.  This is the
+ * paper's original experiment: only the outer-history table write is
+ * delayed (ImliOuterHistory's internal queue); everything else updates
+ * immediately.
  */
 std::vector<DelayedUpdatePoint>
 runDelayedUpdateSweep(const std::vector<BenchmarkSpec> &benchmarks,
+                      const std::vector<unsigned> &delays,
+                      const std::string &host,
+                      std::size_t branches_per_trace);
+
+/**
+ * One point of the full-pipeline delay sweep: the host with and without
+ * the IMLI components, both trained at commit time behind @p delay
+ * in-flight branches (the speculative pipeline engine of
+ * src/sim/pipeline_simulator.hh).
+ */
+struct PipelineDelayPoint
+{
+    unsigned delay = 0;      //!< in-flight branches between fetch and commit
+    double mpkiHost = 0.0;   //!< average MPKI, plain host
+    double mpkiImli = 0.0;   //!< average MPKI, host+I
+
+    /** The IMLI accuracy benefit surviving at this update delay. */
+    double imliBenefit() const { return mpkiHost - mpkiImli; }
+};
+
+/**
+ * The Section 4.3.2 claim restated on the pipeline engine: sweep the
+ * *whole predictor's* update delay and measure whether the IMLI benefit
+ * (host vs host+I) survives commit-time update.  Every delay point of
+ * both configs rides one streamed pass per benchmark; delay 0 uses the
+ * pipeline engine too, so the baseline shares every code path.
+ */
+std::vector<PipelineDelayPoint>
+runPipelineDelaySweep(const std::vector<BenchmarkSpec> &benchmarks,
                       const std::vector<unsigned> &delays,
                       const std::string &host,
                       std::size_t branches_per_trace);

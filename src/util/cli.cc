@@ -207,8 +207,8 @@ CommandLine::rejectValuedBool(const std::string &name) const
         v == "false" || v == "0" || v == "no")
         return;
     throw std::runtime_error(
-        "--" + name + " takes no value (it prints to stdout; "
-        "redirect instead)");
+        "--" + name + " is a boolean switch and takes no value (got \"" +
+        v + "\")");
 }
 
 bool

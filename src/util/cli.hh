@@ -101,10 +101,10 @@ class CommandLine
     bool getBool(const std::string &name, bool def = false) const;
 
     /**
-     * Guard for output-mode booleans (--csv/--json print to stdout): a
+     * Guard for boolean mode switches (--csv, --json, --pipeline): a
      * non-boolean value ("--json out.json") would be silently swallowed
-     * by getBool, so it throws std::runtime_error telling the user to
-     * redirect instead.  No-op when the flag is absent or carries a
+     * by getBool, so it throws std::runtime_error naming the flag and
+     * the stray value.  No-op when the flag is absent or carries a
      * recognized boolean spelling (true/1/yes/false/0/no).
      */
     void rejectValuedBool(const std::string &name) const;

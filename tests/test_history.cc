@@ -171,6 +171,91 @@ TEST(HistoryManager, RestoreRecomputesFolds)
     EXPECT_EQ(fold->value(), value);
 }
 
+TEST(FoldedHistory, RewindInvertsUpdateExactly)
+{
+    // rewind(in, out) must return the fold to its pre-update value for
+    // every geometry, including width-1 and outPoint-0 corners — the
+    // pipeline simulator's incremental restores depend on exactness.
+    for (const auto &[length, width] :
+         {std::make_tuple(4u, 10u), std::make_tuple(10u, 10u),
+          std::make_tuple(7u, 1u), std::make_tuple(640u, 10u),
+          std::make_tuple(63u, 9u), std::make_tuple(16u, 8u)}) {
+        FoldedHistory fold(length, width);
+        Xoroshiro128 rng(length * 7 + width);
+        for (int i = 0; i < 1000; ++i) {
+            const bool in = rng.bernoulli(0.5);
+            const bool out = rng.bernoulli(0.5);
+            const std::uint32_t before = fold.value();
+            fold.update(in, out);
+            FoldedHistory redo = fold;
+            redo.rewind(in, out);
+            ASSERT_EQ(redo.value(), before)
+                << "L=" << length << " W=" << width << " step " << i;
+        }
+    }
+}
+
+TEST(HistoryManager, IncrementalRewindMatchesRecompute)
+{
+    // restore() now walks folds incrementally; it must land on exactly
+    // the recompute() values at the restored head, for short and long
+    // rewind distances alike.
+    HistoryManager mgr(4096);
+    FoldedHistory *f1 = mgr.createFold(37, 9);
+    FoldedHistory *f2 = mgr.createFold(301, 12);
+    FoldedHistory *f3 = mgr.createFold(640, 10);
+    Xoroshiro128 rng(41);
+    for (int i = 0; i < 1500; ++i)
+        mgr.push(rng.bernoulli(0.6), 0x100 + 2 * (i & 0x7f));
+
+    for (const int distance : {1, 2, 17, 100, 1000}) {
+        const auto cp = mgr.save();
+        const std::uint32_t v1 = f1->value();
+        const std::uint32_t v2 = f2->value();
+        const std::uint32_t v3 = f3->value();
+        for (int i = 0; i < distance; ++i)
+            mgr.push(rng.bernoulli(0.3), 0x40 + 2 * (i & 0x3f));
+        mgr.restore(cp);
+        ASSERT_EQ(f1->value(), v1) << "distance " << distance;
+        ASSERT_EQ(f2->value(), v2) << "distance " << distance;
+        ASSERT_EQ(f3->value(), v3) << "distance " << distance;
+
+        FoldedHistory ref(301, 12);
+        ref.recompute(mgr.history());
+        ASSERT_EQ(f2->value(), ref.value()) << "distance " << distance;
+    }
+}
+
+TEST(HistoryManager, ForwardRestoreReturnsToTheFuture)
+{
+    // The pipeline commit sandwich rewinds to a branch's fetch point and
+    // then restores *forward* to the fetch front; as long as the buffer
+    // bits were not overwritten, the folds must come back bit-exact.
+    HistoryManager mgr(2048);
+    FoldedHistory *fold = mgr.createFold(130, 11);
+    Xoroshiro128 rng(59);
+    for (int i = 0; i < 700; ++i)
+        mgr.push(rng.bernoulli(0.5), 0x10 + 2 * (i & 0x1f));
+
+    const auto past = mgr.save();
+    std::vector<bool> bits;
+    for (int i = 0; i < 64; ++i) {
+        const bool b = rng.bernoulli(0.5);
+        bits.push_back(b);
+        mgr.push(b, 0x200 + 2 * i);
+    }
+    const auto front = mgr.save();
+    const std::uint32_t frontValue = fold->value();
+
+    mgr.restore(past);
+    // Re-pushing the identical bits leaves the buffer unchanged, which is
+    // the correct-prediction commit case (resolved bit == speculated bit).
+    mgr.push(bits[0], 0x200);
+    mgr.restore(front);
+    EXPECT_EQ(mgr.history().headPointer(), front.head);
+    EXPECT_EQ(fold->value(), frontValue);
+}
+
 // ---------------------------------------------------------------------------
 // LocalHistoryTable
 // ---------------------------------------------------------------------------

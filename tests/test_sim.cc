@@ -82,6 +82,41 @@ TEST(Simulator, WarmupSkipsEarlyBranches)
     EXPECT_EQ(r.instructions, 20u);
 }
 
+TEST(Simulator, WarmupAccountingIsSymmetricComputedByHand)
+{
+    // Audit pin for the warm-up accounting: a record's instructions are
+    // in the MPKI denominator exactly when its (potential) misprediction
+    // is in the numerator — both keyed on the same stream position, with
+    // non-conditional records counting denominator-only.  With warm-up 3
+    // over the 4-record tinyTrace, only the final record counts:
+    //   conditionals = 1, mispredictions = 1 (always-T vs not-taken),
+    //   instructions = 9 + 1 = 10, MPKI = 1000 * 1 / 10 = 100.
+    ConstantPredictor pred(true);
+    SimOptions opt;
+    opt.warmupBranches = 3;
+    const SimResult r = simulate(pred, tinyTrace(), opt);
+    EXPECT_EQ(r.conditionals, 1u);
+    EXPECT_EQ(r.mispredictions, 1u);
+    EXPECT_EQ(r.instructions, 10u);
+    EXPECT_DOUBLE_EQ(r.mpki(), 100.0);
+
+    // Warm-up spanning everything: zero counted records on both sides of
+    // the division, not a skewed ratio.
+    SimOptions all;
+    all.warmupBranches = 100;
+    const SimResult none = simulate(pred, tinyTrace(), all);
+    EXPECT_EQ(none.conditionals, 0u);
+    EXPECT_EQ(none.mispredictions, 0u);
+    EXPECT_EQ(none.instructions, 0u);
+    EXPECT_DOUBLE_EQ(none.mpki(), 0.0);
+
+    // And the boundary is exclusive-below: warm-up N counts record N.
+    SimOptions boundary;
+    boundary.warmupBranches = 0;
+    const SimResult everything = simulate(pred, tinyTrace(), boundary);
+    EXPECT_EQ(everything.instructions, 40u);
+}
+
 TEST(Simulator, PerPcCollection)
 {
     ConstantPredictor pred(true);
@@ -93,6 +128,28 @@ TEST(Simulator, PerPcCollection)
     const auto top = r.topOffenders(5);
     ASSERT_EQ(top.size(), 1u);
     EXPECT_EQ(top[0].first, 0x20u);
+}
+
+TEST(Simulator, TopOffendersTieBreaksByPcAndIsStable)
+{
+    // Tied misprediction counts once sorted in implementation-defined
+    // order (count-only comparator under std::sort); the report is part
+    // of --offenders output, so ties must break deterministically: count
+    // descending, then PC ascending.
+    SimResult r;
+    r.perPcMispredictions = {{0x900, 7u}, {0x100, 7u}, {0x500, 7u},
+                             {0x300, 9u}, {0x700, 2u}, {0x200, 7u}};
+    const auto top = r.topOffenders(5);
+    ASSERT_EQ(top.size(), 5u);
+    EXPECT_EQ(top[0], (std::pair<std::uint64_t, std::uint64_t>(0x300, 9u)));
+    EXPECT_EQ(top[1], (std::pair<std::uint64_t, std::uint64_t>(0x100, 7u)));
+    EXPECT_EQ(top[2], (std::pair<std::uint64_t, std::uint64_t>(0x200, 7u)));
+    EXPECT_EQ(top[3], (std::pair<std::uint64_t, std::uint64_t>(0x500, 7u)));
+    EXPECT_EQ(top[4], (std::pair<std::uint64_t, std::uint64_t>(0x900, 7u)));
+    // Truncation cuts inside the tie group along the same order.
+    const auto two = r.topOffenders(2);
+    ASSERT_EQ(two.size(), 2u);
+    EXPECT_EQ(two[1].first, 0x100u);
 }
 
 TEST(Simulator, EmptyTraceSafe)
