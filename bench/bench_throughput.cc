@@ -68,7 +68,10 @@ IMLI_PREDICTOR_BENCH(BM_GehlImli, "gehl+i");
 IMLI_PREDICTOR_BENCH(BM_TageGsc, "tage-gsc");
 IMLI_PREDICTOR_BENCH(BM_TageGscImli, "tage-gsc+i");
 IMLI_PREDICTOR_BENCH(BM_TageGscImliLocal, "tage-gsc+i+l");
+IMLI_PREDICTOR_BENCH(BM_TageGscLoop, "tage-gsc+loop");
+IMLI_PREDICTOR_BENCH(BM_TageGscIttageLoop, "tage-gsc+itl");
 IMLI_PREDICTOR_BENCH(BM_TageGscWormhole, "tage-gsc+wh");
+IMLI_PREDICTOR_BENCH(BM_IttageLoopStandalone, "itl");
 
 static void
 BM_ImliStateMaintenance(benchmark::State &state)

@@ -1,6 +1,7 @@
 #include "src/predictors/gehl.hh"
 
 #include "src/predictors/host_speculation.hh"
+#include "src/util/hashing.hh"
 
 namespace imli
 {
@@ -22,8 +23,25 @@ GehlPredictor::GehlPredictor(const Config &config)
     }
     if (cfg.enableLoop || cfg.enableWh)
         loopPred = std::make_unique<LoopPredictor>(cfg.loop);
+    if (cfg.enableItl)
+        ittageLoop = std::make_unique<IttageLoopPredictor>(cfg.itl);
     if (cfg.enableWh)
         wormhole = std::make_unique<WormholePredictor>(cfg.wh);
+}
+
+host_spec::LoopFamily
+GehlPredictor::loopFamily() const
+{
+    // The family carries mutable pointers for restore()/speculate();
+    // const callers (checkpoint, digest) only read through it.
+    auto *self = const_cast<GehlPredictor *>(this);
+    host_spec::LoopFamily fam;
+    fam.loop = self->loopPred.get();
+    fam.itl = self->ittageLoop.get();
+    fam.wh = self->wormhole.get();
+    if (fam.loop != nullptr || fam.itl != nullptr || fam.wh != nullptr)
+        fam.currentLoopPc = &self->currentLoopPc;
+    return fam;
 }
 
 std::optional<unsigned>
@@ -52,6 +70,11 @@ GehlPredictor::predict(std::uint64_t pc)
         if (cfg.loopOverride && look.loopPrediction.valid)
             look.finalPred = look.loopPrediction.taken;
     }
+    if (ittageLoop != nullptr) {
+        look.itlPrediction = ittageLoop->lookup(pc);
+        if (look.itlPrediction.valid)
+            look.finalPred = look.itlPrediction.taken;
+    }
     if (wormhole != nullptr) {
         look.tripCount = currentTripCount();
         look.whPrediction = wormhole->predict(pc, look.tripCount);
@@ -71,10 +94,15 @@ GehlPredictor::update(std::uint64_t pc, bool taken, std::uint64_t target)
         // Only backward conditional branches close loops (Section 4.1);
         // letting forward noise branches allocate would thrash the small
         // loop table.
-        loopPred->update(pc, taken, final_mispred && target < pc);
+        loopPred->update(pc, taken, final_mispred && target < pc,
+                         look.loopPrediction);
     }
+    if (ittageLoop != nullptr)
+        ittageLoop->update(pc, taken, final_mispred && target < pc,
+                           look.itlPrediction);
     if (wormhole != nullptr)
-        wormhole->update(pc, taken, final_mispred, look.tripCount);
+        wormhole->update(pc, taken, final_mispred, look.tripCount,
+                         look.whPrediction);
 
     const int abs_sum = look.sum < 0 ? -look.sum : look.sum;
     if (voting.onOutcome(gehl_mispred, abs_sum))
@@ -106,13 +134,14 @@ SpecCheckpoint
 GehlPredictor::checkpoint() const
 {
     return host_spec::checkpoint(histMgr, cfg.enableImli, imliComps,
-                                 local.get());
+                                 local.get(), loopFamily());
 }
 
 void
 GehlPredictor::restore(const SpecCheckpoint &cp)
 {
-    host_spec::restore(histMgr, cfg.enableImli, imliComps, local.get(), cp);
+    host_spec::restore(histMgr, cfg.enableImli, imliComps, local.get(), cp,
+                       loopFamily());
 }
 
 void
@@ -120,13 +149,26 @@ GehlPredictor::speculate(std::uint64_t pc, bool pred_taken,
                          std::uint64_t target)
 {
     host_spec::speculate(histMgr, cfg.enableImli, imliComps, local.get(),
-                         pc, pred_taken, target);
+                         pc, pred_taken, target, loopFamily());
 }
 
 void
 GehlPredictor::squashSpeculation()
 {
-    host_spec::squash(local.get());
+    host_spec::squash(local.get(), loopFamily());
+}
+
+std::uint64_t
+GehlPredictor::stateDigest() const
+{
+    std::uint64_t digest = hashCombine(0x6e41, currentLoopPc);
+    if (loopPred != nullptr)
+        digest = hashCombine(digest, loopPred->stateDigest());
+    if (ittageLoop != nullptr)
+        digest = hashCombine(digest, ittageLoop->stateDigest());
+    if (wormhole != nullptr)
+        digest = hashCombine(digest, wormhole->stateDigest());
+    return digest;
 }
 
 void
@@ -148,6 +190,8 @@ GehlPredictor::storage() const
         imliComps.account(acct);
     if (loopPred != nullptr)
         loopPred->account(acct, "loop");
+    if (ittageLoop != nullptr)
+        ittageLoop->account(acct, "itl");
     if (wormhole != nullptr)
         wormhole->account(acct, "wormhole");
     return acct;

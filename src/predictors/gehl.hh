@@ -19,6 +19,8 @@
 
 #include "src/core/imli_components.hh"
 #include "src/history/history_manager.hh"
+#include "src/predictors/host_speculation.hh"
+#include "src/predictors/ittage_loop.hh"
 #include "src/predictors/local_component.hh"
 #include "src/predictors/loop_predictor.hh"
 #include "src/predictors/predictor.hh"
@@ -53,6 +55,9 @@ class GehlPredictor : public ConditionalPredictor
         bool loopOverride = false;
         LoopPredictor::Config loop{/*logSets=*/3, /*ways=*/4};
 
+        bool enableItl = false;
+        IttageLoopPredictor::Config itl;
+
         bool enableWh = false;
         WormholePredictor::Config wh;
 
@@ -69,8 +74,9 @@ class GehlPredictor : public ConditionalPredictor
                         std::uint64_t target) override;
 
     // Speculation contract — same recovery-state split as TageGsc (see
-    // tage_gsc.hh): history + IMLI + local ticket are checkpointed, loop
-    // / wormhole / adder-tree state is architectural.
+    // tage_gsc.hh): history + IMLI + local ticket + the loop-family
+    // journal tickets and loop-tracking PC are checkpointed; tables and
+    // the adder-tree state stay architectural.
     bool supportsSpeculation() const override { return true; }
     void prepareSpeculation(unsigned max_inflight) override;
     SpecCheckpoint checkpoint() const override;
@@ -78,6 +84,7 @@ class GehlPredictor : public ConditionalPredictor
     void speculate(std::uint64_t pc, bool pred_taken,
                    std::uint64_t target) override;
     void squashSpeculation() override;
+    std::uint64_t stateDigest() const override;
 
     std::string name() const override { return cfg.configName; }
     StorageAccount storage() const override;
@@ -89,6 +96,7 @@ class GehlPredictor : public ConditionalPredictor
 
   private:
     std::optional<unsigned> currentTripCount() const;
+    host_spec::LoopFamily loopFamily() const;
 
     Config cfg;
     HistoryManager histMgr;
@@ -97,6 +105,7 @@ class GehlPredictor : public ConditionalPredictor
     ImliComponents imliComps;
     std::unique_ptr<LocalComponent> local;
     std::unique_ptr<LoopPredictor> loopPred;
+    std::unique_ptr<IttageLoopPredictor> ittageLoop;
     std::unique_ptr<WormholePredictor> wormhole;
 
     /** PC of the backward branch closing the loop currently iterating. */
@@ -110,6 +119,7 @@ class GehlPredictor : public ConditionalPredictor
         bool gehlPred = false;
         bool finalPred = false;
         LoopPredictor::Prediction loopPrediction;
+        IttageLoopPredictor::Prediction itlPrediction;
         WormholePredictor::Prediction whPrediction;
         std::optional<unsigned> tripCount;
     } look;

@@ -17,13 +17,33 @@
 
 #include "src/core/imli_components.hh"
 #include "src/history/history_manager.hh"
+#include "src/predictors/ittage_loop.hh"
 #include "src/predictors/local_component.hh"
+#include "src/predictors/loop_predictor.hh"
 #include "src/predictors/predictor.hh"
+#include "src/predictors/wormhole.hh"
 
 namespace imli
 {
 namespace host_spec
 {
+
+/**
+ * The loop-family speculative surface of a host: the optional loop /
+ * ITTAGE-loop / wormhole side predictors (each carrying a ticketed
+ * journal of in-flight iteration or outcome events) and the host's
+ * current-loop PC register, which pairs wormhole lookups with the loop
+ * predictor's trip count and advances at fetch like any other
+ * speculative history.  Null members are simply skipped, so hosts pass
+ * one struct regardless of which add-ons are enabled.
+ */
+struct LoopFamily
+{
+    LoopPredictor *loop = nullptr;
+    IttageLoopPredictor *itl = nullptr;
+    WormholePredictor *wh = nullptr;
+    std::uint64_t *currentLoopPc = nullptr;
+};
 
 /**
  * History-buffer capacity for a host whose longest registered fold is
@@ -57,7 +77,8 @@ prepare(LocalComponent *local, unsigned max_inflight)
 
 inline SpecCheckpoint
 checkpoint(const HistoryManager &hist, bool enable_imli,
-           const ImliComponents &imli, const LocalComponent *local)
+           const ImliComponents &imli, const LocalComponent *local,
+           const LoopFamily &loops = LoopFamily())
 {
     SpecCheckpoint cp;
     cp.global = hist.save();
@@ -70,12 +91,21 @@ checkpoint(const HistoryManager &hist, bool enable_imli,
     }
     if (local != nullptr)
         cp.localTicket = local->lastTicket();
+    if (loops.loop != nullptr)
+        cp.loopTicket = loops.loop->lastTicket();
+    if (loops.itl != nullptr)
+        cp.itlTicket = loops.itl->lastTicket();
+    if (loops.wh != nullptr)
+        cp.whTicket = loops.wh->lastTicket();
+    if (loops.currentLoopPc != nullptr)
+        cp.loopPc = *loops.currentLoopPc;
     return cp;
 }
 
 inline void
 restore(HistoryManager &hist, bool enable_imli, ImliComponents &imli,
-        LocalComponent *local, const SpecCheckpoint &cp)
+        LocalComponent *local, const SpecCheckpoint &cp,
+        const LoopFamily &loops = LoopFamily())
 {
     hist.restore(cp.global);
     if (enable_imli)
@@ -83,25 +113,53 @@ restore(HistoryManager &hist, bool enable_imli, ImliComponents &imli,
                       {cp.omliCounter, cp.omliTag}});
     if (local != nullptr)
         local->setTicketHorizon(cp.localTicket);
+    if (loops.loop != nullptr)
+        loops.loop->setTicketHorizon(cp.loopTicket);
+    if (loops.itl != nullptr)
+        loops.itl->setTicketHorizon(cp.itlTicket);
+    if (loops.wh != nullptr)
+        loops.wh->setTicketHorizon(cp.whTicket);
+    if (loops.currentLoopPc != nullptr)
+        *loops.currentLoopPc = cp.loopPc;
 }
 
 inline void
 speculate(HistoryManager &hist, bool enable_imli, ImliComponents &imli,
           LocalComponent *local, std::uint64_t pc, bool pred_taken,
-          std::uint64_t target)
+          std::uint64_t target, const LoopFamily &loops = LoopFamily())
 {
     if (enable_imli)
         imli.speculate(pc, target, pred_taken);
     if (local != nullptr)
         local->speculate(pc, pred_taken);
+    if (loops.loop != nullptr)
+        loops.loop->speculate(pc, pred_taken);
+    if (loops.itl != nullptr)
+        loops.itl->speculate(pc, pred_taken);
+    if (loops.wh != nullptr)
+        loops.wh->speculate(pc, pred_taken);
+    if (loops.currentLoopPc != nullptr && target < pc) {
+        // Mirror of the host's commit-time current-loop transition, with
+        // the predicted direction.
+        if (pred_taken)
+            *loops.currentLoopPc = pc;
+        else if (pc == *loops.currentLoopPc)
+            *loops.currentLoopPc = 0;
+    }
     hist.push(pred_taken, pc);
 }
 
 inline void
-squash(LocalComponent *local)
+squash(LocalComponent *local, const LoopFamily &loops = LoopFamily())
 {
     if (local != nullptr)
         local->squashSpeculation();
+    if (loops.loop != nullptr)
+        loops.loop->squashSpeculation();
+    if (loops.itl != nullptr)
+        loops.itl->squashSpeculation();
+    if (loops.wh != nullptr)
+        loops.wh->squashSpeculation();
 }
 
 } // namespace host_spec

@@ -1,0 +1,454 @@
+#include "src/predictors/ittage_loop.hh"
+
+#include <cassert>
+
+#include "src/util/hashing.hh"
+
+namespace imli
+{
+
+IttageLoopPredictor::IttageLoopPredictor(const Config &config)
+    : cfg(config), base(config.numBaseEntries()),
+      tables(config.numTables,
+             std::vector<TaggedEntry>(1u << config.logSize))
+{
+    assert(cfg.ways >= 1);
+    assert(cfg.iterBits <= 16 && cfg.tagBits <= 16);
+    assert(cfg.numTables >= 1 && cfg.numTables <= 8);
+    assert(cfg.taggedTagBits >= 1 && cfg.taggedTagBits <= 16);
+}
+
+unsigned
+IttageLoopPredictor::baseIndexOf(std::uint64_t pc) const
+{
+    const unsigned set =
+        static_cast<unsigned>(pcHash(pc)) & ((1u << cfg.logSets) - 1);
+    return set * cfg.ways;
+}
+
+std::uint16_t
+IttageLoopPredictor::baseTagOf(std::uint64_t pc) const
+{
+    return static_cast<std::uint16_t>(
+        (pcHash(pc) >> cfg.logSets) & maskBits(cfg.tagBits));
+}
+
+std::uint64_t
+IttageLoopPredictor::historyPrefix(unsigned t) const
+{
+    // Geometric prefix lengths: table t sees the most recent 2^t exits,
+    // 8 hashed bits each, capped at the 64-bit register.
+    const unsigned exits = 1u << t;
+    const unsigned bits = exits >= 8 ? 64 : exits * 8;
+    return exitHistory & maskBits(bits);
+}
+
+unsigned
+IttageLoopPredictor::taggedIndexOf(std::uint64_t pc, unsigned t) const
+{
+    const std::uint64_t h =
+        hashCombine(pcHash(pc), mix64(historyPrefix(t)) + t);
+    return static_cast<unsigned>(foldBits(h, cfg.logSize)) &
+           ((1u << cfg.logSize) - 1);
+}
+
+std::uint16_t
+IttageLoopPredictor::taggedTagOf(std::uint64_t pc, unsigned t) const
+{
+    // A different derivation from the index so aliasing in one does not
+    // imply aliasing in the other.
+    const std::uint64_t h =
+        hashCombine(mix64(pc + 0x7175u), historyPrefix(t) ^ (t * 0x9e37u));
+    return static_cast<std::uint16_t>(h & maskBits(cfg.taggedTagBits));
+}
+
+std::uint16_t
+IttageLoopPredictor::specIter(unsigned index, const BaseEntry &e) const
+{
+    const SpecEvent *ev = journal.newestVisible(
+        [&](const SpecEvent &event) {
+            return event.index == index && event.tag == e.tag;
+        });
+    return ev != nullptr ? ev->iter : e.currentIter;
+}
+
+unsigned
+IttageLoopPredictor::nextRandom()
+{
+    const unsigned bit =
+        ((lfsr >> 0) ^ (lfsr >> 2) ^ (lfsr >> 3) ^ (lfsr >> 5)) & 1u;
+    lfsr = (lfsr >> 1) | (bit << 15);
+    return lfsr;
+}
+
+IttageLoopPredictor::Prediction
+IttageLoopPredictor::lookup(std::uint64_t pc) const
+{
+    Prediction pred;
+
+    const unsigned first = baseIndexOf(pc);
+    const std::uint16_t tag = baseTagOf(pc);
+    const BaseEntry *entry = nullptr;
+    for (unsigned way = 0; way < cfg.ways; ++way) {
+        const BaseEntry &e = base[first + way];
+        if (e.tag == tag && e.age > 0) {
+            pred.hit = true;
+            pred.baseIndex = first + way;
+            pred.baseTag = tag;
+            entry = &e;
+            break;
+        }
+    }
+    if (entry == nullptr)
+        return pred;
+
+    // Longest tagged match provides the exit iteration; the next match
+    // (or the base fallback) is the alternate, ITTAGE-style.
+    std::uint16_t provExit = 0;
+    std::uint8_t provConf = 0;
+    for (int t = static_cast<int>(cfg.numTables) - 1; t >= 0; --t) {
+        const unsigned idx = taggedIndexOf(pc, static_cast<unsigned>(t));
+        const TaggedEntry &te = tables[static_cast<unsigned>(t)][idx];
+        if (te.exitIter != 0 &&
+            te.tag == taggedTagOf(pc, static_cast<unsigned>(t))) {
+            if (pred.providerTable < 0) {
+                pred.providerTable = t;
+                pred.providerIndex = idx;
+                provExit = te.exitIter;
+                provConf = te.conf;
+            } else if (pred.altExit == 0) {
+                pred.altExit = te.exitIter;
+                break;
+            }
+        }
+    }
+
+    // Base fallback: same confidence gate as the plain loop predictor.
+    const unsigned conf_max = (1u << cfg.confBits) - 1;
+    const bool base_confident =
+        entry->nbIter != 0 &&
+        ((entry->confid == conf_max) ||
+         (static_cast<unsigned>(entry->confid) * entry->nbIter > 128));
+    const std::uint16_t baseExit = base_confident ? entry->nbIter : 0;
+    if (pred.altExit == 0)
+        pred.altExit = baseExit;
+
+    bool confident = false;
+    if (pred.providerTable >= 0) {
+        pred.predictedExit = provExit;
+        confident = provConf >= cfg.providerThreshold;
+    } else if (baseExit != 0) {
+        pred.predictedExit = baseExit;
+        confident = true;
+    }
+
+    if (pred.predictedExit >= 3) {
+        pred.taken = (specIter(pred.baseIndex, *entry) + 1 ==
+                      pred.predictedExit)
+                         ? !entry->dir
+                         : entry->dir;
+        pred.valid = confident;
+    } else {
+        // No usable exit (or one too short to beat the host): report the
+        // iterating direction, never override.
+        pred.taken = entry->dir;
+    }
+    return pred;
+}
+
+void
+IttageLoopPredictor::trainTagged(std::uint64_t pc,
+                                 std::uint16_t observed_exit,
+                                 const Prediction &paired)
+{
+    // Provider update.
+    if (paired.providerTable >= 0) {
+        TaggedEntry &p = tables[static_cast<unsigned>(paired.providerTable)]
+                               [paired.providerIndex];
+        if (p.exitIter == observed_exit) {
+            if (p.conf < 7)
+                ++p.conf;
+            // ITTAGE usefulness: the provider earned its entry only when
+            // the alternate would have been wrong.
+            if (paired.altExit != observed_exit && p.useful < 3)
+                ++p.useful;
+        } else {
+            if (p.conf > 0) {
+                --p.conf;
+            } else {
+                p.exitIter = observed_exit;
+                p.conf = 1;
+            }
+            if (p.useful > 0)
+                --p.useful;
+        }
+    }
+
+    // Allocate in a longer table when the scheme's exit was wrong (very
+    // short trips stay with the host predictor).
+    if (paired.predictedExit == observed_exit || observed_exit < 3)
+        return;
+    const unsigned start =
+        static_cast<unsigned>(paired.providerTable + 1);
+    for (unsigned t = start; t < cfg.numTables; ++t) {
+        TaggedEntry &cand = tables[t][taggedIndexOf(pc, t)];
+        if (cand.exitIter == 0 || cand.useful == 0) {
+            cand.tag = taggedTagOf(pc, t);
+            cand.exitIter = observed_exit;
+            cand.conf = 1;
+            cand.useful = 0;
+            return;
+        }
+    }
+    for (unsigned t = start; t < cfg.numTables; ++t) {
+        TaggedEntry &cand = tables[t][taggedIndexOf(pc, t)];
+        if (cand.useful > 0)
+            --cand.useful;
+    }
+}
+
+void
+IttageLoopPredictor::update(std::uint64_t pc, bool taken, bool alloc,
+                            const Prediction &paired)
+{
+    const unsigned conf_max = (1u << cfg.confBits) - 1;
+    const unsigned age_max = (1u << cfg.ageBits) - 1;
+    const std::uint16_t iter_mask =
+        static_cast<std::uint16_t>(maskBits(cfg.iterBits));
+
+    // Commit: retire this occurrence's speculative event (1:1 FIFO with
+    // fetch; no-op when speculation is off).
+    journal.popOldest();
+
+    if (paired.hit) {
+        BaseEntry &e = base[paired.baseIndex];
+
+        if (paired.valid && taken == paired.taken) {
+            // Useful prediction: probabilistic aging refresh.
+            if ((nextRandom() & 7u) == 0 && e.age < age_max)
+                ++e.age;
+        }
+        // NOTE: unlike the plain loop predictor, a confident-wrong
+        // prediction does NOT free the entry — irregular exits are the
+        // whole point; the tagged tables relearn them below.
+
+        e.currentIter = static_cast<std::uint16_t>(
+            (e.currentIter + 1) & iter_mask);
+
+        if (taken != e.dir) {
+            // Observed exit at iteration X.
+            const std::uint16_t observed = e.currentIter;
+            trainTagged(pc, observed, paired);
+            // Base fallback learning: relearn on change instead of
+            // freeing, so the tracker survives varying trip counts.
+            if (e.nbIter == observed) {
+                if (e.confid < conf_max)
+                    ++e.confid;
+            } else {
+                e.nbIter = observed;
+                e.confid = 0;
+            }
+            // Record the exit in the global history: 8 hashed bits of
+            // (PC, X) per exit, architectural (commit-time only).
+            exitHistory =
+                (exitHistory << 8) |
+                (hashCombine(pcHash(pc), observed) & 0xffu);
+            e.currentIter = 0;
+        } else if (e.nbIter != 0 && e.currentIter > e.nbIter) {
+            // Overran the fallback's trip count: fallback is stale (the
+            // tagged tables keep their own exits).
+            e.confid = 0;
+            e.nbIter = 0;
+        }
+        return;
+    }
+
+    // Miss: allocate on main-predictor mispredictions only, with
+    // probability 1/4, assuming the mispredicted occurrence is the exit.
+    if (!alloc || (nextRandom() & 3u) != 0)
+        return;
+
+    const unsigned first = baseIndexOf(pc);
+    const std::uint16_t tag = baseTagOf(pc);
+    for (unsigned way = 0; way < cfg.ways; ++way) {
+        BaseEntry &e = base[first + way];
+        if (e.age == 0) {
+            e = BaseEntry();
+            e.tag = tag;
+            e.dir = !taken; // iterating direction opposite the exit
+            e.age = 7 <= age_max ? 7 : static_cast<std::uint8_t>(age_max);
+            return;
+        }
+    }
+    for (unsigned way = 0; way < cfg.ways; ++way) {
+        BaseEntry &e = base[first + way];
+        if (e.age > 0)
+            --e.age;
+    }
+}
+
+std::optional<unsigned>
+IttageLoopPredictor::predictedTrip(std::uint64_t pc) const
+{
+    const Prediction pred = lookup(pc);
+    if (!pred.hit || pred.predictedExit < 3)
+        return std::nullopt;
+    if (!pred.valid)
+        return std::nullopt;
+    return pred.predictedExit;
+}
+
+void
+IttageLoopPredictor::speculate(std::uint64_t pc, bool pred_taken)
+{
+    const std::uint16_t iter_mask =
+        static_cast<std::uint16_t>(maskBits(cfg.iterBits));
+    SpecEvent event;
+    event.index = kNoMatch;
+
+    const unsigned first = baseIndexOf(pc);
+    const std::uint16_t tag = baseTagOf(pc);
+    for (unsigned way = 0; way < cfg.ways; ++way) {
+        const BaseEntry &e = base[first + way];
+        if (e.tag == tag && e.age > 0) {
+            event.index = first + way;
+            event.tag = tag;
+            // Mirror of update()'s CurrentIter transition with the
+            // predicted direction.
+            event.iter =
+                pred_taken != e.dir
+                    ? 0
+                    : static_cast<std::uint16_t>(
+                          (specIter(event.index, e) + 1) & iter_mask);
+            break;
+        }
+    }
+    journal.push(event);
+}
+
+void
+IttageLoopPredictor::setTicketHorizon(std::uint64_t max_ticket)
+{
+    journal.setHorizon(max_ticket);
+}
+
+void
+IttageLoopPredictor::squashSpeculation()
+{
+    journal.squash();
+}
+
+void
+IttageLoopPredictor::account(StorageAccount &acct,
+                             const std::string &name) const
+{
+    const std::uint64_t base_entry = cfg.iterBits * 2 + cfg.tagBits +
+                                     cfg.confBits + cfg.ageBits + 1;
+    acct.add(name + "/base", base_entry * cfg.numBaseEntries());
+    const std::uint64_t tagged_entry =
+        cfg.taggedTagBits + cfg.iterBits + 3 /* conf */ + 2 /* useful */;
+    acct.add(name + "/tagged",
+             tagged_entry * cfg.numTables * (1ull << cfg.logSize));
+    acct.add(name + "/exit-history", 64);
+}
+
+std::uint64_t
+IttageLoopPredictor::stateDigest() const
+{
+    std::uint64_t digest = hashCombine(0x171a6e, lfsr);
+    digest = hashCombine(digest, exitHistory);
+    for (unsigned i = 0; i < base.size(); ++i) {
+        const BaseEntry &e = base[i];
+        digest = hashCombine(digest, (std::uint64_t(e.nbIter) << 48) ^
+                                         (std::uint64_t(e.confid) << 40) ^
+                                         (std::uint64_t(e.currentIter)
+                                          << 24) ^
+                                         (std::uint64_t(e.tag) << 8) ^
+                                         (std::uint64_t(e.age) << 1) ^
+                                         (e.dir ? 1u : 0u));
+        // Speculative view: what fetch would read must shape the digest.
+        digest = hashCombine(digest, specIter(i, e));
+    }
+    for (const auto &tbl : tables)
+        for (const TaggedEntry &te : tbl)
+            digest = hashCombine(digest,
+                                 (std::uint64_t(te.tag) << 24) ^
+                                     (std::uint64_t(te.exitIter) << 8) ^
+                                     (std::uint64_t(te.conf) << 4) ^
+                                     std::uint64_t(te.useful));
+    return digest;
+}
+
+// ---------------------------------------------------------------------------
+// Standalone zoo predictor.
+
+IttageLoopStandalone::IttageLoopStandalone(const Config &config)
+    : cfg(config), bimodal(config.baseLogEntries, config.baseCounterBits),
+      itl(config.itl)
+{
+}
+
+bool
+IttageLoopStandalone::predict(std::uint64_t pc)
+{
+    look.itl = itl.lookup(pc);
+    const bool base_pred = bimodal.lookup(pc);
+    look.finalPred = look.itl.valid ? look.itl.taken : base_pred;
+    return look.finalPred;
+}
+
+void
+IttageLoopStandalone::update(std::uint64_t pc, bool taken,
+                             std::uint64_t target)
+{
+    const bool mispredicted = look.finalPred != taken;
+    itl.update(pc, taken, mispredicted && target < pc, look.itl);
+    bimodal.train(pc, taken);
+}
+
+SpecCheckpoint
+IttageLoopStandalone::checkpoint() const
+{
+    SpecCheckpoint cp;
+    cp.itlTicket = itl.lastTicket();
+    return cp;
+}
+
+void
+IttageLoopStandalone::restore(const SpecCheckpoint &cp)
+{
+    itl.setTicketHorizon(cp.itlTicket);
+}
+
+void
+IttageLoopStandalone::speculate(std::uint64_t pc, bool pred_taken,
+                                std::uint64_t target)
+{
+    (void)target;
+    itl.speculate(pc, pred_taken);
+}
+
+void
+IttageLoopStandalone::squashSpeculation()
+{
+    itl.squashSpeculation();
+}
+
+std::uint64_t
+IttageLoopStandalone::stateDigest() const
+{
+    // The bimodal base is update-only (no speculative state), so the ITL
+    // digest is the whole recoverable surface.
+    return itl.stateDigest();
+}
+
+StorageAccount
+IttageLoopStandalone::storage() const
+{
+    StorageAccount acct;
+    acct.merge("base", bimodal.storage());
+    itl.account(acct, "itl");
+    return acct;
+}
+
+} // namespace imli

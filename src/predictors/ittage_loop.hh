@@ -1,0 +1,235 @@
+/**
+ * @file
+ * ITTAGE-style tagged loop exit predictor ("ITL").
+ *
+ * The plain loop table (loop_predictor.hh) stores ONE trip count per
+ * branch and only predicts once the same count has repeated enough to
+ * saturate a confidence counter — any loop whose trip count varies
+ * (alternating 11, 17, 11, 17; data-dependent bounds; nested loops whose
+ * inner trip follows the outer index) is rejected outright.  This
+ * predictor transplants the ITTAGE recipe (Seznec, "A 64-Kbytes ITTAGE
+ * indirect branch predictor", CBP-3 2011) from indirect targets to exit
+ * iterations:
+ *
+ *  - A small set-associative BASE table tracks the current iteration
+ *    count per loop branch and learns a last-trip fallback, exactly like
+ *    the plain table (it is the "alternate prediction" provider).
+ *  - N TAGGED tables are indexed by hash(PC, exit-history prefix), where
+ *    the exit history is a global shift register of hashed (PC, observed
+ *    exit iteration) pairs and the prefix lengths grow geometrically
+ *    (1, 2, 4, 8 past exits).  Each tagged entry predicts a full *exit
+ *    iteration* (not a direction), with a confidence counter and an
+ *    ITTAGE useful bit for allocation victim choice.
+ *  - Prediction: the longest tag match is the provider; its exit
+ *    iteration X turns into a direction via the base tracker ("exit on
+ *    iteration X").  On a wrong exit prediction the provider decays and
+ *    a longer table allocates — the standard TAGE capacity cascade.
+ *
+ * The payoff is exactly the phenomenon the IMLI paper attacks from the
+ * history side (Section 4.2.2): correlated trip counts.  A loop
+ * alternating 11, 17 never confides in the plain table, but the tagged
+ * table keyed on "previous exit was 11" learns "this exit is 17" after
+ * one cycle of the pattern.
+ *
+ * Speculation follows the same contract as the other side predictors:
+ * the base iteration count advances through a ticketed journal
+ * (spec_journal.hh) at fetch; tagged tables and the exit history are
+ * architectural (commit-written) and need no recovery.
+ */
+
+#ifndef IMLI_SRC_PREDICTORS_ITTAGE_LOOP_HH
+#define IMLI_SRC_PREDICTORS_ITTAGE_LOOP_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/predictors/bimodal.hh"
+#include "src/predictors/predictor.hh"
+#include "src/predictors/spec_journal.hh"
+#include "src/util/storage.hh"
+
+namespace imli
+{
+
+/** Tagged geometric exit-iteration predictor (ITTAGE over trip counts). */
+class IttageLoopPredictor
+{
+  public:
+    struct Config
+    {
+        // Base iteration tracker (the plain-loop-shaped part).
+        unsigned logSets = 2;   //!< log2 sets of the base tracker
+        unsigned ways = 4;      //!< base tracker associativity
+        unsigned iterBits = 10; //!< iteration / exit counter width
+        unsigned tagBits = 10;  //!< base partial tag width
+        unsigned confBits = 4;  //!< base fallback confidence width
+        unsigned ageBits = 4;   //!< base replacement age width
+
+        // Tagged exit tables.
+        unsigned numTables = 4;       //!< geometric tagged tables
+        unsigned logSize = 6;         //!< log2 entries per tagged table
+        unsigned taggedTagBits = 10;  //!< tagged partial tag width
+        /** Provider confidence (3-bit, 0..7) gate for overriding. */
+        unsigned providerThreshold = 3;
+
+        unsigned numBaseEntries() const { return (1u << logSets) * ways; }
+    };
+
+    /**
+     * One lookup's result and its full predict/update pairing state
+     * (base way, provider slot, predicted/alternate exits), threaded
+     * back into update() by the host.
+     */
+    struct Prediction
+    {
+        bool hit = false;   //!< base tracker entry matched
+        bool valid = false; //!< confident enough to override the host
+        bool taken = false;
+        unsigned baseIndex = 0;
+        std::uint16_t baseTag = 0;
+        int providerTable = -1;    //!< longest tagged match, -1 = none
+        unsigned providerIndex = 0;
+        std::uint16_t predictedExit = 0; //!< exit iteration used, 0 = none
+        std::uint16_t altExit = 0;       //!< next-best exit, 0 = none
+    };
+
+    IttageLoopPredictor() : IttageLoopPredictor(Config()) {}
+
+    explicit IttageLoopPredictor(const Config &config);
+
+    /** Look up @p pc at its current (speculative) iteration.  Const:
+     *  pairing state is returned, not cached. */
+    Prediction lookup(std::uint64_t pc) const;
+
+    /**
+     * Train on the resolved outcome.  @p alloc enables base-tracker
+     * allocation (host mispredict on a backward branch); @p paired is
+     * the Prediction of this occurrence's lookup.
+     */
+    void update(std::uint64_t pc, bool taken, bool alloc,
+                const Prediction &paired);
+
+    /** Confident exit iteration for @p pc (provider or base fallback),
+     *  for reports; nullopt below the confidence gates. */
+    std::optional<unsigned> predictedTrip(std::uint64_t pc) const;
+
+    // ---- Speculation (pipeline engine): same journal contract as
+    // LoopPredictor — one event per conditional occurrence, commit pops
+    // FIFO, restore bounds visibility by ticket.
+    void speculate(std::uint64_t pc, bool pred_taken);
+    void setTicketHorizon(std::uint64_t max_ticket);
+    std::uint64_t lastTicket() const { return journal.lastTicket(); }
+    void squashSpeculation();
+
+    /** Storage cost: base tracker + tagged tables + exit history. */
+    void account(StorageAccount &acct, const std::string &name) const;
+
+    /** Debug digest of architectural + speculative-visible state. */
+    std::uint64_t stateDigest() const;
+
+    const Config &config() const { return cfg; }
+
+  private:
+    struct BaseEntry
+    {
+        std::uint16_t nbIter = 0;      //!< last observed trip (fallback)
+        std::uint8_t confid = 0;       //!< fallback confidence
+        std::uint16_t currentIter = 0; //!< current iteration counter
+        std::uint16_t tag = 0;
+        std::uint8_t age = 0;
+        bool dir = false; //!< iterating ("stay") direction
+    };
+
+    struct TaggedEntry
+    {
+        std::uint16_t tag = 0;
+        std::uint16_t exitIter = 0; //!< predicted exit iteration, 0 = free
+        std::uint8_t conf = 0;      //!< 3-bit provider confidence
+        std::uint8_t useful = 0;    //!< 2-bit ITTAGE useful counter
+    };
+
+    /** Speculative iteration event (same shape as LoopPredictor's). */
+    struct SpecEvent
+    {
+        unsigned index = 0;
+        std::uint16_t tag = 0;
+        std::uint16_t iter = 0;
+    };
+
+    static constexpr unsigned kNoMatch = ~0u;
+
+    unsigned baseIndexOf(std::uint64_t pc) const;
+    std::uint16_t baseTagOf(std::uint64_t pc) const;
+    /** Exit-history prefix of tagged table @p t, in bits of the E
+     *  register (8 bits per recorded exit, geometric in exits). */
+    std::uint64_t historyPrefix(unsigned t) const;
+    unsigned taggedIndexOf(std::uint64_t pc, unsigned t) const;
+    std::uint16_t taggedTagOf(std::uint64_t pc, unsigned t) const;
+    std::uint16_t specIter(unsigned index, const BaseEntry &e) const;
+    void trainTagged(std::uint64_t pc, std::uint16_t observed_exit,
+                     const Prediction &paired);
+    unsigned nextRandom();
+
+    Config cfg;
+    std::vector<BaseEntry> base;
+    std::vector<std::vector<TaggedEntry>> tables;
+    /** Global exit history: 8 hashed bits per observed loop exit. */
+    std::uint64_t exitHistory = 0;
+    SpecJournal<SpecEvent> journal;
+    std::uint32_t lfsr = 0xace1u;
+};
+
+/**
+ * Standalone zoo predictor "itl": the tagged exit predictor backed by a
+ * bimodal fallback (the champsim-style loop + bimodal composition), so
+ * the exit scheme can be measured in isolation from a host.
+ */
+class IttageLoopStandalone : public ConditionalPredictor
+{
+  public:
+    struct Config
+    {
+        IttageLoopPredictor::Config itl;
+        unsigned baseLogEntries = 13;
+        unsigned baseCounterBits = 2;
+    };
+
+    IttageLoopStandalone() : IttageLoopStandalone(Config()) {}
+
+    explicit IttageLoopStandalone(const Config &config);
+
+    bool predict(std::uint64_t pc) override;
+    void update(std::uint64_t pc, bool taken, std::uint64_t target) override;
+
+    // Speculation: the bimodal base holds no speculative state; the ITL
+    // journal carries the in-flight iteration counts.
+    bool supportsSpeculation() const override { return true; }
+    SpecCheckpoint checkpoint() const override;
+    void restore(const SpecCheckpoint &cp) override;
+    void speculate(std::uint64_t pc, bool pred_taken,
+                   std::uint64_t target) override;
+    void squashSpeculation() override;
+    std::uint64_t stateDigest() const override;
+
+    std::string name() const override { return "ITL"; }
+    StorageAccount storage() const override;
+
+    const Config &config() const { return cfg; }
+
+  private:
+    Config cfg;
+    BimodalPredictor bimodal;
+    IttageLoopPredictor itl;
+
+    struct LookupState
+    {
+        IttageLoopPredictor::Prediction itl;
+        bool finalPred = false;
+    } look;
+};
+
+} // namespace imli
+
+#endif // IMLI_SRC_PREDICTORS_ITTAGE_LOOP_HH

@@ -52,30 +52,36 @@ LoopPredictor::find(std::uint64_t pc) const
     return nullptr;
 }
 
-LoopPredictor::Prediction
-LoopPredictor::lookup(std::uint64_t pc)
+std::uint16_t
+LoopPredictor::specIter(unsigned index, const Entry &e) const
 {
-    hitWay = -1;
-    lastValid = false;
+    const SpecEvent *ev = journal.newestVisible(
+        [&](const SpecEvent &event) {
+            return event.index == index && event.tag == e.tag;
+        });
+    return ev != nullptr ? ev->iter : e.currentIter;
+}
+
+LoopPredictor::Prediction
+LoopPredictor::lookup(std::uint64_t pc) const
+{
     Prediction pred;
 
     const unsigned base = baseIndex(pc);
     const std::uint16_t tag = tagOf(pc);
     for (unsigned way = 0; way < cfg.ways; ++way) {
-        Entry &e = table[base + way];
+        const Entry &e = table[base + way];
         if (e.tag == tag && e.age > 0) {
-            hitWay = static_cast<int>(way);
-            hitIndex = base + way;
             pred.hit = true;
+            pred.index = base + way;
+            pred.tag = tag;
             // Confidence gate from the CBP4 implementation: either fully
             // confident, or confident enough relative to the loop length.
             const unsigned conf_max = (1u << cfg.confBits) - 1;
             pred.valid = (e.confid == conf_max) ||
                          (static_cast<unsigned>(e.confid) * e.nbIter > 128);
             pred.taken =
-                (e.currentIter + 1 == e.nbIter) ? !e.dir : e.dir;
-            lastValid = pred.valid;
-            lastPred = pred.taken;
+                (specIter(pred.index, e) + 1 == e.nbIter) ? !e.dir : e.dir;
             return pred;
         }
     }
@@ -83,24 +89,30 @@ LoopPredictor::lookup(std::uint64_t pc)
 }
 
 void
-LoopPredictor::update(std::uint64_t pc, bool taken, bool alloc)
+LoopPredictor::update(std::uint64_t pc, bool taken, bool alloc,
+                      const Prediction &paired)
 {
     const unsigned conf_max = (1u << cfg.confBits) - 1;
     const unsigned age_max = (1u << cfg.ageBits) - 1;
     const std::uint16_t iter_mask =
         static_cast<std::uint16_t>(maskBits(cfg.iterBits));
 
-    if (hitWay >= 0) {
-        Entry &e = table[hitIndex];
+    // Commit: the oldest in-flight speculative event is this
+    // occurrence's (fetch and update are 1:1 FIFO under the pipeline
+    // engine); with speculation off the journal is empty and this is a
+    // no-op.
+    journal.popOldest();
 
-        if (lastValid && taken != lastPred) {
+    if (paired.hit) {
+        Entry &e = table[paired.index];
+
+        if (paired.valid && taken != paired.taken) {
             // Confident entry mispredicted: the loop is not regular any
             // more; free the entry.
             e = Entry();
-            hitWay = -1;
             return;
         }
-        if (lastValid && taken == lastPred) {
+        if (paired.valid && taken == paired.taken) {
             // Useful prediction: strengthen against replacement
             // (probabilistic aging refresh as in the CBP4 code).
             if ((nextRandom() & 7u) == 0 && e.age < age_max)
@@ -135,7 +147,6 @@ LoopPredictor::update(std::uint64_t pc, bool taken, bool alloc)
             }
             e.currentIter = 0;
         }
-        hitWay = -1;
         return;
     }
 
@@ -163,6 +174,47 @@ LoopPredictor::update(std::uint64_t pc, bool taken, bool alloc)
     }
 }
 
+void
+LoopPredictor::speculate(std::uint64_t pc, bool pred_taken)
+{
+    const std::uint16_t iter_mask =
+        static_cast<std::uint16_t>(maskBits(cfg.iterBits));
+    SpecEvent event;
+    event.index = kNoMatch;
+
+    const unsigned base = baseIndex(pc);
+    const std::uint16_t tag = tagOf(pc);
+    for (unsigned way = 0; way < cfg.ways; ++way) {
+        const Entry &e = table[base + way];
+        if (e.tag == tag && e.age > 0) {
+            event.index = base + way;
+            event.tag = tag;
+            // Mirror of update()'s CurrentIter transition with the
+            // predicted direction: ++ while iterating, 0 on a predicted
+            // exit.
+            event.iter =
+                pred_taken != e.dir
+                    ? 0
+                    : static_cast<std::uint16_t>(
+                          (specIter(event.index, e) + 1) & iter_mask);
+            break;
+        }
+    }
+    journal.push(event);
+}
+
+void
+LoopPredictor::setTicketHorizon(std::uint64_t max_ticket)
+{
+    journal.setHorizon(max_ticket);
+}
+
+void
+LoopPredictor::squashSpeculation()
+{
+    journal.squash();
+}
+
 std::optional<unsigned>
 LoopPredictor::tripCount(std::uint64_t pc) const
 {
@@ -184,6 +236,26 @@ LoopPredictor::account(StorageAccount &acct, const std::string &name) const
     const std::uint64_t per_entry = cfg.iterBits * 2 + cfg.tagBits +
                                     cfg.confBits + cfg.ageBits + 1;
     acct.add(name, per_entry * cfg.numEntries());
+}
+
+std::uint64_t
+LoopPredictor::stateDigest() const
+{
+    std::uint64_t digest = hashCombine(0x100b, lfsr);
+    for (unsigned i = 0; i < table.size(); ++i) {
+        const Entry &e = table[i];
+        digest = hashCombine(digest, (std::uint64_t(e.nbIter) << 48) ^
+                                         (std::uint64_t(e.confid) << 40) ^
+                                         (std::uint64_t(e.currentIter)
+                                          << 24) ^
+                                         (std::uint64_t(e.tag) << 8) ^
+                                         (std::uint64_t(e.age) << 1) ^
+                                         (e.dir ? 1u : 0u));
+        // The speculative view too: a horizon or stale journal that
+        // changes what fetch would read must change the digest.
+        digest = hashCombine(digest, specIter(i, e));
+    }
+    return digest;
 }
 
 } // namespace imli

@@ -9,6 +9,13 @@
  * its long local histories (paper, Sections 2.2.2 and 3.3), and which
  * IMLI-SIC subsumes (Section 4.2.2: the loop predictor benefit collapses
  * from 0.034 to 0.013 MPKI on CBP4 once IMLI-SIC is active).
+ *
+ * Predict/update pairing is explicit: lookup() is const and returns the
+ * matched way inside the Prediction, which the host threads back into
+ * update().  Interleaved fetch-time lookups (the pipeline engine keeps
+ * many occurrences in flight) therefore cannot clobber each other's
+ * pairing, and the speculative iteration count lives in a ticketed
+ * journal (spec_journal.hh) rather than in the architectural entry.
  */
 
 #ifndef IMLI_SRC_PREDICTORS_LOOP_PREDICTOR_HH
@@ -19,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "src/predictors/spec_journal.hh"
 #include "src/util/storage.hh"
 
 namespace imli
@@ -45,11 +53,18 @@ class LoopPredictor
         unsigned numEntries() const { return (1u << logSets) * ways; }
     };
 
+    /**
+     * One lookup's result *and* its predict/update pairing state: the
+     * host passes the Prediction of the paired lookup back to update(),
+     * so concurrent in-flight occurrences never share hidden state.
+     */
     struct Prediction
     {
         bool hit = false;   //!< a tag-matching entry exists
         bool valid = false; //!< confidence high enough to override
         bool taken = false; //!< predicted direction when hit
+        unsigned index = 0; //!< table index of the matched entry
+        std::uint16_t tag = 0; //!< tag at lookup (guards reallocation)
     };
 
     LoopPredictor() : LoopPredictor(Config()) {}
@@ -57,16 +72,21 @@ class LoopPredictor
     explicit LoopPredictor(const Config &config);
 
     /**
-     * Look up @p pc.  Caches the matched way for the subsequent update()
-     * call on the same dynamic branch (predict/update pairing contract).
+     * Look up @p pc.  Const: the pairing state is returned, not cached,
+     * and the iteration count read is the speculative view (in-flight
+     * journal first, architectural entry as fallback).
      */
-    Prediction lookup(std::uint64_t pc);
+    Prediction lookup(std::uint64_t pc) const;
 
     /**
      * Train on the resolved outcome.  @p alloc enables allocation (the
-     * host passes "main predictor mispredicted", the CBP4 policy).
+     * host passes "main predictor mispredicted", the CBP4 policy) and
+     * @p paired is the Prediction of the lookup for this same dynamic
+     * occurrence (the commit sandwich re-derives it at the fetch-time
+     * history view).
      */
-    void update(std::uint64_t pc, bool taken, bool alloc);
+    void update(std::uint64_t pc, bool taken, bool alloc,
+                const Prediction &paired);
 
     /**
      * Learned trip count for the loop branch at @p pc, if the entry is
@@ -74,8 +94,38 @@ class LoopPredictor
      */
     std::optional<unsigned> tripCount(std::uint64_t pc) const;
 
+    // ---- Speculation (pipeline engine) ----------------------------------
+    //
+    // speculate() advances the *speculative* iteration count of the
+    // matched entry with the predicted direction — exactly the
+    // CurrentIter transition update() applies architecturally — into the
+    // journal.  One event is pushed per conditional occurrence (a
+    // no-match marker when the PC misses), so update()'s commit pop
+    // stays 1:1 FIFO with fetch.  Tables (NbIter/confid/age) remain
+    // architectural; nothing else needs recovery.
+
+    /** Fetch-side step: push the speculative iteration event. */
+    void speculate(std::uint64_t pc, bool pred_taken);
+
+    /** Bound speculative reads to events with ticket <= @p max_ticket
+     *  (non-destructive; UINT64_MAX lifts the bound). */
+    void setTicketHorizon(std::uint64_t max_ticket);
+
+    /** Ticket of the youngest speculative event (0 before any). */
+    std::uint64_t lastTicket() const { return journal.lastTicket(); }
+
+    /** Misprediction squash: drop in-flight events, lift the bound. */
+    void squashSpeculation();
+
     /** Storage cost. */
     void account(StorageAccount &acct, const std::string &name) const;
+
+    /**
+     * Debug digest of architectural + speculative-visible state, for the
+     * checkpoint/restore property tests (state equality, not just
+     * prediction equality).
+     */
+    std::uint64_t stateDigest() const;
 
     const Config &config() const { return cfg; }
 
@@ -90,21 +140,31 @@ class LoopPredictor
         bool dir = false;              //!< iterating ("stay") direction
     };
 
+    /** Speculative iteration event: the entry's iteration count *after*
+     *  the predicted outcome of one in-flight occurrence. */
+    struct SpecEvent
+    {
+        unsigned index = 0;    //!< matched entry index; kNoMatch on miss
+        std::uint16_t tag = 0; //!< tag at fetch (guards reallocation)
+        std::uint16_t iter = 0;
+    };
+
+    static constexpr unsigned kNoMatch = ~0u;
+
     unsigned baseIndex(std::uint64_t pc) const;
     std::uint16_t tagOf(std::uint64_t pc) const;
     const Entry *find(std::uint64_t pc) const;
+
+    /** The iteration count the occurrence at fetch observes: newest
+     *  visible in-flight event for the entry, else the entry itself. */
+    std::uint16_t specIter(unsigned index, const Entry &e) const;
 
     /** Cheap deterministic pseudo-random stream for allocation policy. */
     unsigned nextRandom();
 
     Config cfg;
     std::vector<Entry> table;
-
-    // predict/update pairing state
-    int hitWay = -1;
-    unsigned hitIndex = 0;
-    bool lastValid = false;
-    bool lastPred = false;
+    SpecJournal<SpecEvent> journal;
 
     std::uint32_t lfsr = 0xace1u;
 };

@@ -76,6 +76,16 @@ struct SpecCheckpoint
      * (non-destructively — see ConditionalPredictor::restore).
      */
     std::uint64_t localTicket = UINT64_MAX;
+    /**
+     * Loop-family speculative state: the current-loop PC tracked for
+     * wormhole trip-count pairing, and the visibility bounds for the
+     * loop / ITTAGE-loop / wormhole speculative journals (same ticket
+     * semantics as localTicket).
+     */
+    std::uint64_t loopPc = 0;
+    std::uint64_t loopTicket = UINT64_MAX;
+    std::uint64_t itlTicket = UINT64_MAX;
+    std::uint64_t whTicket = UINT64_MAX;
 };
 
 /** Abstract conditional branch direction predictor. */
@@ -171,6 +181,15 @@ class ConditionalPredictor
      * head, which is the paper's point.
      */
     virtual void squashSpeculation() {}
+
+    /**
+     * Debug digest of the speculation-relevant internal state (tables,
+     * histories, visible speculative events).  The checkpoint/restore
+     * property tests compare digests, not just predictions, so silent
+     * state divergence cannot hide behind agreeing outputs.  Default 0
+     * for predictors that do not participate.
+     */
+    virtual std::uint64_t stateDigest() const { return 0; }
 
     /** Short configuration name, e.g. "TAGE-GSC+I". */
     virtual std::string name() const = 0;

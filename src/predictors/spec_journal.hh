@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Ticketed speculative-event journal for side predictors (loop, ITTAGE
+ * loop, wormhole).
+ *
+ * The side predictors' tables are architectural (commit-written), but
+ * their *iteration tracking* is fetch-side state: the loop predictor's
+ * CurrentIter and the wormhole predictor's per-entry local history must
+ * advance with the predicted outcome of every in-flight occurrence, or a
+ * deep pipeline predicts every iteration of a loop body from the same
+ * stale count.  This journal is the same idiom as the local component's
+ * InflightWindow (src/history/inflight_window.hh), reduced to what a
+ * side predictor needs: speculate() appends exactly one ticketed event
+ * per fetched conditional branch, commit pops the oldest (update() and
+ * the fetch that produced the event are 1:1 FIFO under the pipeline
+ * engine, replays included), restore() bounds visibility by ticket
+ * non-destructively, and a squash clears the wrong-path tail.  Reads
+ * walk newest-visible-first and fall back to the architectural tables,
+ * so with the journal empty the predictor is bit-identical to its
+ * immediate-update self.
+ */
+
+#ifndef IMLI_SRC_PREDICTORS_SPEC_JOURNAL_HH
+#define IMLI_SRC_PREDICTORS_SPEC_JOURNAL_HH
+
+#include <cstdint>
+#include <deque>
+
+namespace imli
+{
+
+/** FIFO of ticketed speculative events with a visibility horizon. */
+template <typename Event>
+class SpecJournal
+{
+  public:
+    /** One speculative event plus its monotonic ticket. */
+    struct Record
+    {
+        std::uint64_t ticket;
+        Event event;
+    };
+
+    /** Append one event at the fetch front; lifts any visibility bound
+     *  (speculation always happens at the newest state). */
+    void push(const Event &event)
+    {
+        journal.push_back({nextTicket++, event});
+        horizon = UINT64_MAX;
+    }
+
+    /**
+     * Bound reads to events with ticket <= @p max_ticket (the commit
+     * sandwich's fetch-time view); UINT64_MAX lifts the bound.
+     * Non-destructive — a forward restore brings younger events back.
+     */
+    void setHorizon(std::uint64_t max_ticket) { horizon = max_ticket; }
+
+    /** Ticket of the youngest event ever pushed (0 before the first). */
+    std::uint64_t lastTicket() const { return nextTicket - 1; }
+
+    /** Commit: the oldest in-flight event retires (pop by position, not
+     *  visibility — the committing branch's own event may be hidden by
+     *  the sandwich's backward restore). */
+    void popOldest()
+    {
+        if (!journal.empty())
+            journal.pop_front();
+    }
+
+    /** Misprediction squash: drop everything, lift the bound. */
+    void squash()
+    {
+        journal.clear();
+        horizon = UINT64_MAX;
+    }
+
+    bool empty() const { return journal.empty(); }
+    std::size_t size() const { return journal.size(); }
+
+    /**
+     * Newest visible event accepted by @p match, or nullptr.  @p match
+     * receives a const Event& and returns bool; visibility respects the
+     * restore horizon.
+     */
+    template <typename Match>
+    const Event *newestVisible(Match match) const
+    {
+        for (auto it = journal.rbegin(); it != journal.rend(); ++it) {
+            if (it->ticket > horizon)
+                continue;
+            if (match(it->event))
+                return &it->event;
+        }
+        return nullptr;
+    }
+
+    /**
+     * Visit visible events accepted by @p match, newest first, until
+     * @p visit returns false.  Used by the wormhole predictor, whose
+     * speculative view needs *all* in-flight outcome bits of an entry,
+     * not just the newest.
+     */
+    template <typename Match, typename Visit>
+    void visitVisibleNewestFirst(Match match, Visit visit) const
+    {
+        for (auto it = journal.rbegin(); it != journal.rend(); ++it) {
+            if (it->ticket > horizon)
+                continue;
+            if (match(it->event) && !visit(it->event))
+                return;
+        }
+    }
+
+  private:
+    std::deque<Record> journal; //!< oldest at front
+    std::uint64_t nextTicket = 1;
+    std::uint64_t horizon = UINT64_MAX;
+};
+
+} // namespace imli
+
+#endif // IMLI_SRC_PREDICTORS_SPEC_JOURNAL_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/predictors/host_speculation.hh"
+#include "src/util/hashing.hh"
 
 namespace imli
 {
@@ -27,8 +28,25 @@ TageGscPredictor::TageGscPredictor(const Config &config)
     }
     if (cfg.enableLoop || cfg.enableWh)
         loopPred = std::make_unique<LoopPredictor>(cfg.loop);
+    if (cfg.enableItl)
+        ittageLoop = std::make_unique<IttageLoopPredictor>(cfg.itl);
     if (cfg.enableWh)
         wormhole = std::make_unique<WormholePredictor>(cfg.wh);
+}
+
+host_spec::LoopFamily
+TageGscPredictor::loopFamily() const
+{
+    // The family carries mutable pointers for restore()/speculate();
+    // const callers (checkpoint, digest) only read through it.
+    auto *self = const_cast<TageGscPredictor *>(this);
+    host_spec::LoopFamily fam;
+    fam.loop = self->loopPred.get();
+    fam.itl = self->ittageLoop.get();
+    fam.wh = self->wormhole.get();
+    if (fam.loop != nullptr || fam.itl != nullptr || fam.wh != nullptr)
+        fam.currentLoopPc = &self->currentLoopPc;
+    return fam;
 }
 
 std::optional<unsigned>
@@ -59,6 +77,11 @@ TageGscPredictor::predict(std::uint64_t pc)
         if (cfg.loopOverride && look.loopPrediction.valid)
             look.finalPred = look.loopPrediction.taken;
     }
+    if (ittageLoop != nullptr) {
+        look.itlPrediction = ittageLoop->lookup(pc);
+        if (look.itlPrediction.valid)
+            look.finalPred = look.itlPrediction.taken;
+    }
     if (wormhole != nullptr) {
         look.tripCount = currentTripCount();
         look.whPrediction = wormhole->predict(pc, look.tripCount);
@@ -77,10 +100,15 @@ TageGscPredictor::update(std::uint64_t pc, bool taken, std::uint64_t target)
         // Only backward conditional branches close loops (Section 4.1);
         // letting forward noise branches allocate would thrash the small
         // loop table.
-        loopPred->update(pc, taken, final_mispred && target < pc);
+        loopPred->update(pc, taken, final_mispred && target < pc,
+                         look.loopPrediction);
     }
+    if (ittageLoop != nullptr)
+        ittageLoop->update(pc, taken, final_mispred && target < pc,
+                           look.itlPrediction);
     if (wormhole != nullptr)
-        wormhole->update(pc, taken, final_mispred, look.tripCount);
+        wormhole->update(pc, taken, final_mispred, look.tripCount,
+                         look.whPrediction);
 
     corrector.train(look.ctx, taken, look.decision);
     tage.update(pc, taken, look.finalPred);
@@ -108,13 +136,14 @@ SpecCheckpoint
 TageGscPredictor::checkpoint() const
 {
     return host_spec::checkpoint(histMgr, cfg.enableImli, imliComps,
-                                 local.get());
+                                 local.get(), loopFamily());
 }
 
 void
 TageGscPredictor::restore(const SpecCheckpoint &cp)
 {
-    host_spec::restore(histMgr, cfg.enableImli, imliComps, local.get(), cp);
+    host_spec::restore(histMgr, cfg.enableImli, imliComps, local.get(), cp,
+                       loopFamily());
 }
 
 void
@@ -122,13 +151,29 @@ TageGscPredictor::speculate(std::uint64_t pc, bool pred_taken,
                             std::uint64_t target)
 {
     host_spec::speculate(histMgr, cfg.enableImli, imliComps, local.get(),
-                         pc, pred_taken, target);
+                         pc, pred_taken, target, loopFamily());
 }
 
 void
 TageGscPredictor::squashSpeculation()
 {
-    host_spec::squash(local.get());
+    host_spec::squash(local.get(), loopFamily());
+}
+
+std::uint64_t
+TageGscPredictor::stateDigest() const
+{
+    // The loop-family surface is the state this host's speculation fix
+    // covers; the global/IMLI/local state is exercised by the prediction
+    // equality checks already.
+    std::uint64_t digest = hashCombine(0x7a6e, currentLoopPc);
+    if (loopPred != nullptr)
+        digest = hashCombine(digest, loopPred->stateDigest());
+    if (ittageLoop != nullptr)
+        digest = hashCombine(digest, ittageLoop->stateDigest());
+    if (wormhole != nullptr)
+        digest = hashCombine(digest, wormhole->stateDigest());
+    return digest;
 }
 
 void
@@ -151,6 +196,8 @@ TageGscPredictor::storage() const
         imliComps.account(acct);
     if (loopPred != nullptr)
         loopPred->account(acct, "loop");
+    if (ittageLoop != nullptr)
+        ittageLoop->account(acct, "itl");
     if (wormhole != nullptr)
         wormhole->account(acct, "wormhole");
     return acct;

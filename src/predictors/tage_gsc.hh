@@ -17,6 +17,8 @@
 
 #include "src/core/imli_components.hh"
 #include "src/history/history_manager.hh"
+#include "src/predictors/host_speculation.hh"
+#include "src/predictors/ittage_loop.hh"
 #include "src/predictors/local_component.hh"
 #include "src/predictors/loop_predictor.hh"
 #include "src/predictors/predictor.hh"
@@ -57,6 +59,9 @@ class TageGscPredictor : public ConditionalPredictor
         bool loopOverride = false;
         LoopPredictor::Config loop{/*logSets=*/2, /*ways=*/4};
 
+        bool enableItl = false;
+        IttageLoopPredictor::Config itl;
+
         bool enableWh = false;
         WormholePredictor::Config wh;
 
@@ -73,12 +78,14 @@ class TageGscPredictor : public ConditionalPredictor
                         std::uint64_t target) override;
 
     // Speculation contract (see predictor.hh): checkpoint = global/path
-    // head + IMLI counter/PIPE (+OMLI) + in-flight local-history ticket —
-    // the paper's Section 4.4 recovery state.  Loop / wormhole state and
-    // the loop-tracking PC are architectural (commit-updated) and are
-    // deliberately NOT checkpointed: under a deep pipeline their fetch
-    // view goes stale, which is exactly the hardware cost the paper
-    // charges those components with.
+    // head + IMLI counter/PIPE (+OMLI) + in-flight local-history ticket +
+    // the loop-family state (loop / ITTAGE-loop / wormhole journal
+    // tickets and the loop-tracking PC) — the paper's Section 4.4
+    // recovery state, extended to the per-branch speculative iteration
+    // counts and in-flight local bits the loop components carry.  Tables
+    // and counters stay architectural (commit-updated); only the
+    // journals' visibility bounds and the loop PC travel in the
+    // checkpoint, so a snapshot is still a few tens of bits.
     bool supportsSpeculation() const override { return true; }
     void prepareSpeculation(unsigned max_inflight) override;
     SpecCheckpoint checkpoint() const override;
@@ -86,6 +93,7 @@ class TageGscPredictor : public ConditionalPredictor
     void speculate(std::uint64_t pc, bool pred_taken,
                    std::uint64_t target) override;
     void squashSpeculation() override;
+    std::uint64_t stateDigest() const override;
 
     std::string name() const override { return cfg.configName; }
     StorageAccount storage() const override;
@@ -97,6 +105,7 @@ class TageGscPredictor : public ConditionalPredictor
 
   private:
     std::optional<unsigned> currentTripCount() const;
+    host_spec::LoopFamily loopFamily() const;
 
     Config cfg;
     HistoryManager histMgr;
@@ -107,6 +116,7 @@ class TageGscPredictor : public ConditionalPredictor
     ImliComponents imliComps;
     std::unique_ptr<LocalComponent> local;
     std::unique_ptr<LoopPredictor> loopPred;
+    std::unique_ptr<IttageLoopPredictor> ittageLoop;
     std::unique_ptr<WormholePredictor> wormhole;
 
     std::uint64_t currentLoopPc = 0;
@@ -118,6 +128,7 @@ class TageGscPredictor : public ConditionalPredictor
         StatisticalCorrector::Decision decision;
         bool finalPred = false;
         LoopPredictor::Prediction loopPrediction;
+        IttageLoopPredictor::Prediction itlPrediction;
         WormholePredictor::Prediction whPrediction;
         std::optional<unsigned> tripCount;
     } look;

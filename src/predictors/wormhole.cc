@@ -47,6 +47,34 @@ WormholePredictor::historyBit(const Entry &e, unsigned k) const
     return (e.history[bit / 64] >> (bit % 64)) & 1u;
 }
 
+bool
+WormholePredictor::specHistoryBit(int index, const Entry &e,
+                                  unsigned k) const
+{
+    // The s visible in-flight predicted bits are the s most recent
+    // outcomes (newest = 1 ago); the architectural history sits behind
+    // them, shifted by s positions.
+    unsigned seen = 0;
+    bool found = false;
+    bool value = false;
+    journal.visitVisibleNewestFirst(
+        [&](const SpecEvent &ev) {
+            return ev.entry == index && ev.tag == e.tag;
+        },
+        [&](const SpecEvent &ev) {
+            ++seen;
+            if (seen == k) {
+                found = true;
+                value = ev.bit;
+                return false;
+            }
+            return true;
+        });
+    if (found)
+        return value;
+    return historyBit(e, k - seen);
+}
+
 void
 WormholePredictor::historyShift(Entry &e, bool taken)
 {
@@ -64,7 +92,8 @@ WormholePredictor::historyShift(Entry &e, bool taken)
 }
 
 unsigned
-WormholePredictor::counterIndex(const Entry &e, unsigned trip_count) const
+WormholePredictor::counterIndex(int index, const Entry &e,
+                                unsigned trip_count) const
 {
     // Index bits, most significant first:
     //   h(1)        — previous occurrence (current outer iteration)
@@ -72,7 +101,9 @@ WormholePredictor::counterIndex(const Entry &e, unsigned trip_count) const
     //   h(Ni)       — Out[N-1][M]
     //   h(Ni + 1)   — Out[N-1][M-1]
     // With indexBits < 4 the trailing bits are dropped; with more, further
-    // diagonal neighbours h(Ni +/- 2), ... are appended.
+    // diagonal neighbours h(Ni +/- 2), ... are appended.  All reads go
+    // through the speculative view (identical to the architectural
+    // history when no in-flight bits are visible).
     unsigned idx = 0;
     unsigned produced = 0;
     auto push_bit = [&](bool b) {
@@ -81,16 +112,16 @@ WormholePredictor::counterIndex(const Entry &e, unsigned trip_count) const
             ++produced;
         }
     };
-    push_bit(historyBit(e, 1));
+    push_bit(specHistoryBit(index, e, 1));
     if (trip_count >= 2)
-        push_bit(historyBit(e, trip_count - 1));
+        push_bit(specHistoryBit(index, e, trip_count - 1));
     else
         push_bit(false);
-    push_bit(historyBit(e, trip_count));
-    push_bit(historyBit(e, trip_count + 1));
+    push_bit(specHistoryBit(index, e, trip_count));
+    push_bit(specHistoryBit(index, e, trip_count + 1));
     unsigned d = 2;
     while (produced < cfg.indexBits) {
-        push_bit(historyBit(e, trip_count + d));
+        push_bit(specHistoryBit(index, e, trip_count + d));
         ++d;
     }
     return idx & static_cast<unsigned>(maskBits(cfg.indexBits));
@@ -98,11 +129,8 @@ WormholePredictor::counterIndex(const Entry &e, unsigned trip_count) const
 
 WormholePredictor::Prediction
 WormholePredictor::predict(std::uint64_t pc,
-                           std::optional<unsigned> trip_count)
+                           std::optional<unsigned> trip_count) const
 {
-    lookupEntry = -1;
-    lookupValid = false;
-    lookupConfident = false;
     Prediction pred;
 
     if (!trip_count.has_value() || *trip_count < 2 ||
@@ -115,26 +143,28 @@ WormholePredictor::predict(std::uint64_t pc,
 
     const Entry &e = entries[static_cast<unsigned>(i)];
     const SignedCounter &ctr =
-        e.counters[counterIndex(e, *trip_count)];
+        e.counters[counterIndex(i, e, *trip_count)];
     const int centred = ctr.centered();
     const int mag = centred < 0 ? -centred : centred;
 
-    lookupEntry = i;
-    lookupPred = ctr.taken();
-    lookupConfident = mag >= cfg.confidenceThreshold;
-    lookupValid = lookupConfident && e.conf >= 8;
-
-    pred.valid = lookupValid;
-    pred.taken = lookupPred;
+    pred.entry = i;
+    pred.taken = ctr.taken();
+    pred.confident = mag >= cfg.confidenceThreshold;
+    pred.valid = pred.confident && e.conf >= 8;
     return pred;
 }
 
 void
 WormholePredictor::update(std::uint64_t pc, bool taken,
                           bool main_mispredicted,
-                          std::optional<unsigned> trip_count)
+                          std::optional<unsigned> trip_count,
+                          const Prediction &paired)
 {
-    int i = lookupEntry >= 0 ? lookupEntry : findEntry(pc);
+    // Commit: retire this occurrence's speculative event (1:1 FIFO with
+    // fetch; no-op when speculation is off).
+    journal.popOldest();
+
+    int i = paired.entry >= 0 ? paired.entry : findEntry(pc);
 
     if (i < 0) {
         // Allocation: only for mispredicted branches inside a loop with a
@@ -184,20 +214,20 @@ WormholePredictor::update(std::uint64_t pc, bool taken,
     Entry &e = entries[static_cast<unsigned>(i)];
     if (trip_count.has_value() && *trip_count >= 2 &&
         *trip_count + 1 <= cfg.historyBits) {
-        SignedCounter &ctr = e.counters[counterIndex(e, *trip_count)];
+        SignedCounter &ctr = e.counters[counterIndex(i, e, *trip_count)];
         ctr.update(taken);
-        if (lookupConfident) {
+        if (paired.confident) {
             // Success gate: reward correct confident predictions, punish
             // wrong ones hard so uncorrelated branches never override.
-            if (lookupPred == taken) {
+            if (paired.taken == taken) {
                 if (e.conf < 0xf)
                     ++e.conf;
             } else {
                 e.conf = e.conf >= 4 ? e.conf - 4 : 0;
             }
         }
-        if (lookupValid) {
-            if (lookupPred == taken) {
+        if (paired.valid) {
+            if (paired.taken == taken) {
                 if (e.util < 0xf)
                     ++e.util;
             } else {
@@ -207,6 +237,41 @@ WormholePredictor::update(std::uint64_t pc, bool taken,
         }
     }
     historyShift(e, taken);
+}
+
+void
+WormholePredictor::speculate(std::uint64_t pc, bool pred_taken)
+{
+    SpecEvent event;
+    const int i = findEntry(pc);
+    if (i >= 0) {
+        event.entry = i;
+        event.tag = entries[static_cast<unsigned>(i)].tag;
+        event.bit = pred_taken;
+    }
+    journal.push(event);
+}
+
+void
+WormholePredictor::setTicketHorizon(std::uint64_t max_ticket)
+{
+    journal.setHorizon(max_ticket);
+}
+
+void
+WormholePredictor::squashSpeculation()
+{
+    journal.squash();
+}
+
+unsigned
+WormholePredictor::liveEntries() const
+{
+    unsigned live = 0;
+    for (const Entry &e : entries)
+        if (e.valid)
+            ++live;
+    return live;
 }
 
 void
@@ -220,14 +285,33 @@ WormholePredictor::account(StorageAccount &acct,
     acct.add(name, per_entry * cfg.numEntries);
 }
 
-unsigned
-WormholePredictor::liveEntries() const
+std::uint64_t
+WormholePredictor::stateDigest() const
 {
-    unsigned live = 0;
-    for (const auto &e : entries)
-        if (e.valid)
-            ++live;
-    return live;
+    std::uint64_t digest = hashCombine(0x3409, lfsr);
+    for (unsigned i = 0; i < entries.size(); ++i) {
+        const Entry &e = entries[i];
+        digest = hashCombine(digest, (e.valid ? 1u : 0u) ^
+                                         (std::uint64_t(e.tag) << 1) ^
+                                         (std::uint64_t(e.util) << 17) ^
+                                         (std::uint64_t(e.conf) << 21));
+        for (const std::uint64_t word : e.history)
+            digest = hashCombine(digest, word);
+        for (const SignedCounter &c : e.counters)
+            digest = hashCombine(
+                digest, static_cast<std::uint64_t>(
+                            static_cast<std::int64_t>(c.centered())));
+        // Speculative view: visible in-flight bits of this entry.
+        journal.visitVisibleNewestFirst(
+            [&](const SpecEvent &ev) {
+                return ev.entry == static_cast<int>(i) && ev.tag == e.tag;
+            },
+            [&](const SpecEvent &ev) {
+                digest = hashCombine(digest, ev.bit ? 0x5u : 0x2u);
+                return true;
+            });
+    }
+    return digest;
 }
 
 } // namespace imli

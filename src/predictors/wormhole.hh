@@ -17,6 +17,12 @@
  * when the loop predictor cannot lock onto Ni) and only tracks branches
  * executed on *every* inner iteration (an occurrence skipped by a nested
  * conditional shifts the history and breaks the bit-position arithmetic).
+ *
+ * Predict/update pairing is explicit (returned in the Prediction, passed
+ * back to update()), and the per-entry local history is extended at
+ * fetch with *predicted* in-flight bits through a ticketed journal
+ * (spec_journal.hh) — the very per-branch speculative state the paper's
+ * Section 2.3.2 charges local-history schemes with.
  */
 
 #ifndef IMLI_SRC_PREDICTORS_WORMHOLE_HH
@@ -27,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "src/predictors/spec_journal.hh"
 #include "src/util/counters.hh"
 #include "src/util/storage.hh"
 
@@ -48,10 +55,16 @@ class WormholePredictor
         int confidenceThreshold = 7;
     };
 
+    /**
+     * One lookup's result *and* its predict/update pairing state,
+     * threaded back into update() by the host.
+     */
     struct Prediction
     {
         bool valid = false; //!< confident enough to override the host
         bool taken = false;
+        int entry = -1;         //!< matched entry, -1 on miss
+        bool confident = false; //!< counter confident (pre success gate)
     };
 
     WormholePredictor() : WormholePredictor(Config()) {}
@@ -60,21 +73,50 @@ class WormholePredictor
 
     /**
      * Look up @p pc given the trip count of the loop currently iterating
-     * (std::nullopt when the loop predictor is not confident).  Caches
-     * state for the paired update().
+     * (std::nullopt when the loop predictor is not confident).  Const:
+     * pairing state is returned in the Prediction and the history read
+     * is the speculative view (in-flight predicted bits prepended to the
+     * architectural history).
      */
     Prediction predict(std::uint64_t pc,
-                       std::optional<unsigned> trip_count);
+                       std::optional<unsigned> trip_count) const;
 
     /**
      * Train on the outcome.  @p main_mispredicted enables allocation, as
      * WH entries are only worth their storage on branches the main
-     * predictor gets wrong.
+     * predictor gets wrong; @p paired is the Prediction of the lookup
+     * for this same dynamic occurrence.
      */
     void update(std::uint64_t pc, bool taken, bool main_mispredicted,
-                std::optional<unsigned> trip_count);
+                std::optional<unsigned> trip_count,
+                const Prediction &paired);
+
+    // ---- Speculation (pipeline engine) ----------------------------------
+    //
+    // speculate() records the predicted outcome bit of the matched entry
+    // (one event per conditional occurrence, no-match marker on a miss);
+    // the speculative history view is those in-flight bits, newest
+    // first, prepended to the architectural history words.  update()'s
+    // architectural historyShift pops the oldest event, keeping commit
+    // 1:1 FIFO with fetch.
+
+    /** Fetch-side step: push the predicted-outcome event. */
+    void speculate(std::uint64_t pc, bool pred_taken);
+
+    /** Bound speculative reads to events with ticket <= @p max_ticket
+     *  (non-destructive; UINT64_MAX lifts the bound). */
+    void setTicketHorizon(std::uint64_t max_ticket);
+
+    /** Ticket of the youngest speculative event (0 before any). */
+    std::uint64_t lastTicket() const { return journal.lastTicket(); }
+
+    /** Misprediction squash: drop in-flight events, lift the bound. */
+    void squashSpeculation();
 
     void account(StorageAccount &acct, const std::string &name) const;
+
+    /** Debug digest of architectural + speculative-visible state. */
+    std::uint64_t stateDigest() const;
 
     const Config &config() const { return cfg; }
 
@@ -99,20 +141,29 @@ class WormholePredictor
         std::vector<SignedCounter> counters;
     };
 
+    /** Speculative outcome event for one in-flight occurrence. */
+    struct SpecEvent
+    {
+        int entry = -1;        //!< matched entry index; -1 on miss
+        std::uint16_t tag = 0; //!< tag at fetch (guards reallocation)
+        bool bit = false;      //!< predicted outcome
+    };
+
     std::uint16_t tagOf(std::uint64_t pc) const;
     int findEntry(std::uint64_t pc) const;
     bool historyBit(const Entry &e, unsigned k) const;
+    /** historyBit() through the speculative view: in-flight predicted
+     *  bits of entry @p index first (newest = 1 ago), then the
+     *  architectural history shifted behind them. */
+    bool specHistoryBit(int index, const Entry &e, unsigned k) const;
     void historyShift(Entry &e, bool taken);
-    unsigned counterIndex(const Entry &e, unsigned trip_count) const;
+    unsigned counterIndex(int index, const Entry &e,
+                          unsigned trip_count) const;
 
     Config cfg;
     std::vector<Entry> entries;
+    SpecJournal<SpecEvent> journal;
 
-    // predict/update pairing state
-    int lookupEntry = -1;
-    bool lookupValid = false;
-    bool lookupConfident = false; //!< counter confident (pre success gate)
-    bool lookupPred = false;
     std::uint32_t lfsr = 0x7ee1u;
 };
 

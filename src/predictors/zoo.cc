@@ -7,6 +7,7 @@
 
 #include "src/predictors/bimodal.hh"
 #include "src/predictors/gshare.hh"
+#include "src/predictors/ittage_loop.hh"
 #include "src/util/cli.hh"
 #include "src/util/hashing.hh"
 
@@ -45,6 +46,8 @@ parseOptions(const std::vector<std::string> &parts)
             opts.local = true;
         } else if (t == "loop") {
             opts.loopOnly = true;
+        } else if (t == "itl") {
+            opts.ittageLoop = true;
         } else if (t == "wh") {
             opts.wormhole = true;
         } else if (t == "omli") {
@@ -77,6 +80,8 @@ addonSuffix(const ZooOptions &o)
         s += "+l";
     else if (o.loopOnly)
         s += "+loop";
+    if (o.ittageLoop)
+        s += "+itl";
     if (o.wormhole)
         s += "+wh";
     return s;
@@ -146,6 +151,30 @@ keyTable()
         {{"imli.ctrbits", 4, 16, false, false, "IMLI counter width (bits)"},
          +[](TageCfg &c, long long v) { c.imli.counterBits = unsigned(v); },
          +[](GehlCfg &c, long long v) { c.imli.counterBits = unsigned(v); }},
+        {{"itl.iterbits", 4, 16, false, false,
+          "ITTAGE-loop iteration counter width (bits)"},
+         +[](TageCfg &c, long long v) { c.itl.iterBits = unsigned(v); },
+         +[](GehlCfg &c, long long v) { c.itl.iterBits = unsigned(v); }},
+        {{"itl.logsets", 0, 8, false, false,
+          "log2 ITTAGE-loop base tracker sets"},
+         +[](TageCfg &c, long long v) { c.itl.logSets = unsigned(v); },
+         +[](GehlCfg &c, long long v) { c.itl.logSets = unsigned(v); }},
+        {{"itl.logsize", 2, 12, false, false,
+          "log2 entries per ITTAGE-loop tagged table"},
+         +[](TageCfg &c, long long v) { c.itl.logSize = unsigned(v); },
+         +[](GehlCfg &c, long long v) { c.itl.logSize = unsigned(v); }},
+        {{"itl.tables", 1, 8, false, false,
+          "ITTAGE-loop tagged table count"},
+         +[](TageCfg &c, long long v) { c.itl.numTables = unsigned(v); },
+         +[](GehlCfg &c, long long v) { c.itl.numTables = unsigned(v); }},
+        {{"itl.tagbits", 4, 16, false, false,
+          "ITTAGE-loop tagged partial tag width (bits)"},
+         +[](TageCfg &c, long long v) { c.itl.taggedTagBits = unsigned(v); },
+         +[](GehlCfg &c, long long v) { c.itl.taggedTagBits = unsigned(v); }},
+        {{"itl.ways", 1, 8, false, false,
+          "ITTAGE-loop base tracker associativity"},
+         +[](TageCfg &c, long long v) { c.itl.ways = unsigned(v); },
+         +[](GehlCfg &c, long long v) { c.itl.ways = unsigned(v); }},
         {{"local.logsize", 4, 16, false, false,
           "log2 entries per local voting table"},
          +[](TageCfg &c, long long v) { c.local.logEntries = unsigned(v); },
@@ -363,6 +392,9 @@ checkOverrideApplies(const ZooOptions &opts, const std::string &key)
     } else if (prefix == "loop") {
         active = opts.local || opts.loopOnly || opts.wormhole;
         need = "+loop, +l or +wh";
+    } else if (prefix == "itl") {
+        active = opts.ittageLoop;
+        need = "+itl";
     } else if (prefix == "wh") {
         active = opts.wormhole;
         need = "+wh";
@@ -472,7 +504,8 @@ parseSpec(const std::string &spec)
     if (parts.empty() || parts[0].empty())
         throw std::invalid_argument("empty predictor spec");
     parsed.host = parts[0];
-    if (parsed.host == "bimodal" || parsed.host == "gshare") {
+    if (parsed.host == "bimodal" || parsed.host == "gshare" ||
+        parsed.host == "itl") {
         if (parts.size() > 1)
             throw std::invalid_argument(parsed.host + " takes no add-ons");
     } else if (parsed.host == "tage-gsc" || parsed.host == "gehl") {
@@ -531,6 +564,7 @@ buildTageGscConfig(const ParsedSpec &parsed)
     cfg.enableLocal = opts.local;
     cfg.enableLoop = opts.local || opts.loopOnly || opts.wormhole;
     cfg.loopOverride = opts.local || opts.loopOnly;
+    cfg.enableItl = opts.ittageLoop;
     cfg.enableWh = opts.wormhole;
     for (const SpecOverride &o : parsed.overrides)
         checkOverrideApplies(opts, o.key);
@@ -561,6 +595,7 @@ buildGehlConfig(const ParsedSpec &parsed)
     cfg.enableLocal = opts.local;
     cfg.enableLoop = opts.local || opts.loopOnly || opts.wormhole;
     cfg.loopOverride = opts.local || opts.loopOnly;
+    cfg.enableItl = opts.ittageLoop;
     cfg.enableWh = opts.wormhole;
     for (const SpecOverride &o : parsed.overrides)
         checkOverrideApplies(opts, o.key);
@@ -602,6 +637,11 @@ describeSharedDetail(std::ostream &os, const Cfg &cfg)
        << " override=" << onOff(cfg.loopOverride)
        << " logsets=" << cfg.loop.logSets << " ways=" << cfg.loop.ways
        << '\n';
+    os << "itl:      enabled=" << onOff(cfg.enableItl)
+       << " logsets=" << cfg.itl.logSets << " ways=" << cfg.itl.ways
+       << " tables=" << cfg.itl.numTables
+       << " logsize=" << cfg.itl.logSize
+       << " tagbits=" << cfg.itl.taggedTagBits << '\n';
     os << "wh:       enabled=" << onOff(cfg.enableWh)
        << " entries=" << cfg.wh.numEntries
        << " histbits=" << cfg.wh.historyBits << '\n';
@@ -675,7 +715,8 @@ makeGehl(const ZooOptions &opts)
 PredictorPtr
 makePredictor(const ParsedSpec &parsed)
 {
-    if (parsed.host == "bimodal" || parsed.host == "gshare") {
+    if (parsed.host == "bimodal" || parsed.host == "gshare" ||
+        parsed.host == "itl") {
         // parseSpec rejects overrides on these hosts; a hand-built
         // ParsedSpec must fail the same way, not silently drop them.
         if (!parsed.overrides.empty())
@@ -683,6 +724,8 @@ makePredictor(const ParsedSpec &parsed)
                                         " accepts no overrides");
         if (parsed.host == "bimodal")
             return std::make_unique<BimodalPredictor>();
+        if (parsed.host == "itl")
+            return std::make_unique<IttageLoopStandalone>();
         return std::make_unique<GsharePredictor>();
     }
     if (parsed.host == "tage-gsc")
@@ -730,6 +773,7 @@ knownSpecs()
     return {
         "bimodal",
         "gshare",
+        "itl",
         "tage-gsc",
         "tage-gsc+sic",
         "tage-gsc+oh",
@@ -737,6 +781,8 @@ knownSpecs()
         "tage-gsc+l",
         "tage-gsc+i+l",
         "tage-gsc+loop",
+        "tage-gsc+itl",
+        "tage-gsc+sic+itl",
         "tage-gsc+wh",
         "tage-gsc+sic+wh",
         "tage-gsc+i+imligsc",
@@ -749,6 +795,7 @@ knownSpecs()
         "gehl+l",
         "gehl+i+l",
         "gehl+loop",
+        "gehl+itl",
         "gehl+wh",
         "gehl+sic+wh",
         "gehl+sic+omli",

@@ -14,8 +14,10 @@
  *   "tage-gsc+wh"         + wormhole side predictor (Section 3.3)
  *   "tage-gsc+sic+wh"     Section 4.3 intro experiment
  *   "tage-gsc+loop"       + loop predictor only (Sections 2.3.3 / 4.2.2)
+ *   "tage-gsc+itl"        + ITTAGE-style tagged loop exit predictor
  *   "gehl", "gehl+i", ... same add-ons on the GEHL host
  *   "bimodal", "gshare"   simple baselines for examples
+ *   "itl"                 standalone tagged exit predictor over bimodal
  *
  * Extra spec suffixes (ablations): "+imligsc" hashes the IMLI counter into
  * the last two global SC tables (Section 4.2's index insertion); "+omli"
@@ -62,6 +64,7 @@ struct ZooOptions
     bool imliOh = false;
     bool local = false;        //!< local components + loop override
     bool loopOnly = false;     //!< loop predictor override, no local
+    bool ittageLoop = false;   //!< ITTAGE-style tagged loop exit predictor
     bool wormhole = false;
     /** Beyond-the-paper OMLI extension (outer-iteration phase table). */
     bool omli = false;
@@ -88,7 +91,7 @@ operator==(const SpecOverride &a, const SpecOverride &b)
  */
 struct ParsedSpec
 {
-    std::string host;  //!< "tage-gsc", "gehl", "bimodal" or "gshare"
+    std::string host;  //!< "tage-gsc", "gehl", "bimodal", "gshare" or "itl"
     ZooOptions opts;
     std::vector<SpecOverride> overrides;
 };

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the ITTAGE-style tagged loop exit predictor: the correlated
+ * trip-count pattern the plain loop table rejects, the capacity
+ * cascade's confidence gates, speculation round-trips and storage.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/predictors/ittage_loop.hh"
+#include "src/predictors/loop_predictor.hh"
+#include "src/predictors/zoo.hh"
+
+using namespace imli;
+
+namespace
+{
+
+constexpr std::uint64_t loopPc = 0x4080;
+
+/** Drive one loop execution of @p trip iterations; count the graded
+ *  occurrences of the last runs as in the plain-loop tests. */
+struct ItlDrive
+{
+    unsigned valid_mispredicts = 0;
+    unsigned uncovered = 0;
+    unsigned occurrences = 0;
+};
+
+template <typename TripOf>
+ItlDrive
+driveItl(IttageLoopPredictor &pred, unsigned runs, unsigned counted,
+         TripOf &&trip_of)
+{
+    ItlDrive result;
+    for (unsigned run = 0; run < runs; ++run) {
+        const unsigned trip = trip_of(run);
+        for (unsigned i = 0; i < trip; ++i) {
+            const bool taken = i + 1 < trip;
+            const auto p = pred.lookup(loopPc);
+            if (run >= runs - counted) {
+                ++result.occurrences;
+                if (p.valid) {
+                    if (p.taken != taken)
+                        ++result.valid_mispredicts;
+                } else {
+                    ++result.uncovered;
+                }
+            }
+            pred.update(loopPc, taken, !taken, p);
+        }
+    }
+    return result;
+}
+
+} // anonymous namespace
+
+TEST(IttageLoop, LearnsConstantTripLoop)
+{
+    // Parity with the plain table on its home turf: a constant trip
+    // count must be covered through the base fallback / tagged tables.
+    IttageLoopPredictor pred;
+    const ItlDrive r = driveItl(pred, 40, 10, [](unsigned) { return 20u; });
+    EXPECT_EQ(r.valid_mispredicts, 0u);
+    EXPECT_LT(r.uncovered, r.occurrences / 4);
+}
+
+TEST(IttageLoop, LearnsAlternatingTripCountsPlainLoopRejects)
+{
+    // The headline case: trips alternate 11, 17, 11, 17.  The plain
+    // loop table never gains confidence on this stream (pinned below);
+    // the tagged table keyed on "previous exit" learns both phases.
+    const auto trip_of = [](unsigned run) { return (run & 1) ? 11u : 17u; };
+
+    LoopPredictor plain;
+    for (unsigned run = 0; run < 40; ++run) {
+        const unsigned trip = trip_of(run);
+        for (unsigned i = 0; i < trip; ++i) {
+            const bool taken = i + 1 < trip;
+            const auto p = plain.lookup(loopPc);
+            plain.update(loopPc, taken, !taken, p);
+        }
+    }
+    ASSERT_FALSE(plain.tripCount(loopPc).has_value())
+        << "plain loop confiding here would make this test vacuous";
+
+    IttageLoopPredictor itl;
+    const ItlDrive r = driveItl(itl, 40, 10, trip_of);
+    EXPECT_EQ(r.valid_mispredicts, 0u);
+    EXPECT_LT(r.uncovered, r.occurrences / 4)
+        << "the tagged cascade must actually cover the pattern";
+}
+
+TEST(IttageLoop, PredictedTripTracksThePhase)
+{
+    // After an exit at 11 the provider must call 17, and vice versa.
+    const auto trip_of = [](unsigned run) { return (run & 1) ? 11u : 17u; };
+    IttageLoopPredictor itl;
+    driveItl(itl, 40, 0, trip_of);
+    // Run 40 is even -> this execution trips 17, the next trips 11.
+    for (unsigned i = 0; i < 17; ++i) {
+        const auto trip = itl.predictedTrip(loopPc);
+        ASSERT_TRUE(trip.has_value()) << "iteration " << i;
+        EXPECT_EQ(*trip, 17u) << "iteration " << i;
+        const auto p = itl.lookup(loopPc);
+        itl.update(loopPc, i + 1 < 17, i + 1 == 17, p);
+    }
+    const auto next = itl.predictedTrip(loopPc);
+    ASSERT_TRUE(next.has_value());
+    EXPECT_EQ(*next, 11u);
+}
+
+TEST(IttageLoop, VeryShortTripsNeverPredicted)
+{
+    // Exit iterations below 3 are the main predictor's job; the tagged
+    // tables must abstain just like the plain table frees such entries.
+    IttageLoopPredictor itl;
+    const ItlDrive r = driveItl(itl, 60, 30, [](unsigned) { return 2u; });
+    EXPECT_EQ(r.valid_mispredicts, 0u);
+    EXPECT_EQ(r.uncovered, r.occurrences);
+}
+
+TEST(IttageLoop, NoAllocationWithoutMispredict)
+{
+    IttageLoopPredictor itl;
+    for (unsigned run = 0; run < 30; ++run) {
+        for (unsigned i = 0; i < 16; ++i) {
+            const auto p = itl.lookup(loopPc);
+            itl.update(loopPc, i + 1 < 16, /*alloc=*/false, p);
+        }
+    }
+    EXPECT_FALSE(itl.predictedTrip(loopPc).has_value());
+}
+
+TEST(IttageLoop, SpeculationJournalDrivesFetchView)
+{
+    IttageLoopPredictor itl;
+    driveItl(itl, 30, 0, [](unsigned) { return 12u; });
+    const std::uint64_t digest0 = itl.stateDigest();
+    const std::uint64_t horizon0 = itl.lastTicket();
+
+    // Fetch 11 in-flight iterations without committing any: the
+    // speculative view advances through the journal alone.
+    for (unsigned i = 0; i < 11; ++i) {
+        const auto p = itl.lookup(loopPc);
+        ASSERT_TRUE(p.valid) << "in-flight iteration " << i;
+        EXPECT_TRUE(p.taken) << "in-flight iteration " << i;
+        itl.speculate(loopPc, p.taken);
+    }
+    EXPECT_FALSE(itl.lookup(loopPc).taken)
+        << "the 12th in-flight occurrence must call the exit";
+    EXPECT_NE(itl.stateDigest(), digest0);
+
+    // Restore hides the in-flight events without destroying them;
+    // squash drops them with no architectural side effects.
+    itl.setTicketHorizon(horizon0);
+    EXPECT_TRUE(itl.lookup(loopPc).taken);
+    EXPECT_EQ(itl.stateDigest(), digest0);
+    itl.setTicketHorizon(UINT64_MAX);
+    EXPECT_FALSE(itl.lookup(loopPc).taken);
+    itl.squashSpeculation();
+    EXPECT_TRUE(itl.lookup(loopPc).taken);
+    EXPECT_EQ(itl.stateDigest(), digest0);
+}
+
+TEST(IttageLoop, StorageMatchesGeometry)
+{
+    IttageLoopPredictor itl;
+    StorageAccount acct;
+    itl.account(acct, "itl");
+    // Base: 16 entries x (10 nbIter + 10 currentIter + 10 tag + 4 confid
+    // + 4 age + 1 dir) = 624.  Tagged: 4 tables x 64 entries x (10 tag +
+    // 10 exitIter + 3 conf + 2 useful) = 6400.  Exit history: 64.
+    EXPECT_EQ(acct.totalBits(), 624u + 6400u + 64u);
+}
+
+TEST(IttageLoop, StandaloneSpecPredictsExits)
+{
+    // The zoo's "itl" composition (bimodal base + tagged exit override)
+    // must call a warmed constant-trip exit that bimodal alone cannot.
+    PredictorPtr pred = makePredictor("itl");
+    EXPECT_EQ(pred->name(), "ITL");
+    EXPECT_TRUE(pred->supportsSpeculation());
+
+    const std::uint64_t pc = 0x5210;
+    const std::uint64_t target = pc - 0x40; // backward branch
+    for (unsigned run = 0; run < 40; ++run) {
+        for (unsigned i = 0; i < 20; ++i) {
+            (void)pred->predict(pc);
+            pred->update(pc, i + 1 < 20, target);
+        }
+    }
+    for (unsigned i = 0; i < 20; ++i) {
+        EXPECT_EQ(pred->predict(pc), i + 1 < 20) << "iteration " << i;
+        pred->update(pc, i + 1 < 20, target);
+    }
+}

@@ -50,7 +50,7 @@ driveLoop(LoopPredictor &pred, unsigned trip, unsigned runs,
             }
             // Allocation is enabled as if the main predictor mispredicted
             // the loop exit (the realistic trigger).
-            pred.update(loopPc, taken, !taken);
+            pred.update(loopPc, taken, !taken, p);
         }
     }
     return result;
@@ -77,7 +77,7 @@ TEST(LoopPredictor, PredictsExitIteration)
         const auto p = pred.lookup(loopPc);
         ASSERT_TRUE(p.valid) << "iteration " << i;
         EXPECT_EQ(p.taken, taken) << "iteration " << i;
-        pred.update(loopPc, taken, false);
+        pred.update(loopPc, taken, false, p);
     }
 }
 
@@ -105,8 +105,8 @@ TEST(LoopPredictor, RejectsIrregularLoop)
         const unsigned trip = (run & 1) ? 11 : 17;
         for (unsigned i = 0; i < trip; ++i) {
             const bool taken = i + 1 < trip;
-            pred.lookup(loopPc);
-            pred.update(loopPc, taken, !taken);
+            const auto p = pred.lookup(loopPc);
+            pred.update(loopPc, taken, !taken, p);
         }
     }
     EXPECT_FALSE(pred.tripCount(loopPc).has_value());
@@ -126,8 +126,8 @@ TEST(LoopPredictor, NoAllocationWithoutMispredict)
     for (unsigned run = 0; run < 30; ++run) {
         for (unsigned i = 0; i < 16; ++i) {
             const bool taken = i + 1 < 16;
-            pred.lookup(loopPc);
-            pred.update(loopPc, taken, /*alloc=*/false);
+            const auto p = pred.lookup(loopPc);
+            pred.update(loopPc, taken, /*alloc=*/false, p);
         }
     }
     EXPECT_FALSE(pred.tripCount(loopPc).has_value());
@@ -143,8 +143,8 @@ TEST(LoopPredictor, ConfidentWrongPredictionFreesEntry)
     for (unsigned run = 0; run < 4; ++run) {
         for (unsigned i = 0; i < 9; ++i) {
             const bool taken = i + 1 < 9;
-            pred.lookup(loopPc);
-            pred.update(loopPc, taken, !taken);
+            const auto p = pred.lookup(loopPc);
+            pred.update(loopPc, taken, !taken, p);
         }
     }
     const auto trip = pred.tripCount(loopPc);
@@ -157,12 +157,12 @@ TEST(LoopPredictor, DistinctLoopsCoexist)
     const std::uint64_t pc_a = 0x1000, pc_b = 0x2000;
     for (unsigned run = 0; run < 40; ++run) {
         for (unsigned i = 0; i < 10; ++i) {
-            pred.lookup(pc_a);
-            pred.update(pc_a, i + 1 < 10, i + 1 == 10);
+            const auto p = pred.lookup(pc_a);
+            pred.update(pc_a, i + 1 < 10, i + 1 == 10, p);
         }
         for (unsigned i = 0; i < 30; ++i) {
-            pred.lookup(pc_b);
-            pred.update(pc_b, i + 1 < 30, i + 1 == 30);
+            const auto p = pred.lookup(pc_b);
+            pred.update(pc_b, i + 1 < 30, i + 1 == 30, p);
         }
     }
     const auto trip_a = pred.tripCount(pc_a);
@@ -171,6 +171,40 @@ TEST(LoopPredictor, DistinctLoopsCoexist)
     ASSERT_TRUE(trip_b.has_value());
     EXPECT_EQ(*trip_a, 10u);
     EXPECT_EQ(*trip_b, 30u);
+}
+
+TEST(LoopPredictor, SpeculationJournalDrivesFetchView)
+{
+    LoopPredictor pred;
+    driveLoop(pred, 12, 30, 0);
+    const std::uint64_t digest0 = pred.stateDigest();
+    const std::uint64_t horizon0 = pred.lastTicket();
+
+    // Fetch 11 in-flight iterations without committing any of them: the
+    // speculative view must advance through the journal alone.
+    for (unsigned i = 0; i < 11; ++i) {
+        const auto p = pred.lookup(loopPc);
+        ASSERT_TRUE(p.valid);
+        EXPECT_TRUE(p.taken) << "in-flight iteration " << i;
+        pred.speculate(loopPc, p.taken);
+    }
+    // The 12th in-flight occurrence sees iteration 11 and calls the exit.
+    EXPECT_FALSE(pred.lookup(loopPc).taken);
+    EXPECT_NE(pred.stateDigest(), digest0);
+
+    // Restoring to the pre-speculation horizon hides the in-flight
+    // events without destroying them.
+    pred.setTicketHorizon(horizon0);
+    EXPECT_TRUE(pred.lookup(loopPc).taken);
+    EXPECT_EQ(pred.stateDigest(), digest0);
+    pred.setTicketHorizon(UINT64_MAX);
+    EXPECT_FALSE(pred.lookup(loopPc).taken);
+
+    // A squash drops them for good and leaves the architectural state
+    // untouched (speculate never writes tables or draws the LFSR).
+    pred.squashSpeculation();
+    EXPECT_TRUE(pred.lookup(loopPc).taken);
+    EXPECT_EQ(pred.stateDigest(), digest0);
 }
 
 TEST(LoopPredictor, StorageMatchesGeometry)

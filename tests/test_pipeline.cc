@@ -189,6 +189,14 @@ TEST(CheckpointProperty, RestoreAfterRandomSpeculationIsBitIdentical)
         wandered->restore(cp);
         wandered->squashSpeculation();
 
+        // Internal-state equality, not just answer equality: the debug
+        // digest covers table contents, LFSRs, journals and the scalar
+        // loop-family fetch state (currentLoopPc), so a speculate() that
+        // leaked an architectural write fails here even if the next few
+        // predictions happen to agree.
+        ASSERT_EQ(wandered->stateDigest(), untouched->stateDigest())
+            << spec << ": digest differs after restore + squash";
+
         for (const BranchRecord &rec : liveTrace.branches()) {
             if (isConditional(rec.type)) {
                 ASSERT_EQ(wandered->predict(rec.pc),
@@ -203,6 +211,9 @@ TEST(CheckpointProperty, RestoreAfterRandomSpeculationIsBitIdentical)
                                           rec.target);
             }
         }
+
+        ASSERT_EQ(wandered->stateDigest(), untouched->stateDigest())
+            << spec << ": digest diverged through live traffic";
     }
 }
 
@@ -265,6 +276,49 @@ TEST(PipelineSim, SquashesAndReplaysHappen)
     EXPECT_EQ(stats.squashes, pipe.result().mispredictions);
     EXPECT_GT(stats.squashes, 0u);
     EXPECT_GT(stats.replays, 0u);
+}
+
+TEST(PipelineSim, DeepDelayRegressionsForLoopFamilyHosts)
+{
+    // The loop/wormhole components pair each commit with the oldest
+    // journalled fetch event; a depth-63 window keeps dozens in flight
+    // across squash/replay storms, which is where an off-by-one in that
+    // 1:1 pairing (or a speculate() that writes tables) surfaces as a
+    // grading drift or an accuracy collapse.  The MM kernels exercise
+    // both components: constant-trip inner loops for the loop predictor
+    // and the inverted outer correlation for wormhole.
+    for (const char *spec : {"tage-gsc+loop", "tage-gsc+sic+wh"}) {
+        PredictorPtr immediate = makePredictor(spec);
+        GeneratorBranchSource s0(findBenchmark("MM-4"), 30000);
+        const SimResult base = simulate(*immediate, s0);
+
+        for (unsigned delay : {8u, 16u, 63u}) {
+            PredictorPtr pred = makePredictor(spec);
+            PipelineSimulator pipe(*pred, pipelineOptions(delay));
+            const Trace t = generateTrace(findBenchmark("MM-4"), 30000);
+            for (const BranchRecord &rec : t.branches())
+                pipe.onRecord(rec);
+            pipe.drain();
+
+            const SimResult r = pipe.result();
+            // The grading denominators never depend on the window depth.
+            ASSERT_EQ(r.conditionals, base.conditionals)
+                << spec << " delay " << delay;
+            ASSERT_EQ(r.instructions, base.instructions)
+                << spec << " delay " << delay;
+            // Every record commits exactly once; every misprediction
+            // squashes exactly once.
+            EXPECT_EQ(pipe.stats().commits, t.size())
+                << spec << " delay " << delay;
+            EXPECT_EQ(pipe.stats().squashes, r.mispredictions)
+                << spec << " delay " << delay;
+            // Staleness degrades accuracy gracefully; it must not
+            // collapse (a broken pairing typically doubles MPKI or
+            // worse as entries free/relearn on phantom mismatches).
+            EXPECT_LT(r.mpki(), 2.0 * base.mpki() + 3.0)
+                << spec << " delay " << delay;
+        }
+    }
 }
 
 TEST(PipelineSim, RejectsPredictorsWithoutSpeculationContract)

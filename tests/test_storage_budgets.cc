@@ -80,6 +80,9 @@ expectedBits()
     static const std::map<std::string, std::uint64_t> expected = {
         {"bimodal", 16384ull},
         {"gshare", 32782ull},
+        // 16K-bit bimodal base + ITL (624-bit tracker + 4 x 64 x 25-bit
+        // tagged entries + 64-bit exit history).
+        {"itl", 23472ull},
         {"tage-gsc", 237369ull},
         {"tage-gsc+sic", 240451ull},
         {"tage-gsc+oh", 239955ull},
@@ -87,6 +90,8 @@ expectedBits()
         {"tage-gsc+l", 260521ull},
         {"tage-gsc+i+l", 266179ull},
         {"tage-gsc+loop", 237993ull},
+        {"tage-gsc+itl", 244457ull},
+        {"tage-gsc+sic+itl", 247539ull},
         {"tage-gsc+wh", 249466ull},
         {"tage-gsc+sic+wh", 252548ull},
         {"tage-gsc+i+imligsc", 243027ull},
@@ -99,6 +104,7 @@ expectedBits()
         {"gehl+l", 265455ull},
         {"gehl+i+l", 271113ull},
         {"gehl+loop", 210159ull},
+        {"gehl+itl", 215999ull},
         {"gehl+wh", 221632ull},
         {"gehl+sic+wh", 224714ull},
         {"gehl+sic+omli", 218157ull},

@@ -66,7 +66,7 @@ driveDiagonal(WormholePredictor &wh, unsigned trip, unsigned outer_iters,
             // Main predictor modelled as always wrong on this branch
             // (it is unpredictable by construction) to enable allocation.
             wh.update(branchPc, taken, /*main_mispredicted=*/true,
-                      trip_hint);
+                      trip_hint, pred);
         }
     }
     return result;
@@ -99,9 +99,9 @@ TEST(Wormhole, NoAllocationWithoutMisprediction)
     WormholePredictor wh;
     Xoroshiro128 rng(5);
     for (int i = 0; i < 2000; ++i) {
-        wh.predict(branchPc, 24u);
+        const auto pred = wh.predict(branchPc, 24u);
         wh.update(branchPc, rng.bernoulli(0.5),
-                  /*main_mispredicted=*/false, 24u);
+                  /*main_mispredicted=*/false, 24u, pred);
     }
     EXPECT_EQ(wh.liveEntries(), 0u);
 }
@@ -129,7 +129,7 @@ TEST(Wormhole, CapturesInvertedCorrelation)
                 ++valid;
                 wrong += (pred.taken != taken) ? 1 : 0;
             }
-            wh.update(branchPc, taken, true, trip);
+            wh.update(branchPc, taken, true, trip, pred);
         }
     }
     ASSERT_GT(valid, 200u);
@@ -146,7 +146,7 @@ TEST(Wormhole, RandomOutcomesNeverGainConfidence)
             const auto pred = wh.predict(branchPc, 16u);
             if (pred.valid)
                 ++valid;
-            wh.update(branchPc, rng.bernoulli(0.5), true, 16u);
+            wh.update(branchPc, rng.bernoulli(0.5), true, 16u, pred);
         }
     }
     // The per-entry success gate must starve uncorrelated entries: a
@@ -183,7 +183,7 @@ TEST(Wormhole, TracksMultipleBranches)
                     ++valid;
                     wrong += (pred.taken != taken) ? 1 : 0;
                 }
-                wh.update(pc, taken, true, trip);
+                wh.update(pc, taken, true, trip, pred);
             }
         }
     }
@@ -198,8 +198,36 @@ TEST(Wormhole, OversizedTripRejected)
     WormholePredictor wh(cfg);
     const auto pred = wh.predict(branchPc, 200u); // > historyBits
     EXPECT_FALSE(pred.valid);
-    wh.update(branchPc, true, true, 200u);
+    wh.update(branchPc, true, true, 200u, pred);
     EXPECT_EQ(wh.liveEntries(), 0u);
+}
+
+TEST(Wormhole, SpeculationJournalRoundTrip)
+{
+    WormholePredictor wh;
+    driveDiagonal(wh, 24, 80, 0, 24u);
+    ASSERT_GT(wh.liveEntries(), 0u);
+    const std::uint64_t digest0 = wh.stateDigest();
+    const std::uint64_t horizon0 = wh.lastTicket();
+
+    // In-flight predicted bits must be visible to the speculative view
+    // (they shape the counter index of younger fetches) ...
+    for (int i = 0; i < 5; ++i) {
+        const auto pred = wh.predict(branchPc, 24u);
+        wh.speculate(branchPc, pred.entry >= 0 ? pred.taken
+                                               : (i & 1) != 0);
+    }
+    EXPECT_NE(wh.stateDigest(), digest0);
+
+    // ... a restore to the pre-speculation horizon hides them without
+    // destroying them, and a squash drops them with no architectural
+    // side effects.
+    wh.setTicketHorizon(horizon0);
+    EXPECT_EQ(wh.stateDigest(), digest0);
+    wh.setTicketHorizon(UINT64_MAX);
+    EXPECT_NE(wh.stateDigest(), digest0);
+    wh.squashSpeculation();
+    EXPECT_EQ(wh.stateDigest(), digest0);
 }
 
 TEST(Wormhole, StorageNearCbp4Budget)
