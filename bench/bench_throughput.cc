@@ -12,10 +12,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
 #include <set>
 #include <string>
 
 #include "src/core/imli_components.hh"
+#include "src/history/history_manager.hh"
+#include "src/predictors/host_speculation.hh"
+#include "src/predictors/tage.hh"
 #include "src/predictors/zoo.hh"
 #include "src/sim/simulator.hh"
 #include "src/sim/suite_runner.hh"
@@ -72,6 +76,90 @@ IMLI_PREDICTOR_BENCH(BM_TageGscLoop, "tage-gsc+loop");
 IMLI_PREDICTOR_BENCH(BM_TageGscIttageLoop, "tage-gsc+itl");
 IMLI_PREDICTOR_BENCH(BM_TageGscWormhole, "tage-gsc+wh");
 IMLI_PREDICTOR_BENCH(BM_IttageLoopStandalone, "itl");
+
+static void
+BM_TageArenaLookup(benchmark::State &state)
+{
+    // The raw TAGE hot loop, isolated from the composed predictor: one
+    // predict + update pair per branch against the arena-backed tagged
+    // tables.  This is the row the arena layout and the branch-light
+    // provider selection move; compare against BM_TageGsc to see how
+    // much of the composed cost is TAGE itself.
+    HistoryManager hist(host_spec::historyCapacity(640));
+    TagePredictor::Config cfg;
+    TagePredictor tage(cfg, hist);
+    const Trace &trace = sharedTrace();
+    std::uint64_t mask = 0;
+    for (auto _ : state) {
+        for (const BranchRecord &rec : trace.branches()) {
+            if (!isConditional(rec.type))
+                continue;
+            const TagePredictor::Prediction p = tage.predict(rec.pc);
+            tage.update(rec.pc, rec.taken, p.taken);
+            hist.push(rec.taken, rec.pc);
+            mask ^= static_cast<std::uint64_t>(p.taken);
+        }
+        benchmark::DoNotOptimize(mask);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(trace.size()));
+    state.SetLabel("branches/s");
+}
+BENCHMARK(BM_TageArenaLookup)->Unit(benchmark::kMillisecond);
+
+static void
+BM_BatchedPrefetch(benchmark::State &state)
+{
+    // The streaming engine's software-prefetch lookahead (Arg, in
+    // records; 0 = off).  Results are bit-identical at every Arg — the
+    // rows differ only in how early the next branches' table lines are
+    // hinted into cache.
+    const Trace &trace = sharedTrace();
+    SimOptions opt;
+    opt.prefetchLookahead = static_cast<unsigned>(state.range(0));
+    std::uint64_t mispredictions = 0;
+    for (auto _ : state) {
+        PredictorPtr pred = makePredictor("tage-gsc");
+        const SimResult r = simulate(*pred, trace, opt);
+        mispredictions = r.mispredictions;
+        benchmark::DoNotOptimize(mispredictions);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(trace.size()));
+    state.SetLabel("branches/s");
+}
+BENCHMARK(BM_BatchedPrefetch)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(0)
+    ->Arg(8)
+    ->Arg(16);
+
+static void
+BM_PipelineCommit(benchmark::State &state)
+{
+    // Pipeline-engine throughput at update delay Arg: the commit
+    // sandwich's two incremental restores dominate as the delay deepens,
+    // and the batched-commit drain keeps end-of-stream cost linear.
+    const Trace &trace = sharedTrace();
+    SimOptions opt;
+    opt.pipeline = true;
+    opt.updateDelay = static_cast<unsigned>(state.range(0));
+    std::uint64_t mispredictions = 0;
+    for (auto _ : state) {
+        PredictorPtr pred = makePredictor("tage-gsc+i");
+        const SimResult r = simulate(*pred, trace, opt);
+        mispredictions = r.mispredictions;
+        benchmark::DoNotOptimize(mispredictions);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(trace.size()));
+    state.SetLabel("branches/s");
+}
+BENCHMARK(BM_PipelineCommit)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(0)
+    ->Arg(8)
+    ->Arg(63);
 
 static void
 BM_ImliStateMaintenance(benchmark::State &state)
@@ -303,4 +391,41 @@ BM_TraceGeneration(benchmark::State &state)
 }
 BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+/**
+ * Custom main: refuse to benchmark a debug build.  A CMAKE_BUILD_TYPE
+ * omission once recorded a full BENCH_throughput.json from -O0 binaries
+ * with asserts on — numbers off by an order of magnitude that looked
+ * perfectly plausible in isolation.  Without NDEBUG this binary now
+ * exits loudly instead of measuring; IMLI_BENCH_ALLOW_DEBUG=1 overrides
+ * for debugging the benchmarks themselves, and the build type is stamped
+ * into the JSON context either way so a recorded file can always be
+ * audited.
+ */
+int
+main(int argc, char **argv)
+{
+#ifdef NDEBUG
+    benchmark::AddCustomContext("imli_build_type", "release");
+#else
+    benchmark::AddCustomContext("imli_build_type", "debug");
+    if (std::getenv("IMLI_BENCH_ALLOW_DEBUG") == nullptr) {
+        std::cerr
+            << "bench_throughput: this binary was compiled without NDEBUG "
+               "(a debug build).\nBenchmark numbers from it are "
+               "meaningless for recording; rebuild with\n"
+               "-DCMAKE_BUILD_TYPE=Release, or set "
+               "IMLI_BENCH_ALLOW_DEBUG=1 to run anyway\n(the JSON context "
+               "will carry imli_build_type: \"debug\").\n";
+        return 1;
+    }
+    std::cerr << "bench_throughput: WARNING: debug build "
+                 "(IMLI_BENCH_ALLOW_DEBUG set) — do not record these "
+                 "numbers.\n";
+#endif
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

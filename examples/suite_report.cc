@@ -22,6 +22,10 @@
  *                      immediate engine.  Per-config delays also work via
  *                      the spec key, e.g. --configs
  *                      'tage-gsc+i,tage-gsc+i@sim.delay=63')
+ *                     [--prefetch N]  (software-prefetch lookahead in
+ *                      records, 0..64; a pure throughput knob — results
+ *                      are bit-identical at any value.  Per-config via
+ *                      the sim.prefetch spec key)
  *
  * Configs may carry design-space overrides ("tage-gsc@sic.logsize=10");
  * see src/predictors/zoo.hh for the grammar and `explorer` for sweeps.
@@ -113,6 +117,9 @@ try {
     // Pipeline engine selection: --update-delay N (strict; 0 is the
     // bit-identity oracle) or bare --pipeline (delay 0).
     applyPipelineFlags(cli, options.sim);
+    // Software-prefetch lookahead: --prefetch N (throughput knob only;
+    // results are bit-identical at any value).
+    applyPrefetchFlag(cli, options.sim);
 
     const auto start = std::chrono::steady_clock::now();
     const SuiteResults results = runSuite(benchmarks, configs, options);

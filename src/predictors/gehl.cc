@@ -52,6 +52,17 @@ GehlPredictor::currentTripCount() const
     return loopPred->tripCount(currentLoopPc);
 }
 
+void
+GehlPredictor::prefetch(std::uint64_t pc) const
+{
+    // The 17-table GEHL bank is the predictor's whole footprint; hint
+    // its lines with the current folds (see GlobalGehlComponent).
+    ScContext ctx;
+    ctx.pc = pc;
+    ctx.imliCount = imliComps.counter().value();
+    voting.prefetchAll(ctx);
+}
+
 bool
 GehlPredictor::predict(std::uint64_t pc)
 {

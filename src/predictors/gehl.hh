@@ -16,6 +16,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <type_traits>
 
 #include "src/core/imli_components.hh"
 #include "src/history/history_manager.hh"
@@ -72,6 +73,7 @@ class GehlPredictor : public ConditionalPredictor
     void update(std::uint64_t pc, bool taken, std::uint64_t target) override;
     void trackOtherInst(std::uint64_t pc, BranchType type, bool taken,
                         std::uint64_t target) override;
+    void prefetch(std::uint64_t pc) const override;
 
     // Speculation contract — same recovery-state split as TageGsc (see
     // tage_gsc.hh): history + IMLI + local ticket + the loop-family
@@ -123,6 +125,11 @@ class GehlPredictor : public ConditionalPredictor
         WormholePredictor::Prediction whPrediction;
         std::optional<unsigned> tripCount;
     } look;
+
+    // Allocation-regression guard (see tage.hh): pairing state must stay
+    // inline value types, never heap-backed containers.
+    static_assert(std::is_trivially_copyable_v<LookupState>,
+                  "per-lookup state must stay heap-allocation-free");
 };
 
 } // namespace imli

@@ -9,8 +9,7 @@ namespace imli
 
 IttageLoopPredictor::IttageLoopPredictor(const Config &config)
     : cfg(config), base(config.numBaseEntries()),
-      tables(config.numTables,
-             std::vector<TaggedEntry>(1u << config.logSize))
+      tables(config.numTables, config.logSize)
 {
     assert(cfg.ways >= 1);
     assert(cfg.iterBits <= 16 && cfg.tagBits <= 16);
@@ -108,7 +107,7 @@ IttageLoopPredictor::lookup(std::uint64_t pc) const
     std::uint8_t provConf = 0;
     for (int t = static_cast<int>(cfg.numTables) - 1; t >= 0; --t) {
         const unsigned idx = taggedIndexOf(pc, static_cast<unsigned>(t));
-        const TaggedEntry &te = tables[static_cast<unsigned>(t)][idx];
+        const TaggedEntry &te = tables.at(static_cast<unsigned>(t), idx);
         if (te.exitIter != 0 &&
             te.tag == taggedTagOf(pc, static_cast<unsigned>(t))) {
             if (pred.providerTable < 0) {
@@ -163,8 +162,9 @@ IttageLoopPredictor::trainTagged(std::uint64_t pc,
 {
     // Provider update.
     if (paired.providerTable >= 0) {
-        TaggedEntry &p = tables[static_cast<unsigned>(paired.providerTable)]
-                               [paired.providerIndex];
+        TaggedEntry &p =
+            tables.at(static_cast<unsigned>(paired.providerTable),
+                      paired.providerIndex);
         if (p.exitIter == observed_exit) {
             if (p.conf < 7)
                 ++p.conf;
@@ -191,7 +191,7 @@ IttageLoopPredictor::trainTagged(std::uint64_t pc,
     const unsigned start =
         static_cast<unsigned>(paired.providerTable + 1);
     for (unsigned t = start; t < cfg.numTables; ++t) {
-        TaggedEntry &cand = tables[t][taggedIndexOf(pc, t)];
+        TaggedEntry &cand = tables.at(t, taggedIndexOf(pc, t));
         if (cand.exitIter == 0 || cand.useful == 0) {
             cand.tag = taggedTagOf(pc, t);
             cand.exitIter = observed_exit;
@@ -201,7 +201,7 @@ IttageLoopPredictor::trainTagged(std::uint64_t pc,
         }
     }
     for (unsigned t = start; t < cfg.numTables; ++t) {
-        TaggedEntry &cand = tables[t][taggedIndexOf(pc, t)];
+        TaggedEntry &cand = tables.at(t, taggedIndexOf(pc, t));
         if (cand.useful > 0)
             --cand.useful;
     }
@@ -369,13 +369,14 @@ IttageLoopPredictor::stateDigest() const
         // Speculative view: what fetch would read must shape the digest.
         digest = hashCombine(digest, specIter(i, e));
     }
-    for (const auto &tbl : tables)
-        for (const TaggedEntry &te : tbl)
-            digest = hashCombine(digest,
-                                 (std::uint64_t(te.tag) << 24) ^
-                                     (std::uint64_t(te.exitIter) << 8) ^
-                                     (std::uint64_t(te.conf) << 4) ^
-                                     std::uint64_t(te.useful));
+    // Arena iteration is table-major — the same visit order as the old
+    // nested tables, so digests are unchanged across the layout refactor.
+    for (const TaggedEntry &te : tables)
+        digest = hashCombine(digest,
+                             (std::uint64_t(te.tag) << 24) ^
+                                 (std::uint64_t(te.exitIter) << 8) ^
+                                 (std::uint64_t(te.conf) << 4) ^
+                                 std::uint64_t(te.useful));
     return digest;
 }
 

@@ -48,6 +48,7 @@
 #include "src/predictors/bimodal.hh"
 #include "src/predictors/predictor.hh"
 #include "src/predictors/spec_journal.hh"
+#include "src/util/arena.hh"
 #include "src/util/storage.hh"
 
 namespace imli
@@ -174,7 +175,7 @@ class IttageLoopPredictor
 
     Config cfg;
     std::vector<BaseEntry> base;
-    std::vector<std::vector<TaggedEntry>> tables;
+    TableArena<TaggedEntry> tables; //!< one allocation, all tagged tables
     /** Global exit history: 8 hashed bits per observed loop exit. */
     std::uint64_t exitHistory = 0;
     SpecJournal<SpecEvent> journal;

@@ -16,9 +16,8 @@ LocalComponent::LocalComponent(const Config &config)
     lengths.resize(cfg.numTables);
     for (unsigned t = 0; t < cfg.numTables; ++t)
         lengths[t] = cfg.historyBits * (t + 1) / cfg.numTables;
-    tables.assign(cfg.numTables,
-                  std::vector<SignedCounter>(
-                      1u << cfg.logEntries, SignedCounter(cfg.counterBits)));
+    tables = TableArena<SignedCounter>(cfg.numTables, cfg.logEntries,
+                                       SignedCounter(cfg.counterBits));
 }
 
 std::uint64_t
@@ -47,7 +46,7 @@ LocalComponent::vote(const ScContext &ctx) const
 {
     int sum = 0;
     for (unsigned t = 0; t < cfg.numTables; ++t)
-        sum += tables[t][index(t, ctx)].centered();
+        sum += tables.at(t, index(t, ctx)).centered();
     return sum;
 }
 
@@ -55,7 +54,7 @@ void
 LocalComponent::update(const ScContext &ctx, bool taken)
 {
     for (unsigned t = 0; t < cfg.numTables; ++t)
-        tables[t][index(t, ctx)].update(taken);
+        tables.at(t, index(t, ctx)).update(taken);
 }
 
 void

@@ -22,6 +22,7 @@
 #include "src/history/inflight_window.hh"
 #include "src/history/local_history.hh"
 #include "src/predictors/sc_component.hh"
+#include "src/util/arena.hh"
 #include "src/util/counters.hh"
 
 namespace imli
@@ -118,7 +119,7 @@ class LocalComponent : public ScComponent
     Config cfg;
     LocalHistoryTable histories;
     std::vector<unsigned> lengths; //!< history prefix length per table
-    std::vector<std::vector<SignedCounter>> tables;
+    TableArena<SignedCounter> tables; //!< one allocation, all tables
 
     // Mutable: vote() is const but the associative search bumps the
     // window's entriesSearched() cost counter (a measurement, not state

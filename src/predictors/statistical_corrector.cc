@@ -15,9 +15,8 @@ namespace imli
 
 BiasComponent::BiasComponent(const Config &config) : cfg(config)
 {
-    tables.assign(cfg.numTables,
-                  std::vector<SignedCounter>(
-                      1u << cfg.logEntries, SignedCounter(cfg.counterBits)));
+    tables = TableArena<SignedCounter>(cfg.numTables, cfg.logEntries,
+                                       SignedCounter(cfg.counterBits));
 }
 
 unsigned
@@ -35,7 +34,7 @@ BiasComponent::vote(const ScContext &ctx) const
 {
     int sum = 0;
     for (unsigned t = 0; t < cfg.numTables; ++t)
-        sum += tables[t][index(t, ctx)].centered();
+        sum += tables.at(t, index(t, ctx)).centered();
     return sum;
 }
 
@@ -43,7 +42,20 @@ void
 BiasComponent::update(const ScContext &ctx, bool taken)
 {
     for (unsigned t = 0; t < cfg.numTables; ++t)
-        tables[t][index(t, ctx)].update(taken);
+        tables.at(t, index(t, ctx)).update(taken);
+}
+
+void
+BiasComponent::prefetch(const ScContext &ctx) const
+{
+    // The index hashes the main prediction, unknown at prefetch time:
+    // hint both variants (two small fetches beat a dependent miss).
+    ScContext flipped = ctx;
+    flipped.mainPred = !ctx.mainPred;
+    for (unsigned t = 0; t < cfg.numTables; ++t) {
+        tables.prefetchEntry(t, index(t, ctx));
+        tables.prefetchEntry(t, index(t, flipped));
+    }
 }
 
 void
@@ -82,9 +94,8 @@ GlobalGehlComponent::GlobalGehlComponent(const Config &config,
         if (lengths[i] > 0)
             folds[i] = hist.createFold(lengths[i], cfg.logEntries);
     }
-    tables.assign(cfg.numTables,
-                  std::vector<SignedCounter>(
-                      1u << cfg.logEntries, SignedCounter(cfg.counterBits)));
+    tables = TableArena<SignedCounter>(cfg.numTables, cfg.logEntries,
+                                       SignedCounter(cfg.counterBits));
 }
 
 unsigned
@@ -107,7 +118,7 @@ GlobalGehlComponent::vote(const ScContext &ctx) const
 {
     int sum = 0;
     for (unsigned t = 0; t < cfg.numTables; ++t)
-        sum += tables[t][index(t, ctx)].centered();
+        sum += tables.at(t, index(t, ctx)).centered();
     return sum;
 }
 
@@ -115,7 +126,16 @@ void
 GlobalGehlComponent::update(const ScContext &ctx, bool taken)
 {
     for (unsigned t = 0; t < cfg.numTables; ++t)
-        tables[t][index(t, ctx)].update(taken);
+        tables.at(t, index(t, ctx)).update(taken);
+}
+
+void
+GlobalGehlComponent::prefetch(const ScContext &ctx) const
+{
+    // Indices computed from the current folds; history-indexed tables
+    // drift with lookahead distance, costing only the wasted fetch.
+    for (unsigned t = 0; t < cfg.numTables; ++t)
+        tables.prefetchEntry(t, index(t, ctx));
 }
 
 void
@@ -179,16 +199,14 @@ StatisticalCorrector::decide(const ScContext &ctx, bool tage_pred,
     const int abs_sum = d.sum < 0 ? -d.sum : d.sum;
     const int threshold = voting.theta();
     const unsigned ci = chooserIndex(ctx.pc);
-    if (abs_sum >= threshold) {
-        d.band = 2;
-        d.reverted = true;
-    } else if (abs_sum >= threshold / 2) {
-        d.band = 1;
-        d.reverted = secondH[ci] >= 0;
-    } else {
-        d.band = 0;
-        d.reverted = firstH[ci] >= 0;
-    }
+    // Branch-light banding: |sum| lands near the threshold exactly when
+    // the corrector is uncertain, so these compares are data-dependent
+    // coin flips — compute both band compares and both chooser reads
+    // unconditionally and select with cmov-able ternaries.
+    d.band = abs_sum >= threshold ? 2 : (abs_sum >= threshold / 2 ? 1 : 0);
+    const bool chooser_says =
+        d.band == 1 ? secondH[ci] >= 0 : firstH[ci] >= 0;
+    d.reverted = d.band == 2 ? true : chooser_says;
     d.finalPred = d.reverted ? d.scPred : tage_pred;
     return d;
 }
@@ -204,13 +222,10 @@ StatisticalCorrector::train(const ScContext &ctx, bool taken,
             decision.band == 0 ? firstH[ci] : secondH[ci];
         const int max_v = (1 << (cfg.chooserBits - 1)) - 1;
         const int min_v = -(1 << (cfg.chooserBits - 1));
-        if (decision.scPred == taken) {
-            if (chooser < max_v)
-                ++chooser;
-        } else {
-            if (chooser > min_v)
-                --chooser;
-        }
+        // Branch-free clamp, as in counters.hh.
+        int next = chooser + (decision.scPred == taken ? 1 : -1);
+        next = next < min_v ? min_v : next;
+        chooser = static_cast<std::int8_t>(next > max_v ? max_v : next);
     }
 
     const bool sc_mispred = decision.scPred != taken;

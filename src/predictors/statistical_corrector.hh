@@ -27,6 +27,7 @@
 
 #include "src/history/history_manager.hh"
 #include "src/predictors/sc_component.hh"
+#include "src/util/arena.hh"
 #include "src/util/counters.hh"
 
 namespace imli
@@ -53,6 +54,7 @@ class BiasComponent : public ScComponent
 
     int vote(const ScContext &ctx) const override;
     void update(const ScContext &ctx, bool taken) override;
+    void prefetch(const ScContext &ctx) const override;
     void account(StorageAccount &acct) const override;
     std::string name() const override { return "bias"; }
 
@@ -60,7 +62,7 @@ class BiasComponent : public ScComponent
     unsigned index(unsigned table, const ScContext &ctx) const;
 
     Config cfg;
-    std::vector<std::vector<SignedCounter>> tables;
+    TableArena<SignedCounter> tables; //!< one allocation, all tables
 };
 
 /**
@@ -92,6 +94,7 @@ class GlobalGehlComponent : public ScComponent
 
     int vote(const ScContext &ctx) const override;
     void update(const ScContext &ctx, bool taken) override;
+    void prefetch(const ScContext &ctx) const override;
     void account(StorageAccount &acct) const override;
     std::string name() const override { return cfg.label; }
 
@@ -103,7 +106,7 @@ class GlobalGehlComponent : public ScComponent
     Config cfg;
     std::vector<unsigned> lengths;
     std::vector<FoldedHistory *> folds; //!< nullptr for the L=0 table
-    std::vector<std::vector<SignedCounter>> tables;
+    TableArena<SignedCounter> tables; //!< one allocation, all tables
 };
 
 /**

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 #include "src/util/hashing.hh"
 
@@ -42,19 +43,20 @@ TagePredictor::TagePredictor(const Config &config, HistoryManager &hist)
                                config.maxHistory)),
       base(config.baseLogEntries, 2)
 {
-    tables.resize(cfg.numTables);
+    if (cfg.numTables < 1 || cfg.numTables > kMaxTables)
+        throw std::invalid_argument(
+            "tage: numTables must be in [1, " +
+            std::to_string(kMaxTables) + "]");
+    tables = TableArena<Entry>(cfg.numTables, cfg.logEntries);
     indexFolds.resize(cfg.numTables);
     tagFolds1.resize(cfg.numTables);
     tagFolds2.resize(cfg.numTables);
     for (unsigned i = 0; i < cfg.numTables; ++i) {
-        tables[i].assign(1u << cfg.logEntries, Entry());
         indexFolds[i] = histMgr.createFold(lengths[i], cfg.logEntries);
         tagFolds1[i] = histMgr.createFold(lengths[i], tagBits(i));
         tagFolds2[i] = histMgr.createFold(lengths[i], tagBits(i) - 1);
     }
     useAltOnNa.assign(8, 0);
-    look.indices.resize(cfg.numTables);
-    look.tags.resize(cfg.numTables);
 }
 
 unsigned
@@ -93,15 +95,14 @@ TagePredictor::tableTag(unsigned table, std::uint64_t pc) const
 void
 TagePredictor::counterUpdate(std::int8_t &ctr, bool taken, int bits)
 {
+    // Branch-free clamp (see counters.hh): the step direction tracks the
+    // simulated outcome, so an if/else here mispredicts on the host
+    // whenever the simulated predictor does.
     const int max_v = (1 << (bits - 1)) - 1;
     const int min_v = -(1 << (bits - 1));
-    if (taken) {
-        if (ctr < max_v)
-            ++ctr;
-    } else {
-        if (ctr > min_v)
-            --ctr;
-    }
+    int next = ctr + (taken ? 1 : -1);
+    next = next < min_v ? min_v : next;
+    ctr = static_cast<std::int8_t>(next > max_v ? max_v : next);
 }
 
 unsigned
@@ -113,12 +114,24 @@ TagePredictor::nextRandom()
     return lfsr;
 }
 
+void
+TagePredictor::prefetch(std::uint64_t pc) const
+{
+    // Current-fold indices: exact for the base table and near-exact for
+    // short-history tables at small lookahead; long-history indices may
+    // drift, costing only a wasted line fetch.
+    for (unsigned i = 0; i < cfg.numTables; ++i)
+        tables.prefetchEntry(i, tableIndex(i, pc));
+    base.prefetchEntry(pc);
+}
+
 TagePredictor::Prediction
 TagePredictor::predict(std::uint64_t pc)
 {
-    look = LookupState();
-    look.indices.resize(cfg.numTables);
-    look.tags.resize(cfg.numTables);
+    // No wholesale lookup-state reset: every field update() can read is
+    // rewritten on the path that makes it readable (provider*/alt* fields
+    // only when provider/altTable is set this lookup), and indices/tags
+    // are fully rewritten below.
     look.pc = pc;
 
     for (unsigned i = 0; i < cfg.numTables; ++i) {
@@ -127,18 +140,22 @@ TagePredictor::predict(std::uint64_t pc)
     }
 
     // Longest history match provides; the next match (or base) is alt.
+    // Branch-light selection: fold the per-table tag compares into a
+    // bitmask (a predictable counted loop), then pick the two highest
+    // set bits — equivalent to the descending first/second-match scan,
+    // without a data-dependent branch per table.
+    std::uint32_t match = 0;
+    for (unsigned i = 0; i < cfg.numTables; ++i) {
+        const Entry &e = tables.at(i, look.indices[i]);
+        match |= static_cast<std::uint32_t>(e.tag == look.tags[i]) << i;
+    }
     int provider = -1;
     int alt = -1;
-    for (int i = static_cast<int>(cfg.numTables) - 1; i >= 0; --i) {
-        const Entry &e = tables[i][look.indices[i]];
-        if (e.tag == look.tags[i]) {
-            if (provider < 0) {
-                provider = i;
-            } else {
-                alt = i;
-                break;
-            }
-        }
+    if (match != 0) {
+        provider = 31 - __builtin_clz(match);
+        const std::uint32_t rest = match ^ (1u << provider);
+        if (rest != 0)
+            alt = 31 - __builtin_clz(rest);
     }
 
     Prediction pred;
@@ -149,12 +166,12 @@ TagePredictor::predict(std::uint64_t pc)
     look.altPred = base_pred;
     if (alt >= 0) {
         look.altIndex = look.indices[alt];
-        look.altPred = counterTaken(tables[alt][look.altIndex].ctr);
+        look.altPred = counterTaken(tables.at(alt, look.altIndex).ctr);
     }
 
     if (provider >= 0) {
         look.providerIndex = look.indices[provider];
-        const Entry &e = tables[provider][look.providerIndex];
+        const Entry &e = tables.at(provider, look.providerIndex);
         look.providerPred = counterTaken(e.ctr);
         // Newly allocated: weak counter, no proven usefulness.
         look.providerNew =
@@ -217,7 +234,7 @@ TagePredictor::update(std::uint64_t pc, bool taken, bool final_pred)
         unsigned allocated = 0;
         unsigned blocked = 0;
         for (unsigned i = first; i < cfg.numTables && allocated < 2; ++i) {
-            Entry &e = tables[i][look.indices[i]];
+            Entry &e = tables.at(i, look.indices[i]);
             if (e.u == 0) {
                 e.tag = look.tags[i];
                 e.ctr = taken ? 0 : -1;
@@ -237,22 +254,23 @@ TagePredictor::update(std::uint64_t pc, bool taken, bool final_pred)
             tick = tick > blocked ? tick - blocked : 0;
         }
         if (tick >= tick_max) {
-            for (auto &tbl : tables)
-                for (auto &e : tbl)
-                    e.u >>= 1;
+            // One linear pass over the whole arena (table-major, same
+            // order as the old nested sweep) at streaming bandwidth.
+            for (Entry &e : tables)
+                e.u >>= 1;
             tick = 0;
         }
     }
 
     // --- provider / base training ---------------------------------------
     if (look.provider >= 0) {
-        Entry &e = tables[look.provider][look.providerIndex];
+        Entry &e = tables.at(look.provider, look.providerIndex);
         counterUpdate(e.ctr, taken, static_cast<int>(cfg.counterBits));
         // Train the alternate too while the provider is still unproven, so
         // the provider can be disposed of without losing the prediction.
         if (e.u == 0) {
             if (look.altTable >= 0) {
-                Entry &a = tables[look.altTable][look.altIndex];
+                Entry &a = tables.at(look.altTable, look.altIndex);
                 counterUpdate(a.ctr, taken,
                               static_cast<int>(cfg.counterBits));
             } else {

@@ -9,17 +9,31 @@
  * table provides the prediction, with the "use alt on newly allocated"
  * heuristic arbitrating between provider and alternate predictions, and
  * usefulness counters steering allocation on mispredictions.
+ *
+ * Memory model: the tagged tables live in ONE cache-line-aligned
+ * TableArena allocation.  All tables share logEntries, so table t spans
+ * arena elements [t << logEntries, (t + 1) << logEntries) — the stride is
+ * the power-of-two entry count and element (t, i) is the flat offset
+ * (t << logEntries) + i, reachable with a shift and an add from the
+ * single base pointer (no per-table pointer chase).  Entries pack to 4
+ * bytes (int8 ctr, uint16 tag, uint8 u), 16 per 64-byte line.  Lookup
+ * state (per-table indices and tags) is a pair of fixed-capacity inline
+ * arrays sized by kMaxTables; predict() therefore performs no heap
+ * allocation, which a trivially-copyable static_assert pins.
  */
 
 #ifndef IMLI_SRC_PREDICTORS_TAGE_HH
 #define IMLI_SRC_PREDICTORS_TAGE_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "src/history/history_manager.hh"
 #include "src/predictors/bimodal.hh"
+#include "src/util/arena.hh"
 #include "src/util/storage.hh"
 
 namespace imli
@@ -37,6 +51,14 @@ std::vector<unsigned> geometricLengths(unsigned count, unsigned min_length,
 class TagePredictor
 {
   public:
+    /**
+     * Hard cap on numTables: sizes the inline per-lookup index/tag
+     * arrays and the provider-match bitmask (uint32).  Matches the
+     * spec-grammar bound on the tage.tables DSE key; the constructor
+     * rejects larger geometries.
+     */
+    static constexpr unsigned kMaxTables = 32;
+
     struct Config
     {
         unsigned numTables = 12;     //!< tagged tables
@@ -76,6 +98,16 @@ class TagePredictor
     Prediction predict(std::uint64_t pc);
 
     /**
+     * Hint the table lines a future predict(@p pc) will touch into
+     * cache.  Indices are computed with the CURRENT folded histories, so
+     * for history-indexed tables the hint is approximate once more
+     * branches shift in before the real lookup — the base table and
+     * short-history tables stay exact.  Purely a scheduling hint: never
+     * changes any prediction (CI pins prefetch-on == prefetch-off).
+     */
+    void prefetch(std::uint64_t pc) const;
+
+    /**
      * Train on the resolved outcome.  @p final_pred is the prediction the
      * composed predictor actually emitted (allocation keys off the overall
      * misprediction, as in TAGE-SC-L).  Does NOT push global history; the
@@ -106,7 +138,7 @@ class TagePredictor
     Config cfg;
     HistoryManager &histMgr;
     std::vector<unsigned> lengths;
-    std::vector<std::vector<Entry>> tables;
+    TableArena<Entry> tables;
     BimodalPredictor base;
 
     // Per-table folded histories (owned by the HistoryManager).
@@ -132,9 +164,16 @@ class TagePredictor
         bool altPred = false;
         bool finalPred = false;
         bool providerNew = false;
-        std::vector<unsigned> indices; //!< per-table indices this lookup
-        std::vector<std::uint16_t> tags;
+        //!< per-table indices/tags this lookup — fixed-capacity inline
+        //!< storage, so predict() never touches the heap
+        std::array<unsigned, kMaxTables> indices{};
+        std::array<std::uint16_t, kMaxTables> tags{};
     } look;
+
+    // Allocation-regression guard: a std::vector member would make the
+    // lookup state non-trivially-copyable and fail this assert.
+    static_assert(std::is_trivially_copyable_v<LookupState>,
+                  "per-lookup state must stay heap-allocation-free");
 
     std::uint32_t lfsr = 0xbeefu;
 };

@@ -57,6 +57,20 @@ TageGscPredictor::currentTripCount() const
     return loopPred->tripCount(currentLoopPc);
 }
 
+void
+TageGscPredictor::prefetch(std::uint64_t pc) const
+{
+    tage.prefetch(pc);
+    // Approximate corrector context: the PC is exact, the IMLI count is
+    // the current value (it may advance before the real lookup), and the
+    // main prediction is unknown (the bias component hints both
+    // variants itself).  State-free by contract.
+    ScContext ctx;
+    ctx.pc = pc;
+    ctx.imliCount = imliComps.counter().value();
+    corrector.engine().prefetchAll(ctx);
+}
+
 bool
 TageGscPredictor::predict(std::uint64_t pc)
 {

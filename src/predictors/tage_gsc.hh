@@ -14,6 +14,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <type_traits>
 
 #include "src/core/imli_components.hh"
 #include "src/history/history_manager.hh"
@@ -76,6 +77,7 @@ class TageGscPredictor : public ConditionalPredictor
     void update(std::uint64_t pc, bool taken, std::uint64_t target) override;
     void trackOtherInst(std::uint64_t pc, BranchType type, bool taken,
                         std::uint64_t target) override;
+    void prefetch(std::uint64_t pc) const override;
 
     // Speculation contract (see predictor.hh): checkpoint = global/path
     // head + IMLI counter/PIPE (+OMLI) + in-flight local-history ticket +
@@ -132,6 +134,11 @@ class TageGscPredictor : public ConditionalPredictor
         WormholePredictor::Prediction whPrediction;
         std::optional<unsigned> tripCount;
     } look;
+
+    // Allocation-regression guard (see tage.hh): pairing state must stay
+    // inline value types, never heap-backed containers.
+    static_assert(std::is_trivially_copyable_v<LookupState>,
+                  "per-lookup state must stay heap-allocation-free");
 };
 
 } // namespace imli

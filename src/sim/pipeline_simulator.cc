@@ -47,72 +47,93 @@ PipelineSimulator::fetch(const BranchRecord &rec, std::uint64_t pos)
 }
 
 void
-PipelineSimulator::commitOldest()
+PipelineSimulator::commitUntil(std::size_t target)
 {
-    const Inflight entry = window.front();
-    window.pop_front();
-    ++pipeStats.commits;
+    // One front checkpoint serves the whole burst: a correctly predicted
+    // commit leaves the history buffer bits untouched, so the next
+    // commit's backward restore lands exactly where the old per-commit
+    // restore(front); restore(cp) round trip did (see the file header
+    // for the teleport argument).  Taken lazily — an all-non-conditional
+    // burst never touches predictor state at all.
+    bool have_front = false;
+    SpecCheckpoint front;
 
-    const bool counted = entry.pos >= opts.warmupBranches;
-    if (!entry.conditional) {
-        if (counted)
-            simResult.instructions += entry.rec.instsBefore + 1;
-        return;
-    }
+    while (window.size() > target) {
+        const Inflight entry = window.front();
+        window.pop_front();
+        ++pipeStats.commits;
 
-    // Commit sandwich: train at the branch's fetch-time history view.
-    const SpecCheckpoint front = pred.checkpoint();
-    pred.restore(entry.cp);
-    (void)pred.predict(entry.rec.pc); // re-derive predict/update pairing
-    pred.update(entry.rec.pc, entry.rec.taken, entry.rec.target);
-
-    if (counted) {
-        ++simResult.conditionals;
-        if (entry.pred != entry.rec.taken) {
-            ++simResult.mispredictions;
-            if (opts.collectPerPc)
-                ++simResult.perPcMispredictions[entry.rec.pc];
+        const bool counted = entry.pos >= opts.warmupBranches;
+        if (!entry.conditional) {
+            // No predictor state moves (trackOtherInst ran at fetch), so
+            // the burst continues under the same hoisted front.
+            if (counted)
+                simResult.instructions += entry.rec.instsBefore + 1;
+            continue;
         }
-        simResult.instructions += entry.rec.instsBefore + 1;
+
+        if (!have_front) {
+            front = pred.checkpoint();
+            have_front = true;
+        }
+
+        // Commit sandwich: train at the branch's fetch-time history view.
+        pred.restore(entry.cp);
+        (void)pred.predict(entry.rec.pc); // re-derive predict/update pairing
+        pred.update(entry.rec.pc, entry.rec.taken, entry.rec.target);
+
+        if (counted) {
+            ++simResult.conditionals;
+            if (entry.pred != entry.rec.taken) {
+                ++simResult.mispredictions;
+                if (opts.collectPerPc)
+                    ++simResult.perPcMispredictions[entry.rec.pc];
+            }
+            simResult.instructions += entry.rec.instsBefore + 1;
+        }
+
+        if (entry.pred == entry.rec.taken) {
+            // Correct: stay at the commit point.  The burst's next
+            // backward restore (or the final forward restore below)
+            // teleports from here exactly.
+            continue;
+        }
+
+        // Mispredict: update() already repaired the history (restore to
+        // the fetch point + push of the resolved outcome).  Everything
+        // younger in the window was fetched in the wrong-path shadow:
+        // squash it and re-fetch the same records — the trace is the
+        // correct path.  The hoisted front is now stale (its forward walk
+        // would replay the squashed speculative bits), so drop it; the
+        // replayed fetches rebuild the front, and the next conditional
+        // commit re-checkpoints.
+        have_front = false;
+        ++pipeStats.squashes;
+        pred.squashSpeculation();
+        std::vector<Inflight> shadow(window.begin(), window.end());
+        window.clear();
+        for (const Inflight &again : shadow) {
+            fetch(again.rec, again.pos);
+            ++pipeStats.replays;
+        }
     }
 
-    if (entry.pred == entry.rec.taken) {
-        // Correct: back to the fetch front (history now holds the same
-        // bit the speculation pushed, so the forward restore is exact).
+    // End of burst: return to the fetch front once, for the whole batch.
+    if (have_front)
         pred.restore(front);
-        return;
-    }
-
-    // Mispredict: update() already repaired the history (restore to the
-    // fetch point + push of the resolved outcome).  Everything younger in
-    // the window was fetched in the wrong-path shadow: squash it and
-    // re-fetch the same records — the trace is the correct path.
-    ++pipeStats.squashes;
-    pred.squashSpeculation();
-    std::vector<Inflight> shadow(window.begin(), window.end());
-    window.clear();
-    for (const Inflight &again : shadow) {
-        fetch(again.rec, again.pos);
-        ++pipeStats.replays;
-    }
 }
 
 void
 PipelineSimulator::onRecord(const BranchRecord &rec)
 {
     fetch(rec, fetchPos++);
-    while (window.size() > opts.updateDelay)
-        commitOldest();
+    commitUntil(opts.updateDelay);
 }
 
 void
 PipelineSimulator::drain()
 {
-    // commitOldest() can temporarily refill the window on a squash
-    // (replayed fetches), but every call retires one record for good, so
-    // the loop strictly shrinks the in-flight set.
-    while (!window.empty())
-        commitOldest();
+    commitUntil(0);
 }
 
 } // namespace imli

@@ -59,7 +59,18 @@ void
 replayChunk(ConditionalPredictor &predictor, const BranchSpan &chunk,
             std::uint64_t seen, const SimOptions &options, SimResult &result)
 {
-    for (const BranchRecord &rec : chunk) {
+    const std::size_t lookahead = options.prefetchLookahead;
+    for (std::size_t k = 0; k < chunk.count; ++k) {
+        const BranchRecord &rec = chunk[k];
+        // Batched lookups: hint the table lines of a record a small
+        // window ahead, so its fetches overlap the predict/update work
+        // of the records in between.  A hint only — never a result
+        // change (see ConditionalPredictor::prefetch).
+        if (lookahead > 0 && k + lookahead < chunk.count) {
+            const BranchRecord &ahead = chunk[k + lookahead];
+            if (isConditional(ahead.type))
+                predictor.prefetch(ahead.pc);
+        }
         const bool counted = seen >= options.warmupBranches;
         if (isConditional(rec.type)) {
             const bool pred = predictor.predict(rec.pc);
@@ -91,6 +102,8 @@ applySpecDelay(const ParsedSpec &parsed, SimOptions base)
         base.updateDelay = specUpdateDelay(parsed);
         base.pipeline = true;
     }
+    if (hasSpecPrefetch(parsed))
+        base.prefetchLookahead = specPrefetch(parsed);
     return base;
 }
 

@@ -11,6 +11,15 @@
  *  - SignedCounter: a signed counter in [-2^(bits-1), 2^(bits-1) - 1];
  *    its centred value (2c + 1) feeds neural adder trees (GEHL / statistical
  *    corrector), following Seznec's O-GEHL formulation.
+ *
+ * Both counters update with branch-free clamped arithmetic: step by +/-1 in
+ * a wide intermediate, then clamp with min/max-style ternaries the compiler
+ * lowers to conditional moves.  The counter update sits inside the
+ * per-branch train loop of every table of every predictor, and the step
+ * direction correlates with the (by construction hard-to-predict) branch
+ * outcome, so a data-dependent jump here costs a host-side mispredict per
+ * simulated mispredict.  Semantics are exactly the saturating if/else
+ * formulation — CI pins bit-identity over the full suite matrix.
  */
 
 #ifndef IMLI_SRC_UTIL_COUNTERS_HH
@@ -50,26 +59,28 @@ class SatCounter
     void
     increment()
     {
-        if (static_cast<unsigned>(value) < maxValue())
-            ++value;
+        const int cap = static_cast<int>(maxValue());
+        const int next = value + 1;
+        value = static_cast<std::int16_t>(next > cap ? cap : next);
     }
 
     /** Saturating decrement. */
     void
     decrement()
     {
-        if (value > 0)
-            --value;
+        const int next = value - 1;
+        value = static_cast<std::int16_t>(next < 0 ? 0 : next);
     }
 
     /** Move towards taken (true) or not-taken (false). */
     void
     update(bool taken)
     {
-        if (taken)
-            increment();
-        else
-            decrement();
+        const int step = taken ? 1 : -1;
+        const int cap = static_cast<int>(maxValue());
+        int next = value + step;
+        next = next < 0 ? 0 : next;
+        value = static_cast<std::int16_t>(next > cap ? cap : next);
     }
 
     /** Prediction encoded in the MSB. */
@@ -135,13 +146,12 @@ class SignedCounter
     void
     update(bool taken)
     {
-        if (taken) {
-            if (value < maxValue())
-                ++value;
-        } else {
-            if (value > minValue())
-                --value;
-        }
+        const int step = taken ? 1 : -1;
+        const int lo = minValue();
+        const int hi = maxValue();
+        int next = value + step;
+        next = next < lo ? lo : next;
+        value = static_cast<std::int16_t>(next > hi ? hi : next);
     }
 
     /**
