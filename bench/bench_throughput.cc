@@ -76,6 +76,9 @@ IMLI_PREDICTOR_BENCH(BM_TageGscLoop, "tage-gsc+loop");
 IMLI_PREDICTOR_BENCH(BM_TageGscIttageLoop, "tage-gsc+itl");
 IMLI_PREDICTOR_BENCH(BM_TageGscWormhole, "tage-gsc+wh");
 IMLI_PREDICTOR_BENCH(BM_IttageLoopStandalone, "itl");
+IMLI_PREDICTOR_BENCH(BM_MetaChooser, "meta(tage-gsc,gehl,gshare)");
+IMLI_PREDICTOR_BENCH(BM_MetaChooserFusion,
+                     "meta(tage-gsc,gehl,gshare)@meta.policy=fusion");
 
 static void
 BM_TageArenaLookup(benchmark::State &state)

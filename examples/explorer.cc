@@ -122,7 +122,9 @@ cmdDescribe(const CommandLine &cli)
         for (const OverrideKeyInfo &info : knownOverrideKeys()) {
             table.addRow({info.key, std::to_string(info.minValue),
                           std::to_string(info.maxValue),
-                          info.tageGscOnly ? "tage-gsc" : "both",
+                          info.tageGscOnly ? "tage-gsc"
+                          : info.metaOnly  ? "meta"
+                                           : "hosts",
                           info.doc + (info.powerOfTwo ? " (power of 2)"
                                                       : "")});
         }

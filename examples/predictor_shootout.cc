@@ -32,7 +32,9 @@ try {
     const std::vector<std::string> benchmarks = imli::splitCommaList(cli.getString(
         "benchmarks", "SPEC2K6-04,SPEC2K6-12,MM-4,CLIENT02,MM07,WS04"));
     const std::vector<std::string> ladder = {
-        "bimodal", "gshare", "gehl", "gehl+i", "tage-gsc", "tage-gsc+i",
+        "bimodal",  "gshare",     "gehl",
+        "gehl+i",   "tage-gsc",   "tage-gsc+i",
+        "meta(tage-gsc,gehl,gshare)",
     };
 
     imli::SimOptions sim;

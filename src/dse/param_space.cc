@@ -112,16 +112,37 @@ keyInfoOrThrow(const std::string &key)
  * canonicalSpec runs the full zoo validation (ranges, host
  * applicability, cross-parameter constraints) on the composed string.
  */
+/**
+ * True when @p spec has an '@' outside any parentheses — its own
+ * override section, as opposed to one belonging to a meta sub-spec.
+ */
+bool
+hasTopLevelAt(const std::string &spec)
+{
+    int depth = 0;
+    for (char c : spec) {
+        if (c == '(')
+            ++depth;
+        else if (c == ')' && depth > 0)
+            --depth;
+        else if (c == '@' && depth == 0)
+            return true;
+    }
+    return false;
+}
+
 std::string
 composePoint(const std::string &base,
              const std::vector<ParamDimension> &dims,
              const std::vector<std::size_t> &pick)
 {
     std::string s = base;
-    char sep = base.find('@') == std::string::npos ? '@' : ',';
+    char sep = hasTopLevelAt(base) ? ',' : '@';
     for (std::size_t d = 0; d < dims.size(); ++d) {
-        s += sep + dims[d].key + "=" +
-             std::to_string(dims[d].values[pick[d]]);
+        const long long v = dims[d].values[pick[d]];
+        s += sep + dims[d].key + "=";
+        s += dims[d].key == "meta.policy" ? metaPolicyValueName(v)
+                                          : std::to_string(v);
         sep = ',';
     }
     return canonicalSpec(s);
@@ -159,7 +180,12 @@ parseDimension(const std::string &text)
         if (token.empty())
             throw std::invalid_argument("dimension " + dim.key +
                                         " has an empty value token");
-        appendValues(dim.values, token, info);
+        // meta.policy sweeps over the named values, e.g.
+        // "meta.policy=tournament,ucb,fusion" — no numeric ranges.
+        if (dim.key == "meta.policy")
+            dim.values.push_back(metaPolicyValueFromName(token));
+        else
+            appendValues(dim.values, token, info);
     }
     if (dim.values.empty())
         throw std::invalid_argument("dimension " + dim.key +

@@ -1,55 +1,20 @@
 #include "src/predictors/gehl.hh"
 
-#include "src/predictors/host_speculation.hh"
-#include "src/util/hashing.hh"
-
 namespace imli
 {
 
 GehlPredictor::GehlPredictor(const Config &config)
-    : cfg(config),
-      histMgr(host_spec::historyCapacity(config.global.maxHistory)),
-      global(cfg.global, histMgr),
-      voting(cfg.voting), imliComps(cfg.imli)
+    : CompositeHost(config, config.global.maxHistory,
+                    /*digest_seed=*/0x6e41),
+      cfg(config), global(cfg.global, histMgr), voting(cfg.voting)
 {
     voting.addComponent(&global);
     if (cfg.enableImli) {
         for (ScComponent *c : imliComps.components())
             voting.addComponent(c);
     }
-    if (cfg.enableLocal) {
-        local = std::make_unique<LocalComponent>(cfg.local);
+    if (cfg.enableLocal)
         voting.addComponent(local.get());
-    }
-    if (cfg.enableLoop || cfg.enableWh)
-        loopPred = std::make_unique<LoopPredictor>(cfg.loop);
-    if (cfg.enableItl)
-        ittageLoop = std::make_unique<IttageLoopPredictor>(cfg.itl);
-    if (cfg.enableWh)
-        wormhole = std::make_unique<WormholePredictor>(cfg.wh);
-}
-
-host_spec::LoopFamily
-GehlPredictor::loopFamily() const
-{
-    // The family carries mutable pointers for restore()/speculate();
-    // const callers (checkpoint, digest) only read through it.
-    auto *self = const_cast<GehlPredictor *>(this);
-    host_spec::LoopFamily fam;
-    fam.loop = self->loopPred.get();
-    fam.itl = self->ittageLoop.get();
-    fam.wh = self->wormhole.get();
-    if (fam.loop != nullptr || fam.itl != nullptr || fam.wh != nullptr)
-        fam.currentLoopPc = &self->currentLoopPc;
-    return fam;
-}
-
-std::optional<unsigned>
-GehlPredictor::currentTripCount() const
-{
-    if (loopPred == nullptr || currentLoopPc == 0)
-        return std::nullopt;
-    return loopPred->tripCount(currentLoopPc);
 }
 
 void
@@ -64,7 +29,7 @@ GehlPredictor::prefetch(std::uint64_t pc) const
 }
 
 bool
-GehlPredictor::predict(std::uint64_t pc)
+GehlPredictor::predictHost(std::uint64_t pc)
 {
     look = LookupState();
     look.ctx.pc = pc;
@@ -74,138 +39,25 @@ GehlPredictor::predict(std::uint64_t pc)
 
     look.sum = voting.sum(look.ctx);
     look.gehlPred = look.sum >= 0;
-    look.finalPred = look.gehlPred;
-
-    if (loopPred != nullptr) {
-        look.loopPrediction = loopPred->lookup(pc);
-        if (cfg.loopOverride && look.loopPrediction.valid)
-            look.finalPred = look.loopPrediction.taken;
-    }
-    if (ittageLoop != nullptr) {
-        look.itlPrediction = ittageLoop->lookup(pc);
-        if (look.itlPrediction.valid)
-            look.finalPred = look.itlPrediction.taken;
-    }
-    if (wormhole != nullptr) {
-        look.tripCount = currentTripCount();
-        look.whPrediction = wormhole->predict(pc, look.tripCount);
-        if (look.whPrediction.valid)
-            look.finalPred = look.whPrediction.taken;
-    }
-    return look.finalPred;
+    return look.gehlPred;
 }
 
 void
-GehlPredictor::update(std::uint64_t pc, bool taken, std::uint64_t target)
+GehlPredictor::updateHost(std::uint64_t pc, bool taken, bool final_pred)
 {
-    const bool final_mispred = look.finalPred != taken;
+    (void)pc;
+    (void)final_pred;
     const bool gehl_mispred = look.gehlPred != taken;
-
-    if (loopPred != nullptr) {
-        // Only backward conditional branches close loops (Section 4.1);
-        // letting forward noise branches allocate would thrash the small
-        // loop table.
-        loopPred->update(pc, taken, final_mispred && target < pc,
-                         look.loopPrediction);
-    }
-    if (ittageLoop != nullptr)
-        ittageLoop->update(pc, taken, final_mispred && target < pc,
-                           look.itlPrediction);
-    if (wormhole != nullptr)
-        wormhole->update(pc, taken, final_mispred, look.tripCount,
-                         look.whPrediction);
-
     const int abs_sum = look.sum < 0 ? -look.sum : look.sum;
     if (voting.onOutcome(gehl_mispred, abs_sum))
         voting.trainAll(look.ctx, taken);
     voting.resolveAll(look.ctx, taken);
-
-    if (cfg.enableImli)
-        imliComps.onResolved(pc, target, taken);
-
-    // Track which loop is currently iterating (backward taken branch),
-    // for the wormhole trip-count feed.
-    if (target < pc) {
-        if (taken)
-            currentLoopPc = pc;
-        else if (pc == currentLoopPc)
-            currentLoopPc = 0;
-    }
-
-    histMgr.push(taken, pc);
 }
 
 void
-GehlPredictor::prepareSpeculation(unsigned max_inflight)
+GehlPredictor::accountHost(StorageAccount &acct) const
 {
-    host_spec::prepare(local.get(), max_inflight);
-}
-
-SpecCheckpoint
-GehlPredictor::checkpoint() const
-{
-    return host_spec::checkpoint(histMgr, cfg.enableImli, imliComps,
-                                 local.get(), loopFamily());
-}
-
-void
-GehlPredictor::restore(const SpecCheckpoint &cp)
-{
-    host_spec::restore(histMgr, cfg.enableImli, imliComps, local.get(), cp,
-                       loopFamily());
-}
-
-void
-GehlPredictor::speculate(std::uint64_t pc, bool pred_taken,
-                         std::uint64_t target)
-{
-    host_spec::speculate(histMgr, cfg.enableImli, imliComps, local.get(),
-                         pc, pred_taken, target, loopFamily());
-}
-
-void
-GehlPredictor::squashSpeculation()
-{
-    host_spec::squash(local.get(), loopFamily());
-}
-
-std::uint64_t
-GehlPredictor::stateDigest() const
-{
-    std::uint64_t digest = hashCombine(0x6e41, currentLoopPc);
-    if (loopPred != nullptr)
-        digest = hashCombine(digest, loopPred->stateDigest());
-    if (ittageLoop != nullptr)
-        digest = hashCombine(digest, ittageLoop->stateDigest());
-    if (wormhole != nullptr)
-        digest = hashCombine(digest, wormhole->stateDigest());
-    return digest;
-}
-
-void
-GehlPredictor::trackOtherInst(std::uint64_t pc, BranchType type, bool taken,
-                              std::uint64_t target)
-{
-    (void)type;
-    (void)taken;
-    (void)target;
-    histMgr.push(true, pc);
-}
-
-StorageAccount
-GehlPredictor::storage() const
-{
-    StorageAccount acct;
     voting.account(acct);
-    if (cfg.enableImli)
-        imliComps.account(acct);
-    if (loopPred != nullptr)
-        loopPred->account(acct, "loop");
-    if (ittageLoop != nullptr)
-        ittageLoop->account(acct, "itl");
-    if (wormhole != nullptr)
-        wormhole->account(acct, "wormhole");
-    return acct;
 }
 
 } // namespace imli

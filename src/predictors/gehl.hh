@@ -8,34 +8,30 @@
  * tree: the IMLI-SIC and IMLI-OH tables (GEHL+I), a local-history bank and
  * loop predictor (GEHL+L, the FTL recipe), or the wormhole side predictor
  * for the Section 3.3 comparison.
+ *
+ * Composition: only the core — the adder tree's lookup and training —
+ * lives here.  The component plumbing (loop-family overlay, IMLI
+ * resolve, speculation contract, digest, storage ledger) is the
+ * CompositeHost layer (composite_host.hh), shared with TAGE-GSC.
  */
 
 #ifndef IMLI_SRC_PREDICTORS_GEHL_HH
 #define IMLI_SRC_PREDICTORS_GEHL_HH
 
-#include <memory>
-#include <optional>
 #include <string>
 #include <type_traits>
 
-#include "src/core/imli_components.hh"
-#include "src/history/history_manager.hh"
-#include "src/predictors/host_speculation.hh"
-#include "src/predictors/ittage_loop.hh"
-#include "src/predictors/local_component.hh"
-#include "src/predictors/loop_predictor.hh"
-#include "src/predictors/predictor.hh"
+#include "src/predictors/composite_host.hh"
 #include "src/predictors/statistical_corrector.hh"
-#include "src/predictors/wormhole.hh"
 
 namespace imli
 {
 
 /** GEHL with optional IMLI / local / loop / wormhole add-ons. */
-class GehlPredictor : public ConditionalPredictor
+class GehlPredictor : public CompositeHost
 {
   public:
-    struct Config
+    struct Config : CompositeHostConfig
     {
         GlobalGehlComponent::Config global{
             /*numTables=*/17, /*logEntries=*/11, /*counterBits=*/6,
@@ -44,86 +40,38 @@ class GehlPredictor : public ConditionalPredictor
         VotingEngine::Config voting{/*thetaInit=*/34, /*thetaMin=*/1,
                                     /*thetaMax=*/511, /*tcBits=*/7};
 
-        ImliComponents::Config imli;
-        bool enableImli = false; //!< master switch for SIC/OH add-ons
-
-        bool enableLocal = false;
-        LocalComponent::Config local;
-
-        /** Instantiate the loop predictor (needed by WH for trip counts). */
-        bool enableLoop = false;
-        /** Let a confident loop prediction override the adder tree. */
-        bool loopOverride = false;
-        LoopPredictor::Config loop{/*logSets=*/3, /*ways=*/4};
-
-        bool enableItl = false;
-        IttageLoopPredictor::Config itl;
-
-        bool enableWh = false;
-        WormholePredictor::Config wh;
-
-        std::string configName = "GEHL";
+        Config()
+        {
+            loop = LoopPredictor::Config{/*logSets=*/3, /*ways=*/4};
+            configName = "GEHL";
+        }
     };
 
     GehlPredictor() : GehlPredictor(Config()) {}
 
     explicit GehlPredictor(const Config &config);
 
-    bool predict(std::uint64_t pc) override;
-    void update(std::uint64_t pc, bool taken, std::uint64_t target) override;
-    void trackOtherInst(std::uint64_t pc, BranchType type, bool taken,
-                        std::uint64_t target) override;
     void prefetch(std::uint64_t pc) const override;
-
-    // Speculation contract — same recovery-state split as TageGsc (see
-    // tage_gsc.hh): history + IMLI + local ticket + the loop-family
-    // journal tickets and loop-tracking PC are checkpointed; tables and
-    // the adder-tree state stay architectural.
-    bool supportsSpeculation() const override { return true; }
-    void prepareSpeculation(unsigned max_inflight) override;
-    SpecCheckpoint checkpoint() const override;
-    void restore(const SpecCheckpoint &cp) override;
-    void speculate(std::uint64_t pc, bool pred_taken,
-                   std::uint64_t target) override;
-    void squashSpeculation() override;
-    std::uint64_t stateDigest() const override;
-
-    std::string name() const override { return cfg.configName; }
-    StorageAccount storage() const override;
-
-    /** IMLI state access for experiments (delay sweeps, checkpoints). */
-    ImliComponents &imliState() { return imliComps; }
 
     const Config &config() const { return cfg; }
 
-  private:
-    std::optional<unsigned> currentTripCount() const;
-    host_spec::LoopFamily loopFamily() const;
+  protected:
+    bool predictHost(std::uint64_t pc) override;
+    void updateHost(std::uint64_t pc, bool taken, bool final_pred) override;
+    void accountHost(StorageAccount &acct) const override;
 
+  private:
     Config cfg;
-    HistoryManager histMgr;
     GlobalGehlComponent global;
     VotingEngine voting;
-    ImliComponents imliComps;
-    std::unique_ptr<LocalComponent> local;
-    std::unique_ptr<LoopPredictor> loopPred;
-    std::unique_ptr<IttageLoopPredictor> ittageLoop;
-    std::unique_ptr<WormholePredictor> wormhole;
 
-    /** PC of the backward branch closing the loop currently iterating. */
-    std::uint64_t currentLoopPc = 0;
-
-    // predict/update pairing state
+    // Core predict/update pairing state (the loop-family half lives in
+    // CompositeHost).
     struct LookupState
     {
         ScContext ctx;
         int sum = 0;
         bool gehlPred = false;
-        bool finalPred = false;
-        LoopPredictor::Prediction loopPrediction;
-        IttageLoopPredictor::Prediction itlPrediction;
-        WormholePredictor::Prediction whPrediction;
-        std::optional<unsigned> tripCount;
     } look;
 
     // Allocation-regression guard (see tage.hh): pairing state must stay

@@ -2,19 +2,16 @@
 
 #include <algorithm>
 
-#include "src/predictors/host_speculation.hh"
-#include "src/util/hashing.hh"
-
 namespace imli
 {
 
 TageGscPredictor::TageGscPredictor(const Config &config)
-    : cfg(config),
-      histMgr(host_spec::historyCapacity(std::max(
-          config.tage.maxHistory, config.gscGlobal.maxHistory))),
-      tage(cfg.tage, histMgr), bias(cfg.bias),
-      gscGlobal(cfg.gscGlobal, histMgr), corrector(cfg.sc),
-      imliComps(cfg.imli)
+    : CompositeHost(config,
+                    std::max(config.tage.maxHistory,
+                             config.gscGlobal.maxHistory),
+                    /*digest_seed=*/0x7a6e),
+      cfg(config), tage(cfg.tage, histMgr), bias(cfg.bias),
+      gscGlobal(cfg.gscGlobal, histMgr), corrector(cfg.sc)
 {
     corrector.addComponent(&bias);
     corrector.addComponent(&gscGlobal);
@@ -22,39 +19,8 @@ TageGscPredictor::TageGscPredictor(const Config &config)
         for (ScComponent *c : imliComps.components())
             corrector.addComponent(c);
     }
-    if (cfg.enableLocal) {
-        local = std::make_unique<LocalComponent>(cfg.local);
+    if (cfg.enableLocal)
         corrector.addComponent(local.get());
-    }
-    if (cfg.enableLoop || cfg.enableWh)
-        loopPred = std::make_unique<LoopPredictor>(cfg.loop);
-    if (cfg.enableItl)
-        ittageLoop = std::make_unique<IttageLoopPredictor>(cfg.itl);
-    if (cfg.enableWh)
-        wormhole = std::make_unique<WormholePredictor>(cfg.wh);
-}
-
-host_spec::LoopFamily
-TageGscPredictor::loopFamily() const
-{
-    // The family carries mutable pointers for restore()/speculate();
-    // const callers (checkpoint, digest) only read through it.
-    auto *self = const_cast<TageGscPredictor *>(this);
-    host_spec::LoopFamily fam;
-    fam.loop = self->loopPred.get();
-    fam.itl = self->ittageLoop.get();
-    fam.wh = self->wormhole.get();
-    if (fam.loop != nullptr || fam.itl != nullptr || fam.wh != nullptr)
-        fam.currentLoopPc = &self->currentLoopPc;
-    return fam;
-}
-
-std::optional<unsigned>
-TageGscPredictor::currentTripCount() const
-{
-    if (loopPred == nullptr || currentLoopPc == 0)
-        return std::nullopt;
-    return loopPred->tripCount(currentLoopPc);
 }
 
 void
@@ -72,7 +38,7 @@ TageGscPredictor::prefetch(std::uint64_t pc) const
 }
 
 bool
-TageGscPredictor::predict(std::uint64_t pc)
+TageGscPredictor::predictHost(std::uint64_t pc)
 {
     look = LookupState();
     look.tagePrediction = tage.predict(pc);
@@ -84,137 +50,21 @@ TageGscPredictor::predict(std::uint64_t pc)
 
     look.decision = corrector.decide(look.ctx, look.tagePrediction.taken,
                                      look.tagePrediction.confidence);
-    look.finalPred = look.decision.finalPred;
-
-    if (loopPred != nullptr) {
-        look.loopPrediction = loopPred->lookup(pc);
-        if (cfg.loopOverride && look.loopPrediction.valid)
-            look.finalPred = look.loopPrediction.taken;
-    }
-    if (ittageLoop != nullptr) {
-        look.itlPrediction = ittageLoop->lookup(pc);
-        if (look.itlPrediction.valid)
-            look.finalPred = look.itlPrediction.taken;
-    }
-    if (wormhole != nullptr) {
-        look.tripCount = currentTripCount();
-        look.whPrediction = wormhole->predict(pc, look.tripCount);
-        if (look.whPrediction.valid)
-            look.finalPred = look.whPrediction.taken;
-    }
-    return look.finalPred;
+    return look.decision.finalPred;
 }
 
 void
-TageGscPredictor::update(std::uint64_t pc, bool taken, std::uint64_t target)
+TageGscPredictor::updateHost(std::uint64_t pc, bool taken, bool final_pred)
 {
-    const bool final_mispred = look.finalPred != taken;
-
-    if (loopPred != nullptr) {
-        // Only backward conditional branches close loops (Section 4.1);
-        // letting forward noise branches allocate would thrash the small
-        // loop table.
-        loopPred->update(pc, taken, final_mispred && target < pc,
-                         look.loopPrediction);
-    }
-    if (ittageLoop != nullptr)
-        ittageLoop->update(pc, taken, final_mispred && target < pc,
-                           look.itlPrediction);
-    if (wormhole != nullptr)
-        wormhole->update(pc, taken, final_mispred, look.tripCount,
-                         look.whPrediction);
-
     corrector.train(look.ctx, taken, look.decision);
-    tage.update(pc, taken, look.finalPred);
-
-    if (cfg.enableImli)
-        imliComps.onResolved(pc, target, taken);
-
-    if (target < pc) {
-        if (taken)
-            currentLoopPc = pc;
-        else if (pc == currentLoopPc)
-            currentLoopPc = 0;
-    }
-
-    histMgr.push(taken, pc);
+    tage.update(pc, taken, final_pred);
 }
 
 void
-TageGscPredictor::prepareSpeculation(unsigned max_inflight)
+TageGscPredictor::accountHost(StorageAccount &acct) const
 {
-    host_spec::prepare(local.get(), max_inflight);
-}
-
-SpecCheckpoint
-TageGscPredictor::checkpoint() const
-{
-    return host_spec::checkpoint(histMgr, cfg.enableImli, imliComps,
-                                 local.get(), loopFamily());
-}
-
-void
-TageGscPredictor::restore(const SpecCheckpoint &cp)
-{
-    host_spec::restore(histMgr, cfg.enableImli, imliComps, local.get(), cp,
-                       loopFamily());
-}
-
-void
-TageGscPredictor::speculate(std::uint64_t pc, bool pred_taken,
-                            std::uint64_t target)
-{
-    host_spec::speculate(histMgr, cfg.enableImli, imliComps, local.get(),
-                         pc, pred_taken, target, loopFamily());
-}
-
-void
-TageGscPredictor::squashSpeculation()
-{
-    host_spec::squash(local.get(), loopFamily());
-}
-
-std::uint64_t
-TageGscPredictor::stateDigest() const
-{
-    // The loop-family surface is the state this host's speculation fix
-    // covers; the global/IMLI/local state is exercised by the prediction
-    // equality checks already.
-    std::uint64_t digest = hashCombine(0x7a6e, currentLoopPc);
-    if (loopPred != nullptr)
-        digest = hashCombine(digest, loopPred->stateDigest());
-    if (ittageLoop != nullptr)
-        digest = hashCombine(digest, ittageLoop->stateDigest());
-    if (wormhole != nullptr)
-        digest = hashCombine(digest, wormhole->stateDigest());
-    return digest;
-}
-
-void
-TageGscPredictor::trackOtherInst(std::uint64_t pc, BranchType type,
-                                 bool taken, std::uint64_t target)
-{
-    (void)type;
-    (void)taken;
-    (void)target;
-    histMgr.push(true, pc);
-}
-
-StorageAccount
-TageGscPredictor::storage() const
-{
-    StorageAccount acct;
     tage.account(acct);
     corrector.account(acct);
-    if (cfg.enableImli)
-        imliComps.account(acct);
-    if (loopPred != nullptr)
-        loopPred->account(acct, "loop");
-    if (ittageLoop != nullptr)
-        ittageLoop->account(acct, "itl");
-    if (wormhole != nullptr)
-        wormhole->account(acct, "wormhole");
-    return acct;
 }
 
 } // namespace imli

@@ -6,35 +6,31 @@
  * components deactivated.  Add-ons re-enable them (+L), plug the IMLI
  * components into the corrector (+I), or attach the wormhole side
  * predictor for the Section 3.3 comparison.
+ *
+ * Composition: only the core — TAGE + corrector lookup and training —
+ * lives here.  The component plumbing (loop-family overlay, IMLI
+ * resolve, speculation contract, digest, storage ledger) is the
+ * CompositeHost layer (composite_host.hh), shared with GEHL.
  */
 
 #ifndef IMLI_SRC_PREDICTORS_TAGE_GSC_HH
 #define IMLI_SRC_PREDICTORS_TAGE_GSC_HH
 
-#include <memory>
-#include <optional>
 #include <string>
 #include <type_traits>
 
-#include "src/core/imli_components.hh"
-#include "src/history/history_manager.hh"
-#include "src/predictors/host_speculation.hh"
-#include "src/predictors/ittage_loop.hh"
-#include "src/predictors/local_component.hh"
-#include "src/predictors/loop_predictor.hh"
-#include "src/predictors/predictor.hh"
+#include "src/predictors/composite_host.hh"
 #include "src/predictors/statistical_corrector.hh"
 #include "src/predictors/tage.hh"
-#include "src/predictors/wormhole.hh"
 
 namespace imli
 {
 
 /** TAGE + global statistical corrector, with optional add-ons. */
-class TageGscPredictor : public ConditionalPredictor
+class TageGscPredictor : public CompositeHost
 {
   public:
-    struct Config
+    struct Config : CompositeHostConfig
     {
         TagePredictor::Config tage;
         BiasComponent::Config bias{/*logEntries=*/9, /*counterBits=*/6,
@@ -45,94 +41,44 @@ class TageGscPredictor : public ConditionalPredictor
             /*imliIndexTables=*/0, /*label=*/"gsc-global"};
         StatisticalCorrector::Config sc;
 
-        ImliComponents::Config imli;
-        bool enableImli = false;
-
-        bool enableLocal = false;
-        LocalComponent::Config local{/*historyEntries=*/256,
-                                     /*historyBits=*/16,
-                                     /*numTables=*/3,
-                                     /*logEntries=*/10,
-                                     /*counterBits=*/6,
-                                     /*label=*/"local"};
-
-        bool enableLoop = false;
-        bool loopOverride = false;
-        LoopPredictor::Config loop{/*logSets=*/2, /*ways=*/4};
-
-        bool enableItl = false;
-        IttageLoopPredictor::Config itl;
-
-        bool enableWh = false;
-        WormholePredictor::Config wh;
-
-        std::string configName = "TAGE-GSC";
+        Config()
+        {
+            local = LocalComponent::Config{
+                /*historyEntries=*/256, /*historyBits=*/16,
+                /*numTables=*/3,        /*logEntries=*/10,
+                /*counterBits=*/6,      /*label=*/"local"};
+            loop = LoopPredictor::Config{/*logSets=*/2, /*ways=*/4};
+            configName = "TAGE-GSC";
+        }
     };
 
     TageGscPredictor() : TageGscPredictor(Config()) {}
 
     explicit TageGscPredictor(const Config &config);
 
-    bool predict(std::uint64_t pc) override;
-    void update(std::uint64_t pc, bool taken, std::uint64_t target) override;
-    void trackOtherInst(std::uint64_t pc, BranchType type, bool taken,
-                        std::uint64_t target) override;
     void prefetch(std::uint64_t pc) const override;
-
-    // Speculation contract (see predictor.hh): checkpoint = global/path
-    // head + IMLI counter/PIPE (+OMLI) + in-flight local-history ticket +
-    // the loop-family state (loop / ITTAGE-loop / wormhole journal
-    // tickets and the loop-tracking PC) — the paper's Section 4.4
-    // recovery state, extended to the per-branch speculative iteration
-    // counts and in-flight local bits the loop components carry.  Tables
-    // and counters stay architectural (commit-updated); only the
-    // journals' visibility bounds and the loop PC travel in the
-    // checkpoint, so a snapshot is still a few tens of bits.
-    bool supportsSpeculation() const override { return true; }
-    void prepareSpeculation(unsigned max_inflight) override;
-    SpecCheckpoint checkpoint() const override;
-    void restore(const SpecCheckpoint &cp) override;
-    void speculate(std::uint64_t pc, bool pred_taken,
-                   std::uint64_t target) override;
-    void squashSpeculation() override;
-    std::uint64_t stateDigest() const override;
-
-    std::string name() const override { return cfg.configName; }
-    StorageAccount storage() const override;
-
-    /** IMLI state access for experiments (delay sweeps, checkpoints). */
-    ImliComponents &imliState() { return imliComps; }
 
     const Config &config() const { return cfg; }
 
-  private:
-    std::optional<unsigned> currentTripCount() const;
-    host_spec::LoopFamily loopFamily() const;
+  protected:
+    bool predictHost(std::uint64_t pc) override;
+    void updateHost(std::uint64_t pc, bool taken, bool final_pred) override;
+    void accountHost(StorageAccount &acct) const override;
 
+  private:
     Config cfg;
-    HistoryManager histMgr;
     TagePredictor tage;
     BiasComponent bias;
     GlobalGehlComponent gscGlobal;
     StatisticalCorrector corrector;
-    ImliComponents imliComps;
-    std::unique_ptr<LocalComponent> local;
-    std::unique_ptr<LoopPredictor> loopPred;
-    std::unique_ptr<IttageLoopPredictor> ittageLoop;
-    std::unique_ptr<WormholePredictor> wormhole;
 
-    std::uint64_t currentLoopPc = 0;
-
+    // Core predict/update pairing state (the loop-family half lives in
+    // CompositeHost).
     struct LookupState
     {
         ScContext ctx;
         TagePredictor::Prediction tagePrediction;
         StatisticalCorrector::Decision decision;
-        bool finalPred = false;
-        LoopPredictor::Prediction loopPrediction;
-        IttageLoopPredictor::Prediction itlPrediction;
-        WormholePredictor::Prediction whPrediction;
-        std::optional<unsigned> tripCount;
     } look;
 
     // Allocation-regression guard (see tage.hh): pairing state must stay

@@ -17,6 +17,29 @@ namespace imli
 namespace
 {
 
+/**
+ * Position of the first top-level (outside any parentheses) occurrence
+ * of @p ch in @p s, or npos.  The spec grammar nests sub-specs — with
+ * their own '@' sections and commas — inside "meta(...)", so every
+ * structural scan must ignore bracketed content.
+ */
+std::size_t
+findTopLevel(const std::string &s, char ch, std::size_t from = 0)
+{
+    int depth = 0;
+    for (std::size_t i = from; i < s.size(); ++i) {
+        if (s[i] == '(') {
+            ++depth;
+        } else if (s[i] == ')') {
+            if (depth > 0)
+                --depth;
+        } else if (s[i] == ch && depth == 0) {
+            return i;
+        }
+    }
+    return std::string::npos;
+}
+
 /** Split "host+a+b" into host and lower-cased addon tokens. */
 std::vector<std::string>
 splitSpec(const std::string &spec)
@@ -111,13 +134,17 @@ displayName(const std::string &host, const ZooOptions &opts)
 
 using TageCfg = TageGscPredictor::Config;
 using GehlCfg = GehlPredictor::Config;
+using MetaCfg = MetaChooserPredictor::Config;
+using MetaPolicy = MetaChooserPredictor::Policy;
 
 struct KeyEntry
 {
     OverrideKeyInfo info;
-    void (*applyTage)(TageCfg &, long long);
-    void (*applyGehl)(GehlCfg &, long long);
+    void (*applyTage)(TageCfg &, long long) = nullptr;
+    void (*applyGehl)(GehlCfg &, long long) = nullptr;
+    void (*applyMeta)(MetaCfg &, long long) = nullptr;
 };
+
 
 const std::vector<KeyEntry> &
 keyTable()
@@ -188,6 +215,39 @@ keyTable()
         {{"loop.ways", 1, 8, false, false, "loop predictor associativity"},
          +[](TageCfg &c, long long v) { c.loop.ways = unsigned(v); },
          +[](GehlCfg &c, long long v) { c.loop.ways = unsigned(v); }},
+        // meta.* keys configure the meta-chooser host (meta_chooser.hh)
+        // and apply to no other host; the meta host in turn accepts only
+        // meta.* and the run-level sim.* keys.
+        {{"meta.countbits", 4, 16, false, false,
+          "UCB pull/reward counter width (bits)", true},
+         nullptr, nullptr,
+         +[](MetaCfg &c, long long v) { c.countBits = unsigned(v); }},
+        {{"meta.ctrbits", 1, 8, false, false,
+          "tournament chooser counter width (bits)", true},
+         nullptr, nullptr,
+         +[](MetaCfg &c, long long v) { c.counterBits = unsigned(v); }},
+        {{"meta.explore", 1, 16, false, false,
+          "UCB exploration scale (inside the sqrt)", true},
+         nullptr, nullptr,
+         +[](MetaCfg &c, long long v) { c.explore = unsigned(v); }},
+        {{"meta.logsize", 4, 20, false, false,
+          "log2 entries of the per-PC meta table", true},
+         nullptr, nullptr,
+         +[](MetaCfg &c, long long v) { c.logEntries = unsigned(v); }},
+        {{"meta.policy", 0, 2, false, false,
+          "arbitration policy: tournament, ucb or fusion", true},
+         nullptr, nullptr,
+         +[](MetaCfg &c, long long v) {
+             c.policy = static_cast<MetaPolicy>(v);
+         }},
+        {{"meta.theta", 0, 1024, false, false,
+          "fusion training threshold (0 = 1.93*N + 14)", true},
+         nullptr, nullptr,
+         +[](MetaCfg &c, long long v) { c.theta = unsigned(v); }},
+        {{"meta.wbits", 4, 16, false, false,
+          "fusion weight width (bits)", true},
+         nullptr, nullptr,
+         +[](MetaCfg &c, long long v) { c.weightBits = unsigned(v); }},
         {{"oh.ctrbits", 1, 8, false, false, "IMLI-OH counter width (bits)"},
          +[](TageCfg &c, long long v) { c.imli.oh.counterBits = unsigned(v); },
          +[](GehlCfg &c, long long v) { c.imli.oh.counterBits = unsigned(v); }},
@@ -303,7 +363,8 @@ parseOverrides(const std::string &text, const std::string &host)
     if (text.empty())
         throw std::invalid_argument(
             "spec has an empty override section after '@'");
-    const bool overridable = host == "tage-gsc" || host == "gehl";
+    const bool overridable =
+        host == "tage-gsc" || host == "gehl" || host == "meta";
     std::vector<SpecOverride> raw;
     std::string token;
     std::istringstream is(text);
@@ -326,7 +387,18 @@ parseOverrides(const std::string &text, const std::string &host)
         if (entry->info.tageGscOnly && host != "tage-gsc")
             throw std::invalid_argument("override key " + key +
                                         " only applies to the tage-gsc host");
-        const long long v = parseOverrideValue(key, value);
+        if (entry->info.metaOnly && host != "meta")
+            throw std::invalid_argument("override key " + key +
+                                        " only applies to the meta host");
+        if (host == "meta" && !entry->info.metaOnly &&
+            key.compare(0, 4, "sim.") != 0)
+            throw std::invalid_argument(
+                "override key " + key + " does not apply to the meta "
+                "host (only meta.* and sim.* keys do; sub-predictor "
+                "keys go on the sub-spec inside the parentheses)");
+        const long long v = key == "meta.policy"
+                                ? metaPolicyValueFromName(value)
+                                : parseOverrideValue(key, value);
         if (v < entry->info.minValue || v > entry->info.maxValue)
             throw std::invalid_argument(
                 "override " + key + "=" + value + " is out of range [" +
@@ -371,9 +443,46 @@ overrideSuffix(const std::vector<SpecOverride> &overrides)
     for (std::size_t i = 0; i < overrides.size(); ++i) {
         if (i > 0)
             s += ',';
-        s += overrides[i].key + "=" + std::to_string(overrides[i].value);
+        s += overrides[i].key + "=";
+        s += overrides[i].key == "meta.policy"
+                 ? metaPolicyValueName(overrides[i].value)
+                 : std::to_string(overrides[i].value);
     }
     return s;
+}
+
+/**
+ * The meta analog of checkOverrideApplies: reject keys that the
+ * resolved policy never reads — sweeping meta.ctrbits under
+ * meta.policy=ucb would fake a Pareto spread out of byte-identical
+ * points.
+ */
+void
+checkMetaOverrideApplies(const std::vector<SpecOverride> &overrides)
+{
+    MetaPolicy policy = MetaPolicy::Tournament;
+    for (const SpecOverride &o : overrides)
+        if (o.key == "meta.policy")
+            policy = static_cast<MetaPolicy>(o.value);
+    for (const SpecOverride &o : overrides) {
+        MetaPolicy needs = policy;
+        std::string need;
+        if (o.key == "meta.ctrbits") {
+            needs = MetaPolicy::Tournament;
+            need = "tournament";
+        } else if (o.key == "meta.countbits" || o.key == "meta.explore") {
+            needs = MetaPolicy::Ucb;
+            need = "ucb";
+        } else if (o.key == "meta.wbits" || o.key == "meta.theta") {
+            needs = MetaPolicy::Fusion;
+            need = "fusion";
+        }
+        if (needs != policy)
+            throw std::invalid_argument(
+                "override " + o.key + " has no effect under meta.policy=" +
+                metaPolicyValueName(static_cast<long long>(policy)) +
+                " (it only applies to the " + need + " policy)");
+    }
 }
 
 /**
@@ -502,6 +611,61 @@ ParsedSpec
 parseSpec(const std::string &spec)
 {
     ParsedSpec parsed;
+    if (spec.compare(0, 5, "meta(") == 0) {
+        // meta(sub,sub,...)[@meta.key=value,...] — commas and '@'
+        // inside the parentheses belong to the sub-specs.
+        int depth = 0;
+        std::size_t close = std::string::npos;
+        for (std::size_t i = 4; i < spec.size(); ++i) {
+            if (spec[i] == '(') {
+                ++depth;
+            } else if (spec[i] == ')') {
+                if (--depth == 0) {
+                    close = i;
+                    break;
+                }
+            }
+        }
+        if (close == std::string::npos)
+            throw std::invalid_argument(
+                "meta spec is missing the closing ')'");
+        const std::string tail = spec.substr(close + 1);
+        if (!tail.empty()) {
+            if (tail[0] != '@')
+                throw std::invalid_argument(
+                    "unexpected text after ')' in meta spec (only an "
+                    "'@' override section may follow): " + tail);
+            if (tail.find('@', 1) != std::string::npos)
+                throw std::invalid_argument(
+                    "spec has more than one '@' section");
+            parsed.overrides = parseOverrides(tail.substr(1), "meta");
+        }
+        parsed.host = "meta";
+        const std::vector<std::string> subs =
+            splitSpecList(spec.substr(5, close - 5));
+        if (subs.empty())
+            throw std::invalid_argument(
+                "meta spec needs at least one sub-spec inside the "
+                "parentheses");
+        if (subs.size() > MetaChooserPredictor::kMaxSubs)
+            throw std::invalid_argument(
+                "meta spec has " + std::to_string(subs.size()) +
+                " sub-specs; the chooser arbitrates at most " +
+                std::to_string(MetaChooserPredictor::kMaxSubs));
+        for (const std::string &sub : subs) {
+            const ParsedSpec sp = parseSpec(sub);
+            if (sp.host == "meta")
+                throw std::invalid_argument(
+                    "meta specs cannot nest: " + sub);
+            if (hasSpecUpdateDelay(sp) || hasSpecPrefetch(sp))
+                throw std::invalid_argument(
+                    "run-level sim.* keys belong after meta(...)@, not "
+                    "on the sub-spec \"" + sub + "\"");
+            parsed.subSpecs.push_back(describeConfig(sp));
+        }
+        checkMetaOverrideApplies(parsed.overrides);
+        return parsed;
+    }
     const auto at = spec.find('@');
     if (spec.find('@', at == std::string::npos ? at : at + 1) !=
         std::string::npos)
@@ -538,6 +702,15 @@ parseSpec(const std::string &spec)
 std::string
 describeConfig(const ParsedSpec &parsed)
 {
+    if (parsed.host == "meta") {
+        std::string s = "meta(";
+        for (std::size_t i = 0; i < parsed.subSpecs.size(); ++i) {
+            if (i > 0)
+                s += ',';
+            s += parsed.subSpecs[i];
+        }
+        return s + ")" + overrideSuffix(parsed.overrides);
+    }
     std::string s = parsed.host;
     if (parsed.host == "tage-gsc" || parsed.host == "gehl")
         s += addonSuffix(parsed.opts);
@@ -580,6 +753,26 @@ buildTageGscConfig(const ParsedSpec &parsed)
     applyOverridesTage(cfg, parsed.overrides);
     cfg.configName = displayName("TAGE-GSC", opts) +
                      overrideSuffix(parsed.overrides);
+    return cfg;
+}
+
+MetaChooserPredictor::Config
+buildMetaConfig(const ParsedSpec &parsed)
+{
+    if (parsed.host != "meta")
+        throw std::invalid_argument("buildMetaConfig: host is " +
+                                    parsed.host);
+    checkMetaOverrideApplies(parsed.overrides);
+    MetaChooserPredictor::Config cfg;
+    for (const SpecOverride &o : parsed.overrides) {
+        const KeyEntry &entry = findKeyForHost(o.key, "meta");
+        if (entry.applyMeta)
+            entry.applyMeta(cfg, o.value);
+        else if (o.key.compare(0, 4, "sim.") != 0)
+            throw std::invalid_argument("override key " + o.key +
+                                        " does not apply to the meta host");
+    }
+    cfg.configName = describeConfig(parsed);
     return cfg;
 }
 
@@ -695,6 +888,17 @@ describeConfigDetail(const ParsedSpec &parsed)
            << " maxhist=" << cfg.global.maxHistory
            << " imli-tables=" << cfg.global.imliIndexTables << '\n';
         describeSharedDetail(os, cfg);
+    } else if (parsed.host == "meta") {
+        const MetaChooserPredictor::Config cfg = buildMetaConfig(parsed);
+        os << "meta:     policy="
+           << metaPolicyValueName(static_cast<long long>(cfg.policy))
+           << " logsize=" << cfg.logEntries
+           << " ctrbits=" << cfg.counterBits
+           << " countbits=" << cfg.countBits
+           << " explore=" << cfg.explore << " wbits=" << cfg.weightBits
+           << " theta=" << cfg.theta << '\n';
+        for (std::size_t i = 0; i < parsed.subSpecs.size(); ++i)
+            os << "sub" << i << ":     " << parsed.subSpecs[i] << '\n';
     }
     const StorageAccount storage = pred->storage();
     os << "storage:  " << storage.totalKbits() << " Kbits ("
@@ -741,6 +945,14 @@ makePredictor(const ParsedSpec &parsed)
         return std::make_unique<TageGscPredictor>(buildTageGscConfig(parsed));
     if (parsed.host == "gehl")
         return std::make_unique<GehlPredictor>(buildGehlConfig(parsed));
+    if (parsed.host == "meta") {
+        std::vector<PredictorPtr> subs;
+        subs.reserve(parsed.subSpecs.size());
+        for (const std::string &sub : parsed.subSpecs)
+            subs.push_back(makePredictor(sub));
+        return std::make_unique<MetaChooserPredictor>(
+            buildMetaConfig(parsed), std::move(subs));
+    }
     throw std::invalid_argument("unknown predictor host: " + parsed.host);
 }
 
@@ -753,17 +965,26 @@ makePredictor(const std::string &spec)
 std::vector<std::string>
 splitSpecList(const std::string &text)
 {
+    // Split on top-level commas only: commas inside "meta(...)" separate
+    // that spec's sub-specs, not entries of this list.  Likewise, only a
+    // top-level '@' marks a spec as accepting override continuations —
+    // an '@' buried in parentheses belongs to a sub-spec.
     std::vector<std::string> specs;
-    std::string token;
-    std::istringstream is(text);
-    while (std::getline(is, token, ',')) {
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        std::size_t comma = findTopLevel(text, ',', pos);
+        if (comma == std::string::npos)
+            comma = text.size();
+        const std::string token = text.substr(pos, comma - pos);
+        pos = comma + 1;
         if (token.empty())
             continue;
-        const bool keyValue = token.find('@') == std::string::npos &&
-                              token.find('=') != std::string::npos;
+        const bool keyValue =
+            findTopLevel(token, '@') == std::string::npos &&
+            findTopLevel(token, '=') != std::string::npos;
         if (keyValue) {
             if (specs.empty() ||
-                specs.back().find('@') == std::string::npos)
+                findTopLevel(specs.back(), '@') == std::string::npos)
                 throw std::invalid_argument(
                     "config list fragment \"" + token +
                     "\" looks like an override but no preceding spec has "
@@ -808,6 +1029,10 @@ knownSpecs()
         "gehl+wh",
         "gehl+sic+wh",
         "gehl+sic+omli",
+        "meta(gshare,bimodal)",
+        "meta(tage-gsc,gehl,gshare)",
+        "meta(tage-gsc,gehl,gshare)@meta.policy=ucb",
+        "meta(tage-gsc,gehl,gshare)@meta.policy=fusion",
     };
 }
 
@@ -855,6 +1080,35 @@ knownOverrideKeys()
     for (const KeyEntry &e : keyTable())
         keys.push_back(e.info);
     return keys;
+}
+
+std::string
+metaPolicyValueName(long long value)
+{
+    switch (static_cast<MetaPolicy>(value)) {
+    case MetaPolicy::Tournament:
+        return "tournament";
+    case MetaPolicy::Ucb:
+        return "ucb";
+    case MetaPolicy::Fusion:
+        return "fusion";
+    }
+    throw std::invalid_argument("meta.policy value out of range: " +
+                                std::to_string(value));
+}
+
+long long
+metaPolicyValueFromName(const std::string &name)
+{
+    if (name == "tournament")
+        return static_cast<long long>(MetaPolicy::Tournament);
+    if (name == "ucb")
+        return static_cast<long long>(MetaPolicy::Ucb);
+    if (name == "fusion")
+        return static_cast<long long>(MetaPolicy::Fusion);
+    throw std::invalid_argument(
+        "meta.policy must be tournament, ucb or fusion, got \"" + name +
+        "\"");
 }
 
 } // namespace imli

@@ -32,6 +32,19 @@
  * Every key names one geometry knob of the underlying Config structs
  * (TAGE table count / log size / history lengths, SC table geometry,
  * SIC/OH/loop/wormhole sizes, counter widths — see knownOverrideKeys()).
+ *
+ * The meta-chooser host composes any other specs (see meta_chooser.hh):
+ *
+ *   "meta(tage-gsc,gehl,gshare)"
+ *   "meta(tage-gsc+i,gehl@gsc.tables=12)@meta.policy=ucb,meta.logsize=14"
+ *
+ * Commas inside the parentheses separate sub-specs (and continue a
+ * sub-spec's own '@' overrides, exactly like splitSpecList); the '@'
+ * section after the closing parenthesis takes the meta.* keys
+ * (meta.policy accepts the named values tournament / ucb / fusion and
+ * canonicalizes to the name, not a number) plus the run-level sim.*
+ * keys.  meta specs cannot nest, and run-level sim.* keys belong after
+ * the closing parenthesis, not on a sub-spec.
  * Two keys are run-level rather than geometry: "sim.delay" selects the
  * speculative pipeline engine's update delay for the point (see
  * specUpdateDelay()), making update timing a sweepable DSE dimension,
@@ -53,6 +66,7 @@
 #include <vector>
 
 #include "src/predictors/gehl.hh"
+#include "src/predictors/meta_chooser.hh"
 #include "src/predictors/predictor.hh"
 #include "src/predictors/tage_gsc.hh"
 
@@ -93,9 +107,16 @@ operator==(const SpecOverride &a, const SpecOverride &b)
  */
 struct ParsedSpec
 {
-    std::string host;  //!< "tage-gsc", "gehl", "bimodal", "gshare" or "itl"
+    /** "tage-gsc", "gehl", "bimodal", "gshare", "itl" or "meta". */
+    std::string host;
     ZooOptions opts;
     std::vector<SpecOverride> overrides;
+    /**
+     * For host == "meta": the canonicalized sub-spec strings, in
+     * declaration order (order is semantic — it is the arm index of the
+     * chooser's tables and the tie-break preference).  Empty otherwise.
+     */
+    std::vector<std::string> subSpecs;
 };
 
 /** One override key of the design-space grammar, with its legal range. */
@@ -107,6 +128,7 @@ struct OverrideKeyInfo
     bool powerOfTwo = false;   //!< value must be a power of two
     bool tageGscOnly = false;  //!< key only applies to the tage-gsc host
     std::string doc;           //!< one-line description for CLI help
+    bool metaOnly = false;     //!< key only applies to the meta host
 };
 
 /**
@@ -142,6 +164,7 @@ std::string describeConfigDetail(const ParsedSpec &parsed);
  */
 TageGscPredictor::Config buildTageGscConfig(const ParsedSpec &parsed);
 GehlPredictor::Config buildGehlConfig(const ParsedSpec &parsed);
+MetaChooserPredictor::Config buildMetaConfig(const ParsedSpec &parsed);
 
 /** Build a TAGE-GSC configuration. */
 PredictorPtr makeTageGsc(const ZooOptions &opts = ZooOptions());
@@ -161,9 +184,13 @@ PredictorPtr makePredictor(const ParsedSpec &parsed);
 /**
  * Split a comma-separated list of spec strings, keeping override commas
  * bound to their spec: a fragment of the form "key=value" that follows a
- * spec with an '@' section continues that spec's overrides instead of
- * starting a new spec, so "--configs a@x=1,y=2,b" is the two specs
- * {"a@x=1,y=2", "b"}.  A "key=value" fragment with no preceding '@' spec
+ * spec with a top-level '@' section continues that spec's overrides
+ * instead of starting a new spec, so "--configs a@x=1,y=2,b" is the two
+ * specs {"a@x=1,y=2", "b"}.  Commas inside parentheses never split —
+ * "meta(a,b)@meta.logsize=14,c" is the two specs
+ * {"meta(a,b)@meta.logsize=14", "c"} — and an '@' inside parentheses
+ * (a sub-spec's overrides) does not count as the spec's own '@'
+ * section.  A "key=value" fragment with no preceding top-level-'@' spec
  * throws std::invalid_argument.  Empty fragments are skipped.
  */
 std::vector<std::string> splitSpecList(const std::string &text);
@@ -209,6 +236,18 @@ unsigned specPrefetch(const ParsedSpec &parsed);
 
 /** Every override key of the design-space grammar, sorted by key. */
 std::vector<OverrideKeyInfo> knownOverrideKeys();
+
+/**
+ * Canonical name of a meta.policy override value ("tournament", "ucb"
+ * or "fusion").  The value travels in SpecOverride.value as the Policy
+ * enum's integer but always reads and echoes as the name — in spec
+ * strings, sweep journals and report tables alike.  Throws on a value
+ * outside the enum.
+ */
+std::string metaPolicyValueName(long long value);
+
+/** Parse a meta.policy name into its SpecOverride value; throws. */
+long long metaPolicyValueFromName(const std::string &name);
 
 } // namespace imli
 

@@ -108,6 +108,14 @@ expectedBits()
         {"gehl+wh", 221632ull},
         {"gehl+sic+wh", 224714ull},
         {"gehl+sic+omli", 218157ull},
+        // Meta-chooser hosts: the policy table plus the sum of the sub
+        // ledgers.  Tournament = 4096 entries x N x 2-bit counters; UCB
+        // = 4096 x N x 2 x 8-bit pull/reward counters; fusion = 4096 x
+        // (N+1) x 8-bit weights.
+        {"meta(gshare,bimodal)", 65550ull},
+        {"meta(tage-gsc,gehl,gshare)", 503638ull},
+        {"meta(tage-gsc,gehl,gshare)@meta.policy=ucb", 675670ull},
+        {"meta(tage-gsc,gehl,gshare)@meta.policy=fusion", 610134ull},
     };
     return expected;
 }
@@ -154,4 +162,37 @@ TEST(StorageBudgets, OverridesMoveTheLedger)
     const std::uint64_t grown =
         makePredictor("tage-gsc+sic@sic.logsize=10")->storageBits();
     EXPECT_EQ(grown - base, 512u * 6u);
+}
+
+TEST(StorageBudgets, MetaOverridesMoveTheLedger)
+{
+    // meta.* keys reach the chooser tables the same way: one more
+    // logsize bit doubles the 4096 x 2-arm x 2-bit tournament table.
+    const std::uint64_t base =
+        makePredictor("meta(gshare,bimodal)")->storageBits();
+    const std::uint64_t grown =
+        makePredictor("meta(gshare,bimodal)@meta.logsize=13")
+            ->storageBits();
+    EXPECT_EQ(grown - base, 4096u * 2u * 2u);
+}
+
+TEST(StorageBudgets, MetaLedgerIsPolicyTablePlusSubLedgers)
+{
+    // The chooser adds exactly its policy table on top of the sub
+    // predictors' own pinned ledgers — no hidden state.
+    const std::uint64_t subs = makePredictor("tage-gsc")->storageBits() +
+                               makePredictor("gehl")->storageBits() +
+                               makePredictor("gshare")->storageBits();
+    EXPECT_EQ(
+        makePredictor("meta(tage-gsc,gehl,gshare)")->storageBits() - subs,
+        4096u * 3u * 2u);
+    EXPECT_EQ(makePredictor("meta(tage-gsc,gehl,gshare)@meta.policy=ucb")
+                      ->storageBits() -
+                  subs,
+              4096u * 3u * 2u * 8u);
+    EXPECT_EQ(
+        makePredictor("meta(tage-gsc,gehl,gshare)@meta.policy=fusion")
+                ->storageBits() -
+            subs,
+        4096u * 4u * 8u);
 }
