@@ -14,13 +14,18 @@
  *                  [--sample N --seed S] [--points SPEC,SPEC,...]
  *                  [--benchmarks 'MM-*'] [--suite CBP4|CBP3|REC]
  *                  [--recorded DIR] [--branches N] [--jobs N]
- *                  [--json FILE]
+ *                  [--json FILE] [--metrics FILE] [--phase-interval N]
+ *                  [--timing FILE]
  *       Expand the parameter space (grid by default, seeded random
  *       sampling with --sample) and evaluate every point over the
  *       selected benchmarks, journaling each (benchmark, point) cell to
  *       FILE.  Rerunning with the same journal resumes: journaled cells
  *       are never re-simulated, and the final journal bytes are
  *       identical whatever the worker count or interruption history.
+ *       --metrics exports per-cell predictor internals as JSON (cells
+ *       resumed from the journal stay empty), --phase-interval adds a
+ *       phase-sliced series per cell, and --timing writes a wall-clock
+ *       sidecar CSV — all three stay out of the fingerprinted journal.
  *
  *   explorer pareto --journal FILE [--suite S] [--csv | --json]
  *       Aggregate a sweep journal per point (mean MPKI over the suite)
@@ -42,6 +47,7 @@
 #include <iostream>
 
 #include "src/dse/param_space.hh"
+#include "src/obs/metrics.hh"
 #include "src/dse/pareto.hh"
 #include "src/dse/sweep.hh"
 #include "src/predictors/zoo.hh"
@@ -66,6 +72,8 @@ usage()
                  " GLOBS] [--suite S] [--recorded DIR]\n"
               << "                      [--branches N] [--jobs N]"
                  " [--json FILE]\n"
+              << "                      [--metrics FILE]"
+                 " [--phase-interval N] [--timing FILE]\n"
               << "       explorer pareto --journal FILE [--suite S]"
                  " [--csv | --json]\n";
     return 1;
@@ -219,6 +227,27 @@ cmdSweep(const CommandLine &cli)
                   << " points simulated\n";
     };
 
+    // Observation layer (off by default, inert when off): --metrics FILE
+    // exports per-cell predictor internals, --phase-interval N adds a
+    // phase series per cell, --timing FILE writes the wall-clock sidecar.
+    // None of these joins the fingerprinted journal.
+    obs::MetricsRegistry registry;
+    if (cli.has("metrics")) {
+        if (cli.has("phase-interval")) {
+            const std::int64_t n = cli.getInt("phase-interval");
+            if (n < 1)
+                throw std::runtime_error(
+                    "--phase-interval: need a branch interval >= 1");
+            registry.phaseInterval = static_cast<std::size_t>(n);
+        }
+        options.metrics = &registry;
+    } else if (cli.has("phase-interval")) {
+        throw std::runtime_error(
+            "--phase-interval requires --metrics FILE");
+    }
+    if (cli.has("timing"))
+        options.timingSidecarPath = cli.getString("timing");
+
     // Open the --json output before simulating: an unwritable path must
     // fail now, not after minutes of sweep (same rationale as the bare
     // --json guard above).  Write to a temp file and rename at the end
@@ -262,6 +291,17 @@ cmdSweep(const CommandLine &cli)
     std::cout << "journal: " << options.journalPath << " ("
               << results.cells.size() << " cells, "
               << results.simulatedCells << " simulated this run)\n";
+
+    if (cli.has("metrics")) {
+        const std::string path = cli.getString("metrics");
+        std::ofstream out(path, std::ios::binary);
+        if (!out)
+            throw std::runtime_error(
+                "--metrics: cannot open " + path + " for writing");
+        registry.writeJson(out);
+        if (!out)
+            throw std::runtime_error("--metrics: write failed on " + path);
+    }
 
     if (cli.has("json")) {
         std::ofstream &os = jsonOut;

@@ -7,15 +7,24 @@
  * Usage: predictor_shootout [--branches 150000]
  *                           [--benchmarks SPEC2K6-12,MM-4,WS04]
  *                           [--update-delay N | --pipeline]
+ *                           [--metrics FILE] [--phase-interval N]
  *
  * With --update-delay N the whole ladder runs on the speculative
  * pipeline engine (training at commit, N in-flight branches); delay 0 is
  * bit-identical to the default immediate engine, so the flag isolates
  * pure update-timing effects across predictor generations.
+ *
+ * --metrics exports per-(benchmark, rung) predictor-internals counters
+ * as JSON (src/obs/metrics.hh); --phase-interval adds a phase-sliced
+ * time series per cell.  Both are off by default and inert when off.
  */
 
+#include <fstream>
 #include <iostream>
+#include <memory>
 
+#include "src/obs/metrics.hh"
+#include "src/obs/phase_series.hh"
 #include "src/predictors/zoo.hh"
 #include "src/sim/simulator.hh"
 #include "src/sim/suite_runner.hh"
@@ -40,6 +49,25 @@ try {
     imli::SimOptions sim;
     imli::applyPipelineFlags(cli, sim);
 
+    // Observation layer: absent unless --metrics names a file, keeping
+    // the default run's inertness guarantee.  Cells are benchmark-major
+    // like the suite runner's, one per (benchmark, rung).
+    imli::obs::MetricsRegistry registry;
+    const bool wantMetrics = cli.has("metrics");
+    if (wantMetrics) {
+        if (cli.has("phase-interval")) {
+            const std::int64_t n = cli.getInt("phase-interval");
+            if (n < 1)
+                throw std::runtime_error(
+                    "--phase-interval: need a branch interval >= 1");
+            registry.phaseInterval = static_cast<std::size_t>(n);
+        }
+        registry.resize(benchmarks.size() * ladder.size());
+    } else if (cli.has("phase-interval")) {
+        throw std::runtime_error(
+            "--phase-interval requires --metrics FILE");
+    }
+
     imli::TableWriter table(
         sim.usePipeline()
             ? "MPKI by predictor generation (pipeline, update delay " +
@@ -49,22 +77,57 @@ try {
     header.insert(header.end(), ladder.begin(), ladder.end());
     table.setHeader(header);
 
-    for (const std::string &name : benchmarks) {
+    for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+        const std::string &name = benchmarks[b];
         // The whole ladder rides one streamed pass of the benchmark: the
         // branch stream is generated once and never materialized.
         std::vector<imli::PredictorPtr> predictors;
         for (const std::string &spec : ladder)
             predictors.push_back(imli::makePredictor(spec));
+        std::vector<imli::SimOptions> options(ladder.size(), sim);
+        if (wantMetrics) {
+            for (std::size_t c = 0; c < ladder.size(); ++c) {
+                imli::obs::CellObs &oc =
+                    registry.cell(b * ladder.size() + c);
+                oc.benchmark = name;
+                oc.config = ladder[c];
+                predictors[c]->attachProbes(oc.scope);
+                if (registry.phaseInterval > 0)
+                    oc.phase = std::make_unique<imli::obs::PhaseRecorder>(
+                        registry.phaseInterval, &oc.scope);
+                options[c].metrics = &oc.scope;
+                options[c].phase = oc.phase.get();
+            }
+        }
         imli::GeneratorBranchSource source(imli::findBenchmark(name),
                                            branches);
         const std::vector<imli::SimResult> results =
-            imli::simulateMany(predictors, source, sim);
+            imli::simulateMany(predictors, source, options);
+        if (wantMetrics) {
+            for (std::size_t c = 0; c < ladder.size(); ++c) {
+                imli::obs::CellObs &oc =
+                    registry.cell(b * ladder.size() + c);
+                if (oc.phase)
+                    oc.phase->finish();
+            }
+        }
         std::vector<std::string> row = {name};
         for (const imli::SimResult &r : results)
             row.push_back(imli::formatDouble(r.mpki(), 3));
         table.addRow(row);
     }
     table.print(std::cout);
+
+    if (wantMetrics) {
+        const std::string path = cli.getString("metrics");
+        std::ofstream out(path, std::ios::binary);
+        if (!out)
+            throw std::runtime_error(
+                "--metrics: cannot open " + path + " for writing");
+        registry.writeJson(out);
+        if (!out)
+            throw std::runtime_error("--metrics: write failed on " + path);
+    }
 
     std::cout << "\nStorage budgets:\n";
     for (const std::string &spec : ladder) {

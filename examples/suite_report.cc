@@ -26,14 +26,29 @@
  *                      records, 0..64; a pure throughput knob — results
  *                      are bit-identical at any value.  Per-config via
  *                      the sim.prefetch spec key)
+ *                     [--metrics FILE]  (export predictor-internals
+ *                      metrics as JSON; see src/obs/metrics.hh.  Off by
+ *                      default and provably inert when off: prediction
+ *                      output is byte-identical either way)
+ *                     [--phase-interval N]  (with --metrics: record a
+ *                      phase-sliced time series every N branches)
+ *                     [--trace-events FILE]  (pipeline engine only, one
+ *                      benchmark x one config: Chrome trace-event JSON
+ *                      of fetch/predict/commit/squash, loadable in
+ *                      Perfetto / chrome://tracing)
+ *                     [--progress]  (per-benchmark heartbeat on stderr)
  *
  * Configs may carry design-space overrides ("tage-gsc@sic.logsize=10");
  * see src/predictors/zoo.hh for the grammar and `explorer` for sweeps.
  */
 
-#include <chrono>
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <mutex>
 
+#include "src/obs/metrics.hh"
+#include "src/obs/trace_event.hh"
 #include "src/predictors/zoo.hh"
 #include "src/sim/report.hh"
 #include "src/sim/suite_runner.hh"
@@ -121,12 +136,80 @@ try {
     // results are bit-identical at any value).
     applyPrefetchFlag(cli, options.sim);
 
-    const auto start = std::chrono::steady_clock::now();
+    // Observation layer: entirely absent unless requested, so the default
+    // path keeps its inertness guarantee (no registry, no probes).
+    obs::MetricsRegistry registry;
+    if (cli.has("metrics")) {
+        if (cli.has("phase-interval")) {
+            const std::int64_t n = cli.getInt("phase-interval");
+            if (n < 1)
+                throw std::runtime_error(
+                    "--phase-interval: need a branch interval >= 1");
+            registry.phaseInterval = static_cast<std::size_t>(n);
+        }
+        options.metrics = &registry;
+    } else if (cli.has("phase-interval")) {
+        throw std::runtime_error(
+            "--phase-interval requires --metrics FILE");
+    }
+
+    std::ofstream traceFile;
+    std::unique_ptr<obs::TraceEventWriter> traceWriter;
+    if (cli.has("trace-events")) {
+        // One stream, one cell: interleaved cells would share the writer,
+        // and the immediate engine emits no events at all.
+        if (!options.sim.usePipeline())
+            throw std::runtime_error(
+                "--trace-events requires the pipeline engine "
+                "(--pipeline or --update-delay N)");
+        if (benchmarks.size() != 1 || configs.size() != 1)
+            throw std::runtime_error(
+                "--trace-events requires exactly one benchmark and one "
+                "config (got " + std::to_string(benchmarks.size()) +
+                " benchmarks x " + std::to_string(configs.size()) +
+                " configs)");
+        const std::string path = cli.getString("trace-events");
+        traceFile.open(path, std::ios::binary);
+        if (!traceFile)
+            throw std::runtime_error(
+                "--trace-events: cannot open " + path + " for writing");
+        traceWriter = std::make_unique<obs::TraceEventWriter>(traceFile);
+        options.traceEvents = traceWriter.get();
+    }
+
+    cli.rejectValuedBool("progress");
+    std::size_t heartbeatDone = 0;
+    std::mutex heartbeatMutex; // progress fires from worker threads
+    if (cli.getBool("progress")) {
+        const std::size_t totalCells = benchmarks.size() * configs.size();
+        options.progress = [&, totalCells](const std::string &name,
+                                           std::size_t) {
+            std::lock_guard<std::mutex> lock(heartbeatMutex);
+            ++heartbeatDone;
+            std::cerr << "[suite_report] " << heartbeatDone << "/"
+                      << totalCells << " cells (" << name << ")\n";
+        };
+    }
+
     const SuiteResults results = runSuite(benchmarks, configs, options);
-    const double seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-            .count();
+
+    if (traceWriter) {
+        traceWriter->close();
+        if (!traceFile)
+            throw std::runtime_error(
+                "--trace-events: write failed on " +
+                cli.getString("trace-events"));
+    }
+    if (cli.has("metrics")) {
+        const std::string path = cli.getString("metrics");
+        std::ofstream out(path, std::ios::binary);
+        if (!out)
+            throw std::runtime_error(
+                "--metrics: cannot open " + path + " for writing");
+        registry.writeJson(out);
+        if (!out)
+            throw std::runtime_error("--metrics: write failed on " + path);
+    }
 
     if (cli.getBool("csv")) {
         printCellsCsv(std::cout, results);
@@ -139,7 +222,7 @@ try {
 
     printPerBenchmark(std::cout, results, results.benchmarkNames(), configs,
                       "Per-benchmark MPKI");
-    printRunSummary(std::cout, results, seconds, options.jobs);
+    printRunSummary(std::cout, results, options.jobs);
 
     bool has_recorded = false;
     for (const BenchmarkSpec &b : benchmarks)

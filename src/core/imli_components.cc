@@ -35,11 +35,23 @@ ImliComponents::onResolved(std::uint64_t pc, std::uint64_t target,
     // resolves within the iteration it was fetched in, even when it is
     // itself the backward branch that advances the counter.
     const unsigned imli_before = imliCount.value();
+    obsCount.record(imli_before);
     if (cfg.enableOh)
         outer.write(pc, imli_before, taken);
     imliCount.onConditionalBranch(pc, target, taken);
     if (cfg.enableOmli)
         omliCount.onConditionalBranch(pc, target, taken, imli_before);
+}
+
+void
+ImliComponents::attachProbes(obs::MetricsScope &scope)
+{
+    // Counter values span [0, 2^counterBits); log2(v+1) lands the top
+    // value in bucket counterBits, so counterBits + 1 buckets cover the
+    // range with no overflow folding.
+    obsCount.sink = scope.histogram("imli/count",
+                                    obs::Histogram::Kind::Log2,
+                                    cfg.counterBits + 1);
 }
 
 void

@@ -22,6 +22,7 @@
 #include "src/core/imli_outer_history.hh"
 #include "src/core/imli_sic.hh"
 #include "src/core/omli.hh"
+#include "src/obs/metrics.hh"
 #include "src/predictors/sc_component.hh"
 
 namespace imli
@@ -105,6 +106,13 @@ class ImliComponents
      */
     void accountAll(StorageAccount &acct) const;
 
+    /**
+     * Resolve the IMLI counter-value histogram probe (log2 buckets, one
+     * sample per resolved conditional — the distribution of inner-loop
+     * iteration depths the counter actually saw).
+     */
+    void attachProbes(obs::MetricsScope &scope);
+
     const ImliCounter &counter() const { return imliCount; }
     const OmliCounter &omliCounter() const { return omliCount; }
     ImliOuterHistory &outerHistory() { return outer; }
@@ -118,6 +126,8 @@ class ImliComponents
     ImliSic sic;
     ImliOh oh;
     OmliSic omliSic;
+
+    obs::ProbeHistogram obsCount;
 };
 
 } // namespace imli

@@ -1,6 +1,7 @@
 #include "src/dse/sweep.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -10,8 +11,11 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "src/obs/metrics.hh"
+#include "src/obs/phase_series.hh"
 #include "src/predictors/zoo.hh"
 #include "src/util/cli.hh"
+#include "src/util/table_writer.hh"
 #include "src/util/thread_pool.hh"
 
 namespace imli
@@ -374,6 +378,14 @@ runSweep(const std::vector<BenchmarkSpec> &benchmarks,
             if (!done[b * npoints + p])
                 pendingByBench[b].push_back(p);
 
+    // Per-cell observation slots (journal order) and the per-benchmark
+    // timing shards, both sized before the fan-out so workers only ever
+    // write their own fixed indices.
+    if (options.metrics != nullptr)
+        options.metrics->resize(nbench * npoints);
+    std::vector<double> benchSeconds(nbench, 0.0);
+    std::vector<std::uint64_t> benchConditionals(nbench, 0);
+
     const auto runBenchmark = [&](std::size_t b) {
         const std::vector<std::size_t> &pending = pendingByBench[b];
         if (pending.empty()) {
@@ -395,10 +407,43 @@ runSweep(const std::vector<BenchmarkSpec> &benchmarks,
             simOptions.push_back(applySpecDelay(parsedPoints[p],
                                                 options.sim));
         }
+        // Probe wiring, before the first predict: each cell's slot lives
+        // at its journal index, owned by this worker alone.
+        if (options.metrics != nullptr) {
+            for (std::size_t i = 0; i < pending.size(); ++i) {
+                obs::CellObs &oc =
+                    options.metrics->cell(b * npoints + pending[i]);
+                oc.benchmark = benchmarks[b].name;
+                oc.config = results.points[pending[i]];
+                predictors[i]->attachProbes(oc.scope);
+                if (options.metrics->phaseInterval > 0)
+                    oc.phase = std::make_unique<obs::PhaseRecorder>(
+                        options.metrics->phaseInterval, &oc.scope);
+                simOptions[i].metrics = &oc.scope;
+                simOptions[i].phase = oc.phase.get();
+            }
+        }
+
+        const auto start = std::chrono::steady_clock::now();
         const std::unique_ptr<BranchSource> source = makeBranchSource(
             benchmarks[b], options.branchesPerTrace, options.chunkBranches);
         const std::vector<SimResult> simmed =
             simulateMany(predictors, *source, simOptions);
+        const double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        benchSeconds[b] = elapsed;
+        benchConditionals[b] = simmed[0].conditionals;
+        if (options.metrics != nullptr) {
+            for (std::size_t i = 0; i < pending.size(); ++i) {
+                obs::CellObs &oc =
+                    options.metrics->cell(b * npoints + pending[i]);
+                oc.wallSeconds = elapsed;
+                if (oc.phase != nullptr)
+                    oc.phase->finish();
+            }
+        }
 
         std::lock_guard<std::mutex> lock(journalMutex);
         for (std::size_t i = 0; i < pending.size(); ++i) {
@@ -436,6 +481,35 @@ runSweep(const std::vector<BenchmarkSpec> &benchmarks,
 
     // ---- Canonical rewrite: deterministic bytes whatever the history ---
     rewriteJournal(options.journalPath, meta, rows);
+
+    // ---- Timing sidecar: scheduling data, kept OUT of the journal ------
+    // One row per benchmark simulated this run, declared order.  Values
+    // are wall time, so the file is not reproducible — which is exactly
+    // why it never joins the fingerprinted journal.
+    if (!options.timingSidecarPath.empty()) {
+        std::ofstream timing(options.timingSidecarPath,
+                             std::ios::binary | std::ios::trunc);
+        if (!timing)
+            throw std::runtime_error("cannot write sweep timing sidecar: " +
+                                     options.timingSidecarPath);
+        timing << "benchmark,seconds,branches_per_sec\n";
+        for (std::size_t b = 0; b < nbench; ++b) {
+            if (pendingByBench[b].empty())
+                continue; // resumed from the journal: no timing this run
+            const double bps =
+                benchSeconds[b] > 0.0
+                    ? static_cast<double>(benchConditionals[b]) /
+                          benchSeconds[b]
+                    : 0.0;
+            timing << benchmarks[b].name << ','
+                   << formatDouble(benchSeconds[b], 3) << ','
+                   << formatDouble(bps, 0) << '\n';
+        }
+        timing.flush();
+        if (!timing)
+            throw std::runtime_error("write failed on sweep timing "
+                                     "sidecar: " + options.timingSidecarPath);
+    }
 
     results.cells = std::move(parsed);
     return results;

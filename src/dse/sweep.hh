@@ -42,6 +42,11 @@
 namespace imli
 {
 
+namespace obs
+{
+class MetricsRegistry;
+} // namespace obs
+
 /** One (benchmark, config point) measurement of a sweep. */
 struct SweepCell
 {
@@ -79,6 +84,25 @@ struct SweepOptions
     std::string journalPath;
     /** Called per finished benchmark task: (name, points simulated). */
     std::function<void(const std::string &, std::size_t)> progress;
+    /**
+     * Observation registry (null = metrics off, the default).  When set,
+     * runSweep sizes one CellObs slot per (benchmark, point) cell at
+     * index b * npoints + p — the journal's benchmark-major order — and
+     * attaches probes for every cell simulated THIS run.  Cells resumed
+     * from the journal keep empty slots: their internals were observed
+     * (or not) by the run that simulated them.  Never part of the
+     * journal fingerprint — a journal recorded without metrics resumes
+     * under a registry and vice versa (inertness is tested).
+     */
+    obs::MetricsRegistry *metrics = nullptr;
+    /**
+     * Optional timing-sidecar CSV path ("benchmark,seconds,
+     * branches_per_sec", one row per benchmark simulated this run, in
+     * declared order).  Written after the canonical journal rewrite and
+     * deliberately NOT part of the journal or its fingerprint: wall
+     * time is scheduling, not results.
+     */
+    std::string timingSidecarPath;
 };
 
 /** Results of a sweep: declared orders plus the full cell matrix. */

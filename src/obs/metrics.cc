@@ -1,0 +1,156 @@
+#include "src/obs/metrics.hh"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "src/obs/phase_series.hh"
+#include "src/util/table_writer.hh"
+
+namespace imli
+{
+namespace obs
+{
+
+std::string
+MetricsScope::qualify(const std::string &name) const
+{
+    if (prefixes_.empty())
+        return name;
+    std::string full;
+    for (const std::string &p : prefixes_)
+        full += p;
+    full += name;
+    return full;
+}
+
+std::uint64_t *
+MetricsScope::counter(const std::string &name)
+{
+    return &counters_[qualify(name)];
+}
+
+Histogram *
+MetricsScope::histogram(const std::string &name, Histogram::Kind kind,
+                        std::size_t buckets)
+{
+    const std::string full = qualify(name);
+    auto it = histograms_.find(full);
+    if (it == histograms_.end()) {
+        it = histograms_.emplace(full, Histogram(kind, buckets)).first;
+    } else if (it->second.kind() != kind ||
+               it->second.buckets().size() != buckets) {
+        throw std::invalid_argument(
+            "metrics: histogram \"" + full +
+            "\" re-registered with a different shape");
+    }
+    return &it->second;
+}
+
+void
+MetricsScope::setGauge(const std::string &name, double value)
+{
+    gauges_[qualify(name)] = value;
+}
+
+void
+MetricsScope::pushPrefix(const std::string &prefix)
+{
+    prefixes_.push_back(prefix);
+}
+
+void
+MetricsScope::popPrefix()
+{
+    if (prefixes_.empty())
+        throw std::logic_error("metrics: popPrefix without pushPrefix");
+    prefixes_.pop_back();
+}
+
+std::uint64_t
+MetricsScope::counterValue(const std::string &name) const
+{
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+void
+MetricsScope::writeJson(std::ostream &os, const std::string &indent) const
+{
+    os << indent << "\"counters\": {";
+    bool first = true;
+    for (const auto &[name, value] : counters_) {
+        os << (first ? "" : ", ") << '"' << jsonEscape(name)
+           << "\": " << value;
+        first = false;
+    }
+    os << "},\n" << indent << "\"histograms\": {";
+    first = true;
+    for (const auto &[name, hist] : histograms_) {
+        os << (first ? "" : ", ") << '"' << jsonEscape(name)
+           << "\": {\"kind\": \""
+           << (hist.kind() == Histogram::Kind::Linear ? "linear" : "log2")
+           << "\", \"buckets\": [";
+        for (std::size_t b = 0; b < hist.buckets().size(); ++b)
+            os << (b > 0 ? ", " : "") << hist.buckets()[b];
+        os << "]}";
+        first = false;
+    }
+    os << "},\n" << indent << "\"gauges\": {";
+    first = true;
+    for (const auto &[name, value] : gauges_) {
+        os << (first ? "" : ", ") << '"' << jsonEscape(name)
+           << "\": " << formatDouble(value, 4);
+        first = false;
+    }
+    os << '}';
+}
+
+CellObs::CellObs() = default;
+CellObs::CellObs(CellObs &&) noexcept = default;
+CellObs &CellObs::operator=(CellObs &&) noexcept = default;
+CellObs::~CellObs() = default;
+
+void
+MetricsRegistry::setGauge(const std::string &name, double value)
+{
+    gauges_[name] = value;
+}
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    os << "{\n  \"schema\": \"imli-metrics-1\",\n  \"phase_interval\": "
+       << phaseInterval << ",\n  \"gauges\": {";
+    bool first = true;
+    for (const auto &[name, value] : gauges_) {
+        os << (first ? "" : ", ") << '"' << jsonEscape(name)
+           << "\": " << formatDouble(value, 4);
+        first = false;
+    }
+    os << "},\n  \"cells\": [\n";
+    bool firstCell = true;
+    for (const CellObs &cell : cells_) {
+        // A slot left empty (resumed sweep cell, benchmark that never
+        // ran) is skipped, keeping the document to what was observed.
+        if (cell.benchmark.empty() && cell.scope.empty())
+            continue;
+        if (!firstCell)
+            os << ",\n";
+        firstCell = false;
+        os << "    {\n      \"benchmark\": \"" << jsonEscape(cell.benchmark)
+           << "\",\n      \"config\": \"" << jsonEscape(cell.config)
+           << "\",\n      \"wall_seconds\": "
+           << formatDouble(cell.wallSeconds, 3) << ",\n";
+        cell.scope.writeJson(os, "      ");
+        os << ",\n      \"phases\": ";
+        if (cell.phase != nullptr)
+            cell.phase->writeJson(os, "      ");
+        else
+            os << "[]";
+        os << "\n    }";
+    }
+    os << "\n  ]\n}\n";
+}
+
+} // namespace obs
+} // namespace imli

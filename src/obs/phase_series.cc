@@ -1,0 +1,123 @@
+#include "src/obs/phase_series.hh"
+
+#include <ostream>
+#include <set>
+
+#include "src/obs/metrics.hh"
+#include "src/util/table_writer.hh"
+
+namespace imli
+{
+namespace obs
+{
+
+PhaseRecorder::PhaseRecorder(std::uint64_t interval,
+                             const MetricsScope *scope)
+    : interval_(interval == 0 ? 1 : interval), scope_(scope)
+{
+    snapshot(baseline_);
+}
+
+void
+PhaseRecorder::snapshot(std::map<std::string, std::uint64_t> &out) const
+{
+    out.clear();
+    if (scope_ != nullptr)
+        out = scope_->counters();
+}
+
+void
+PhaseRecorder::closeWindow()
+{
+    if (scope_ != nullptr) {
+        std::map<std::string, std::uint64_t> now;
+        snapshot(now);
+        for (const auto &[name, value] : now) {
+            const auto base = baseline_.find(name);
+            const std::uint64_t before =
+                base == baseline_.end() ? 0 : base->second;
+            current_.counterDeltas[name] = value - before;
+        }
+        baseline_ = std::move(now);
+    }
+    windows_.push_back(std::move(current_));
+    current_ = PhaseWindow();
+}
+
+void
+PhaseRecorder::onRecord(bool conditional, bool mispredicted,
+                        std::uint64_t instructions)
+{
+    current_.instructions += instructions;
+    if (!conditional)
+        return;
+    ++current_.branches;
+    if (mispredicted)
+        ++current_.mispredictions;
+    if (current_.branches >= interval_)
+        closeWindow();
+}
+
+void
+PhaseRecorder::finish()
+{
+    if (current_.branches > 0 || current_.instructions > 0)
+        closeWindow();
+}
+
+void
+PhaseRecorder::writeJson(std::ostream &os, const std::string &indent) const
+{
+    os << '[';
+    for (std::size_t w = 0; w < windows_.size(); ++w) {
+        const PhaseWindow &win = windows_[w];
+        os << (w > 0 ? "," : "") << '\n'
+           << indent << "  {\"window\": " << w
+           << ", \"branches\": " << win.branches
+           << ", \"mispredictions\": " << win.mispredictions
+           << ", \"instructions\": " << win.instructions
+           << ", \"mpki\": " << formatDouble(win.mpki(), 3)
+           << ", \"accuracy\": " << formatDouble(win.accuracy(), 4)
+           << ", \"counter_deltas\": {";
+        bool first = true;
+        for (const auto &[name, delta] : win.counterDeltas) {
+            os << (first ? "" : ", ") << '"' << jsonEscape(name)
+               << "\": " << delta;
+            first = false;
+        }
+        os << "}}";
+    }
+    if (!windows_.empty())
+        os << '\n' << indent;
+    os << ']';
+}
+
+void
+PhaseRecorder::writeCsv(std::ostream &os) const
+{
+    std::set<std::string> names;
+    for (const PhaseWindow &win : windows_)
+        for (const auto &[name, delta] : win.counterDeltas) {
+            (void)delta;
+            names.insert(name);
+        }
+    os << "window,branches,mispredictions,instructions,mpki,accuracy";
+    for (const std::string &name : names)
+        os << ",delta:" << name;
+    os << '\n';
+    for (std::size_t w = 0; w < windows_.size(); ++w) {
+        const PhaseWindow &win = windows_[w];
+        os << w << ',' << win.branches << ',' << win.mispredictions << ','
+           << win.instructions << ',' << formatDouble(win.mpki(), 3) << ','
+           << formatDouble(win.accuracy(), 4);
+        for (const std::string &name : names) {
+            const auto it = win.counterDeltas.find(name);
+            os << ','
+               << (it == win.counterDeltas.end() ? 0 : it->second);
+        }
+        os << '\n';
+    }
+}
+
+} // namespace obs
+} // namespace imli

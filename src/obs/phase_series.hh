@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Phase-sliced time series: windowed MPKI / accuracy / provider-mix
+ * every N branches, per (benchmark, config) cell.
+ *
+ * A PhaseRecorder is fed from the simulator's grading loop (one call
+ * per committed record) and closes a window each time the configured
+ * number of conditional branches has been graded.  At window close it
+ * snapshots the attached MetricsScope's counters and stores the deltas,
+ * so the provider mix (or any other probe) is available per phase
+ * without any extra hot-path work beyond what the probes already do.
+ *
+ * Like everything in src/obs, this is off by default: the simulator
+ * only calls onRecord() through a nullable pointer held in SimOptions.
+ */
+
+#ifndef IMLI_SRC_OBS_PHASE_SERIES_HH
+#define IMLI_SRC_OBS_PHASE_SERIES_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace imli
+{
+namespace obs
+{
+
+class MetricsScope;
+
+/** One closed phase window. */
+struct PhaseWindow
+{
+    std::uint64_t branches = 0;       ///< graded conditional branches
+    std::uint64_t mispredictions = 0; ///< mispredicted conditionals
+    std::uint64_t instructions = 0;   ///< instructions covered
+    /// Delta of every scope counter over this window (sorted by name).
+    std::map<std::string, std::uint64_t> counterDeltas;
+
+    double mpki() const
+    {
+        return instructions == 0
+                   ? 0.0
+                   : 1000.0 * static_cast<double>(mispredictions) /
+                         static_cast<double>(instructions);
+    }
+
+    double accuracy() const
+    {
+        return branches == 0
+                   ? 0.0
+                   : 1.0 - static_cast<double>(mispredictions) /
+                               static_cast<double>(branches);
+    }
+};
+
+/**
+ * Accumulates grading events into fixed-width windows of @p interval
+ * conditional branches.  @p scope may be null (no counter deltas are
+ * recorded then); when set, it must outlive the recorder.
+ */
+class PhaseRecorder
+{
+  public:
+    PhaseRecorder(std::uint64_t interval, const MetricsScope *scope);
+
+    /**
+     * One committed record.  @p conditional says whether the record was
+     * a graded conditional branch, @p mispredicted whether it was
+     * mispredicted (only meaningful when @p conditional), and
+     * @p instructions how many instructions the record accounts for.
+     */
+    void onRecord(bool conditional, bool mispredicted,
+                  std::uint64_t instructions);
+
+    /** Close the final partial window (no-op when it is empty). */
+    void finish();
+
+    std::uint64_t interval() const { return interval_; }
+    const std::vector<PhaseWindow> &windows() const { return windows_; }
+
+    /** Byte-stable JSON array of windows; @p indent as in MetricsScope. */
+    void writeJson(std::ostream &os, const std::string &indent) const;
+
+    /**
+     * CSV export: header
+     * `window,branches,mispredictions,instructions,mpki,accuracy` plus
+     * one `delta:<name>` column per counter seen in any window.
+     */
+    void writeCsv(std::ostream &os) const;
+
+  private:
+    void closeWindow();
+    void snapshot(std::map<std::string, std::uint64_t> &out) const;
+
+    std::uint64_t interval_;
+    const MetricsScope *scope_;
+    std::vector<PhaseWindow> windows_;
+    PhaseWindow current_;
+    std::map<std::string, std::uint64_t> baseline_;
+};
+
+} // namespace obs
+} // namespace imli
+
+#endif // IMLI_SRC_OBS_PHASE_SERIES_HH

@@ -1,0 +1,26 @@
+#include "src/obs/trace_event.hh"
+
+#include "src/util/table_writer.hh"
+
+namespace imli
+{
+namespace obs
+{
+
+void
+TraceEventWriter::emit(const std::string &name, const std::string &args)
+{
+    if (closed_)
+        return;
+    if (events_ > 0)
+        os_ << ",\n";
+    os_ << "{\"name\": \"" << jsonEscape(name)
+        << "\", \"ph\": \"X\", \"ts\": " << ts_
+        << ", \"dur\": 1, \"pid\": 0, \"tid\": 0, \"args\": {" << args
+        << "}}";
+    ++ts_;
+    ++events_;
+}
+
+} // namespace obs
+} // namespace imli

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Chrome trace-event JSON export for the pipeline engine.
+ *
+ * Emits the "JSON Array Format" understood by Perfetto / chrome://tracing:
+ * a top-level array of complete ("ph":"X") events, each with a name,
+ * a timestamp, a duration, and free-form args.  Timestamps are VIRTUAL:
+ * a monotonic per-writer counter, one tick per event, so the output is
+ * deterministic run to run — the point is event ORDER and structure
+ * (fetch/predict/commit/squash/restore interleaving), not wall time.
+ *
+ * Off by default like the rest of src/obs: the pipeline only emits
+ * through a nullable pointer held in SimOptions.  Trace files grow with
+ * the trace length, so suite_report restricts --trace-events to a
+ * single (benchmark, config) cell.
+ */
+
+#ifndef IMLI_SRC_OBS_TRACE_EVENT_HH
+#define IMLI_SRC_OBS_TRACE_EVENT_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace imli
+{
+namespace obs
+{
+
+/**
+ * Streams a valid trace-event JSON array to @p os.  Events appear in
+ * emission order; close() (or destruction) terminates the array.
+ */
+class TraceEventWriter
+{
+  public:
+    explicit TraceEventWriter(std::ostream &os) : os_(os) { os_ << "[\n"; }
+    ~TraceEventWriter() { close(); }
+
+    TraceEventWriter(const TraceEventWriter &) = delete;
+    TraceEventWriter &operator=(const TraceEventWriter &) = delete;
+
+    /**
+     * One complete event.  @p name is the span name ("fetch", "commit",
+     * ...); @p args is either empty or a pre-rendered JSON object body
+     * (the caller formats `"pc": 4096, "taken": true` style pairs —
+     * keys in fixed order for byte stability).
+     */
+    void emit(const std::string &name, const std::string &args);
+
+    /** Number of events emitted so far. */
+    std::uint64_t events() const { return events_; }
+
+    /** Terminate the JSON array; idempotent. */
+    void close()
+    {
+        if (closed_)
+            return;
+        closed_ = true;
+        os_ << "\n]\n";
+    }
+
+  private:
+    std::ostream &os_;
+    std::uint64_t ts_ = 0;
+    std::uint64_t events_ = 0;
+    bool closed_ = false;
+};
+
+} // namespace obs
+} // namespace imli
+
+#endif // IMLI_SRC_OBS_TRACE_EVENT_HH

@@ -167,6 +167,18 @@ CompositeHost::trackOtherInst(std::uint64_t pc, BranchType type, bool taken,
     histMgr.push(true, pc);
 }
 
+void
+CompositeHost::attachProbes(obs::MetricsScope &scope)
+{
+    if (comp.enableImli)
+        imliComps.attachProbes(scope);
+    if (loopPred != nullptr)
+        loopPred->attachProbes(scope);
+    if (ittageLoop != nullptr)
+        ittageLoop->attachProbes(scope);
+    attachProbesHost(scope);
+}
+
 StorageAccount
 CompositeHost::storage() const
 {

@@ -112,6 +112,12 @@ class CompositeHost : public ConditionalPredictor
     std::string name() const override { return comp.configName; }
     StorageAccount storage() const final;
 
+    /**
+     * Shared-component probe registration (loop / ITTAGE-loop / IMLI),
+     * then the core's own probes via attachProbesHost().
+     */
+    void attachProbes(obs::MetricsScope &scope) final;
+
     /** IMLI state access for experiments (delay sweeps, checkpoints). */
     ImliComponents &imliState() { return imliComps; }
 
@@ -138,6 +144,13 @@ class CompositeHost : public ConditionalPredictor
 
     /** Core storage line items (appended before the component ledger). */
     virtual void accountHost(StorageAccount &acct) const = 0;
+
+    /** Core probe registration (the TAGE/SC probes live here).
+     *  Default: the core has nothing to observe. */
+    virtual void attachProbesHost(obs::MetricsScope &scope)
+    {
+        (void)scope;
+    }
 
     CompositeHostConfig comp;
     HistoryManager histMgr;

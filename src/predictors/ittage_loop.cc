@@ -168,11 +168,13 @@ IttageLoopPredictor::trainTagged(std::uint64_t pc,
         if (p.exitIter == observed_exit) {
             if (p.conf < 7)
                 ++p.conf;
+            obsConfUp.hit();
             // ITTAGE usefulness: the provider earned its entry only when
             // the alternate would have been wrong.
             if (paired.altExit != observed_exit && p.useful < 3)
                 ++p.useful;
         } else {
+            obsConfDown.hit();
             if (p.conf > 0) {
                 --p.conf;
             } else {
@@ -336,6 +338,13 @@ void
 IttageLoopPredictor::squashSpeculation()
 {
     journal.squash();
+}
+
+void
+IttageLoopPredictor::attachProbes(obs::MetricsScope &scope)
+{
+    obsConfUp.slot = scope.counter("itl/conf_up");
+    obsConfDown.slot = scope.counter("itl/conf_down");
 }
 
 void

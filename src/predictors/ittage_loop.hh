@@ -45,6 +45,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/metrics.hh"
 #include "src/predictors/bimodal.hh"
 #include "src/predictors/predictor.hh"
 #include "src/predictors/spec_journal.hh"
@@ -127,6 +128,9 @@ class IttageLoopPredictor
     /** Storage cost: base tracker + tagged tables + exit history. */
     void account(StorageAccount &acct, const std::string &name) const;
 
+    /** Resolve the tagged-provider confidence-transition probes. */
+    void attachProbes(obs::MetricsScope &scope);
+
     /** Debug digest of architectural + speculative-visible state. */
     std::uint64_t stateDigest() const;
 
@@ -180,6 +184,9 @@ class IttageLoopPredictor
     std::uint64_t exitHistory = 0;
     SpecJournal<SpecEvent> journal;
     std::uint32_t lfsr = 0xace1u;
+
+    obs::ProbeCounter obsConfUp;
+    obs::ProbeCounter obsConfDown;
 };
 
 /**
@@ -213,6 +220,11 @@ class IttageLoopStandalone : public ConditionalPredictor
                    std::uint64_t target) override;
     void squashSpeculation() override;
     std::uint64_t stateDigest() const override;
+
+    void attachProbes(obs::MetricsScope &scope) override
+    {
+        itl.attachProbes(scope);
+    }
 
     std::string name() const override { return "ITL"; }
     StorageAccount storage() const override;

@@ -109,6 +109,7 @@ LoopPredictor::update(std::uint64_t pc, bool taken, bool alloc,
         if (paired.valid && taken != paired.taken) {
             // Confident entry mispredicted: the loop is not regular any
             // more; free the entry.
+            obsConfReset.hit();
             e = Entry();
             return;
         }
@@ -132,9 +133,12 @@ LoopPredictor::update(std::uint64_t pc, bool taken, bool alloc,
             if (e.currentIter == e.nbIter) {
                 if (e.confid < conf_max)
                     ++e.confid;
+                obsConfUp.hit();
                 // Very short loops are better left to the main predictor.
-                if (e.nbIter < 3)
+                if (e.nbIter < 3) {
+                    obsConfReset.hit();
                     e = Entry();
+                }
             } else {
                 if (e.nbIter == 0) {
                     // First observed exit: learn the trip count.
@@ -142,6 +146,7 @@ LoopPredictor::update(std::uint64_t pc, bool taken, bool alloc,
                     e.nbIter = e.currentIter;
                 } else {
                     // Irregular trip count: free.
+                    obsConfReset.hit();
                     e = Entry();
                 }
             }
@@ -228,6 +233,13 @@ LoopPredictor::tripCount(std::uint64_t pc) const
     if (!confident)
         return std::nullopt;
     return e->nbIter;
+}
+
+void
+LoopPredictor::attachProbes(obs::MetricsScope &scope)
+{
+    obsConfUp.slot = scope.counter("loop/conf_up");
+    obsConfReset.slot = scope.counter("loop/conf_reset");
 }
 
 void

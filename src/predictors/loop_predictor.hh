@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/metrics.hh"
 #include "src/predictors/spec_journal.hh"
 #include "src/util/storage.hh"
 
@@ -121,6 +122,13 @@ class LoopPredictor
     void account(StorageAccount &acct, const std::string &name) const;
 
     /**
+     * Resolve the confidence-transition probes: conf_up (a regular exit
+     * strengthened an entry) and conf_reset (an entry was freed —
+     * confident mispredict, too-short loop, or irregular trip count).
+     */
+    void attachProbes(obs::MetricsScope &scope);
+
+    /**
      * Debug digest of architectural + speculative-visible state, for the
      * checkpoint/restore property tests (state equality, not just
      * prediction equality).
@@ -167,6 +175,9 @@ class LoopPredictor
     SpecJournal<SpecEvent> journal;
 
     std::uint32_t lfsr = 0xace1u;
+
+    obs::ProbeCounter obsConfUp;
+    obs::ProbeCounter obsConfReset;
 };
 
 } // namespace imli

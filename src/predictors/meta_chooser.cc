@@ -204,6 +204,11 @@ MetaChooserPredictor::update(std::uint64_t pc, bool taken,
                              std::uint64_t target)
 {
     const std::size_t entry = entryIndex(pc);
+    // Arm distribution: the followed sub for the selector policies; for
+    // Fusion there is no single arm, so bucket the fused direction.
+    obsArm.record(cfg.policy == Policy::Fusion
+                      ? (look.finalPred ? 1u : 0u)
+                      : static_cast<std::uint64_t>(look.chosen));
     switch (cfg.policy) {
     case Policy::Tournament:
         trainTournament(entry, taken);
@@ -332,6 +337,18 @@ MetaChooserPredictor::stateDigest() const
     for (const PredictorPtr &s : subs)
         digest = hashCombine(digest, s->stateDigest());
     return digest;
+}
+
+void
+MetaChooserPredictor::attachProbes(obs::MetricsScope &scope)
+{
+    obsArm.sink = scope.histogram("meta/arm", obs::Histogram::Kind::Linear,
+                                  kMaxSubs);
+    for (std::size_t i = 0; i < subs.size(); ++i) {
+        scope.pushPrefix("sub" + std::to_string(i) + "/");
+        subs[i]->attachProbes(scope);
+        scope.popPrefix();
+    }
 }
 
 StorageAccount

@@ -47,6 +47,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "src/obs/metrics.hh"
 #include "src/predictors/predictor.hh"
 
 namespace imli
@@ -97,6 +98,13 @@ class MetaChooserPredictor : public ConditionalPredictor
     void squashSpeculation() override;
     std::uint64_t stateDigest() const override;
 
+    /**
+     * Arm-selection histogram ("meta/arm": the followed sub index for
+     * the selector policies, the fused direction bucket for Fusion) plus
+     * each sub's own probes under a "subN/" prefix.
+     */
+    void attachProbes(obs::MetricsScope &scope) override;
+
     std::string name() const override { return cfg.configName; }
     StorageAccount storage() const override;
 
@@ -145,6 +153,8 @@ class MetaChooserPredictor : public ConditionalPredictor
     } look;
     static_assert(std::is_trivially_copyable_v<LookupState>,
                   "per-lookup state must stay heap-allocation-free");
+
+    obs::ProbeHistogram obsArm;
 };
 
 } // namespace imli

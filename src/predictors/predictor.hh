@@ -41,6 +41,11 @@
 namespace imli
 {
 
+namespace obs
+{
+class MetricsScope;
+} // namespace obs
+
 /**
  * Deepest in-flight window the speculation contract supports, in
  * branches.  Bounded by checkpoint recoverability: a restore walks the
@@ -212,6 +217,17 @@ class ConditionalPredictor
      * for predictors that do not participate.
      */
     virtual std::uint64_t stateDigest() const { return 0; }
+
+    /**
+     * Register this predictor's internal-event probes with @p scope
+     * (see src/obs/metrics.hh).  Called at most once, before the first
+     * predict(); never called when metrics are off, so a predictor that
+     * was never attached carries only detached (null) probes — the
+     * inertness guarantee.  Observation must never mutate predictor
+     * state: stateDigest() with probes attached equals stateDigest()
+     * without (pinned by test).  Default: nothing to observe.
+     */
+    virtual void attachProbes(obs::MetricsScope &scope) { (void)scope; }
 
     /** Short configuration name, e.g. "TAGE-GSC+I". */
     virtual std::string name() const = 0;

@@ -215,6 +215,16 @@ void
 StatisticalCorrector::train(const ScContext &ctx, bool taken,
                             const Decision &decision)
 {
+    // decide() leaves band at -1 on agreement, so the decision carries
+    // the full agree/disagree/revert classification.
+    if (decision.band < 0) {
+        obsAgree.hit();
+    } else {
+        obsDisagree.hit();
+        if (decision.reverted)
+            obsReverse.hit();
+    }
+
     // Band choosers learn whether the corrector wins disagreements.
     if (decision.band == 0 || decision.band == 1) {
         const unsigned ci = chooserIndex(ctx.pc);
@@ -233,6 +243,14 @@ StatisticalCorrector::train(const ScContext &ctx, bool taken,
     if (voting.onOutcome(sc_mispred, abs_sum))
         voting.trainAll(ctx, taken);
     voting.resolveAll(ctx, taken);
+}
+
+void
+StatisticalCorrector::attachProbes(obs::MetricsScope &scope)
+{
+    obsAgree.slot = scope.counter("sc/agree");
+    obsDisagree.slot = scope.counter("sc/disagree");
+    obsReverse.slot = scope.counter("sc/reverse");
 }
 
 void

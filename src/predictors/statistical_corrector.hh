@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/history/history_manager.hh"
+#include "src/obs/metrics.hh"
 #include "src/predictors/sc_component.hh"
 #include "src/util/arena.hh"
 #include "src/util/counters.hh"
@@ -153,6 +154,13 @@ class StatisticalCorrector
 
     void account(StorageAccount &acct) const;
 
+    /**
+     * Resolve the corrector probes: agree (sum confirmed TAGE),
+     * disagree, and reverse (disagreement that actually overturned the
+     * TAGE prediction).  Fire in train(), once per resolved branch.
+     */
+    void attachProbes(obs::MetricsScope &scope);
+
     const VotingEngine &engine() const { return voting; }
 
     /** Chooser counter values for @p pc, exposed for tests. */
@@ -173,6 +181,10 @@ class StatisticalCorrector
      */
     std::vector<std::int8_t> firstH;  //!< weak-disagreement band
     std::vector<std::int8_t> secondH; //!< medium-disagreement band
+
+    obs::ProbeCounter obsAgree;
+    obs::ProbeCounter obsDisagree;
+    obs::ProbeCounter obsReverse;
 };
 
 } // namespace imli

@@ -183,6 +183,7 @@ TagePredictor::predict(std::uint64_t pc)
             look.providerNew && useAltOnNa[alt_sel] >= 0;
         pred.taken = prefer_alt ? look.altPred : look.providerPred;
         pred.usedAlt = prefer_alt;
+        look.usedAlt = prefer_alt;
 
         const int centered = 2 * e.ctr + 1;
         const int mag = centered < 0 ? -centered : centered;
@@ -205,6 +206,18 @@ TagePredictor::update(std::uint64_t pc, bool taken, bool final_pred)
     assert(pc == look.pc && "update() must pair with predict()");
 
     const bool tage_mispred = look.finalPred != taken;
+
+    // Resolution classification: which component's counter actually
+    // decided this branch.  usedAlt is only written on the provider
+    // path, which is the only path that reads it here.
+    if (look.provider >= 0) {
+        if (look.usedAlt)
+            obsAlt.hit();
+        else
+            obsProvider.hit();
+    } else {
+        obsBase.hit();
+    }
 
     // --- "use alt on newly allocated" arbitration -----------------------
     if (look.provider >= 0 && look.providerNew &&
@@ -249,11 +262,14 @@ TagePredictor::update(std::uint64_t pc, bool taken, bool final_pred)
         // the u bits are saturated and stale.
         const std::uint32_t tick_max = 1u << cfg.tickLogMax;
         if (allocated == 0) {
+            obsAllocFail.hit();
             tick = tick + blocked < tick_max ? tick + blocked : tick_max;
         } else {
+            obsAllocSuccess.hit();
             tick = tick > blocked ? tick - blocked : 0;
         }
         if (tick >= tick_max) {
+            obsUsefulReset.hit();
             // One linear pass over the whole arena (table-major, same
             // order as the old nested sweep) at streaming bandwidth.
             for (Entry &e : tables)
@@ -291,6 +307,17 @@ TagePredictor::update(std::uint64_t pc, bool taken, bool final_pred)
     } else {
         base.train(pc, taken);
     }
+}
+
+void
+TagePredictor::attachProbes(obs::MetricsScope &scope)
+{
+    obsProvider.slot = scope.counter("tage/resolved_provider");
+    obsAlt.slot = scope.counter("tage/resolved_alt");
+    obsBase.slot = scope.counter("tage/resolved_base");
+    obsAllocSuccess.slot = scope.counter("tage/alloc_success");
+    obsAllocFail.slot = scope.counter("tage/alloc_fail");
+    obsUsefulReset.slot = scope.counter("tage/useful_reset");
 }
 
 void

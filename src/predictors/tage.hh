@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "src/history/history_manager.hh"
+#include "src/obs/metrics.hh"
 #include "src/predictors/bimodal.hh"
 #include "src/util/arena.hh"
 #include "src/util/storage.hh"
@@ -120,6 +121,15 @@ class TagePredictor
 
     void account(StorageAccount &acct) const;
 
+    /**
+     * Resolve the TAGE probe set against @p scope: which component
+     * resolved each branch (provider counter / alternate / bimodal
+     * base), allocation success/fail, and useful-bit reset sweeps.
+     * Probes fire in update() only — the pipeline engine re-calls
+     * predict() at commit, so update() is the once-per-branch point.
+     */
+    void attachProbes(obs::MetricsScope &scope);
+
   private:
     struct Entry
     {
@@ -164,6 +174,7 @@ class TagePredictor
         bool altPred = false;
         bool finalPred = false;
         bool providerNew = false;
+        bool usedAlt = false;
         //!< per-table indices/tags this lookup — fixed-capacity inline
         //!< storage, so predict() never touches the heap
         std::array<unsigned, kMaxTables> indices{};
@@ -176,6 +187,15 @@ class TagePredictor
                   "per-lookup state must stay heap-allocation-free");
 
     std::uint32_t lfsr = 0xbeefu;
+
+    // Detached by default (null sinks): each is one never-taken branch
+    // on the update path until attachProbes() resolves it.
+    obs::ProbeCounter obsProvider;
+    obs::ProbeCounter obsAlt;
+    obs::ProbeCounter obsBase;
+    obs::ProbeCounter obsAllocSuccess;
+    obs::ProbeCounter obsAllocFail;
+    obs::ProbeCounter obsUsefulReset;
 };
 
 } // namespace imli

@@ -65,6 +65,12 @@ class TageGscPredictor : public CompositeHost
     void updateHost(std::uint64_t pc, bool taken, bool final_pred) override;
     void accountHost(StorageAccount &acct) const override;
 
+    void attachProbesHost(obs::MetricsScope &scope) override
+    {
+        tage.attachProbes(scope);
+        corrector.attachProbes(scope);
+    }
+
   private:
     Config cfg;
     TagePredictor tage;

@@ -1,7 +1,11 @@
 #include "src/sim/pipeline_simulator.hh"
 
 #include <stdexcept>
+#include <string>
 #include <vector>
+
+#include "src/obs/phase_series.hh"
+#include "src/obs/trace_event.hh"
 
 namespace imli
 {
@@ -23,6 +27,13 @@ PipelineSimulator::PipelineSimulator(ConditionalPredictor &predictor,
             " exceeds the supported window depth " +
             std::to_string(kMaxSpeculationDepth));
     pred.prepareSpeculation(opts.updateDelay + 1);
+    if (opts.metrics != nullptr) {
+        // One bucket per possible squash depth [0, window size], plus
+        // the clamp bucket the Linear kind always reserves.
+        obsSquashDepth.sink = opts.metrics->histogram(
+            "pipeline/squash_depth", obs::Histogram::Kind::Linear,
+            kMaxSpeculationDepth + 2);
+    }
 }
 
 void
@@ -32,10 +43,19 @@ PipelineSimulator::fetch(const BranchRecord &rec, std::uint64_t pos)
     entry.rec = rec;
     entry.pos = pos;
     entry.conditional = isConditional(rec.type);
+    if (opts.traceEvents != nullptr)
+        opts.traceEvents->emit("fetch",
+                               "\"pc\": " + std::to_string(rec.pc) +
+                                   ", \"pos\": " + std::to_string(pos));
     if (entry.conditional) {
         entry.pred = pred.predict(rec.pc);
         entry.cp = pred.checkpoint();
         pred.speculate(rec.pc, entry.pred, rec.target);
+        if (opts.traceEvents != nullptr)
+            opts.traceEvents->emit(
+                "predict", "\"pc\": " + std::to_string(rec.pc) +
+                               ", \"pred\": " +
+                               (entry.pred ? "true" : "false"));
     } else {
         // Non-conditional control flow shifts history at fetch, exactly
         // as in the immediate engine; it never mispredicts in this model,
@@ -67,8 +87,15 @@ PipelineSimulator::commitUntil(std::size_t target)
         if (!entry.conditional) {
             // No predictor state moves (trackOtherInst ran at fetch), so
             // the burst continues under the same hoisted front.
-            if (counted)
+            if (counted) {
                 simResult.instructions += entry.rec.instsBefore + 1;
+                if (opts.phase != nullptr)
+                    opts.phase->onRecord(false, false,
+                                         entry.rec.instsBefore + 1);
+            }
+            if (opts.traceEvents != nullptr)
+                opts.traceEvents->emit(
+                    "commit", "\"pc\": " + std::to_string(entry.rec.pc));
             continue;
         }
 
@@ -90,7 +117,18 @@ PipelineSimulator::commitUntil(std::size_t target)
                     ++simResult.perPcMispredictions[entry.rec.pc];
             }
             simResult.instructions += entry.rec.instsBefore + 1;
+            if (opts.phase != nullptr)
+                opts.phase->onRecord(true, entry.pred != entry.rec.taken,
+                                     entry.rec.instsBefore + 1);
         }
+        if (opts.traceEvents != nullptr)
+            opts.traceEvents->emit(
+                "commit",
+                "\"pc\": " + std::to_string(entry.rec.pc) +
+                    ", \"taken\": " +
+                    (entry.rec.taken ? "true" : "false") +
+                    ", \"mispredicted\": " +
+                    (entry.pred != entry.rec.taken ? "true" : "false"));
 
         if (entry.pred == entry.rec.taken) {
             // Correct: stay at the commit point.  The burst's next
@@ -110,6 +148,12 @@ PipelineSimulator::commitUntil(std::size_t target)
         have_front = false;
         ++pipeStats.squashes;
         pred.squashSpeculation();
+        obsSquashDepth.record(window.size());
+        if (opts.traceEvents != nullptr)
+            opts.traceEvents->emit(
+                "squash", "\"pc\": " + std::to_string(entry.rec.pc) +
+                              ", \"depth\": " +
+                              std::to_string(window.size()));
         std::vector<Inflight> shadow(window.begin(), window.end());
         window.clear();
         for (const Inflight &again : shadow) {
@@ -119,8 +163,11 @@ PipelineSimulator::commitUntil(std::size_t target)
     }
 
     // End of burst: return to the fetch front once, for the whole batch.
-    if (have_front)
+    if (have_front) {
         pred.restore(front);
+        if (opts.traceEvents != nullptr)
+            opts.traceEvents->emit("restore", "");
+    }
 }
 
 void

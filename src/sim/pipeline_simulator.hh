@@ -80,6 +80,7 @@
 #include <cstdint>
 #include <deque>
 
+#include "src/obs/metrics.hh"
 #include "src/predictors/predictor.hh"
 #include "src/sim/simulator.hh"
 #include "src/trace/branch_record.hh"
@@ -154,6 +155,10 @@ class PipelineSimulator
     std::uint64_t fetchPos = 0;
     SimResult simResult;
     PipelineStats pipeStats;
+
+    /** Squash-depth distribution (in-flight records dropped per squash);
+     *  detached unless SimOptions::metrics was set at construction. */
+    obs::ProbeHistogram obsSquashDepth;
 };
 
 } // namespace imli

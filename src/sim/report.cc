@@ -105,8 +105,9 @@ printCellsJson(std::ostream &os, const SuiteResults &results)
 
 void
 printRunSummary(std::ostream &os, const SuiteResults &results,
-                double wallSeconds, unsigned jobs)
+                unsigned jobs)
 {
+    const double wallSeconds = results.wallSeconds;
     std::uint64_t branches = 0;
     for (const SuiteCell &cell : results.cells)
         branches += cell.conditionals;

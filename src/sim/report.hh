@@ -76,10 +76,13 @@ void printCellsJson(std::ostream &os, const SuiteResults &results);
 
 /**
  * One-line wall-clock summary of a suite run: cell count, simulated
- * conditional branches, throughput and the worker count used.
+ * conditional branches, throughput and the worker count used.  Reads
+ * SuiteResults::wallSeconds — the elapsed time runSuite itself recorded
+ * — so the summary, the metrics export and the sweep sidecar all report
+ * the same measurement.
  */
 void printRunSummary(std::ostream &os, const SuiteResults &results,
-                     double wallSeconds, unsigned jobs);
+                     unsigned jobs);
 
 } // namespace imli
 

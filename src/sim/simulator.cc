@@ -4,6 +4,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "src/obs/phase_series.hh"
 #include "src/predictors/zoo.hh"
 #include "src/sim/pipeline_simulator.hh"
 
@@ -82,10 +83,15 @@ replayChunk(ConditionalPredictor &predictor, const BranchSpan &chunk,
                     if (options.collectPerPc)
                         ++result.perPcMispredictions[rec.pc];
                 }
+                if (options.phase != nullptr)
+                    options.phase->onRecord(true, pred != rec.taken,
+                                            rec.instsBefore + 1);
             }
         } else {
             predictor.trackOtherInst(rec.pc, rec.type, rec.taken,
                                      rec.target);
+            if (counted && options.phase != nullptr)
+                options.phase->onRecord(false, false, rec.instsBefore + 1);
         }
         if (counted)
             result.instructions += rec.instsBefore + 1;

@@ -29,6 +29,13 @@
 namespace imli
 {
 
+namespace obs
+{
+class MetricsScope;
+class PhaseRecorder;
+class TraceEventWriter;
+} // namespace obs
+
 /** Options for one simulation run. */
 struct SimOptions
 {
@@ -69,6 +76,21 @@ struct SimOptions
      * spec key.
      */
     unsigned prefetchLookahead = 0;
+
+    // ---- Observation hooks (src/obs; all null by default) --------------
+    // Each is a borrowed pointer owned by the caller; null means the
+    // corresponding observation is off, and the simulators then execute
+    // the exact instruction sequence of a build without src/obs — the
+    // inertness the 88-benchmark CSV identity protocol pins.
+
+    /** Per-cell metric scope: the pipeline engine registers its squash-
+     *  depth histogram here (predictor probes attach separately via
+     *  ConditionalPredictor::attachProbes). */
+    obs::MetricsScope *metrics = nullptr;
+    /** Phase-sliced time series fed from the grading loop. */
+    obs::PhaseRecorder *phase = nullptr;
+    /** Chrome trace-event stream (pipeline engine only). */
+    obs::TraceEventWriter *traceEvents = nullptr;
 
     /** True when simulation should use the pipeline engine. */
     bool usePipeline() const { return pipeline || updateDelay > 0; }

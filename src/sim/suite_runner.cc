@@ -1,6 +1,7 @@
 #include "src/sim/suite_runner.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <limits>
@@ -8,6 +9,8 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "src/obs/metrics.hh"
+#include "src/obs/phase_series.hh"
 #include "src/predictors/zoo.hh"
 #include "src/util/cli.hh"
 #include "src/util/thread_pool.hh"
@@ -109,7 +112,8 @@ namespace
 void
 runBenchmark(const BenchmarkSpec &spec,
              const std::vector<std::string> &configs,
-             const SuiteRunOptions &options, SuiteCell *cells)
+             const SuiteRunOptions &options, SuiteCell *cells,
+             obs::CellObs *obsSlice)
 {
     std::vector<PredictorPtr> predictors;
     std::vector<SimOptions> simOptions;
@@ -123,6 +127,28 @@ runBenchmark(const BenchmarkSpec &spec,
         simOptions.push_back(applySpecDelay(parsed, options.sim));
     }
 
+    // Observation wiring, before the first predict: each cell gets its
+    // own scope slot (lock-free — this worker owns the whole slice).
+    if (obsSlice != nullptr) {
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            obs::CellObs &oc = obsSlice[c];
+            oc.benchmark = spec.name;
+            oc.config = configs[c];
+            predictors[c]->attachProbes(oc.scope);
+            if (options.metrics->phaseInterval > 0)
+                oc.phase = std::make_unique<obs::PhaseRecorder>(
+                    options.metrics->phaseInterval, &oc.scope);
+            simOptions[c].metrics = &oc.scope;
+            simOptions[c].phase = oc.phase.get();
+            simOptions[c].traceEvents = options.traceEvents;
+        }
+    } else if (options.traceEvents != nullptr) {
+        for (SimOptions &so : simOptions)
+            so.traceEvents = options.traceEvents;
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+
     // The backend factory: generator for synthetic specs, streaming file
     // reader for recorded ones.  Either way the stream arrives chunk by
     // chunk, so the memory model below is backend-independent.
@@ -131,6 +157,11 @@ runBenchmark(const BenchmarkSpec &spec,
                          options.chunkBranches);
     const std::vector<SimResult> results =
         simulateMany(predictors, *source, simOptions);
+
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
 
     for (std::size_t c = 0; c < configs.size(); ++c) {
         SuiteCell &cell = cells[c];
@@ -141,6 +172,12 @@ runBenchmark(const BenchmarkSpec &spec,
         cell.mispredictions = results[c].mispredictions;
         cell.conditionals = results[c].conditionals;
         cell.instructions = results[c].instructions;
+        cell.seconds = elapsed;
+        if (obsSlice != nullptr) {
+            obsSlice[c].wallSeconds = elapsed;
+            if (obsSlice[c].phase != nullptr)
+                obsSlice[c].phase->finish();
+        }
     }
 }
 
@@ -164,6 +201,16 @@ runSuite(const std::vector<BenchmarkSpec> &benchmarks,
     const std::size_t nconfigs = configs.size();
     results.cells.resize(benchmarks.size() * nconfigs);
 
+    // Fixed per-cell observation slots, sized before the fan-out so no
+    // worker ever reallocates shared storage (see MetricsRegistry).
+    if (options.metrics != nullptr)
+        options.metrics->resize(benchmarks.size() * nconfigs);
+    const auto obsSlice = [&](std::size_t b) -> obs::CellObs * {
+        return options.metrics == nullptr
+                   ? nullptr
+                   : &options.metrics->cell(b * nconfigs);
+    };
+
     // The single-pass engine completes a benchmark's configs together, so
     // progress is reported per benchmark: configs-many calls in a row.
     const auto reportBenchmark = [&](const BenchmarkSpec &spec) {
@@ -174,13 +221,24 @@ runSuite(const std::vector<BenchmarkSpec> &benchmarks,
     if (benchmarks.empty())
         return results;
 
+    const auto runStart = std::chrono::steady_clock::now();
+    const auto finish = [&]() {
+        results.wallSeconds = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() -
+                                  runStart)
+                                  .count();
+    };
+
     if (jobs <= 1) {
         for (std::size_t b = 0; b < benchmarks.size(); ++b) {
             runBenchmark(benchmarks[b], configs, options,
-                         results.cells.data() + b * nconfigs);
+                         results.cells.data() + b * nconfigs, obsSlice(b));
             if (options.progress)
                 reportBenchmark(benchmarks[b]);
         }
+        if (options.metrics != nullptr)
+            options.metrics->setGauge("threadpool/queue_high_water", 0.0);
+        finish();
         return results;
     }
 
@@ -192,12 +250,17 @@ runSuite(const std::vector<BenchmarkSpec> &benchmarks,
         std::min<std::size_t>(jobs, benchmarks.size())));
     pool.parallelFor(benchmarks.size(), [&](std::size_t b) {
         runBenchmark(benchmarks[b], configs, options,
-                     results.cells.data() + b * nconfigs);
+                     results.cells.data() + b * nconfigs, obsSlice(b));
         if (options.progress) {
             std::lock_guard<std::mutex> lock(progressMutex);
             reportBenchmark(benchmarks[b]);
         }
     });
+    if (options.metrics != nullptr)
+        options.metrics->setGauge(
+            "threadpool/queue_high_water",
+            static_cast<double>(pool.queueHighWater()));
+    finish();
     return results;
 }
 

@@ -38,6 +38,11 @@
 namespace imli
 {
 
+namespace obs
+{
+class MetricsRegistry;
+} // namespace obs
+
 /** One (benchmark, config) measurement. */
 struct SuiteCell
 {
@@ -48,6 +53,15 @@ struct SuiteCell
     std::uint64_t mispredictions = 0;
     std::uint64_t conditionals = 0;
     std::uint64_t instructions = 0;
+    /**
+     * Wall-clock seconds of the single streamed pass that produced this
+     * cell (shared by the benchmark's configs — the engine finishes them
+     * together).  Timing only: NOT exported by the CSV/JSON cell
+     * printers (whose byte-stable schema is pinned) and never part of a
+     * journal fingerprint; printRunSummary, the metrics export and the
+     * sweep timing sidecar read it.
+     */
+    double seconds = 0.0;
 };
 
 /** Results matrix: cells in benchmark-major, config-minor order. */
@@ -55,6 +69,8 @@ struct SuiteResults
 {
     std::vector<std::string> configs;
     std::vector<SuiteCell> cells;
+    /** Wall-clock seconds of the whole run (measured inside runSuite). */
+    double wallSeconds = 0.0;
 
     /** Cell for (benchmark, config); throws if absent. */
     const SuiteCell &at(const std::string &benchmark,
@@ -118,6 +134,24 @@ struct SuiteRunOptions
      * from worker threads, and benchmarks may interleave.
      */
     std::function<void(const std::string &, std::size_t)> progress;
+
+    /**
+     * Observation registry (null = metrics off, the default).  When set,
+     * runSuite sizes one CellObs slot per (benchmark, config) cell —
+     * same benchmark-major order as SuiteResults::cells — attaches each
+     * cell predictor's probes to its slot's scope, fills per-cell wall
+     * time, and (when registry->phaseInterval > 0) records a phase
+     * series per cell.  Each worker writes only its own slots, so
+     * collection is lock-free and export order is deterministic.
+     */
+    obs::MetricsRegistry *metrics = nullptr;
+    /**
+     * Trace-event stream handed to every cell's simulation (pipeline
+     * engine only; the immediate engine emits no events).  Callers
+     * restrict runs to one cell before setting this — interleaved cells
+     * would share the one stream.
+     */
+    obs::TraceEventWriter *traceEvents = nullptr;
 };
 
 /**

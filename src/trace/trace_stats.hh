@@ -32,6 +32,26 @@ struct TraceStats
     std::uint64_t staticConditionals = 0;
     /** Dynamic counts per branch type. */
     std::map<BranchType, std::uint64_t> perType;
+    /**
+     * Conditional-branch direction entropy in bits: the binary entropy
+     * of each static conditional's taken rate, weighted by its dynamic
+     * execution count.  0 means every branch is perfectly biased (a
+     * bimodal table would be enough); 1 means directions look like coin
+     * flips per branch.  A rough predictability floor for the trace.
+     */
+    double conditionalEntropy = 0.0;
+    /**
+     * Loop-depth profile: dynamic count of taken backward conditionals
+     * executing at each loop-nesting depth (1 = outermost), inferred
+     * from nested backward-branch intervals and capped at
+     * kMaxLoopProfileDepth.  Synthetic kernels show their nesting
+     * signature here; a flat profile means loop predictors have little
+     * structure to latch onto.
+     */
+    std::map<unsigned, std::uint64_t> loopDepth;
+
+    /** Depth cap for the loop profile (and its inference stack). */
+    static constexpr unsigned kMaxLoopProfileDepth = 8;
 
     /** Fraction of conditional branches that are taken. */
     double takenRate() const;
