@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "src/corpus/trace_corpus.hh"
 #include "src/predictors/zoo.hh"
 #include "src/sim/report.hh"
 #include "src/sim/suite_runner.hh"
@@ -62,6 +63,18 @@ struct BenchArgs
         }
     }
 };
+
+/**
+ * The full generated suite plus, when --recorded DIR was given, the
+ * REC-01..REC-08 recorded scenarios — through the corpus layer, so every
+ * bench shares the one --recorded validation (and error message) of the
+ * suite CLIs.
+ */
+inline std::vector<BenchmarkSpec>
+suitePoolWithRecorded(const CommandLine &cli)
+{
+    return makeSuiteCorpus(cli.getString("recorded", "")).benchmarks();
+}
 
 /** Run @p configs over the full 80-benchmark suite. */
 inline SuiteResults

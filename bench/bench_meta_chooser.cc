@@ -69,14 +69,9 @@ main(int argc, char **argv)
         "meta(tage-gsc,gehl)@meta.policy=fusion",
     };
 
-    // The full generated suite, plus the recorded scenarios on request.
-    std::vector<BenchmarkSpec> pool = fullSuite();
-    if (cli.has("recorded")) {
-        std::vector<BenchmarkSpec> recorded =
-            recordedSuite(cli.getString("recorded"));
-        pool.insert(pool.end(), std::make_move_iterator(recorded.begin()),
-                    std::make_move_iterator(recorded.end()));
-    }
+    // The full generated suite, plus the recorded scenarios on request
+    // (the shared corpus-layer --recorded wiring).
+    const std::vector<BenchmarkSpec> pool = suitePoolWithRecorded(cli);
     SuiteRunOptions opt;
     opt.branchesPerTrace = args.branches;
     opt.jobs = args.jobs;

@@ -31,6 +31,21 @@
  *       Aggregate a sweep journal per point (mean MPKI over the suite)
  *       and print every point tagged frontier/dominated, frontier first.
  *
+ *   explorer plan  --journal FILE --shards N [sweep flags]
+ *   explorer shard --journal FILE --shards N --shard I [sweep flags]
+ *   explorer merge --journal FILE --shards N [sweep flags]
+ *       Process-level sweep orchestration (src/dse/sweep.hh): `plan`
+ *       prints the deterministic partition of the benchmark axis into N
+ *       contiguous shards, `shard` executes shard I into the journal
+ *       fragment FILE.shardI (resumable exactly like a sweep journal),
+ *       and `merge` validates the fragments and rewrites the canonical
+ *       journal — byte-identical to a single-process `sweep` of the same
+ *       flags.  Every subcommand takes the SAME grid/selection flags and
+ *       re-derives the same plan, so a driver script (or CI) fans the
+ *       shard commands out across worker processes and merges once all
+ *       have finished.  `sweep --shards N` runs the same plan -> shard
+ *       -> merge composition in one process.
+ *
  * Examples:
  *   explorer sweep --journal sic.csv --base tage-gsc+sic \
  *       --dim sic.logsize=7..10 --dim sic.ctrbits=5,6 --benchmarks 'MM-*'
@@ -46,6 +61,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "src/corpus/trace_corpus.hh"
 #include "src/dse/param_space.hh"
 #include "src/obs/metrics.hh"
 #include "src/dse/pareto.hh"
@@ -55,7 +71,6 @@
 #include "src/util/cli.hh"
 #include "src/util/table_writer.hh"
 #include "src/util/thread_pool.hh"
-#include "src/workloads/suite.hh"
 
 using namespace imli;
 
@@ -70,47 +85,42 @@ usage()
                  " [--dim key=v1,v2]... [--sample N --seed S]\n"
               << "                      [--points SPECS] [--benchmarks"
                  " GLOBS] [--suite S] [--recorded DIR]\n"
-              << "                      [--branches N] [--jobs N]"
-                 " [--json FILE]\n"
-              << "                      [--metrics FILE]"
-                 " [--phase-interval N] [--timing FILE]\n"
+              << "                      [--class NAME] [--char-cache DIR]"
+                 " [--branches N] [--jobs N]\n"
+              << "                      [--shards N] [--json FILE]"
+                 " [--metrics FILE]\n"
+              << "                      [--phase-interval N]"
+                 " [--timing FILE]\n"
+              << "       explorer plan  --journal FILE --shards N"
+                 " [sweep flags]\n"
+              << "       explorer shard --journal FILE --shards N"
+                 " --shard I [sweep flags]\n"
+              << "       explorer merge --journal FILE --shards N"
+                 " [sweep flags]\n"
               << "       explorer pareto --journal FILE [--suite S]"
                  " [--csv | --json]\n";
     return 1;
 }
 
-/** The shared recordedHint() over this CLI's flags. */
-std::string
-recordedHintFor(const CommandLine &cli)
-{
-    return recordedHint(cli.has("recorded"), cli.getString("suite", ""),
-                        splitCommaList(cli.getString("benchmarks", "")));
-}
-
-/** The benchmark pool shared by sweep: full suite + optional recorded. */
+/**
+ * The benchmark pool shared by sweep/plan/shard/merge, via the corpus
+ * layer: full generated suite + optional --recorded, filtered by
+ * --suite / --benchmarks globs / --class (characterization-derived
+ * predictability classes; see src/corpus/characterize.hh).
+ */
 std::vector<BenchmarkSpec>
 selectPool(const CommandLine &cli)
 {
-    std::vector<BenchmarkSpec> pool = fullSuite();
-    if (cli.has("recorded")) {
-        std::vector<BenchmarkSpec> recorded =
-            recordedSuite(cli.getString("recorded"));
-        pool.insert(pool.end(), std::make_move_iterator(recorded.begin()),
-                    std::make_move_iterator(recorded.end()));
-    }
-    const std::string which = cli.getString("suite", "");
-    std::vector<BenchmarkSpec> filtered;
-    for (BenchmarkSpec &b : pool) {
-        if (!which.empty() && b.suite != which)
-            continue;
-        filtered.push_back(std::move(b));
-    }
-    try {
-        return selectBenchmarks(
-            filtered, splitCommaList(cli.getString("benchmarks", "")));
-    } catch (const std::runtime_error &e) {
-        throw std::runtime_error(e.what() + recordedHintFor(cli));
-    }
+    CorpusQuery query;
+    query.recordedDir = cli.getString("recorded", "");
+    query.suite = cli.getString("suite", "");
+    query.patterns = splitCommaList(cli.getString("benchmarks", ""));
+    query.className = cli.getString("class", "");
+    query.characterizationCacheDir = cli.getString("char-cache", "");
+    if (cli.has("branches"))
+        query.targetBranches =
+            parseBranchCount(cli.getString("branches"), "--branches");
+    return selectSuiteBenchmarks(query);
 }
 
 int
@@ -190,6 +200,51 @@ expandPoints(const CommandLine &cli)
     return space.expandGrid();
 }
 
+/** Sweep options shared by sweep/plan/shard/merge (same flags -> same
+ *  journal fingerprint, which is what lets them re-derive one plan). */
+SweepOptions
+makeSweepOptions(const CommandLine &cli)
+{
+    SweepOptions options;
+    options.journalPath = cli.getString("journal");
+    options.branchesPerTrace =
+        cli.has("branches")
+            ? parseBranchCount(cli.getString("branches"), "--branches")
+            : defaultBranchesPerTrace();
+    options.jobs = cli.has("jobs")
+                       ? ThreadPool::parseJobsStrict(cli.getString("jobs"),
+                                                     "--jobs")
+                       : defaultJobs();
+    options.progress = [](const std::string &name, std::size_t simulated) {
+        std::cerr << "  " << name << ": " << simulated
+                  << " points simulated\n";
+    };
+    return options;
+}
+
+/** Parse --shards N (>= 1); the count every orchestration subcommand
+ *  must agree on. */
+std::size_t
+parseShardCount(const CommandLine &cli)
+{
+    const std::int64_t n = cli.getInt("shards");
+    if (n < 1)
+        throw std::runtime_error("--shards: need a shard count >= 1");
+    return static_cast<std::size_t>(n);
+}
+
+/** First..last display form of a shard's benchmark range. */
+std::string
+describeRange(const ShardPlan &plan, const ShardRange &range)
+{
+    if (range.benchmarkCount() == 0)
+        return "(empty)";
+    std::string text = plan.benchmarks[range.beginBench];
+    if (range.benchmarkCount() > 1)
+        text += ".." + plan.benchmarks[range.endBench - 1];
+    return text;
+}
+
 int
 cmdSweep(const CommandLine &cli)
 {
@@ -206,26 +261,19 @@ cmdSweep(const CommandLine &cli)
     }
     const std::vector<std::string> points = expandPoints(cli);
     const std::vector<BenchmarkSpec> benchmarks = selectPool(cli);
-    if (benchmarks.empty()) {
-        std::cerr << "error: no benchmarks selected" << recordedHintFor(cli)
-                  << '\n';
-        return 1;
-    }
+    SweepOptions options = makeSweepOptions(cli);
 
-    SweepOptions options;
-    options.journalPath = cli.getString("journal");
-    options.branchesPerTrace =
-        cli.has("branches")
-            ? parseBranchCount(cli.getString("branches"), "--branches")
-            : defaultBranchesPerTrace();
-    options.jobs = cli.has("jobs")
-                       ? ThreadPool::parseJobsStrict(cli.getString("jobs"),
-                                                     "--jobs")
-                       : defaultJobs();
-    options.progress = [](const std::string &name, std::size_t simulated) {
-        std::cerr << "  " << name << ": " << simulated
-                  << " points simulated\n";
-    };
+    // The observation sidecars attach to ONE process's run: sharded
+    // composition runs several (one per fragment plus the merge), which
+    // would resize the registry per shard and overwrite the sidecar
+    // files.  Refuse the combination rather than export garbage.
+    if (cli.has("shards") &&
+        (cli.has("metrics") || cli.has("phase-interval") ||
+         cli.has("timing")))
+        throw std::runtime_error(
+            "--metrics/--phase-interval/--timing cannot be combined with "
+            "--shards (run the observed sweep unsharded, or observe a "
+            "single `explorer shard`)");
 
     // Observation layer (off by default, inert when off): --metrics FILE
     // exports per-cell predictor internals, --phase-interval N adds a
@@ -267,7 +315,27 @@ cmdSweep(const CommandLine &cli)
               << options.journalPath << '\n';
     SweepResults results;
     try {
-        results = runSweep(benchmarks, points, options);
+        if (cli.has("shards")) {
+            // The thin plan -> shard -> merge composition: same code
+            // path the process-level subcommands drive, one process.
+            // The merged journal is byte-identical to the unsharded run.
+            const std::size_t nshards = parseShardCount(cli);
+            const ShardPlan plan =
+                planShards(benchmarks, points, options, nshards);
+            for (const ShardRange &range : plan.shards) {
+                std::cerr << "shard " << range.index << ": "
+                          << describeRange(plan, range) << '\n';
+                const SweepResults shard =
+                    runShard(benchmarks, points, options, range);
+                results.simulatedCells += shard.simulatedCells;
+            }
+            const std::size_t simulated = results.simulatedCells;
+            results = mergeShardJournals(benchmarks, points, options,
+                                         nshards);
+            results.simulatedCells = simulated;
+        } else {
+            results = runSweep(benchmarks, points, options);
+        }
     } catch (...) {
         // Don't leak the --json temp file when the sweep fails.
         jsonOut.close();
@@ -320,6 +388,131 @@ cmdSweep(const CommandLine &cli)
             throw std::runtime_error("cannot write --json file: " +
                                      cli.getString("json"));
     }
+    return 0;
+}
+
+/** Shared front half of plan/shard/merge: validated grid + pool +
+ *  options under one required --journal / --shards pair. */
+struct ShardInputs
+{
+    std::vector<std::string> points;
+    std::vector<BenchmarkSpec> benchmarks;
+    SweepOptions options;
+    std::size_t shardCount = 0;
+};
+
+bool
+gatherShardInputs(const CommandLine &cli, const char *what,
+                  ShardInputs &inputs)
+{
+    if (!cli.has("journal")) {
+        std::cerr << "error: " << what << " needs --journal FILE\n";
+        return false;
+    }
+    if (!cli.has("shards")) {
+        std::cerr << "error: " << what << " needs --shards N\n";
+        return false;
+    }
+    inputs.points = expandPoints(cli);
+    inputs.benchmarks = selectPool(cli);
+    inputs.options = makeSweepOptions(cli);
+    inputs.shardCount = parseShardCount(cli);
+    return true;
+}
+
+int
+cmdPlan(const CommandLine &cli)
+{
+    ShardInputs in;
+    if (!gatherShardInputs(cli, "plan", in))
+        return usage();
+    const ShardPlan plan =
+        planShards(in.benchmarks, in.points, in.options, in.shardCount);
+
+    TableWriter table("Shard plan: " +
+                      std::to_string(plan.benchmarks.size()) +
+                      " benchmarks x " + std::to_string(plan.points.size()) +
+                      " points");
+    table.setHeader({"shard", "benchmarks", "range", "fragment"});
+    for (const ShardRange &range : plan.shards)
+        table.addRow({std::to_string(range.index),
+                      std::to_string(range.benchmarkCount()),
+                      describeRange(plan, range),
+                      shardJournalPath(in.options.journalPath,
+                                       range.index)});
+    table.print(std::cout);
+    std::cout << "meta: " << plan.meta << '\n';
+    return 0;
+}
+
+int
+cmdShard(const CommandLine &cli)
+{
+    ShardInputs in;
+    if (!gatherShardInputs(cli, "shard", in))
+        return usage();
+    if (!cli.has("shard")) {
+        std::cerr << "error: shard needs --shard I (which shard to run)\n";
+        return usage();
+    }
+    const std::int64_t index = cli.getInt("shard");
+    if (index < 0 || static_cast<std::size_t>(index) >= in.shardCount)
+        throw std::runtime_error(
+            "--shard: index " + std::to_string(index) +
+            " is outside the plan (need 0.." +
+            std::to_string(in.shardCount - 1) + ")");
+
+    const ShardPlan plan =
+        planShards(in.benchmarks, in.points, in.options, in.shardCount);
+    const ShardRange &range =
+        plan.shards[static_cast<std::size_t>(index)];
+    const std::string fragment =
+        shardJournalPath(in.options.journalPath, range.index);
+    std::cerr << "shard " << range.index << "/" << in.shardCount << ": "
+              << describeRange(plan, range) << " x "
+              << plan.points.size() << " points -> " << fragment << '\n';
+    const SweepResults results =
+        runShard(in.benchmarks, in.points, in.options, range);
+    std::cout << "fragment: " << fragment << " ("
+              << results.cells.size() << " cells, "
+              << results.simulatedCells << " simulated this run)\n";
+    return 0;
+}
+
+int
+cmdMerge(const CommandLine &cli)
+{
+    ShardInputs in;
+    if (!gatherShardInputs(cli, "merge", in))
+        return usage();
+
+    // Incremental Pareto re-aggregation as each fragment lands: the
+    // running frontier over partial averages (cells merged so far).
+    const MergeProgress progress = [](const ShardRange &range,
+                                      const std::vector<ParetoEntry>
+                                          &entries) {
+        std::size_t frontier = 0;
+        for (const ParetoEntry &e : entries)
+            if (!e.dominated)
+                ++frontier;
+        std::cerr << "  shard " << range.index << " merged: "
+                  << entries.size() << " specs aggregated, " << frontier
+                  << " on the running frontier\n";
+    };
+    const SweepResults results = mergeShardJournals(
+        in.benchmarks, in.points, in.options, in.shardCount, progress);
+
+    const std::vector<ParetoEntry> perPoint = aggregateCells(results.cells);
+    TableWriter table("Merged sweep (mean MPKI over selection)");
+    table.setHeader({"spec", "storage_kbits", "avg_mpki"});
+    for (const ParetoEntry &entry : perPoint)
+        table.addRow({entry.spec,
+                      formatDouble(entry.storageBits / 1024.0, 1),
+                      formatDouble(entry.avgMpki, 4)});
+    table.print(std::cout);
+    std::cout << "journal: " << in.options.journalPath << " ("
+              << results.cells.size() << " cells from " << in.shardCount
+              << " shards)\n";
     return 0;
 }
 
@@ -420,6 +613,12 @@ try {
         return cmdDescribe(cli);
     if (command == "sweep")
         return cmdSweep(cli);
+    if (command == "plan")
+        return cmdPlan(cli);
+    if (command == "shard")
+        return cmdShard(cli);
+    if (command == "merge")
+        return cmdMerge(cli);
     if (command == "pareto")
         return cmdPareto(cli);
     std::cerr << "error: unknown subcommand \"" << command << "\"\n";

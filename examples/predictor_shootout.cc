@@ -6,6 +6,8 @@
  *
  * Usage: predictor_shootout [--branches 150000]
  *                           [--benchmarks SPEC2K6-12,MM-4,WS04]
+ *                           [--recorded DIR]  (REC-01..REC-08 become
+ *                            addressable benchmark names)
  *                           [--update-delay N | --pipeline]
  *                           [--metrics FILE] [--phase-interval N]
  *
@@ -23,6 +25,7 @@
 #include <iostream>
 #include <memory>
 
+#include "src/corpus/trace_corpus.hh"
 #include "src/obs/metrics.hh"
 #include "src/obs/phase_series.hh"
 #include "src/predictors/zoo.hh"
@@ -30,8 +33,6 @@
 #include "src/sim/suite_runner.hh"
 #include "src/util/cli.hh"
 #include "src/util/table_writer.hh"
-#include "src/workloads/generator_source.hh"
-#include "src/workloads/suite.hh"
 
 int
 main(int argc, char **argv)
@@ -45,6 +46,12 @@ try {
         "gehl+i",   "tage-gsc",   "tage-gsc+i",
         "meta(tage-gsc,gehl,gshare)",
     };
+
+    // The corpus resolves benchmark names — generated suite members
+    // plus, with --recorded DIR, the REC-01..REC-08 scenarios (one
+    // shared validation of the directory across all the suite CLIs).
+    const imli::TraceCorpus corpus =
+        imli::makeSuiteCorpus(cli.getString("recorded", ""));
 
     imli::SimOptions sim;
     imli::applyPipelineFlags(cli, sim);
@@ -99,10 +106,10 @@ try {
                 options[c].phase = oc.phase.get();
             }
         }
-        imli::GeneratorBranchSource source(imli::findBenchmark(name),
-                                           branches);
+        const std::unique_ptr<imli::BranchSource> source =
+            imli::TraceCorpus::open(corpus.find(name), branches);
         const std::vector<imli::SimResult> results =
-            imli::simulateMany(predictors, source, options);
+            imli::simulateMany(predictors, *source, options);
         if (wantMetrics) {
             for (std::size_t c = 0; c < ladder.size(); ++c) {
                 imli::obs::CellObs &oc =

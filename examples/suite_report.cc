@@ -14,6 +14,16 @@
  *                     [--recorded DIR]  (append the REC-01..REC-08
  *                      recorded scenarios from DIR/rec-0N.cbp — a mixed
  *                      generated + recorded run)
+ *                     [--class NAME]  (keep only benchmarks of one
+ *                      characterization-derived predictability class —
+ *                      high-entropy, loopy, flat, ... — measured at the
+ *                      run's --branches budget; an unknown name errors
+ *                      with the known classes and a near-miss hint.  See
+ *                      src/corpus/characterize.hh for the definitions)
+ *                     [--char-cache DIR]  (persist per-trace
+ *                      characterizations under DIR, keyed by content
+ *                      fingerprint, so repeated --class runs skip the
+ *                      characterization pass)
  *                     [--jobs N]   (0/auto = all hardware threads)
  *                     [--update-delay N | --pipeline]  (speculative
  *                      pipeline engine: predictor tables train at commit,
@@ -47,6 +57,7 @@
 #include <memory>
 #include <mutex>
 
+#include "src/corpus/trace_corpus.hh"
 #include "src/obs/metrics.hh"
 #include "src/obs/trace_event.hh"
 #include "src/predictors/zoo.hh"
@@ -54,7 +65,6 @@
 #include "src/sim/suite_runner.hh"
 #include "src/util/cli.hh"
 #include "src/util/thread_pool.hh"
-#include "src/workloads/suite.hh"
 
 using namespace imli;
 
@@ -76,55 +86,39 @@ try {
     const std::string which = cli.getString("suite", "");
     const std::string only = cli.getString("benchmarks", "");
 
-    // The candidate pool: the 80 generated members, plus the recorded
-    // scenarios when --recorded names their directory (a mixed suite —
-    // the runner schedules both backends identically).
-    std::vector<BenchmarkSpec> pool = fullSuite();
-    if (cli.has("recorded")) {
-        std::vector<BenchmarkSpec> recorded =
-            recordedSuite(cli.getString("recorded"));
-        pool.insert(pool.end(), std::make_move_iterator(recorded.begin()),
-                    std::make_move_iterator(recorded.end()));
-    }
-
-    std::vector<BenchmarkSpec> suitePool;
-    for (BenchmarkSpec &b : pool) {
-        if (!which.empty() && b.suite != which)
-            continue;
-        suitePool.push_back(std::move(b));
-    }
-    // A selection error is fatal either way; recordedHint appends the
-    // --recorded pointer when the request mentioned REC content.
-    const auto selectionError = [&](const std::string &message) {
-        std::cerr << "error: " << message
-                  << recordedHint(cli.has("recorded"), which,
-                                  splitCommaList(only))
-                  << '\n';
-        return 1;
-    };
-    // Glob selection: a pattern matching nothing throws with near-miss
-    // suggestions (caught below), so "MM4" vs "MM-4" fails loudly.
-    std::vector<BenchmarkSpec> benchmarks;
-    try {
-        benchmarks = selectBenchmarks(suitePool, splitCommaList(only));
-    } catch (const std::exception &e) {
-        return selectionError(e.what());
-    }
-    if (benchmarks.empty()) {
-        // An all-zero "0 cells" report looks like a successful run; an
-        // empty selection is always a usage error (e.g. --suite REC
-        // without --recorded DIR).
-        return selectionError("no benchmarks selected");
-    }
-
-    SuiteRunOptions options;
     // Flags parse strictly, like the env overrides; env defaults are only
     // consulted when the flag is absent, so an explicit flag still works
     // under a malformed env var.
-    options.branchesPerTrace =
+    const std::size_t branchesPerTrace =
         cli.has("branches")
             ? parseBranchCount(cli.getString("branches"), "--branches")
             : defaultBranchesPerTrace();
+
+    // The candidate pool, via the corpus layer: the 80 generated members
+    // plus the recorded scenarios when --recorded names their directory,
+    // filtered by --suite / --benchmarks globs / --class (suite_runner
+    // schedules both backends identically).  Every selection problem —
+    // pattern matching nothing (with near-miss suggestions), unknown
+    // class, invalid recorded dir, empty result — throws with the shared
+    // recordedHint appended, so "MM4" vs "MM-4" fails loudly and --suite
+    // REC without --recorded DIR points at the missing flag.
+    std::vector<BenchmarkSpec> benchmarks;
+    try {
+        CorpusQuery query;
+        query.recordedDir = cli.getString("recorded", "");
+        query.suite = which;
+        query.patterns = splitCommaList(only);
+        query.className = cli.getString("class", "");
+        query.characterizationCacheDir = cli.getString("char-cache", "");
+        query.targetBranches = branchesPerTrace;
+        benchmarks = selectSuiteBenchmarks(query);
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 1;
+    }
+
+    SuiteRunOptions options;
+    options.branchesPerTrace = branchesPerTrace;
     options.jobs = cli.has("jobs")
                        ? ThreadPool::parseJobsStrict(cli.getString("jobs"),
                                                      "--jobs")

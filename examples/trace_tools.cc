@@ -7,6 +7,7 @@
  *   trace_tools generate --benchmark NAME --out FILE [--branches N]
  *                        [--format binary|text|cbp]
  *   trace_tools import   --in FILE.cbp --out FILE.imt [--name NAME]
+ *   trace_tools import   --dir DIR [--out-dir DIR]   (bulk: every .cbp)
  *   trace_tools convert  --in FILE --out FILE [--format text|binary]
  *   trace_tools info     --in FILE [--format binary|cbp]
  *   trace_tools suite    [--suite CBP4|CBP3|REC]      (list benchmarks)
@@ -17,11 +18,13 @@
 #include <iostream>
 #include <sstream>
 
+#include "src/corpus/trace_corpus.hh"
 #include "src/trace/cbp_reader.hh"
 #include "src/trace/trace_io.hh"
 #include "src/trace/trace_stats.hh"
 #include "src/trace/trace_text.hh"
 #include "src/util/cli.hh"
+#include "src/util/table_writer.hh"
 #include "src/workloads/generator_source.hh"
 #include "src/workloads/suite.hh"
 
@@ -57,31 +60,26 @@ cmdGenerate(const CommandLine &cli)
     return 0;
 }
 
-int
-cmdImport(const CommandLine &cli)
+/**
+ * Stream one CBP file to .imt and round-trip verify it; returns the
+ * record count, throws std::runtime_error on any mismatch.  Neither
+ * trace is ever materialized: the conversion streams chunk by chunk,
+ * and verification replays both files in lockstep, still O(chunk) — a
+ * championship-scale trace must verify without being materialized.  An
+ * import that cannot be verified is deleted-grade.
+ */
+std::uint64_t
+importOne(const std::string &in, const std::string &out,
+          const std::string &name)
 {
-    const std::string in = cli.getString("in");
-    const std::string out = cli.getString("out");
-    if (in.empty() || out.empty()) {
-        std::cerr << "import: need --in FILE.cbp and --out FILE.imt\n";
-        return 1;
-    }
-    const std::string name = cli.getString("name", pathStem(in));
-
-    // Stream CBP -> .imt: neither trace is ever materialized.
     CbpFileBranchSource source(in, name);
     const std::uint64_t written = writeTraceFile(source, out);
 
-    // Round-trip verification: replay both files in lockstep and compare
-    // record by record, still O(chunk) — a championship-scale trace must
-    // verify without ever being materialized.  An import that cannot be
-    // verified is deleted-grade.
     CbpFileBranchSource again(in, name);
     FileBranchSource imported(out);
-    if (imported.totalRecords() != written) {
-        std::cerr << "import: header count mismatch after conversion\n";
-        return 1;
-    }
+    if (imported.totalRecords() != written)
+        throw std::runtime_error(
+            "header count mismatch after conversion");
     BranchSpan sa = again.nextChunk();
     BranchSpan sb = imported.nextChunk();
     std::size_t ia = 0, ib = 0;
@@ -97,22 +95,93 @@ cmdImport(const CommandLine &cli)
         }
         if (sa.empty() || sb.empty())
             break;
-        if (!(sa[ia] == sb[ib])) {
-            std::cerr << "import: record " << compared
-                      << " mismatch after round-trip\n";
-            return 1;
-        }
+        if (!(sa[ia] == sb[ib]))
+            throw std::runtime_error(
+                "record " + std::to_string(compared) +
+                " mismatch after round-trip");
         ++ia;
         ++ib;
         ++compared;
     }
-    if (!sa.empty() || !sb.empty() || compared != written) {
-        std::cerr << "import: size mismatch after round-trip ("
-                  << compared << " of " << written << " compared)\n";
+    if (!sa.empty() || !sb.empty() || compared != written)
+        throw std::runtime_error(
+            "size mismatch after round-trip (" +
+            std::to_string(compared) + " of " + std::to_string(written) +
+            " compared)");
+    return written;
+}
+
+/** Bulk import: every .cbp under --dir becomes an .imt in --out-dir
+ *  (default: alongside the input), one summary row per file. */
+int
+cmdImportDir(const CommandLine &cli)
+{
+    if (cli.has("in") || cli.has("out") || cli.has("name")) {
+        std::cerr << "import: --dir is the bulk mode; it cannot be "
+                     "combined with --in/--out/--name\n";
         return 1;
     }
-    std::cout << "imported " << written << " branches: " << in << " -> "
-              << out << " (round-trip verified)\n";
+    const std::string dir = cli.getString("dir");
+    const std::string outDir = cli.getString("out-dir", dir);
+
+    // Corpus discovery (sorted by file name), narrowed to CBP inputs —
+    // the .imt files a previous bulk import produced are not re-imported.
+    std::vector<BenchmarkSpec> inputs;
+    for (BenchmarkSpec &spec : TraceCorpus::fromDirectory(dir))
+        if (spec.backend == TraceBackend::RecordedCbp)
+            inputs.push_back(std::move(spec));
+    if (inputs.empty()) {
+        std::cerr << "import: no .cbp files in " << dir << '\n';
+        return 1;
+    }
+
+    TableWriter table("Imported " + std::to_string(inputs.size()) +
+                      " CBP trace(s) from " + dir);
+    table.setHeader({"file", "branches", "output", "status"});
+    std::size_t failures = 0;
+    for (const BenchmarkSpec &spec : inputs) {
+        const std::string out = outDir + "/" + spec.name + ".imt";
+        try {
+            const std::uint64_t written =
+                importOne(spec.tracePath, out, spec.name);
+            table.addRow({spec.tracePath, std::to_string(written), out,
+                          "verified"});
+        } catch (const std::exception &e) {
+            ++failures;
+            table.addRow({spec.tracePath, "-", out,
+                          std::string("FAILED: ") + e.what()});
+        }
+    }
+    table.print(std::cout);
+    if (failures != 0) {
+        std::cerr << "import: " << failures << " of " << inputs.size()
+                  << " file(s) failed\n";
+        return 1;
+    }
+    return 0;
+}
+
+int
+cmdImport(const CommandLine &cli)
+{
+    if (cli.has("dir"))
+        return cmdImportDir(cli);
+    const std::string in = cli.getString("in");
+    const std::string out = cli.getString("out");
+    if (in.empty() || out.empty()) {
+        std::cerr << "import: need --in FILE.cbp and --out FILE.imt "
+                     "(or --dir DIR for bulk import)\n";
+        return 1;
+    }
+    const std::string name = cli.getString("name", pathStem(in));
+    try {
+        const std::uint64_t written = importOne(in, out, name);
+        std::cout << "imported " << written << " branches: " << in
+                  << " -> " << out << " (round-trip verified)\n";
+    } catch (const std::exception &e) {
+        std::cerr << "import: " << e.what() << '\n';
+        return 1;
+    }
     return 0;
 }
 
@@ -236,6 +305,7 @@ main(int argc, char **argv)
             "  generate --benchmark NAME --out FILE [--branches N]\n"
             "           [--format binary|text|cbp]\n"
             "  import   --in FILE.cbp --out FILE.imt [--name NAME]\n"
+            "  import   --dir DIR [--out-dir DIR]   (bulk: every .cbp)\n"
             "  convert  --in FILE --out FILE [--format text|binary]\n"
             "  info     --in FILE [--format binary|cbp]\n"
             "  suite    [--suite CBP4|CBP3|REC]\n"

@@ -1,0 +1,306 @@
+#include "src/corpus/characterize.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace imli
+{
+
+namespace
+{
+
+// Class thresholds, calibrated on the 88-benchmark suite at the default
+// 200k-branch budget (see README "Corpus and sharded sweeps").  They are
+// part of the documented CLI surface: changing one changes what
+// `--class` selects, so change the README and the pinned tests with it.
+constexpr double kHighEntropyBits = 0.65;
+constexpr double kLowEntropyBits = 0.58;
+constexpr double kLoopyShare = 0.02;
+constexpr double kDeepLoopShare = 0.50;
+constexpr double kFlatShare = 0.005;
+constexpr double kTakenHeavyRate = 0.75;
+constexpr double kBalancedLow = 0.45;
+constexpr double kBalancedHigh = 0.62;
+
+std::string
+formatRate(double v)
+{
+    std::ostringstream os;
+    os << std::setprecision(17) << v;
+    return os.str();
+}
+
+/** Levenshtein distance for near-miss suggestions on unknown classes. */
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        prev[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        cur[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t sub =
+                prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[b.size()];
+}
+
+} // anonymous namespace
+
+std::uint64_t
+TraceCharacterization::loopBranches() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[depth, count] : loopDepth)
+        total += count;
+    return total;
+}
+
+double
+TraceCharacterization::loopShare() const
+{
+    return conditionals == 0
+               ? 0.0
+               : static_cast<double>(loopBranches()) /
+                     static_cast<double>(conditionals);
+}
+
+double
+TraceCharacterization::deepLoopShare() const
+{
+    const std::uint64_t loops = loopBranches();
+    if (loops == 0)
+        return 0.0;
+    std::uint64_t deep = 0;
+    for (const auto &[depth, count] : loopDepth)
+        if (depth >= 2)
+            deep += count;
+    return static_cast<double>(deep) / static_cast<double>(loops);
+}
+
+std::string
+TraceCharacterization::serialize() const
+{
+    std::ostringstream os;
+    os << "v1 branches=" << branches << " instructions=" << instructions
+       << " conditionals=" << conditionals
+       << " static_branches=" << staticBranches
+       << " static_conditionals=" << staticConditionals
+       << " taken_rate=" << formatRate(takenRate)
+       << " entropy=" << formatRate(entropy) << " loop_depth=";
+    bool first = true;
+    for (const auto &[depth, count] : loopDepth) {
+        if (!first)
+            os << ',';
+        os << depth << ':' << count;
+        first = false;
+    }
+    if (first)
+        os << '-';
+    return os.str();
+}
+
+TraceCharacterization
+TraceCharacterization::deserialize(const std::string &line)
+{
+    std::istringstream is(line);
+    std::string version;
+    is >> version;
+    if (version != "v1")
+        throw std::runtime_error(
+            "characterization: unsupported version \"" + version + "\"");
+    TraceCharacterization c;
+    std::string token;
+    bool sawLoop = false;
+    while (is >> token) {
+        const auto eq = token.find('=');
+        if (eq == std::string::npos)
+            throw std::runtime_error(
+                "characterization: malformed token \"" + token + "\"");
+        const std::string key = token.substr(0, eq);
+        const std::string value = token.substr(eq + 1);
+        std::istringstream vs(value);
+        if (key == "branches") {
+            vs >> c.branches;
+        } else if (key == "instructions") {
+            vs >> c.instructions;
+        } else if (key == "conditionals") {
+            vs >> c.conditionals;
+        } else if (key == "static_branches") {
+            vs >> c.staticBranches;
+        } else if (key == "static_conditionals") {
+            vs >> c.staticConditionals;
+        } else if (key == "taken_rate") {
+            vs >> c.takenRate;
+        } else if (key == "entropy") {
+            vs >> c.entropy;
+        } else if (key == "loop_depth") {
+            sawLoop = true;
+            if (value == "-")
+                continue;
+            std::istringstream ls(value);
+            std::string pair;
+            while (std::getline(ls, pair, ',')) {
+                const auto colon = pair.find(':');
+                if (colon == std::string::npos)
+                    throw std::runtime_error(
+                        "characterization: malformed loop_depth entry \"" +
+                        pair + "\"");
+                unsigned depth = 0;
+                std::uint64_t count = 0;
+                std::istringstream ds(pair.substr(0, colon));
+                std::istringstream cs(pair.substr(colon + 1));
+                if (!(ds >> depth) || !(cs >> count))
+                    throw std::runtime_error(
+                        "characterization: malformed loop_depth entry \"" +
+                        pair + "\"");
+                c.loopDepth[depth] = count;
+            }
+            continue;
+        } else {
+            throw std::runtime_error(
+                "characterization: unknown key \"" + key + "\"");
+        }
+        if (vs.fail())
+            throw std::runtime_error(
+                "characterization: bad value for \"" + key + "\": " + value);
+    }
+    if (!sawLoop)
+        throw std::runtime_error(
+            "characterization: truncated record (no loop_depth): " + line);
+    return c;
+}
+
+std::string
+TraceCharacterization::toString() const
+{
+    std::ostringstream os;
+    os << "  branches:            " << branches << '\n'
+       << "  instructions:        " << instructions << '\n'
+       << "  conditionals:        " << conditionals << '\n'
+       << "  static branches:     " << staticBranches << '\n'
+       << "  static conditionals: " << staticConditionals << '\n'
+       << "  taken rate:          " << takenRate << '\n'
+       << "  entropy (bits):      " << entropy << '\n'
+       << "  loop share:          " << loopShare() << '\n'
+       << "  deep-loop share:     " << deepLoopShare() << '\n';
+    std::string classes;
+    for (const CorpusClass &cls : knownClasses())
+        if (matchesClass(*this, cls.name))
+            classes += (classes.empty() ? "" : ", ") + cls.name;
+    os << "  classes:             "
+       << (classes.empty() ? "(none)" : classes) << '\n';
+    return os.str();
+}
+
+bool
+TraceCharacterization::operator==(const TraceCharacterization &other) const
+{
+    return branches == other.branches &&
+           instructions == other.instructions &&
+           conditionals == other.conditionals &&
+           staticBranches == other.staticBranches &&
+           staticConditionals == other.staticConditionals &&
+           takenRate == other.takenRate && entropy == other.entropy &&
+           loopDepth == other.loopDepth;
+}
+
+TraceCharacterization
+characterizeSource(BranchSource &source)
+{
+    source.reset();
+    TraceStatsBuilder builder;
+    for (BranchSpan span = source.nextChunk(); !span.empty();
+         span = source.nextChunk())
+        for (const BranchRecord &rec : span)
+            builder.add(rec);
+    return characterizationFromStats(builder.finish());
+}
+
+TraceCharacterization
+characterizationFromStats(const TraceStats &stats)
+{
+    TraceCharacterization c;
+    c.branches = stats.records;
+    c.instructions = stats.instructions;
+    c.conditionals = stats.conditionals;
+    c.staticBranches = stats.staticBranches;
+    c.staticConditionals = stats.staticConditionals;
+    c.takenRate = stats.takenRate();
+    c.entropy = stats.conditionalEntropy;
+    c.loopDepth = stats.loopDepth;
+    return c;
+}
+
+const std::vector<CorpusClass> &
+knownClasses()
+{
+    static const std::vector<CorpusClass> classes = {
+        {"high-entropy",
+         "per-PC direction entropy >= " + formatRate(kHighEntropyBits) +
+             " bits (noisy, hard to predict)"},
+        {"low-entropy",
+         "per-PC direction entropy < " + formatRate(kLowEntropyBits) +
+             " bits (strongly biased branches)"},
+        {"loopy",
+         "loop-closing branches >= " + formatRate(kLoopyShare) +
+             " of conditionals (loop-predictor territory)"},
+        {"deep-loopy",
+         "loopy, and >= " + formatRate(kDeepLoopShare) +
+             " of loop branches at nesting depth >= 2 (IMLI territory)"},
+        {"flat",
+         "loop-closing branches < " + formatRate(kFlatShare) +
+             " of conditionals (little loop structure)"},
+        {"taken-heavy",
+         "taken rate >= " + formatRate(kTakenHeavyRate)},
+        {"balanced",
+         "taken rate in [" + formatRate(kBalancedLow) + ", " +
+             formatRate(kBalancedHigh) + ")"},
+    };
+    return classes;
+}
+
+bool
+matchesClass(const TraceCharacterization &c, const std::string &name)
+{
+    if (name == "high-entropy")
+        return c.entropy >= kHighEntropyBits;
+    if (name == "low-entropy")
+        return c.entropy < kLowEntropyBits;
+    if (name == "loopy")
+        return c.loopShare() >= kLoopyShare;
+    if (name == "deep-loopy")
+        return c.loopShare() >= kLoopyShare &&
+               c.deepLoopShare() >= kDeepLoopShare;
+    if (name == "flat")
+        return c.loopShare() < kFlatShare;
+    if (name == "taken-heavy")
+        return c.takenRate >= kTakenHeavyRate;
+    if (name == "balanced")
+        return c.takenRate >= kBalancedLow && c.takenRate < kBalancedHigh;
+
+    std::string known;
+    std::string nearest;
+    std::size_t best = 3;  // suggest only within edit distance 2
+    for (const CorpusClass &cls : knownClasses()) {
+        known += (known.empty() ? "" : ", ") + cls.name;
+        const std::size_t d = editDistance(name, cls.name);
+        if (d < best) {
+            best = d;
+            nearest = cls.name;
+        }
+    }
+    std::string msg = "unknown class \"" + name + "\"";
+    if (!nearest.empty())
+        msg += " (did you mean \"" + nearest + "\"?)";
+    msg += "; known classes: " + known;
+    throw std::runtime_error(msg);
+}
+
+} // namespace imli

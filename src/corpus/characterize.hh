@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Per-trace workload characterization: a compact, persistable record of
+ * the properties that predict branch-predictability (taken rate,
+ * count-weighted per-PC direction entropy, loop-nesting profile,
+ * dynamic/static branch counts), plus the named predictability classes
+ * used for stratified suite selection (--class high-entropy, --class
+ * loopy, ...).
+ *
+ * The statistics are computed by TraceStatsBuilder (src/trace/
+ * trace_stats.hh), the same accumulator behind computeStats, so a
+ * characterization is identical whether the stream came from the kernel
+ * generator, an .imt file or a .cbp file of the same trace — by
+ * construction, and pinned by tests/test_corpus.cc.
+ *
+ * Class membership is a set of independent predicates, not a partition:
+ * a trace can be both "loopy" and "low-entropy".  Thresholds were
+ * calibrated against the 88-benchmark suite at the default 200k-branch
+ * budget (see README "Corpus and sharded sweeps" for the resulting
+ * class sizes).
+ */
+
+#ifndef IMLI_SRC_CORPUS_CHARACTERIZE_HH
+#define IMLI_SRC_CORPUS_CHARACTERIZE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/trace/branch_source.hh"
+#include "src/trace/trace_stats.hh"
+
+namespace imli
+{
+
+/** The persistable characterization record for one trace. */
+struct TraceCharacterization
+{
+    std::uint64_t branches = 0;      //!< dynamic branch records
+    std::uint64_t instructions = 0;  //!< dynamic instructions
+    std::uint64_t conditionals = 0;  //!< dynamic conditional branches
+    std::uint64_t staticBranches = 0;
+    std::uint64_t staticConditionals = 0;
+    double takenRate = 0.0;          //!< taken share of conditionals
+    double entropy = 0.0;            //!< count-weighted per-PC bits
+    /** Dynamic taken-backward counts per inferred loop depth (1-based). */
+    std::map<unsigned, std::uint64_t> loopDepth;
+
+    /** Dynamic loop-closing branches (sum of the loopDepth profile). */
+    std::uint64_t loopBranches() const;
+
+    /** Loop-closing share of conditionals, in [0, 1]. */
+    double loopShare() const;
+
+    /** Share of loop-closing branches at depth >= 2, in [0, 1]. */
+    double deepLoopShare() const;
+
+    /** One-line "key=value ..." form; parse back with deserialize(). */
+    std::string serialize() const;
+
+    /**
+     * Parse a serialize()d line; throws std::runtime_error naming the
+     * offending token on malformed input.  Round-trips exactly
+     * (counters are integers, rates are printed with 17 significant
+     * digits).
+     */
+    static TraceCharacterization deserialize(const std::string &line);
+
+    /** Multi-line human-readable summary (for trace_tools / reports). */
+    std::string toString() const;
+
+    bool operator==(const TraceCharacterization &other) const;
+    bool operator!=(const TraceCharacterization &other) const
+    {
+        return !(*this == other);
+    }
+};
+
+/**
+ * Characterize @p source from the beginning of its stream (reset() is
+ * called first; the source is left at end of stream).  Single pass,
+ * O(static branches) memory.
+ */
+TraceCharacterization characterizeSource(BranchSource &source);
+
+/** Characterization from already-computed trace statistics. */
+TraceCharacterization characterizationFromStats(const TraceStats &stats);
+
+/** A named predictability class: a predicate over characterizations. */
+struct CorpusClass
+{
+    std::string name;         //!< CLI spelling, e.g. "high-entropy"
+    std::string description;  //!< threshold rule, human-readable
+};
+
+/**
+ * The documented classes, in presentation order: high-entropy,
+ * low-entropy, loopy, deep-loopy, flat, taken-heavy, balanced.
+ */
+const std::vector<CorpusClass> &knownClasses();
+
+/**
+ * Whether @p c belongs to class @p name.  Throws std::runtime_error
+ * listing the known classes (and a near-miss suggestion if one is
+ * close) when @p name is not a known class.
+ */
+bool matchesClass(const TraceCharacterization &c, const std::string &name);
+
+} // namespace imli
+
+#endif // IMLI_SRC_CORPUS_CHARACTERIZE_HH

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * TraceCorpus: one owner for trace discovery, decoding and metadata.
+ *
+ * Architecture.  The corpus layer sits between the workload layer
+ * (BenchmarkSpec: *what* a benchmark is) and every consumer that needs
+ * its branch stream (suite runner, DSE sweep, report/bench CLIs,
+ * trace_tools).  Before this layer each binary re-implemented the same
+ * three jobs; they now live here, once:
+ *
+ *  1. Discovery — building the benchmark pool.  makeSuiteCorpus() is
+ *     the canonical "80 generated members plus the REC-01..08 recorded
+ *     scenarios from --recorded DIR" pool with a single, shared error
+ *     message for a missing or invalid directory;
+ *     TraceCorpus::fromDirectory() ingests an external directory of
+ *     `.cbp` / `.imt` traces.  selectSuiteBenchmarks() layers the
+ *     existing glob/suite selection plus characterization-class
+ *     stratification (--class) on top.
+ *
+ *  2. Decoding — TraceCorpus::open() is the one factory for a
+ *     benchmark's BranchSource.  Recorded traces are decoded at most
+ *     once per process: the decoded Trace goes into a process-wide,
+ *     size-capped cache and subsequent opens serve zero-copy spans from
+ *     the shared in-memory copy (oversized traces fall back to the
+ *     streaming file readers).  The record sequence is identical either
+ *     way, so simulation results do not depend on cache state — only
+ *     decode time does.
+ *
+ *  3. Characterization — per-trace predictability metadata (taken rate,
+ *     per-PC direction entropy, loop-nesting profile; see
+ *     characterize.hh), content-fingerprinted, cached in memory per
+ *     corpus and optionally persisted to a cache directory so repeated
+ *     report runs skip the characterization pass.
+ *
+ * The DSE shard/plan/merge layer (src/dse/sweep.hh) builds on (2): every
+ * shard process opens its streams through the same corpus factory, and
+ * the sweep journal's trace fingerprints come from the same bytes the
+ * corpus decodes.
+ */
+
+#ifndef IMLI_SRC_CORPUS_TRACE_CORPUS_HH
+#define IMLI_SRC_CORPUS_TRACE_CORPUS_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/corpus/characterize.hh"
+#include "src/trace/branch_source.hh"
+#include "src/workloads/benchmark_spec.hh"
+
+namespace imli
+{
+
+/** A named set of benchmarks with per-trace characterization metadata. */
+class TraceCorpus
+{
+  public:
+    TraceCorpus() = default;
+    explicit TraceCorpus(std::vector<BenchmarkSpec> specs);
+
+    /** Append one benchmark; throws std::invalid_argument on a
+     *  duplicate name (names are the corpus key). */
+    void add(BenchmarkSpec spec);
+
+    /** Append a whole suite (same duplicate rule). */
+    void add(std::vector<BenchmarkSpec> specs);
+
+    /** The members, in insertion order. */
+    const std::vector<BenchmarkSpec> &benchmarks() const { return specs; }
+
+    bool contains(const std::string &name) const;
+
+    /** Member by name; throws std::out_of_range when absent. */
+    const BenchmarkSpec &find(const std::string &name) const;
+
+    /**
+     * Persist characterizations under @p dir ("<name>-<fp>.char", one
+     * serialize()d line each); "" disables persistence.  The directory
+     * is created on first write.
+     */
+    void setCharacterizationCacheDir(const std::string &dir);
+
+    /**
+     * The characterization of member @p name at @p target_branches
+     * (the budget only affects Generated members; recorded traces are
+     * always characterized whole).  Computed on first use, then served
+     * from the in-memory cache; with a cache directory set, persisted
+     * records are reused across processes, keyed by the trace's content
+     * fingerprint so stale records are recomputed, not trusted.
+     */
+    const TraceCharacterization &
+    characterize(const std::string &name, std::size_t target_branches,
+                 std::size_t chunk_records =
+                     BranchSource::defaultChunkRecords);
+
+    /**
+     * Members of predictability class @p class_name (corpus order),
+     * characterizing members on demand.  Throws on an unknown class
+     * (see matchesClass).
+     */
+    std::vector<BenchmarkSpec>
+    selectClass(const std::string &class_name, std::size_t target_branches,
+                std::size_t chunk_records =
+                    BranchSource::defaultChunkRecords);
+
+    /**
+     * Content fingerprint of @p spec's stream: FNV-1a over the trace
+     * file's bytes for recorded specs; over the seed, budget and a
+     * prefix of the generated record stream for Generated specs (their
+     * stream is a pure function of (spec, target), so a prefix plus the
+     * parameters identifies it cheaply).
+     */
+    static std::uint64_t fingerprint(const BenchmarkSpec &spec,
+                                     std::size_t target_branches);
+
+    /**
+     * Open @p spec's branch stream.  Generated specs stream from the
+     * kernel generator exactly as makeBranchSource(); recorded specs
+     * are served from the process-wide decoded-trace cache when the
+     * trace fits (decode once, then zero-copy spans), falling back to
+     * the streaming file readers when it does not.  Identical record
+     * sequence either way.
+     */
+    static std::unique_ptr<BranchSource>
+    open(const BenchmarkSpec &spec, std::size_t target_branches,
+         std::size_t chunk_records = BranchSource::defaultChunkRecords);
+
+    /** Observability for the process-wide decoded-trace cache. */
+    struct StreamCacheStats
+    {
+        std::size_t entries = 0;   //!< decoded traces resident
+        std::size_t bytes = 0;     //!< approximate resident record bytes
+        std::uint64_t hits = 0;    //!< opens served from the cache
+        std::uint64_t misses = 0;  //!< opens that had to decode / stream
+    };
+    static StreamCacheStats streamCacheStats();
+
+    /** Drop every cached decoded trace (tests; live sources keep
+     *  their shared copies alive). */
+    static void clearStreamCache();
+
+    /**
+     * Discover recorded benchmarks in @p dir: every regular "*.cbp" /
+     * "*.imt" file becomes a recorded spec named after its stem, suite
+     * @p suite, sorted by file name.  Throws std::runtime_error when
+     * @p dir is not a directory.
+     */
+    static std::vector<BenchmarkSpec>
+    fromDirectory(const std::string &dir, const std::string &suite = "EXT");
+
+  private:
+    struct CharEntry
+    {
+        std::uint64_t fingerprint = 0;
+        TraceCharacterization record;
+    };
+
+    const BenchmarkSpec *lookup(const std::string &name) const;
+
+    std::vector<BenchmarkSpec> specs;
+    std::string cacheDir;
+    /** name + "@" + effective budget -> characterization. */
+    std::map<std::string, CharEntry> charCache;
+};
+
+/**
+ * The canonical experiment pool: the 80 generated suite members, plus
+ * the REC-01..REC-08 recorded scenarios when @p recorded_dir is
+ * non-empty.  The recorded directory is validated up front (must be a
+ * directory containing every rec-0N.cbp) with one shared error message,
+ * so every CLI reports a bad --recorded DIR identically.
+ */
+TraceCorpus makeSuiteCorpus(const std::string &recorded_dir);
+
+/** Selection request shared by the suite CLIs (suite_report, explorer,
+ *  bench mains). */
+struct CorpusQuery
+{
+    std::string recordedDir;  //!< "" = generated members only
+    std::string suite;        //!< "" or exact suite filter (e.g. "CBP4")
+    std::vector<std::string> patterns;  //!< glob selection, may be empty
+    std::string className;    //!< "" or a knownClasses() name
+    std::string characterizationCacheDir;  //!< "" = in-memory only
+    std::size_t targetBranches = 200000;   //!< class-characterization budget
+    std::size_t chunkBranches = BranchSource::defaultChunkRecords;
+};
+
+/**
+ * The shared CLI selection path: build the suite corpus, filter by
+ * suite, select by globs (near-miss suggestions preserved), then
+ * stratify by class.  Throws std::runtime_error on any selection
+ * problem — unknown pattern/class, invalid recorded dir, or an empty
+ * result ("no benchmarks selected" + the shared recordedHint when the
+ * request mentioned REC content without --recorded).
+ */
+std::vector<BenchmarkSpec> selectSuiteBenchmarks(const CorpusQuery &query);
+
+} // namespace imli
+
+#endif // IMLI_SRC_CORPUS_TRACE_CORPUS_HH

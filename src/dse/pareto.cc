@@ -109,4 +109,46 @@ paretoFrontier(std::vector<ParetoEntry> entries)
     return frontier;
 }
 
+IncrementalPareto::IncrementalPareto(std::string suite)
+    : suite(std::move(suite))
+{
+}
+
+void
+IncrementalPareto::add(const SweepCell &cell)
+{
+    if (!suite.empty() && cell.suite != suite)
+        return;
+    const auto inserted = specSlots.emplace(cell.spec, partial.size());
+    const std::size_t slot = inserted.first->second;
+    if (inserted.second) {
+        ParetoEntry entry;
+        entry.spec = cell.spec;
+        entry.storageBits = cell.storageBits;
+        partial.push_back(std::move(entry));
+    }
+    if (partial[slot].storageBits != cell.storageBits)
+        throw std::runtime_error(
+            "inconsistent storage bits for spec " + cell.spec);
+    partial[slot].avgMpki += cell.mpki();  // a sum until entries()
+    partial[slot].benchmarkCount += 1;
+    ++cells;
+}
+
+std::vector<ParetoEntry>
+IncrementalPareto::entries() const
+{
+    std::vector<ParetoEntry> out = partial;
+    for (ParetoEntry &entry : out)
+        entry.avgMpki /= static_cast<double>(entry.benchmarkCount);
+    markDominated(out);
+    return out;
+}
+
+std::vector<ParetoEntry>
+IncrementalPareto::frontier() const
+{
+    return paretoFrontier(entries());
+}
+
 } // namespace imli

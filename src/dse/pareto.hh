@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/dse/sweep.hh"
@@ -67,6 +68,43 @@ void markDominated(std::vector<ParetoEntry> &entries);
  */
 std::vector<ParetoEntry>
 paretoFrontier(std::vector<ParetoEntry> entries);
+
+/**
+ * Incremental per-spec aggregation for mid-merge Pareto views.  Unlike
+ * aggregateCells — which refuses partial journals because averages over
+ * different benchmark subsets are not comparable as FINAL results —
+ * this accumulator is explicitly for evolving views: shard merges feed
+ * cells as fragments land, and entries() reports the running averages
+ * (each entry's benchmarkCount says how much of the suite is behind
+ * it).  Feeding every cell of a complete journal yields exactly
+ * aggregateCells' entries.
+ */
+class IncrementalPareto
+{
+  public:
+    /** Aggregate only cells of @p suite ("" = all). */
+    explicit IncrementalPareto(std::string suite = "");
+
+    /** Fold one cell in (any order).  Throws std::runtime_error when a
+     *  spec reappears with different storage bits. */
+    void add(const SweepCell &cell);
+
+    /** Current entries (spec first-appearance order, running averages),
+     *  with dominance marked over the current state. */
+    std::vector<ParetoEntry> entries() const;
+
+    /** Current non-dominated entries in paretoOrderLess order. */
+    std::vector<ParetoEntry> frontier() const;
+
+    /** Cells folded in so far (after suite filtering). */
+    std::size_t cellCount() const { return cells; }
+
+  private:
+    std::string suite;
+    std::vector<ParetoEntry> partial;  //!< avgMpki holds the SUM here
+    std::unordered_map<std::string, std::size_t> specSlots;
+    std::size_t cells = 0;
+};
 
 } // namespace imli
 

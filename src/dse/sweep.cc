@@ -11,6 +11,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "src/corpus/trace_corpus.hh"
+#include "src/dse/pareto.hh"
 #include "src/obs/metrics.hh"
 #include "src/obs/phase_series.hh"
 #include "src/predictors/zoo.hh"
@@ -254,33 +256,46 @@ fileExists(const std::string &path)
 
 } // anonymous namespace
 
-SweepResults
-runSweep(const std::vector<BenchmarkSpec> &benchmarks,
-         const std::vector<std::string> &points, const SweepOptions &options)
+namespace
 {
-    if (options.journalPath.empty())
-        throw std::invalid_argument("runSweep: journalPath is required");
-    if (points.empty())
-        throw std::invalid_argument("runSweep: no config points");
-    if (benchmarks.empty())
-        throw std::invalid_argument("runSweep: no benchmarks");
 
-    SweepResults results;
-    results.points.reserve(points.size());
+/**
+ * Everything runSweep / planShards / runShard / mergeShardJournals
+ * validate and derive up front, shared so every entry point applies the
+ * identical canonicalization and the identical checks.
+ */
+struct SweepContext
+{
+    std::vector<ParsedSpec> parsedPoints;
+    std::vector<std::string> points;  //!< canonical, declared order
+    std::vector<std::uint64_t> storageBits;  //!< per point
+    std::string meta;  //!< the full sweep's journal metadata line
+};
+
+SweepContext
+prepareSweep(const std::vector<BenchmarkSpec> &benchmarks,
+             const std::vector<std::string> &points,
+             const SweepOptions &options, const std::string &what)
+{
+    if (points.empty())
+        throw std::invalid_argument(what + ": no config points");
+    if (benchmarks.empty())
+        throw std::invalid_argument(what + ": no benchmarks");
+
+    SweepContext ctx;
+    ctx.points.reserve(points.size());
     // One parse per point; workers and the storage audit below reuse the
     // ParsedSpec instead of re-parsing the string.
-    std::vector<ParsedSpec> parsedPoints;
-    parsedPoints.reserve(points.size());
+    ctx.parsedPoints.reserve(points.size());
     for (const std::string &point : points) {
-        parsedPoints.push_back(parseSpec(point));
-        results.points.push_back(describeConfig(parsedPoints.back()));
+        ctx.parsedPoints.push_back(parseSpec(point));
+        ctx.points.push_back(describeConfig(ctx.parsedPoints.back()));
     }
     {
-        std::set<std::string> unique(results.points.begin(),
-                                     results.points.end());
-        if (unique.size() != results.points.size())
+        std::set<std::string> unique(ctx.points.begin(), ctx.points.end());
+        if (unique.size() != ctx.points.size())
             throw std::invalid_argument(
-                "runSweep: duplicate config points after canonicalization");
+                what + ": duplicate config points after canonicalization");
     }
     {
         std::set<std::string> names;
@@ -288,37 +303,79 @@ runSweep(const std::vector<BenchmarkSpec> &benchmarks,
             validateBenchmark(spec);
             if (!names.insert(spec.name).second)
                 throw std::invalid_argument(
-                    "runSweep: duplicate benchmark name " + spec.name);
-            results.benchmarks.push_back(spec.name);
+                    what + ": duplicate benchmark name " + spec.name);
         }
     }
-
-    const std::size_t npoints = results.points.size();
-    const std::size_t nbench = benchmarks.size();
 
     // One predictor construction per point up front: pins the storage
     // budget for every journal row and validates resumed rows against
     // the current geometry.
-    std::vector<std::uint64_t> storageBits(npoints);
-    for (std::size_t p = 0; p < npoints; ++p)
-        storageBits[p] = makePredictor(parsedPoints[p])->storageBits();
+    ctx.storageBits.resize(ctx.points.size());
+    for (std::size_t p = 0; p < ctx.points.size(); ++p)
+        ctx.storageBits[p] = makePredictor(ctx.parsedPoints[p])->storageBits();
+
+    ctx.meta = journalMeta(benchmarks, options);
+    return ctx;
+}
+
+/** Contiguous, covering partition of @p nbench into @p count ranges. */
+std::vector<ShardRange>
+partitionBenchmarks(std::size_t nbench, std::size_t count)
+{
+    const std::size_t base = nbench / count;
+    const std::size_t extra = nbench % count;
+    std::vector<ShardRange> shards;
+    shards.reserve(count);
+    std::size_t begin = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t len = base + (i < extra ? 1 : 0);
+        shards.push_back({i, begin, begin + len});
+        begin += len;
+    }
+    return shards;
+}
+
+/**
+ * The sweep engine proper: run (or resume) the benchmark range
+ * [begin_bench, end_bench) of a sweep against @p journal_path.  The
+ * full-range call IS runSweep; a sub-range call is a shard writing its
+ * fragment.  Either way the journal carries the full sweep's metadata
+ * line, the standard resume semantics, and the canonical rewrite.
+ */
+SweepResults
+runRange(const std::vector<BenchmarkSpec> &benchmarks,
+         const SweepContext &ctx, const SweepOptions &options,
+         const std::string &journal_path, std::size_t begin_bench,
+         std::size_t end_bench)
+{
+    SweepResults results;
+    results.points = ctx.points;
+    for (std::size_t b = begin_bench; b < end_bench; ++b)
+        results.benchmarks.push_back(benchmarks[b].name);
+
+    const std::size_t npoints = ctx.points.size();
+    const std::size_t nbench = end_bench - begin_bench;
+    const std::vector<std::uint64_t> &storageBits = ctx.storageBits;
+    const std::string &meta = ctx.meta;
 
     // ---- Resume: absorb committed rows of an existing journal ----------
     std::vector<std::string> rows(nbench * npoints);
     std::vector<SweepCell> parsed(nbench * npoints);
     std::vector<bool> done(nbench * npoints, false);
-    const std::string meta = journalMeta(benchmarks, options);
-    if (fileExists(options.journalPath)) {
+    if (fileExists(journal_path)) {
+        // Range-local index: a fragment holding rows outside its own
+        // benchmark range is rejected by the lookup below, exactly like
+        // a foreign benchmark in a single-process resume.
         std::unordered_map<std::string, std::size_t> benchIndex;
         for (std::size_t i = 0; i < nbench; ++i)
-            benchIndex.emplace(benchmarks[i].name, i);
+            benchIndex.emplace(benchmarks[begin_bench + i].name, i);
         std::unordered_map<std::string, std::size_t> pointIndex;
         for (std::size_t i = 0; i < npoints; ++i)
-            pointIndex.emplace(results.points[i], i);
+            pointIndex.emplace(ctx.points[i], i);
 
         std::string journalOptions;
         const std::vector<SweepCell> loaded =
-            loadJournal(options.journalPath, &journalOptions);
+            loadJournal(journal_path, &journalOptions);
         if (journalOptions != meta)
             throw std::runtime_error(
                 "sweep journal was recorded with different options (\"" +
@@ -333,7 +390,7 @@ runSweep(const std::vector<BenchmarkSpec> &benchmarks,
                     cell.benchmark + " / " + cell.spec + "); refusing to "
                     "resume a different sweep's journal");
             const std::size_t b = bIt->second, p = pIt->second;
-            if (cell.suite != benchmarks[b].suite)
+            if (cell.suite != benchmarks[begin_bench + b].suite)
                 throw std::runtime_error(
                     "sweep journal suite mismatch for " + cell.benchmark);
             if (cell.storageBits != storageBits[p])
@@ -356,17 +413,16 @@ runSweep(const std::vector<BenchmarkSpec> &benchmarks,
         for (std::size_t i = 0; i < rows.size(); ++i)
             if (done[i])
                 committed.push_back(rows[i]);
-        rewriteJournal(options.journalPath, meta, committed);
+        rewriteJournal(journal_path, meta, committed);
     } else {
-        rewriteJournal(options.journalPath, meta, {});
+        rewriteJournal(journal_path, meta, {});
     }
 
     // ---- Simulate the missing cells ------------------------------------
-    std::ofstream journal(options.journalPath,
-                          std::ios::binary | std::ios::app);
+    std::ofstream journal(journal_path, std::ios::binary | std::ios::app);
     if (!journal)
         throw std::runtime_error("cannot append to sweep journal: " +
-                                 options.journalPath);
+                                 journal_path);
     std::mutex journalMutex;
 
     // Pending lists are fixed before the fan-out: workers must not read
@@ -387,11 +443,12 @@ runSweep(const std::vector<BenchmarkSpec> &benchmarks,
     std::vector<std::uint64_t> benchConditionals(nbench, 0);
 
     const auto runBenchmark = [&](std::size_t b) {
+        const BenchmarkSpec &bench = benchmarks[begin_bench + b];
         const std::vector<std::size_t> &pending = pendingByBench[b];
         if (pending.empty()) {
             if (options.progress) {
                 std::lock_guard<std::mutex> lock(journalMutex);
-                options.progress(benchmarks[b].name, 0);
+                options.progress(bench.name, 0);
             }
             return;
         }
@@ -400,20 +457,20 @@ runSweep(const std::vector<BenchmarkSpec> &benchmarks,
         predictors.reserve(pending.size());
         simOptions.reserve(pending.size());
         for (std::size_t p : pending) {
-            predictors.push_back(makePredictor(parsedPoints[p]));
+            predictors.push_back(makePredictor(ctx.parsedPoints[p]));
             // sim.delay is a sweepable dimension: a point carrying it is
             // pinned to its own engine depth (see applySpecDelay),
             // sharing the same streamed pass with the rest.
-            simOptions.push_back(applySpecDelay(parsedPoints[p],
+            simOptions.push_back(applySpecDelay(ctx.parsedPoints[p],
                                                 options.sim));
         }
         // Probe wiring, before the first predict: each cell's slot lives
-        // at its journal index, owned by this worker alone.
+        // at its range-local journal index, owned by this worker alone.
         if (options.metrics != nullptr) {
             for (std::size_t i = 0; i < pending.size(); ++i) {
                 obs::CellObs &oc =
                     options.metrics->cell(b * npoints + pending[i]);
-                oc.benchmark = benchmarks[b].name;
+                oc.benchmark = bench.name;
                 oc.config = results.points[pending[i]];
                 predictors[i]->attachProbes(oc.scope);
                 if (options.metrics->phaseInterval > 0)
@@ -425,8 +482,10 @@ runSweep(const std::vector<BenchmarkSpec> &benchmarks,
         }
 
         const auto start = std::chrono::steady_clock::now();
-        const std::unique_ptr<BranchSource> source = makeBranchSource(
-            benchmarks[b], options.branchesPerTrace, options.chunkBranches);
+        // Streams open through the corpus factory: recorded traces are
+        // decoded once per process and shared across shards/resumes.
+        const std::unique_ptr<BranchSource> source = TraceCorpus::open(
+            bench, options.branchesPerTrace, options.chunkBranches);
         const std::vector<SimResult> simmed =
             simulateMany(predictors, *source, simOptions);
         const double elapsed =
@@ -450,8 +509,8 @@ runSweep(const std::vector<BenchmarkSpec> &benchmarks,
             const std::size_t p = pending[i];
             SweepCell cell;
             cell.spec = results.points[p];
-            cell.benchmark = benchmarks[b].name;
-            cell.suite = benchmarks[b].suite;
+            cell.benchmark = bench.name;
+            cell.suite = bench.suite;
             cell.storageBits = storageBits[p];
             cell.mispredictions = simmed[i].mispredictions;
             cell.conditionals = simmed[i].conditionals;
@@ -464,12 +523,12 @@ runSweep(const std::vector<BenchmarkSpec> &benchmarks,
         journal.flush();
         results.simulatedCells += pending.size();
         if (options.progress)
-            options.progress(benchmarks[b].name, pending.size());
+            options.progress(bench.name, pending.size());
     };
 
     const unsigned jobs =
         options.jobs == 0 ? ThreadPool::hardwareThreads() : options.jobs;
-    if (jobs <= 1) {
+    if (jobs <= 1 || nbench <= 1) {
         for (std::size_t b = 0; b < nbench; ++b)
             runBenchmark(b);
     } else {
@@ -480,7 +539,7 @@ runSweep(const std::vector<BenchmarkSpec> &benchmarks,
     journal.close();
 
     // ---- Canonical rewrite: deterministic bytes whatever the history ---
-    rewriteJournal(options.journalPath, meta, rows);
+    rewriteJournal(journal_path, meta, rows);
 
     // ---- Timing sidecar: scheduling data, kept OUT of the journal ------
     // One row per benchmark simulated this run, declared order.  Values
@@ -501,7 +560,7 @@ runSweep(const std::vector<BenchmarkSpec> &benchmarks,
                     ? static_cast<double>(benchConditionals[b]) /
                           benchSeconds[b]
                     : 0.0;
-            timing << benchmarks[b].name << ','
+            timing << benchmarks[begin_bench + b].name << ','
                    << formatDouble(benchSeconds[b], 3) << ','
                    << formatDouble(bps, 0) << '\n';
         }
@@ -512,6 +571,192 @@ runSweep(const std::vector<BenchmarkSpec> &benchmarks,
     }
 
     results.cells = std::move(parsed);
+    return results;
+}
+
+} // anonymous namespace
+
+SweepResults
+runSweep(const std::vector<BenchmarkSpec> &benchmarks,
+         const std::vector<std::string> &points, const SweepOptions &options)
+{
+    if (options.journalPath.empty())
+        throw std::invalid_argument("runSweep: journalPath is required");
+    const SweepContext ctx =
+        prepareSweep(benchmarks, points, options, "runSweep");
+    return runRange(benchmarks, ctx, options, options.journalPath, 0,
+                    benchmarks.size());
+}
+
+ShardPlan
+planShards(const std::vector<BenchmarkSpec> &benchmarks,
+           const std::vector<std::string> &points,
+           const SweepOptions &options, std::size_t shard_count)
+{
+    if (shard_count == 0)
+        throw std::invalid_argument("planShards: shard count must be >= 1");
+    const SweepContext ctx =
+        prepareSweep(benchmarks, points, options, "planShards");
+    ShardPlan plan;
+    plan.points = ctx.points;
+    plan.meta = ctx.meta;
+    plan.benchmarks.reserve(benchmarks.size());
+    for (const BenchmarkSpec &spec : benchmarks)
+        plan.benchmarks.push_back(spec.name);
+    plan.shards = partitionBenchmarks(benchmarks.size(), shard_count);
+    return plan;
+}
+
+std::string
+shardJournalPath(const std::string &journal_path, std::size_t shard_index)
+{
+    return journal_path + ".shard" + std::to_string(shard_index);
+}
+
+SweepResults
+runShard(const std::vector<BenchmarkSpec> &benchmarks,
+         const std::vector<std::string> &points, const SweepOptions &options,
+         const ShardRange &range)
+{
+    if (options.journalPath.empty())
+        throw std::invalid_argument("runShard: journalPath is required");
+    if (range.beginBench > range.endBench ||
+        range.endBench > benchmarks.size())
+        throw std::invalid_argument(
+            "runShard: shard range [" + std::to_string(range.beginBench) +
+            ", " + std::to_string(range.endBench) +
+            ") is outside the sweep's " +
+            std::to_string(benchmarks.size()) + " benchmarks");
+    const SweepContext ctx =
+        prepareSweep(benchmarks, points, options, "runShard");
+    return runRange(benchmarks, ctx, options,
+                    shardJournalPath(options.journalPath, range.index),
+                    range.beginBench, range.endBench);
+}
+
+SweepResults
+mergeShardJournals(const std::vector<BenchmarkSpec> &benchmarks,
+                   const std::vector<std::string> &points,
+                   const SweepOptions &options, std::size_t shard_count,
+                   const MergeProgress &on_shard)
+{
+    if (options.journalPath.empty())
+        throw std::invalid_argument(
+            "mergeShardJournals: journalPath is required");
+    if (shard_count == 0)
+        throw std::invalid_argument(
+            "mergeShardJournals: shard count must be >= 1");
+    const SweepContext ctx =
+        prepareSweep(benchmarks, points, options, "mergeShardJournals");
+    const std::vector<ShardRange> shards =
+        partitionBenchmarks(benchmarks.size(), shard_count);
+
+    const std::size_t npoints = ctx.points.size();
+    const std::size_t nbench = benchmarks.size();
+    std::unordered_map<std::string, std::size_t> pointIndex;
+    for (std::size_t i = 0; i < npoints; ++i)
+        pointIndex.emplace(ctx.points[i], i);
+    std::unordered_map<std::string, std::size_t> benchIndex;
+    for (std::size_t i = 0; i < nbench; ++i)
+        benchIndex.emplace(benchmarks[i].name, i);
+
+    std::vector<std::string> rows(nbench * npoints);
+    std::vector<SweepCell> parsed(nbench * npoints);
+    std::vector<bool> done(nbench * npoints, false);
+    IncrementalPareto pareto;
+
+    for (const ShardRange &range : shards) {
+        const std::string fragment =
+            shardJournalPath(options.journalPath, range.index);
+        if (!fileExists(fragment))
+            throw std::runtime_error(
+                "mergeShardJournals: missing fragment for shard " +
+                std::to_string(range.index) + ": " + fragment +
+                " (run that shard first)");
+        std::string fragmentMeta;
+        const std::vector<SweepCell> cells =
+            loadJournal(fragment, &fragmentMeta);
+        if (fragmentMeta != ctx.meta)
+            throw std::runtime_error(
+                "shard fragment " + fragment +
+                " was recorded with different options (\"" + fragmentMeta +
+                "\" vs \"" + ctx.meta + "\"); it belongs to a different "
+                "sweep");
+        for (const SweepCell &cell : cells) {
+            const auto bIt = benchIndex.find(cell.benchmark);
+            const auto pIt = pointIndex.find(cell.spec);
+            if (bIt == benchIndex.end() || pIt == pointIndex.end())
+                throw std::runtime_error(
+                    "shard fragment " + fragment +
+                    " has a row outside this sweep (" + cell.benchmark +
+                    " / " + cell.spec + ")");
+            const std::size_t b = bIt->second, p = pIt->second;
+            if (b < range.beginBench || b >= range.endBench)
+                throw std::runtime_error(
+                    "shard fragment " + fragment + " has a row outside "
+                    "its benchmark range (" + cell.benchmark +
+                    " belongs to another shard)");
+            if (cell.suite != benchmarks[b].suite)
+                throw std::runtime_error(
+                    "shard fragment " + fragment + " suite mismatch for " +
+                    cell.benchmark);
+            if (cell.storageBits != ctx.storageBits[p])
+                throw std::runtime_error(
+                    "shard fragment " + fragment + " storage mismatch "
+                    "for " + cell.spec + " (fragment " +
+                    std::to_string(cell.storageBits) +
+                    " bits, current geometry " +
+                    std::to_string(ctx.storageBits[p]) + " bits)");
+            const std::size_t idx = b * npoints + p;
+            if (done[idx])
+                throw std::runtime_error(
+                    "shard fragment " + fragment +
+                    " has a duplicate row for " + cell.benchmark + " / " +
+                    cell.spec);
+            done[idx] = true;
+            rows[idx] = formatJournalRow(cell);
+            parsed[idx] = cell;
+            pareto.add(cell);
+        }
+        if (on_shard)
+            on_shard(range, pareto.entries());
+    }
+
+    // Every cell must have landed: a missing cell usually means a shard
+    // was killed mid-append (its tail row was dropped on load) — re-run
+    // that shard to complete its fragment, then merge again.
+    std::size_t missing = 0;
+    std::string firstMissing;
+    std::size_t firstMissingShard = 0;
+    for (std::size_t b = 0; b < nbench; ++b)
+        for (std::size_t p = 0; p < npoints; ++p)
+            if (!done[b * npoints + p]) {
+                ++missing;
+                if (firstMissing.empty()) {
+                    firstMissing =
+                        benchmarks[b].name + " / " + ctx.points[p];
+                    for (const ShardRange &range : shards)
+                        if (b >= range.beginBench && b < range.endBench)
+                            firstMissingShard = range.index;
+                }
+            }
+    if (missing > 0)
+        throw std::runtime_error(
+            "mergeShardJournals: " + std::to_string(missing) +
+            " cell(s) missing (first: " + firstMissing + ", shard " +
+            std::to_string(firstMissingShard) + "); re-run the "
+            "incomplete shard(s), then merge again");
+
+    // The canonical journal: byte-identical to a single-process
+    // runSweep of the same inputs.
+    rewriteJournal(options.journalPath, ctx.meta, rows);
+
+    SweepResults results;
+    results.points = ctx.points;
+    for (const BenchmarkSpec &spec : benchmarks)
+        results.benchmarks.push_back(spec.name);
+    results.cells = std::move(parsed);
+    results.simulatedCells = 0;  // merge only validates and rewrites
     return results;
 }
 

@@ -26,6 +26,23 @@
  * current options — or whose rows fall outside the sweep's
  * benchmarks x points matrix — is rejected: it belongs to a different
  * experiment and silently merging it would corrupt the averages.
+ *
+ * Shard / plan / merge (process-level orchestration): the same cell
+ * space can be executed by independent worker PROCESSES.  planShards()
+ * partitions the benchmark axis into contiguous ranges — the journal is
+ * benchmark-major, so a benchmark range IS a contiguous journal row
+ * range, and every fragment stays journal-compatible by construction.
+ * runShard() executes one range, writing (and resuming) a journal
+ * fragment at shardJournalPath(journal, index) that carries the FULL
+ * sweep's metadata line, so fragments are validated with exactly the
+ * resume fingerprint machinery.  mergeShardJournals() validates each
+ * fragment (metadata, range membership, storage bits, duplicates),
+ * re-aggregates the Pareto view incrementally as each shard lands, and
+ * rewrites the canonical journal — byte-identical to the file a
+ * single-process runSweep() would have produced.  runSweep() itself is
+ * the one-range composition of the same code path (prepare -> execute
+ * range [0, N) straight into the canonical journal), which is what
+ * keeps pre-shard journals resumable and the bytes stable.
  */
 
 #ifndef IMLI_SRC_DSE_SWEEP_HH
@@ -165,6 +182,89 @@ SweepCell parseJournalRow(const std::string &line);
  */
 std::vector<SweepCell> loadJournal(const std::string &path,
                                    std::string *meta = nullptr);
+
+// -- Shard / plan / merge (process-level orchestration) -------------------
+
+/**
+ * One shard: the contiguous benchmark range [beginBench, endBench) of a
+ * sweep's declared benchmark order.  Because journal rows are
+ * benchmark-major, the range also describes a contiguous block of
+ * journal rows — a shard's fragment is a slice of the canonical journal.
+ */
+struct ShardRange
+{
+    std::size_t index = 0;       //!< shard number in [0, shardCount)
+    std::size_t beginBench = 0;  //!< first benchmark index (inclusive)
+    std::size_t endBench = 0;    //!< one past the last benchmark index
+
+    std::size_t benchmarkCount() const { return endBench - beginBench; }
+};
+
+/** A sweep's cell space partitioned into shards. */
+struct ShardPlan
+{
+    std::vector<std::string> benchmarks;  //!< names, declared order
+    std::vector<std::string> points;      //!< canonical specs
+    std::string meta;    //!< the full sweep's journal metadata line
+    std::vector<ShardRange> shards;       //!< contiguous, covering, ordered
+};
+
+/**
+ * Partition the (benchmark x point) cell space of a sweep into
+ * @p shard_count contiguous benchmark ranges, as evenly as possible
+ * (earlier shards take the remainder; with more shards than benchmarks
+ * the surplus shards are empty).  Inputs are validated exactly like
+ * runSweep — canonicalized points, distinct names, readable traces —
+ * so a plan that prints is a plan that will run.  Deterministic: the
+ * same inputs always produce the same partition, which is how
+ * mergeShardJournals re-derives the plan.
+ */
+ShardPlan planShards(const std::vector<BenchmarkSpec> &benchmarks,
+                     const std::vector<std::string> &points,
+                     const SweepOptions &options, std::size_t shard_count);
+
+/** Fragment journal path for shard @p shard_index: "<journal>.shard<i>". */
+std::string shardJournalPath(const std::string &journal_path,
+                             std::size_t shard_index);
+
+/**
+ * Execute one shard of a sweep: simulate the range's pending cells and
+ * journal them to shardJournalPath(options.journalPath, range.index).
+ * The fragment has the full sweep's metadata line and the standard
+ * resume semantics (committed rows are kept, truncated tails dropped),
+ * so a killed shard re-run completes its fragment.  @p benchmarks and
+ * @p points are the FULL sweep's — every shard validates the whole
+ * input, and the metadata fingerprint covers every recorded trace.
+ */
+SweepResults runShard(const std::vector<BenchmarkSpec> &benchmarks,
+                      const std::vector<std::string> &points,
+                      const SweepOptions &options, const ShardRange &range);
+
+struct ParetoEntry;  // src/dse/pareto.hh
+
+/** Merge progress: a shard just landed; entries are the Pareto
+ *  aggregation over every cell merged so far (partial averages). */
+using MergeProgress =
+    std::function<void(const ShardRange &,
+                       const std::vector<ParetoEntry> &)>;
+
+/**
+ * Validate and merge the @p shard_count shard fragments of a sweep into
+ * the canonical journal at options.journalPath, byte-identical to a
+ * single-process runSweep of the same inputs.  Each fragment must
+ * exist, carry the full sweep's metadata line, and contain exactly rows
+ * inside its range (storage bits and suites are checked like resume;
+ * truncated tails are dropped by loadJournal).  After the last fragment,
+ * any missing cell is an error naming the shard to re-run — a dropped
+ * tail is completed by re-running its shard, then merging again.
+ * @p on_shard (optional) is called as each shard lands with the
+ * incrementally re-aggregated Pareto entries.
+ */
+SweepResults mergeShardJournals(const std::vector<BenchmarkSpec> &benchmarks,
+                                const std::vector<std::string> &points,
+                                const SweepOptions &options,
+                                std::size_t shard_count,
+                                const MergeProgress &on_shard = {});
 
 } // namespace imli
 

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "src/corpus/trace_corpus.hh"
 #include "src/obs/metrics.hh"
 #include "src/obs/phase_series.hh"
 #include "src/predictors/zoo.hh"
@@ -149,12 +150,12 @@ runBenchmark(const BenchmarkSpec &spec,
 
     const auto start = std::chrono::steady_clock::now();
 
-    // The backend factory: generator for synthetic specs, streaming file
-    // reader for recorded ones.  Either way the stream arrives chunk by
-    // chunk, so the memory model below is backend-independent.
-    const std::unique_ptr<BranchSource> source =
-        makeBranchSource(spec, options.branchesPerTrace,
-                         options.chunkBranches);
+    // The corpus factory: generator for synthetic specs; recorded traces
+    // are decoded once per process and shared (falling back to streaming
+    // file readers when oversized).  Either way the stream arrives chunk
+    // by chunk, so the memory model below is backend-independent.
+    const std::unique_ptr<BranchSource> source = TraceCorpus::open(
+        spec, options.branchesPerTrace, options.chunkBranches);
     const std::vector<SimResult> results =
         simulateMany(predictors, *source, simOptions);
 

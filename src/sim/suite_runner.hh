@@ -13,13 +13,16 @@
  * O(branchesPerTrace)·J.  Stream cost (generation or file decode) is
  * paid once per benchmark, not once per (benchmark, config) cell.
  *
- * Multi-backend note: the benchmark's TraceBackend picks the source —
+ * Multi-backend note: streams open through TraceCorpus::open() —
  * GeneratorBranchSource for synthetic specs (overhang: the one kernel
- * round crossing the chunk boundary), CbpFileBranchSource /
- * FileBranchSource for recorded specs (overhang: none; the reader's
- * buffer IS the chunk).  Mixed suites therefore keep the same O(chunk)·J
- * bound, and recorded benchmarks add only an open file handle per live
- * worker.  Recorded streams ignore branchesPerTrace: a recording's
+ * round crossing the chunk boundary); recorded specs are decoded once
+ * per process into the corpus's capped shared cache and served as
+ * zero-copy spans (oversized traces fall back to CbpFileBranchSource /
+ * FileBranchSource, whose reader buffer IS the chunk).  Mixed suites
+ * keep the O(chunk)·J streaming bound plus the one shared decoded copy
+ * per distinct recorded trace — not per worker, and the record sequence
+ * (hence every result) is identical whether a stream was cached or
+ * streamed.  Recorded streams ignore branchesPerTrace: a recording's
  * length is part of the scenario, so the whole file always plays.
  */
 

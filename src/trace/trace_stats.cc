@@ -1,10 +1,7 @@
 #include "src/trace/trace_stats.hh"
 
 #include <cmath>
-#include <map>
-#include <set>
 #include <sstream>
-#include <vector>
 
 namespace imli
 {
@@ -49,13 +46,6 @@ TraceStats::toString() const
 namespace
 {
 
-/** Per-static-conditional direction tallies for the entropy term. */
-struct PcTally
-{
-    std::uint64_t count = 0;
-    std::uint64_t taken = 0;
-};
-
 /** Binary entropy of a taken probability, in bits. */
 double
 binaryEntropy(double p)
@@ -65,81 +55,74 @@ binaryEntropy(double p)
     return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
 }
 
-/** A loop interval [target, pc] closed by a taken backward branch. */
-struct LoopInterval
-{
-    std::uint64_t target;
-    std::uint64_t pc;
-
-    bool
-    contains(const BranchRecord &rec) const
-    {
-        return target <= rec.target && rec.pc <= pc;
-    }
-};
-
 } // anonymous namespace
 
-TraceStats
-computeStats(const Trace &trace)
+void
+TraceStatsBuilder::add(const BranchRecord &rec)
 {
-    TraceStats stats;
-    std::set<std::uint64_t> static_pcs;
-    std::set<std::uint64_t> static_cond_pcs;
-    std::map<std::uint64_t, PcTally> cond_tally;
-    // Active loop nest: intervals of taken backward branches, innermost
-    // on top.  Bounded by the profile cap, so pathological traces cannot
-    // grow the stack.
-    std::vector<LoopInterval> nest;
-
-    stats.records = trace.size();
-    stats.instructions = trace.instructionCount();
-    for (const BranchRecord &rec : trace.branches()) {
-        ++stats.perType[rec.type];
-        static_pcs.insert(rec.pc);
-        if (isConditional(rec.type)) {
-            ++stats.conditionals;
-            static_cond_pcs.insert(rec.pc);
-            PcTally &tally = cond_tally[rec.pc];
-            ++tally.count;
-            if (rec.taken)
-                ++stats.takenConditionals;
-            if (rec.taken)
-                ++tally.taken;
-            if (rec.isBackward())
-                ++stats.backwardConditionals;
-            if (rec.taken && rec.isBackward()) {
-                // Leave every loop whose body does not enclose this
-                // branch; an enclosing interval means we iterate inside
-                // it, and the identical interval is the same loop
-                // re-iterating (not deeper nesting).
-                while (!nest.empty() && !nest.back().contains(rec))
-                    nest.pop_back();
-                const bool reiterating =
-                    !nest.empty() && nest.back().target == rec.target &&
-                    nest.back().pc == rec.pc;
-                if (!reiterating &&
-                    nest.size() < TraceStats::kMaxLoopProfileDepth)
-                    nest.push_back({rec.target, rec.pc});
-                const auto depth = static_cast<unsigned>(nest.size());
-                ++stats.loopDepth[depth == 0 ? 1u : depth];
-            }
-        }
+    ++stats.records;
+    stats.instructions += rec.instsBefore + 1; // +1 for the branch itself
+    ++stats.perType[rec.type];
+    staticPcs.insert(rec.pc);
+    if (!isConditional(rec.type))
+        return;
+    ++stats.conditionals;
+    staticCondPcs.insert(rec.pc);
+    PcTally &tally = condTally[rec.pc];
+    ++tally.count;
+    if (rec.taken)
+        ++stats.takenConditionals;
+    if (rec.taken)
+        ++tally.taken;
+    if (rec.isBackward())
+        ++stats.backwardConditionals;
+    if (rec.taken && rec.isBackward()) {
+        // Leave every loop whose body does not enclose this branch; an
+        // enclosing interval means we iterate inside it, and the
+        // identical interval is the same loop re-iterating (not deeper
+        // nesting).
+        const auto contains = [&rec](const LoopInterval &loop) {
+            return loop.target <= rec.target && rec.pc <= loop.pc;
+        };
+        while (!nest.empty() && !contains(nest.back()))
+            nest.pop_back();
+        const bool reiterating = !nest.empty() &&
+                                 nest.back().target == rec.target &&
+                                 nest.back().pc == rec.pc;
+        if (!reiterating &&
+            nest.size() < TraceStats::kMaxLoopProfileDepth)
+            nest.push_back({rec.target, rec.pc});
+        const auto depth = static_cast<unsigned>(nest.size());
+        ++stats.loopDepth[depth == 0 ? 1u : depth];
     }
-    stats.staticBranches = static_pcs.size();
-    stats.staticConditionals = static_cond_pcs.size();
+}
 
-    if (stats.conditionals > 0) {
+TraceStats
+TraceStatsBuilder::finish() const
+{
+    TraceStats out = stats;
+    out.staticBranches = staticPcs.size();
+    out.staticConditionals = staticCondPcs.size();
+    if (out.conditionals > 0) {
         double weighted = 0.0;
-        for (const auto &[pc, tally] : cond_tally) {
+        for (const auto &[pc, tally] : condTally) {
             const double p = static_cast<double>(tally.taken) /
                              static_cast<double>(tally.count);
             weighted += static_cast<double>(tally.count) * binaryEntropy(p);
         }
-        stats.conditionalEntropy =
-            weighted / static_cast<double>(stats.conditionals);
+        out.conditionalEntropy =
+            weighted / static_cast<double>(out.conditionals);
     }
-    return stats;
+    return out;
+}
+
+TraceStats
+computeStats(const Trace &trace)
+{
+    TraceStatsBuilder builder;
+    for (const BranchRecord &rec : trace.branches())
+        builder.add(rec);
+    return builder.finish();
 }
 
 } // namespace imli

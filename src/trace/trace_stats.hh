@@ -13,7 +13,9 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "src/trace/trace.hh"
 
@@ -61,6 +63,45 @@ struct TraceStats
 
     /** Multi-line human-readable summary. */
     std::string toString() const;
+};
+
+/**
+ * Streaming accumulator behind computeStats: feed records in stream
+ * order, read the finished TraceStats at the end.  One definition of
+ * every statistic, shared between the materialized path (computeStats)
+ * and the corpus characterization layer (src/corpus/characterize.hh),
+ * so a stat computed from a generated stream, an .imt file or a .cbp
+ * file of the same trace is identical by construction.
+ */
+class TraceStatsBuilder
+{
+  public:
+    /** Accumulate one record; must be called in stream order. */
+    void add(const BranchRecord &rec);
+
+    /** The statistics over every record added so far. */
+    TraceStats finish() const;
+
+  private:
+    /** Per-static-conditional direction tallies for the entropy term. */
+    struct PcTally
+    {
+        std::uint64_t count = 0;
+        std::uint64_t taken = 0;
+    };
+
+    /** A loop interval [target, pc] closed by a taken backward branch. */
+    struct LoopInterval
+    {
+        std::uint64_t target;
+        std::uint64_t pc;
+    };
+
+    TraceStats stats;
+    std::map<std::uint64_t, PcTally> condTally;
+    std::set<std::uint64_t> staticPcs;
+    std::set<std::uint64_t> staticCondPcs;
+    std::vector<LoopInterval> nest;
 };
 
 /** Compute statistics for @p trace in one pass. */

@@ -2,8 +2,10 @@
  * @file
  * Tests for the design-space exploration subsystem: the spec-override
  * grammar round trip, parameter-space expansion, the resumable sweep
- * journal (bit-identity across worker counts and kill/resume), and the
- * Pareto layer against an O(n^2) dominance oracle.
+ * journal (bit-identity across worker counts and kill/resume), the
+ * shard/plan/merge orchestration (fragment byte-identity, truncated-
+ * fragment recovery), and the Pareto layer against an O(n^2) dominance
+ * oracle.
  */
 
 #include <gtest/gtest.h>
@@ -790,4 +792,377 @@ TEST(Pareto, PartialJournalsAreRejected)
     EXPECT_THROW(aggregateCells(cells), std::runtime_error);
     add("b", "B2", 20);
     EXPECT_EQ(aggregateCells(cells).size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Shard / plan / merge orchestration.
+// ---------------------------------------------------------------------------
+
+TEST(ShardPlan, PartitionIsContiguousCoveringAndEven)
+{
+    const std::vector<std::string> points = {"tage-gsc@tage.logsize=8"};
+    const SweepOptions options = sweepOptions(tmpPath("plan.csv"), 1);
+    for (std::size_t count : {1, 2, 3, 5}) {
+        const ShardPlan plan =
+            planShards(sweepBenchmarks(), points, options, count);
+        ASSERT_EQ(plan.shards.size(), count);
+        EXPECT_EQ(plan.benchmarks.size(), 3u);
+        EXPECT_EQ(plan.meta, journalMeta(sweepBenchmarks(), options));
+        // Contiguous, covering, in order; as even as possible with
+        // earlier shards taking the remainder (sizes never grow).
+        std::size_t next = 0;
+        for (std::size_t i = 0; i < count; ++i) {
+            EXPECT_EQ(plan.shards[i].index, i);
+            EXPECT_EQ(plan.shards[i].beginBench, next);
+            EXPECT_GE(plan.shards[i].endBench, plan.shards[i].beginBench);
+            EXPECT_LE(plan.shards[i].benchmarkCount(),
+                      (3 + count - 1) / count);
+            if (i > 0)
+                EXPECT_LE(plan.shards[i].benchmarkCount(),
+                          plan.shards[i - 1].benchmarkCount());
+            next = plan.shards[i].endBench;
+        }
+        EXPECT_EQ(next, 3u);
+    }
+    // 2 shards over 3 benchmarks: the first takes the remainder.
+    const ShardPlan two = planShards(sweepBenchmarks(), points, options, 2);
+    EXPECT_EQ(two.shards[0].benchmarkCount(), 2u);
+    EXPECT_EQ(two.shards[1].benchmarkCount(), 1u);
+    // 5 shards over 3 benchmarks: the surplus shards are empty (and an
+    // empty shard's fragment is still a valid, row-less journal).
+    const ShardPlan five = planShards(sweepBenchmarks(), points, options, 5);
+    EXPECT_EQ(five.shards[3].benchmarkCount(), 0u);
+    EXPECT_EQ(five.shards[4].benchmarkCount(), 0u);
+    // Deterministic: mergeShardJournals re-derives exactly this plan.
+    const ShardPlan again = planShards(sweepBenchmarks(), points, options, 2);
+    for (std::size_t i = 0; i < 2; ++i) {
+        EXPECT_EQ(again.shards[i].beginBench, two.shards[i].beginBench);
+        EXPECT_EQ(again.shards[i].endBench, two.shards[i].endBench);
+    }
+    EXPECT_EQ(shardJournalPath("sweep.csv", 3), "sweep.csv.shard3");
+}
+
+TEST(ShardPlan, ValidatesLikeRunSweep)
+{
+    const SweepOptions options = sweepOptions(tmpPath("plan_valid.csv"), 1);
+    // A plan that prints is a plan that will run: the same up-front
+    // validation as runSweep, plus the shard count itself.
+    EXPECT_THROW(planShards(sweepBenchmarks(), {}, options, 2),
+                 std::invalid_argument);
+    EXPECT_THROW(planShards({}, {"tage-gsc"}, options, 2),
+                 std::invalid_argument);
+    EXPECT_THROW(planShards(sweepBenchmarks(),
+                            {"tage-gsc+oh+sic", "tage-gsc+i"}, options, 2),
+                 std::invalid_argument);
+    EXPECT_THROW(planShards(sweepBenchmarks(), {"tage-gsc"}, options, 0),
+                 std::invalid_argument);
+}
+
+TEST(ShardMerge, TwoShardMergeIsByteIdenticalToRunSweep)
+{
+    const std::vector<std::string> points = twelvePoints();
+    const std::string reference = tmpPath("shard_ref.csv");
+    const std::string merged = tmpPath("shard_merged.csv");
+    std::remove(reference.c_str());
+    std::remove(merged.c_str());
+    for (std::size_t i = 0; i < 2; ++i)
+        std::remove(shardJournalPath(merged, i).c_str());
+
+    runSweep(sweepBenchmarks(), points, sweepOptions(reference, 2));
+
+    const SweepOptions options = sweepOptions(merged, 1);
+    const ShardPlan plan = planShards(sweepBenchmarks(), points, options, 2);
+    std::size_t simulated = 0;
+    for (const ShardRange &range : plan.shards)
+        simulated +=
+            runShard(sweepBenchmarks(), points, options, range).simulatedCells;
+    EXPECT_EQ(simulated, 36u);
+
+    std::vector<std::size_t> shardsSeen;
+    std::vector<std::size_t> cellsSeen;
+    const SweepResults results = mergeShardJournals(
+        sweepBenchmarks(), points, options, 2,
+        [&](const ShardRange &range,
+            const std::vector<ParetoEntry> &entries) {
+            shardsSeen.push_back(range.index);
+            std::size_t cells = 0;
+            for (const ParetoEntry &entry : entries)
+                cells += entry.benchmarkCount;
+            cellsSeen.push_back(cells);
+        });
+    EXPECT_EQ(results.cells.size(), 36u);
+    EXPECT_EQ(results.simulatedCells, 0u);  // merge validates, never runs
+    EXPECT_EQ(readFile(merged), readFile(reference));
+
+    // Progress fired once per shard, in order, with the incremental
+    // Pareto view growing by each shard's cell block (2 benchmarks x 12
+    // points, then the last benchmark's 12).
+    ASSERT_EQ(shardsSeen.size(), 2u);
+    EXPECT_EQ(shardsSeen[0], 0u);
+    EXPECT_EQ(shardsSeen[1], 1u);
+    ASSERT_EQ(cellsSeen.size(), 2u);
+    EXPECT_EQ(cellsSeen[0], 24u);
+    EXPECT_EQ(cellsSeen[1], 36u);
+
+    // The merged results agree with the journal a resume would load.
+    const SweepResults resumed =
+        runSweep(sweepBenchmarks(), points, sweepOptions(merged, 1));
+    EXPECT_EQ(resumed.simulatedCells, 0u);
+    EXPECT_EQ(readFile(merged), readFile(reference));
+
+    std::remove(reference.c_str());
+    std::remove(merged.c_str());
+    for (std::size_t i = 0; i < 2; ++i)
+        std::remove(shardJournalPath(merged, i).c_str());
+}
+
+TEST(ShardMerge, TruncatedFragmentIsCompletedByRerun)
+{
+    const std::vector<std::string> points = twelvePoints();
+    const std::string reference = tmpPath("shard_kill_ref.csv");
+    const std::string journal = tmpPath("shard_kill.csv");
+    std::remove(reference.c_str());
+    std::remove(journal.c_str());
+    for (std::size_t i = 0; i < 2; ++i)
+        std::remove(shardJournalPath(journal, i).c_str());
+
+    runSweep(sweepBenchmarks(), points, sweepOptions(reference, 1));
+
+    const SweepOptions options = sweepOptions(journal, 1);
+    const ShardPlan plan = planShards(sweepBenchmarks(), points, options, 2);
+    for (const ShardRange &range : plan.shards)
+        runShard(sweepBenchmarks(), points, options, range);
+
+    // Kill shard 0 mid-append: keep its committed rows plus a truncated
+    // tail that still "parses" as a prefix of a row.
+    const std::string fragment = shardJournalPath(journal, 0);
+    const std::string intact = readFile(fragment);
+    const std::size_t cut = intact.find('\n', intact.size() / 2);
+    ASSERT_NE(cut, std::string::npos);
+    writeFile(fragment, intact.substr(0, cut + 1) + "\"tage-gsc+sic@tage");
+
+    // The merge drops the tail, finds cells missing, and refuses with an
+    // error naming the shard to re-run.
+    try {
+        mergeShardJournals(sweepBenchmarks(), points, options, 2);
+        FAIL() << "merge accepted an incomplete fragment";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("cell(s) missing"), std::string::npos) << what;
+        EXPECT_NE(what.find("shard 0"), std::string::npos) << what;
+        EXPECT_NE(what.find("re-run"), std::string::npos) << what;
+    }
+
+    // Re-running the shard resumes its fragment — simulating only the
+    // dropped cells — after which the merge completes byte-identically.
+    const SweepResults rerun =
+        runShard(sweepBenchmarks(), points, options, plan.shards[0]);
+    EXPECT_GT(rerun.simulatedCells, 0u);
+    EXPECT_LT(rerun.simulatedCells, 24u);
+    mergeShardJournals(sweepBenchmarks(), points, options, 2);
+    EXPECT_EQ(readFile(journal), readFile(reference));
+
+    std::remove(reference.c_str());
+    std::remove(journal.c_str());
+    for (std::size_t i = 0; i < 2; ++i)
+        std::remove(shardJournalPath(journal, i).c_str());
+}
+
+TEST(ShardMerge, MissingAndForeignFragmentsAreRejected)
+{
+    const std::vector<std::string> points = {"tage-gsc@tage.logsize=8"};
+    const std::string journal = tmpPath("shard_foreign.csv");
+    std::remove(journal.c_str());
+    for (std::size_t i = 0; i < 2; ++i)
+        std::remove(shardJournalPath(journal, i).c_str());
+
+    const SweepOptions options = sweepOptions(journal, 1);
+    const ShardPlan plan = planShards(sweepBenchmarks(), points, options, 2);
+    runShard(sweepBenchmarks(), points, options, plan.shards[0]);
+
+    // Shard 1 never ran: the merge names the missing fragment.
+    try {
+        mergeShardJournals(sweepBenchmarks(), points, options, 2);
+        FAIL() << "merge accepted a missing fragment";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("missing fragment for shard 1"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // A fragment holding another shard's rows is rejected, not merged.
+    writeFile(shardJournalPath(journal, 1),
+              readFile(shardJournalPath(journal, 0)));
+    try {
+        mergeShardJournals(sweepBenchmarks(), points, options, 2);
+        FAIL() << "merge accepted rows outside the shard's range";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("outside its benchmark range"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // Fragments recorded under different run options belong to a
+    // different sweep: the metadata fingerprint rejects them.
+    std::remove(shardJournalPath(journal, 1).c_str());
+    runShard(sweepBenchmarks(), points, options, plan.shards[1]);
+    SweepOptions longer = options;
+    longer.branchesPerTrace = 5000;
+    try {
+        mergeShardJournals(sweepBenchmarks(), points, longer, 2);
+        FAIL() << "merge accepted fragments with a foreign fingerprint";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("different options"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // With both fragments intact and matching options the merge lands.
+    mergeShardJournals(sweepBenchmarks(), points, options, 2);
+    EXPECT_EQ(loadJournal(journal).size(), 3u);
+
+    std::remove(journal.c_str());
+    for (std::size_t i = 0; i < 2; ++i)
+        std::remove(shardJournalPath(journal, i).c_str());
+}
+
+TEST(ShardMerge, RunShardValidatesItsRange)
+{
+    const SweepOptions options = sweepOptions(tmpPath("shard_range.csv"), 1);
+    ShardRange bad;
+    bad.index = 0;
+    bad.beginBench = 2;
+    bad.endBench = 5;  // past the 3-benchmark sweep
+    EXPECT_THROW(runShard(sweepBenchmarks(), {"tage-gsc"}, options, bad),
+                 std::invalid_argument);
+    bad.beginBench = 3;
+    bad.endBench = 2;  // inverted
+    EXPECT_THROW(runShard(sweepBenchmarks(), {"tage-gsc"}, options, bad),
+                 std::invalid_argument);
+    SweepOptions noJournal = options;
+    noJournal.journalPath = "";
+    ShardRange ok;
+    ok.endBench = 1;
+    EXPECT_THROW(runShard(sweepBenchmarks(), {"tage-gsc"}, noJournal, ok),
+                 std::invalid_argument);
+    EXPECT_THROW(mergeShardJournals(sweepBenchmarks(), {"tage-gsc"},
+                                    noJournal, 2),
+                 std::invalid_argument);
+    EXPECT_THROW(mergeShardJournals(sweepBenchmarks(), {"tage-gsc"},
+                                    options, 0),
+                 std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental Pareto aggregation (the merge's evolving frontier view).
+// ---------------------------------------------------------------------------
+
+namespace
+{
+
+SweepCell
+paretoCell(const std::string &spec, const std::string &bench,
+           const std::string &suite, std::uint64_t bits,
+           std::uint64_t mispredictions)
+{
+    SweepCell cell;
+    cell.spec = spec;
+    cell.benchmark = bench;
+    cell.suite = suite;
+    cell.storageBits = bits;
+    cell.mispredictions = mispredictions;
+    cell.conditionals = 100;
+    cell.instructions = 1000;
+    return cell;
+}
+
+} // anonymous namespace
+
+TEST(IncrementalParetoTest, CompleteJournalMatchesAggregateCells)
+{
+    const std::vector<SweepCell> cells = {
+        paretoCell("a", "B1", "CBP4", 1000, 10),
+        paretoCell("b", "B1", "CBP4", 2000, 5),
+        paretoCell("c", "B1", "CBP3", 1500, 40),
+        paretoCell("a", "B2", "CBP3", 1000, 30),
+        paretoCell("b", "B2", "CBP4", 2000, 15),
+        paretoCell("c", "B2", "CBP4", 1500, 20),
+    };
+    // Fed in journal order, the incremental view IS aggregateCells.
+    IncrementalPareto incremental;
+    for (const SweepCell &cell : cells)
+        incremental.add(cell);
+    EXPECT_EQ(incremental.cellCount(), 6u);
+    // entries() marks dominance; aggregateCells leaves that to
+    // markDominated — mark the reference before comparing.
+    std::vector<ParetoEntry> reference = aggregateCells(cells);
+    markDominated(reference);
+    const std::vector<ParetoEntry> running = incremental.entries();
+    ASSERT_EQ(running.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+        EXPECT_EQ(running[i].spec, reference[i].spec);
+        EXPECT_DOUBLE_EQ(running[i].avgMpki, reference[i].avgMpki);
+        EXPECT_EQ(running[i].storageBits, reference[i].storageBits);
+        EXPECT_EQ(running[i].benchmarkCount, reference[i].benchmarkCount);
+        EXPECT_EQ(running[i].dominated, reference[i].dominated);
+    }
+    // The frontiers agree too (same specs, same order).
+    const std::vector<ParetoEntry> frontier = incremental.frontier();
+    const std::vector<ParetoEntry> expected = paretoFrontier(reference);
+    ASSERT_EQ(frontier.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        EXPECT_EQ(frontier[i].spec, expected[i].spec);
+
+    // Fold order does not change the averages — shards land in any order.
+    IncrementalPareto shuffled;
+    for (std::size_t i = cells.size(); i-- > 0;)
+        shuffled.add(cells[i]);
+    for (const ParetoEntry &entry : shuffled.entries()) {
+        const auto it = std::find_if(
+            reference.begin(), reference.end(),
+            [&](const ParetoEntry &r) { return r.spec == entry.spec; });
+        ASSERT_NE(it, reference.end()) << entry.spec;
+        EXPECT_DOUBLE_EQ(entry.avgMpki, it->avgMpki) << entry.spec;
+        EXPECT_EQ(entry.benchmarkCount, it->benchmarkCount) << entry.spec;
+    }
+}
+
+TEST(IncrementalParetoTest, ReportsRunningAveragesWhereAggregateRefuses)
+{
+    // Mid-merge the journal is partial: aggregateCells refuses (its
+    // averages are final results), the incremental view reports running
+    // averages with benchmarkCount saying how much is behind each.
+    const std::vector<SweepCell> cells = {
+        paretoCell("a", "B1", "CBP4", 1000, 10),
+        paretoCell("a", "B2", "CBP3", 1000, 90),
+        paretoCell("b", "B1", "CBP4", 2000, 20),
+    };
+    EXPECT_THROW(aggregateCells(cells), std::runtime_error);
+    IncrementalPareto incremental;
+    for (const SweepCell &cell : cells)
+        incremental.add(cell);
+    const std::vector<ParetoEntry> entries = incremental.entries();
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].spec, "a");
+    EXPECT_EQ(entries[0].benchmarkCount, 2u);
+    EXPECT_DOUBLE_EQ(entries[0].avgMpki, 50.0);
+    EXPECT_EQ(entries[1].spec, "b");
+    EXPECT_EQ(entries[1].benchmarkCount, 1u);
+    EXPECT_DOUBLE_EQ(entries[1].avgMpki, 20.0);
+
+    // Suite filtering happens at add(): only matching cells count.
+    IncrementalPareto cbp4("CBP4");
+    for (const SweepCell &cell : cells)
+        cbp4.add(cell);
+    EXPECT_EQ(cbp4.cellCount(), 2u);
+    const std::vector<ParetoEntry> filtered = cbp4.entries();
+    ASSERT_EQ(filtered.size(), 2u);
+    EXPECT_DOUBLE_EQ(filtered[0].avgMpki, 10.0);
+    EXPECT_EQ(filtered[0].benchmarkCount, 1u);
+
+    // A spec reappearing with different storage bits is corruption.
+    IncrementalPareto strict;
+    strict.add(paretoCell("a", "B1", "CBP4", 1000, 10));
+    EXPECT_THROW(strict.add(paretoCell("a", "B2", "CBP4", 1001, 10)),
+                 std::runtime_error);
 }
